@@ -1,0 +1,86 @@
+// Shared helpers for the benchmark harness.
+//
+// Each bench binary regenerates one of the experiment rows in DESIGN.md
+// (E1..E7): google-benchmark provides the timing table; Stats counters are
+// attached to each row so the paper's access-pattern claims are visible
+// next to the wall-clock numbers.
+
+#ifndef ARIESRH_BENCH_BENCH_UTIL_H_
+#define ARIESRH_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/database.h"
+#include "util/random.h"
+
+namespace ariesrh::bench {
+
+/// Aborts the benchmark on an unexpected engine error (benchmarks must not
+/// silently measure failure paths).
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "bench: %s failed: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    fprintf(stderr, "bench: %s failed: %s\n", what,
+            result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Runs a mixed update workload: `txns` transactions, `updates_per_txn`
+/// increments over `objects` distinct objects, committing a fraction and
+/// leaving `loser_pct` percent active (losers at a subsequent crash).
+/// With delegation_pct > 0, that percentage of transactions delegate all
+/// their objects to the next transaction before resolving.
+struct WorkloadParams {
+  int txns = 100;
+  int updates_per_txn = 10;
+  ObjectId objects = 256;
+  int loser_pct = 20;
+  int delegation_pct = 0;
+  uint64_t seed = 42;
+};
+
+inline void RunWorkload(Database* db, const WorkloadParams& params) {
+  Random rng(params.seed);
+  TxnId previous = kInvalidTxn;
+  for (int i = 0; i < params.txns; ++i) {
+    TxnId txn = CheckResult(db->Begin(), "Begin");
+    for (int u = 0; u < params.updates_per_txn; ++u) {
+      ObjectId ob = rng.Uniform(params.objects);
+      Check(db->Add(txn, ob, static_cast<int64_t>(rng.Uniform(100)) + 1),
+            "Add");
+    }
+    if (previous != kInvalidTxn &&
+        rng.Percent(static_cast<uint32_t>(params.delegation_pct))) {
+      // Delegate everything to the previously started transaction (which is
+      // still active when it was chosen as a loser).
+      const Transaction* tx = db->txn_manager()->Find(txn);
+      if (tx != nullptr && !tx->ob_list.empty() &&
+          db->txn_manager()->Find(previous) != nullptr &&
+          db->txn_manager()->Find(previous)->state == TxnState::kActive) {
+        Check(db->DelegateAll(txn, previous), "DelegateAll");
+      }
+    }
+    if (rng.Percent(static_cast<uint32_t>(100 - params.loser_pct))) {
+      Check(db->Commit(txn), "Commit");
+    } else {
+      previous = txn;  // left active: a loser at crash time
+    }
+  }
+  Check(db->log_manager()->FlushAll(), "FlushAll");
+}
+
+}  // namespace ariesrh::bench
+
+#endif  // ARIESRH_BENCH_BENCH_UTIL_H_

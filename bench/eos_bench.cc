@@ -1,0 +1,123 @@
+// E6 — RH applied to a NO-UNDO/REDO protocol (EOS, paper Section 3.7).
+//
+// Delegation in EOS costs image copies between private logs plus
+// commit-time filtering; recovery is a single forward sweep that redoes
+// only committed units. We measure commit throughput with and without
+// delegation, the filtering effect (delegated-away entries never reach the
+// global log), and recovery redo volume.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "eos/eos_engine.h"
+
+namespace ariesrh::bench {
+namespace {
+
+using eos::EosEngine;
+
+void BM_EosCommitThroughput(benchmark::State& state) {
+  const int delegation_pct = static_cast<int>(state.range(0));
+  uint64_t committed_entries = 0;
+  for (auto _ : state) {
+    EosEngine engine;
+    Random rng(7);
+    TxnId previous = kInvalidTxn;
+    for (int i = 0; i < 300; ++i) {
+      TxnId t = CheckResult(engine.Begin(), "Begin");
+      for (int u = 0; u < 8; ++u) {
+        // Disjoint object ranges avoid write-lock conflicts.
+        Check(engine.Write(t, static_cast<ObjectId>(i) * 8 + u, u), "Write");
+      }
+      if (previous != kInvalidTxn &&
+          rng.Percent(static_cast<uint32_t>(delegation_pct))) {
+        std::vector<ObjectId> objects;
+        for (int u = 0; u < 8; ++u) {
+          objects.push_back(static_cast<ObjectId>(i) * 8 + u);
+        }
+        Check(engine.Delegate(t, previous, objects), "Delegate");
+      }
+      if (i % 4 == 0) {
+        previous = t;  // stays active a while
+      } else {
+        Check(engine.Commit(t), "Commit");
+      }
+    }
+    committed_entries = engine.stats().log_bytes_appended;
+  }
+  state.SetItemsProcessed(state.iterations() * 300 * 8);
+  state.counters["global_log_bytes"] =
+      benchmark::Counter(static_cast<double>(committed_entries));
+}
+
+void BM_EosRecovery(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  uint64_t redos = 0, passes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EosEngine engine;
+    for (int i = 0; i < txns; ++i) {
+      TxnId t = CheckResult(engine.Begin(), "Begin");
+      for (int u = 0; u < 8; ++u) {
+        Check(engine.Write(t, static_cast<ObjectId>(i) * 8 + u, u), "Write");
+      }
+      if (i % 3 == 0) {
+        Check(engine.Abort(t), "Abort");  // loser: zero recovery cost
+      } else {
+        Check(engine.Commit(t), "Commit");
+      }
+    }
+    engine.SimulateCrash();
+    const Stats before = engine.stats();
+    state.ResumeTiming();
+
+    Check(engine.Recover(), "Recover");
+
+    state.PauseTiming();
+    const Stats delta = engine.stats().Delta(before);
+    redos = delta.recovery_redos;
+    passes = delta.recovery_passes;
+    state.ResumeTiming();
+  }
+  state.counters["redos"] = benchmark::Counter(static_cast<double>(redos));
+  state.counters["passes"] = benchmark::Counter(static_cast<double>(passes));
+}
+
+// Delegation filtering: how much global-log volume is saved when delegated
+// updates are filtered from the delegator's commit (they ship once, as the
+// delegatee's image, instead of twice).
+void BM_EosDelegationFiltering(benchmark::State& state) {
+  const bool delegate = state.range(0) != 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    EosEngine engine;
+    for (int i = 0; i < 200; ++i) {
+      TxnId worker = CheckResult(engine.Begin(), "Begin");
+      TxnId heir = CheckResult(engine.Begin(), "Begin");
+      std::vector<ObjectId> objects;
+      for (int u = 0; u < 8; ++u) {
+        ObjectId ob = static_cast<ObjectId>(i) * 8 + u;
+        Check(engine.Write(worker, ob, u), "Write");
+        objects.push_back(ob);
+      }
+      if (delegate) {
+        Check(engine.Delegate(worker, heir, objects), "Delegate");
+      }
+      Check(engine.Commit(worker), "Commit");
+      Check(engine.Commit(heir), "Commit");
+    }
+    bytes = engine.stats().log_bytes_appended;
+  }
+  state.counters["global_log_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+  state.SetLabel(delegate ? "with_delegation" : "no_delegation");
+}
+
+BENCHMARK(BM_EosCommitThroughput)->Arg(0)->Arg(25)->Arg(50);
+BENCHMARK(BM_EosRecovery)->Arg(100)->Arg(400)->Arg(1600);
+BENCHMARK(BM_EosDelegationFiltering)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ariesrh::bench
+
+BENCHMARK_MAIN();

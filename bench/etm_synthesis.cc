@@ -1,0 +1,124 @@
+// E7 — ETMs synthesized from delegation perform comparably to flat
+// transactions (paper Sections 1 and 6: the promise of general-purpose ETM
+// machinery "at a performance comparable to that of tailor-made
+// implementations").
+//
+// Each workload does the same logical work (N groups of 8 updates) three
+// ways: flat transactions, split transactions, and nested transactions. The
+// delegation-based syntheses should cost only the extra DELEGATE records.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "etm/nested.h"
+#include "etm/reporting.h"
+#include "etm/split.h"
+
+namespace ariesrh::bench {
+namespace {
+
+constexpr int kGroups = 200;
+constexpr int kUpdatesPerGroup = 8;
+
+void BM_FlatTransactions(benchmark::State& state) {
+  uint64_t appends = 0;
+  for (auto _ : state) {
+    Options options;
+    options.buffer_pool_pages = 256;
+    Database db(options);
+    for (int g = 0; g < kGroups; ++g) {
+      TxnId t = CheckResult(db.Begin(), "Begin");
+      for (int u = 0; u < kUpdatesPerGroup; ++u) {
+        Check(db.Add(t, static_cast<ObjectId>(g) * 8 + u, 1), "Add");
+      }
+      Check(db.Commit(t), "Commit");
+    }
+    appends = db.stats().log_appends;
+  }
+  state.SetItemsProcessed(state.iterations() * kGroups * kUpdatesPerGroup);
+  state.counters["log_appends"] =
+      benchmark::Counter(static_cast<double>(appends));
+}
+
+void BM_SplitTransactions(benchmark::State& state) {
+  uint64_t appends = 0;
+  for (auto _ : state) {
+    Options options;
+    options.buffer_pool_pages = 256;
+    Database db(options);
+    etm::SplitTransactions split(&db);
+    for (int g = 0; g < kGroups; ++g) {
+      TxnId t = CheckResult(db.Begin(), "Begin");
+      for (int u = 0; u < kUpdatesPerGroup; ++u) {
+        Check(db.Add(t, static_cast<ObjectId>(g) * 8 + u, 1), "Add");
+      }
+      // Split off half the objects; both halves commit.
+      std::vector<ObjectId> half;
+      for (int u = 0; u < kUpdatesPerGroup / 2; ++u) {
+        half.push_back(static_cast<ObjectId>(g) * 8 + u);
+      }
+      TxnId piece = CheckResult(split.Split(t, half), "Split");
+      Check(db.Commit(piece), "Commit piece");
+      Check(db.Commit(t), "Commit");
+    }
+    appends = db.stats().log_appends;
+  }
+  state.SetItemsProcessed(state.iterations() * kGroups * kUpdatesPerGroup);
+  state.counters["log_appends"] =
+      benchmark::Counter(static_cast<double>(appends));
+}
+
+void BM_NestedTransactions(benchmark::State& state) {
+  uint64_t appends = 0;
+  for (auto _ : state) {
+    Options options;
+    options.buffer_pool_pages = 256;
+    Database db(options);
+    etm::NestedTransactions nested(&db);
+    for (int g = 0; g < kGroups; ++g) {
+      TxnId root = CheckResult(nested.BeginRoot(), "BeginRoot");
+      TxnId child = CheckResult(nested.BeginChild(root), "BeginChild");
+      for (int u = 0; u < kUpdatesPerGroup; ++u) {
+        Check(db.Add(child, static_cast<ObjectId>(g) * 8 + u, 1), "Add");
+      }
+      Check(nested.Commit(child), "Commit child");
+      Check(nested.Commit(root), "Commit root");
+    }
+    appends = db.stats().log_appends;
+  }
+  state.SetItemsProcessed(state.iterations() * kGroups * kUpdatesPerGroup);
+  state.counters["log_appends"] =
+      benchmark::Counter(static_cast<double>(appends));
+}
+
+void BM_ReportingWorker(benchmark::State& state) {
+  const int report_every = static_cast<int>(state.range(0));
+  uint64_t reports = 0;
+  for (auto _ : state) {
+    Options options;
+    options.buffer_pool_pages = 256;
+    Database db(options);
+    TxnId worker = CheckResult(db.Begin(), "Begin");
+    etm::Reporter reporter(&db, worker);
+    for (int i = 0; i < kGroups * kUpdatesPerGroup; ++i) {
+      Check(db.Add(worker, static_cast<ObjectId>(i % 64), 1), "Add");
+      if ((i + 1) % report_every == 0) {
+        Check(reporter.PublishAll(), "Publish");
+      }
+    }
+    Check(db.Commit(worker), "Commit");
+    reports = static_cast<uint64_t>(reporter.reports());
+  }
+  state.SetItemsProcessed(state.iterations() * kGroups * kUpdatesPerGroup);
+  state.counters["reports"] = benchmark::Counter(static_cast<double>(reports));
+}
+
+BENCHMARK(BM_FlatTransactions);
+BENCHMARK(BM_SplitTransactions);
+BENCHMARK(BM_NestedTransactions);
+BENCHMARK(BM_ReportingWorker)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace ariesrh::bench
+
+BENCHMARK_MAIN();

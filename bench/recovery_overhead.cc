@@ -1,0 +1,106 @@
+// E5 — "Recovery: low overhead" (paper Section 4.2).
+//
+// RH recovery uses the same two passes as conventional ARIES; the only
+// additional work is linear in the number of delegated operations. The
+// sweep raises the delegation rate from 0% to 50% of transactions and
+// reports recovery time, pass count, and forward/backward record traffic —
+// the overhead curve should be flat-ish in the sweep dimension and the pass
+// count constant at 2.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ariesrh::bench {
+namespace {
+
+void BM_RecoveryVsDelegationRate(benchmark::State& state) {
+  const int delegation_pct = static_cast<int>(state.range(0));
+  uint64_t passes = 0, fwd = 0, examined = 0, delegations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Options options;
+    options.buffer_pool_pages = 256;
+    Database db(options);
+    WorkloadParams params;
+    params.txns = 600;
+    params.updates_per_txn = 8;
+    params.loser_pct = 25;
+    params.delegation_pct = delegation_pct;
+    RunWorkload(&db, params);
+    db.SimulateCrash();
+    const Stats before = db.stats();
+    state.ResumeTiming();
+
+    CheckResult(db.Recover(), "Recover");
+
+    state.PauseTiming();
+    const Stats delta = db.stats().Delta(before);
+    passes = delta.recovery_passes;
+    fwd = delta.recovery_forward_records;
+    examined = delta.recovery_backward_examined;
+    delegations = db.stats().delegations;
+    state.ResumeTiming();
+  }
+  state.counters["passes"] = benchmark::Counter(static_cast<double>(passes));
+  state.counters["fwd_records"] = benchmark::Counter(static_cast<double>(fwd));
+  state.counters["bwd_examined"] =
+      benchmark::Counter(static_cast<double>(examined));
+  state.counters["delegations"] =
+      benchmark::Counter(static_cast<double>(delegations));
+}
+
+// Checkpointed recovery: the forward pass starts at the checkpoint even
+// with live delegation state (scopes travel through the snapshot).
+void BM_RecoveryWithCheckpoint(benchmark::State& state) {
+  const bool checkpointed = state.range(0) != 0;
+  uint64_t fwd = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Options options;
+    options.buffer_pool_pages = 256;
+    Database db(options);
+    WorkloadParams params;
+    params.txns = 500;
+    params.updates_per_txn = 8;
+    params.loser_pct = 20;
+    params.delegation_pct = 25;
+    RunWorkload(&db, params);
+    if (checkpointed) {
+      // Flush dirty pages so the checkpoint's redo point advances; a fuzzy
+      // checkpoint over a dirty pool still honours the old recLSNs.
+      Check(db.buffer_pool()->FlushAll(), "FlushAll");
+      Check(db.Checkpoint(), "Checkpoint");
+    }
+    // A little more work after the checkpoint.
+    WorkloadParams tail = params;
+    tail.txns = 50;
+    tail.seed = 99;
+    RunWorkload(&db, tail);
+    db.SimulateCrash();
+    const Stats before = db.stats();
+    state.ResumeTiming();
+
+    CheckResult(db.Recover(), "Recover");
+
+    state.PauseTiming();
+    fwd = db.stats().Delta(before).recovery_forward_records;
+    state.ResumeTiming();
+  }
+  state.counters["fwd_records"] = benchmark::Counter(static_cast<double>(fwd));
+  state.SetLabel(checkpointed ? "with_checkpoint" : "no_checkpoint");
+}
+
+BENCHMARK(BM_RecoveryVsDelegationRate)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Arg(40)
+    ->Arg(50);
+BENCHMARK(BM_RecoveryWithCheckpoint)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ariesrh::bench
+
+BENCHMARK_MAIN();

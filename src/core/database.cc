@@ -1,0 +1,260 @@
+#include "core/database.h"
+
+#include "recovery/checkpoint.h"
+#include "wal/log_record.h"
+
+namespace ariesrh {
+
+Database::Database(Options options) : options_(options) {
+  disk_ = std::make_unique<SimulatedDisk>(&stats_);
+  BuildVolatileComponents();
+}
+
+Database::~Database() = default;
+
+void Database::BuildVolatileComponents() {
+  log_ = std::make_unique<LogManager>(disk_.get(), &stats_);
+  pool_ = std::make_unique<BufferPool>(
+      disk_.get(), options_.buffer_pool_pages,
+      [this](Lsn lsn) { return log_->Flush(lsn); });
+  locks_ = std::make_unique<LockManager>();
+  txn_manager_ = std::make_unique<TxnManager>(options_, log_.get(),
+                                              pool_.get(), locks_.get(),
+                                              &stats_);
+}
+
+Status Database::EnsureUsable() const {
+  if (crashed_) {
+    return Status::IllegalState("database crashed; call Recover() first");
+  }
+  return Status::OK();
+}
+
+Result<TxnId> Database::Begin() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Begin();
+}
+
+Result<int64_t> Database::Read(TxnId txn, ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Read(txn, ob);
+}
+
+Status Database::Set(TxnId txn, ObjectId ob, int64_t value) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Set(txn, ob, value);
+}
+
+Status Database::Add(TxnId txn, ObjectId ob, int64_t delta) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Add(txn, ob, delta);
+}
+
+Status Database::Delegate(TxnId from, TxnId to,
+                          const std::vector<ObjectId>& objects) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Delegate(from, to, objects);
+}
+
+Status Database::DelegateAll(TxnId from, TxnId to) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->DelegateAll(from, to);
+}
+
+Status Database::DelegateOperations(TxnId from, TxnId to, ObjectId ob,
+                                    Lsn first, Lsn last) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->DelegateOperations(from, to, ob, first, last);
+}
+
+Status Database::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Permit(owner, grantee, ob);
+}
+
+Status Database::FormDependency(DependencyType type, TxnId dependent,
+                                TxnId on) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->FormDependency(type, dependent, on);
+}
+
+Result<Lsn> Database::Savepoint(TxnId txn) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Savepoint(txn);
+}
+
+Status Database::RollbackTo(TxnId txn, Lsn savepoint) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->RollbackTo(txn, savepoint);
+}
+
+Status Database::Commit(TxnId txn) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Commit(txn);
+}
+
+Status Database::Abort(TxnId txn) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Abort(txn);
+}
+
+Status Database::Sync() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return log_->FlushAll();
+}
+
+Status Database::Checkpoint() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+
+  LogRecord begin;
+  begin.type = LogRecordType::kCkptBegin;
+  log_->Append(std::move(begin));
+
+  CheckpointData data;
+  data.next_txn_id = txn_manager_->next_txn_id();
+  for (const auto& [id, tx] : txn_manager_->transactions()) {
+    if (tx.state != TxnState::kActive) continue;
+    CheckpointData::TxnSnapshot snap;
+    snap.id = id;
+    snap.first_lsn = tx.first_lsn;
+    snap.last_lsn = tx.last_lsn;
+    snap.ob_list = tx.ob_list;
+    data.active_txns.push_back(std::move(snap));
+  }
+  data.dirty_pages = pool_->DirtyPageTable();
+
+  LogRecord end;
+  end.type = LogRecordType::kCkptEnd;
+  end.ckpt_payload = data.Serialize();
+  const Lsn end_lsn = log_->Append(std::move(end));
+  ARIESRH_RETURN_IF_ERROR(log_->Flush(end_lsn));
+  disk_->SetMasterRecord(end_lsn);
+  return Status::OK();
+}
+
+Status Database::SaveTo(const std::string& path) {
+  // Persist exactly the stable state; a crashed database can be saved too
+  // (that is precisely what its disk holds).
+  return disk_->SaveTo(path);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(Options options,
+                                                 const std::string& path) {
+  auto db = std::unique_ptr<Database>(new Database(options));
+  ARIESRH_ASSIGN_OR_RETURN(*db->disk_,
+                           SimulatedDisk::LoadFrom(path, &db->stats_));
+  // Opening a stable image is indistinguishable from restarting after a
+  // crash: volatile state must be rebuilt by Recover().
+  db->SimulateCrash();
+  return db;
+}
+
+Result<Database::BackupImage> Database::Backup() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // Sharp backup: every logged update reaches the stable pages first, and a
+  // checkpoint records the tables/redo point the restore will start from.
+  ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
+  ARIESRH_RETURN_IF_ERROR(Checkpoint());
+  BackupImage backup;
+  backup.pages = disk_->ClonePages();
+  backup.master_record = disk_->master_record();
+  backup.backup_end_lsn = log_->flushed_lsn();
+  ARIESRH_ASSIGN_OR_RETURN(backup.ckpt_record,
+                           disk_->ReadLogRecord(backup.master_record));
+  return backup;
+}
+
+void Database::SimulateMediaFailure() {
+  disk_->ClearPages();
+  SimulateCrash();
+}
+
+Status Database::RestoreFromBackup(const BackupImage& backup) {
+  if (!crashed_) {
+    return Status::IllegalState(
+        "restore only applies after a (media) failure");
+  }
+  if (backup.master_record == 0) {
+    return Status::InvalidArgument("backup image has no checkpoint");
+  }
+  // Rolling the backup forward requires the log from its checkpoint on.
+  if (disk_->first_retained_lsn() > backup.master_record) {
+    return Status::IllegalState(
+        "log needed to roll the backup forward was archived");
+  }
+  disk_->RestorePages(backup.pages);
+  disk_->SetMasterRecord(backup.master_record);
+  return Status::OK();
+}
+
+Result<uint64_t> Database::ArchiveLog() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  if (options_.delegation_mode != DelegationMode::kRH &&
+      options_.delegation_mode != DelegationMode::kDisabled) {
+    return Status::NotSupported(
+        "log archiving requires checkpoint-based recovery (kRH/kDisabled)");
+  }
+  const Lsn master = disk_->master_record();
+  if (master == 0 || master > log_->flushed_lsn()) {
+    return Status::IllegalState("take a checkpoint before archiving");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(master));
+  if (rec.type != LogRecordType::kCkptEnd) {
+    return Status::Corruption("master record does not point at CKPT_END");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(CheckpointData ckpt,
+                           CheckpointData::Deserialize(rec.ckpt_payload));
+
+  // Everything recovery could ever need again must stay: the checkpoint
+  // itself, its redo point, every live transaction's chain, and every
+  // update covered by a live scope (delegated responsibility pins history).
+  Lsn safe = std::min(master, ckpt.RedoStart(master));
+  for (const auto& [id, tx] : txn_manager_->transactions()) {
+    if (tx.state != TxnState::kActive) continue;
+    safe = std::min(safe, tx.first_lsn);
+    for (const auto& [ob, entry] : tx.ob_list) {
+      for (const Scope& scope : entry.scopes) {
+        safe = std::min(safe, scope.first);
+      }
+    }
+  }
+  return disk_->ArchiveLogPrefix(safe);
+}
+
+void Database::SimulateCrash() {
+  // Everything volatile disappears; the simulated disk survives.
+  log_.reset();
+  pool_.reset();
+  locks_.reset();
+  txn_manager_.reset();
+  crashed_ = true;
+}
+
+Result<RecoveryManager::Outcome> Database::Recover() {
+  if (!crashed_) {
+    return Status::IllegalState("Recover() without a preceding crash");
+  }
+  ARIESRH_RETURN_IF_ERROR(RecoveryManager::TruncateTornTail(disk_.get()));
+  BuildVolatileComponents();
+
+  RecoveryManager recovery(options_, disk_.get(), log_.get(), pool_.get(),
+                           &stats_);
+  ARIESRH_ASSIGN_OR_RETURN(RecoveryManager::Outcome outcome,
+                           recovery.Recover());
+  txn_manager_->SetNextTxnId(outcome.next_txn_id);
+  crashed_ = false;
+
+  if (options_.checkpoint_after_recovery) {
+    ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
+    ARIESRH_RETURN_IF_ERROR(Checkpoint());
+  }
+  return outcome;
+}
+
+Result<int64_t> Database::ReadCommitted(ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(PageOf(ob)));
+  return page->Get(SlotOf(ob));
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,169 @@
+// Database: the public facade over the whole engine.
+//
+// Owns the simulated stable storage plus all volatile components (log
+// manager, buffer pool, lock manager, transaction manager) and exposes the
+// transactional API, delegation, checkpoints, and the crash/recover harness
+// the tests and benchmarks drive.
+//
+//   Database db(options);
+//   TxnId t1 = *db.Begin(), t2 = *db.Begin();
+//   db.Set(t1, obj, 42);
+//   db.Delegate(t1, t2, {obj});   // t2 now owns the fate of the update
+//   db.Abort(t1);                 // does not disturb the delegated update
+//   db.Commit(t2);                // makes it durable
+//   db.SimulateCrash();
+//   db.Recover();                 // ARIES/RH restart
+//   db.ReadCommitted(obj);        // == 42
+
+#ifndef ARIESRH_CORE_DATABASE_H_
+#define ARIESRH_CORE_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "lock/lock_manager.h"
+#include "recovery/recovery_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+#include "txn/txn_manager.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+class Database {
+ public:
+  explicit Database(Options options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- transactional API (see TxnManager for semantics) ---
+  Result<TxnId> Begin();
+  Result<int64_t> Read(TxnId txn, ObjectId ob);
+  Status Set(TxnId txn, ObjectId ob, int64_t value);
+  Status Add(TxnId txn, ObjectId ob, int64_t delta);
+  Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& objects);
+  Status DelegateAll(TxnId from, TxnId to);
+  Status DelegateOperations(TxnId from, TxnId to, ObjectId ob, Lsn first,
+                            Lsn last);
+  Status Permit(TxnId owner, TxnId grantee, ObjectId ob);
+  Status FormDependency(DependencyType type, TxnId dependent, TxnId on);
+  Result<Lsn> Savepoint(TxnId txn);
+  Status RollbackTo(TxnId txn, Lsn savepoint);
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  /// Forces the whole log to stable storage. Under group commit
+  /// (Options::force_commits = false) this is the durability point for all
+  /// previously acknowledged commits.
+  Status Sync();
+
+  /// Takes a fuzzy checkpoint (CKPT_BEGIN, table snapshot in CKPT_END,
+  /// force, master-record update).
+  Status Checkpoint();
+
+  /// Persists the stable state (pages + durable log + master record) to a
+  /// file. Exactly what a crash would preserve — the volatile tail and
+  /// dirty pages are *not* included, by design; call FlushAll/Checkpoint
+  /// first to tighten the image. Reopen with Database::Open.
+  Status SaveTo(const std::string& path);
+
+  /// Opens a database persisted with SaveTo. The returned database is in
+  /// the needs-recovery state (opening a stable image IS crash recovery);
+  /// call Recover() before use.
+  static Result<std::unique_ptr<Database>> Open(Options options,
+                                                const std::string& path);
+
+  /// A media-recovery backup: a sharp snapshot of the stable pages plus the
+  /// log position and checkpoint it reflects.
+  struct BackupImage {
+    std::unordered_map<PageId, std::string> pages;
+    Lsn master_record = 0;
+    Lsn backup_end_lsn = 0;  ///< log was durable through here at backup time
+    /// Serialized image of the CKPT_END record at `master_record`, so a
+    /// standby seeded from this backup can start its log mid-stream and
+    /// still recover from the checkpoint (replication/log_shipping.h).
+    std::string ckpt_record;
+  };
+
+  /// Takes a backup: flushes all dirty pages, checkpoints, and snapshots
+  /// the stable pages. Restoring it plus replaying the log from its
+  /// checkpoint reproduces the current state (ARIES media recovery).
+  Result<BackupImage> Backup();
+
+  /// Models a media failure: the stable pages are destroyed (the log,
+  /// stored separately, survives) and all volatile state is lost.
+  /// RestoreFromBackup + Recover() bring the database back.
+  void SimulateMediaFailure();
+
+  /// Installs a backup's pages and master record after a media failure.
+  /// Fails if the log needed to roll the backup forward has been archived.
+  /// Call Recover() afterwards to replay the log suffix.
+  Status RestoreFromBackup(const BackupImage& backup);
+
+  /// Archives the no-longer-needed log prefix: everything before
+  /// min(last checkpoint, its redo point, the oldest live transaction's
+  /// BEGIN, and the oldest LSN covered by any live scope). Delegation can
+  /// pin old history: a scope received from a long-gone delegator keeps its
+  /// update records alive until the delegatee resolves. Returns the number
+  /// of records archived. Requires a checkpoint; only supported for kRH and
+  /// kDisabled (the rewriting baselines recover from the log head and can
+  /// never archive — one more cost of mutating history).
+  Result<uint64_t> ArchiveLog();
+
+  // --- crash / recovery harness ---
+
+  /// Models a failure: every volatile structure (buffer pool, log tail,
+  /// transaction table, lock table, dependency graph) is discarded; only
+  /// the simulated stable storage survives. Recover() must run before the
+  /// transactional API is used again.
+  void SimulateCrash();
+
+  /// ARIES/RH restart recovery (or the configured baseline's).
+  Result<RecoveryManager::Outcome> Recover();
+
+  /// True between SimulateCrash() and a successful Recover().
+  bool NeedsRecovery() const { return crashed_; }
+
+  // --- inspection ---
+
+  /// Reads an object's current value outside any transaction (test/bench
+  /// oracle access; no locks taken).
+  Result<int64_t> ReadCommitted(ObjectId ob);
+
+  const Stats& stats() const { return stats_; }
+  Stats* mutable_stats() { return &stats_; }
+  const Options& options() const { return options_; }
+
+  /// Mutable access for test knobs (fault injection, undo strategy). Do not
+  /// change the delegation mode mid-run: the log would mix conventions.
+  Options* mutable_options() { return &options_; }
+
+  TxnManager* txn_manager() { return txn_manager_.get(); }
+  LogManager* log_manager() { return log_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  LockManager* lock_manager() { return locks_.get(); }
+  SimulatedDisk* disk() { return disk_.get(); }
+
+ private:
+  Status EnsureUsable() const;
+  void BuildVolatileComponents();
+
+  Options options_;
+  Stats stats_;
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TxnManager> txn_manager_;
+  bool crashed_ = false;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_CORE_DATABASE_H_

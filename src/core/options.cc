@@ -1,0 +1,29 @@
+#include "core/options.h"
+
+namespace ariesrh {
+
+const char* DelegationModeName(DelegationMode mode) {
+  switch (mode) {
+    case DelegationMode::kDisabled:
+      return "disabled";
+    case DelegationMode::kRH:
+      return "rh";
+    case DelegationMode::kEager:
+      return "eager";
+    case DelegationMode::kLazyRewrite:
+      return "lazy-rewrite";
+  }
+  return "unknown";
+}
+
+const char* UndoStrategyName(UndoStrategy strategy) {
+  switch (strategy) {
+    case UndoStrategy::kScopeClusters:
+      return "scope-clusters";
+    case UndoStrategy::kFullScan:
+      return "full-scan";
+  }
+  return "unknown";
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,98 @@
+// Engine configuration.
+
+#ifndef ARIESRH_CORE_OPTIONS_H_
+#define ARIESRH_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace ariesrh {
+
+/// How delegation is realized (Section 3.2 of the paper enumerates the
+/// design space; RH is the paper's contribution, the others are baselines).
+enum class DelegationMode {
+  /// No delegation support at all: conventional ARIES. Delegate() fails.
+  /// Exists so E1 ("no delegation, no overhead") compares against an engine
+  /// that does not even maintain scope bookkeeping.
+  kDisabled,
+  /// The paper's algorithm: volatile scopes + one DELEGATE log record;
+  /// recovery interprets the log, never modifies it.
+  kRH,
+  /// Naive baseline (Figure 1 applied eagerly): each delegation physically
+  /// rewrites matching log records and re-links both backward chains, with
+  /// random stable-log reads and writes.
+  kEager,
+  /// Deferred baseline: delegations are logged like RH, but recovery
+  /// physically rewrites history during the forward pass and then runs
+  /// conventional chain undo.
+  kLazyRewrite,
+};
+
+const char* DelegationModeName(DelegationMode mode);
+
+/// How the RH backward pass locates loser updates. The paper's algorithm
+/// sweeps only the clusters of overlapping loser scopes; the full-scan
+/// alternative ("one could scan all log records backwards, identifying the
+/// loser updates... undesirable as it entails unnecessarily inspecting many
+/// winner updates", Section 3.6.2) exists as an ablation baseline.
+enum class UndoStrategy {
+  kScopeClusters,
+  kFullScan,
+};
+
+const char* UndoStrategyName(UndoStrategy strategy);
+
+/// Test-only fault injection knobs.
+struct FaultInjection {
+  /// When non-zero, recovery's undo pass "crashes" (flushes the log written
+  /// so far and fails with IOError) after undoing this many updates. Used
+  /// to prove recovery is idempotent when interrupted mid-undo.
+  uint64_t crash_after_undo_steps = 0;
+};
+
+/// Knobs for Database construction. Defaults give a small, fully-functional
+/// engine suitable for tests; benches widen the pool and the object space.
+struct Options {
+  DelegationMode delegation_mode = DelegationMode::kRH;
+
+  /// Buffer pool frames.
+  size_t buffer_pool_pages = 64;
+
+  /// Force the log on every commit (classic durability). When false, the
+  /// commit record stays in the volatile tail until the next flush — group
+  /// commit: far fewer device flushes, but an acknowledged commit can be
+  /// lost to a crash until Database::Sync() (or any forced flush) runs.
+  bool force_commits = true;
+
+  /// Whether delegate(t1, t2, ob) also moves t1's lock on ob to t2
+  /// (broadened visibility, paper Section 2.1). Tests that exercise pure
+  /// recovery semantics without lock interplay can turn this off.
+  ///
+  /// Caution: with the transfer disabled, the delegator keeps the lock and
+  /// may Set the object again; a *Set* whose fate then diverges from the
+  /// delegated Set's is unsound under before-image undo (the same reason
+  /// DelegateOperations refuses to split Set coverage). Keep the transfer
+  /// on, or restrict such objects to commuting Adds.
+  bool transfer_locks_on_delegate = true;
+
+  /// Take a fuzzy checkpoint automatically when recovery completes, so the
+  /// next crash recovers from the post-recovery state instead of the log
+  /// head.
+  bool checkpoint_after_recovery = false;
+
+  /// Backward-pass implementation for kRH (ablation; see UndoStrategy).
+  UndoStrategy undo_strategy = UndoStrategy::kScopeClusters;
+
+  /// Merge analysis and redo into a single forward sweep (the variant the
+  /// paper builds on, §3.3). When false, recovery runs the classic
+  /// three-pass ARIES layout: analysis, then redo, then undo — same end
+  /// state, one extra sweep.
+  bool merged_forward_pass = true;
+
+  /// Test-only fault injection.
+  FaultInjection faults;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_CORE_OPTIONS_H_

@@ -1,0 +1,97 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+
+namespace ariesrh {
+
+void HistoryOracle::Begin(TxnId) {}
+
+void HistoryOracle::Update(TxnId invoker, ObjectId ob, UpdateKind kind,
+                           int64_t value, Lsn lsn) {
+  ops_.push_back(Op{invoker, invoker, ob, kind, value, lsn, Fate::kPending});
+}
+
+void HistoryOracle::Delegate(TxnId from, TxnId to,
+                             const std::vector<ObjectId>& objects) {
+  for (Op& op : ops_) {
+    if (op.fate == Fate::kPending && op.responsible == from &&
+        std::find(objects.begin(), objects.end(), op.object) !=
+            objects.end()) {
+      op.responsible = to;
+    }
+  }
+}
+
+void HistoryOracle::DelegateRange(TxnId from, TxnId to, ObjectId ob,
+                                  Lsn first, Lsn last) {
+  for (Op& op : ops_) {
+    if (op.fate == Fate::kPending && op.responsible == from &&
+        op.object == ob && op.lsn != kInvalidLsn && op.lsn >= first &&
+        op.lsn <= last) {
+      op.responsible = to;
+    }
+  }
+}
+
+void HistoryOracle::RollbackTo(TxnId txn, Lsn savepoint) {
+  for (Op& op : ops_) {
+    if (op.fate == Fate::kPending && op.responsible == txn &&
+        op.lsn != kInvalidLsn && op.lsn > savepoint) {
+      op.fate = Fate::kDead;
+    }
+  }
+}
+
+void HistoryOracle::Commit(TxnId txn) {
+  for (Op& op : ops_) {
+    if (op.fate == Fate::kPending && op.responsible == txn) {
+      op.fate = Fate::kSurvives;
+    }
+  }
+}
+
+void HistoryOracle::Abort(TxnId txn) {
+  for (Op& op : ops_) {
+    if (op.fate == Fate::kPending && op.responsible == txn) {
+      op.fate = Fate::kDead;
+    }
+  }
+}
+
+void HistoryOracle::Crash() {
+  for (Op& op : ops_) {
+    if (op.fate == Fate::kPending) op.fate = Fate::kDead;
+  }
+}
+
+int64_t HistoryOracle::ExpectedValue(ObjectId ob) const {
+  int64_t value = 0;
+  for (const Op& op : ops_) {
+    if (op.object != ob || op.fate != Fate::kSurvives) continue;
+    if (op.kind == UpdateKind::kSet) {
+      value = op.value;
+    } else {
+      value += op.value;
+    }
+  }
+  return value;
+}
+
+std::map<ObjectId, int64_t> HistoryOracle::ExpectedValues() const {
+  std::map<ObjectId, int64_t> values;
+  for (const Op& op : ops_) values.emplace(op.object, 0);
+  for (auto& [ob, value] : values) value = ExpectedValue(ob);
+  return values;
+}
+
+TxnId HistoryOracle::ResponsibleFor(TxnId invoker, ObjectId ob) const {
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (it->fate == Fate::kPending && it->invoker == invoker &&
+        it->object == ob) {
+      return it->responsible;
+    }
+  }
+  return kInvalidTxn;
+}
+
+}  // namespace ariesrh

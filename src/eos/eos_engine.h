@@ -1,0 +1,106 @@
+// EOS-style NO-UNDO/REDO engine with delegation (paper Section 3.7).
+//
+// The original EOS is a closed AT&T Bell Labs system; this is our
+// implementation of the design the paper describes: a *global* log recording
+// only transaction commits (each commit unit embeds the committing
+// transaction's filtered private log) plus volatile per-transaction private
+// logs. Updates never reach the database before commit, so recovery is a
+// single forward sweep of the global log that redoes committed changes —
+// nothing is ever undone.
+//
+// Delegation follows the paper's read/write-model recipe: the delegator
+// supplies the delegatee with an image of the object at delegation time
+// (stored in the delegatee's private log), marks its own entries as
+// delegated away, and filters them out at commit.
+
+#ifndef ARIESRH_EOS_EOS_ENGINE_H_
+#define ARIESRH_EOS_EOS_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "eos/private_log.h"
+#include "lock/lock_manager.h"
+#include "storage/simulated_disk.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::eos {
+
+class EosEngine {
+ public:
+  EosEngine();
+
+  Result<TxnId> Begin();
+
+  /// Read-your-writes over the private log, else the committed state.
+  /// Shared lock; kBusy on conflict.
+  Result<int64_t> Read(TxnId txn, ObjectId ob);
+
+  /// Buffers the write in the private log (exclusive lock). The database
+  /// itself is untouched until commit — NO-UNDO.
+  Status Write(TxnId txn, ObjectId ob, int64_t value);
+
+  /// Delegates `from`'s buffered writes on `objects` to `to` by image
+  /// transfer. Both private logs record the delegation.
+  Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& objects);
+
+  /// Delegates every object `from` has live writes on.
+  Status DelegateAll(TxnId from, TxnId to);
+
+  /// ASSET permit: `grantee` may access `ob` despite `owner`'s lock. Note
+  /// that under NO-UNDO the tentative value lives in the owner's private
+  /// log, so a permitted *read* still sees the committed state — permits in
+  /// EOS only clear the way for the grantee's own writes.
+  Status Permit(TxnId owner, TxnId grantee, ObjectId ob);
+
+  /// Flushes the filtered private log + commit record durably into the
+  /// global log, then applies the changes to the database.
+  Status Commit(TxnId txn);
+
+  /// Discards the private log. Updates delegated away earlier survive in
+  /// their delegatee's private log.
+  Status Abort(TxnId txn);
+
+  /// Checkpoints the committed state: writes the database image to stable
+  /// pages and records the global-log position it reflects, so recovery
+  /// replays only the suffix. (EOS checkpoints are simple — the image holds
+  /// only committed data, NO-UNDO means nothing tentative ever reaches it.)
+  Status Checkpoint();
+
+  /// Crash: drops the database image, private logs, and lock table; only
+  /// the global log survives.
+  void SimulateCrash();
+
+  /// Loads the last checkpoint image (if any), then a single forward sweep
+  /// of the global log suffix redoes committed units.
+  Status Recover();
+
+  Result<int64_t> ReadCommitted(ObjectId ob) const;
+
+  const Stats& stats() const { return stats_; }
+  Stats* mutable_stats() { return &stats_; }
+
+ private:
+  struct Txn {
+    TxnId id = kInvalidTxn;
+    PrivateLog log;
+  };
+
+  Status ApplyEntries(const std::vector<PrivateLogEntry>& entries);
+  Result<Txn*> FindActive(TxnId txn);
+
+  Stats stats_;
+  std::unique_ptr<SimulatedDisk> disk_;  // global log lives here
+  LockManager locks_;
+  std::map<TxnId, Txn> txns_;
+  std::map<ObjectId, int64_t> db_;  // committed state (volatile image)
+  TxnId next_txn_id_ = 1;
+  bool crashed_ = false;
+};
+
+}  // namespace ariesrh::eos
+
+#endif  // ARIESRH_EOS_EOS_ENGINE_H_

@@ -1,0 +1,102 @@
+#include "eos/private_log.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace ariesrh::eos {
+
+void PrivateLog::AppendWrite(ObjectId ob, int64_t value) {
+  entries_.push_back(PrivateLogEntry{PrivateLogEntry::Kind::kWrite, ob, value,
+                                     kInvalidTxn, false});
+}
+
+void PrivateLog::AppendDelegatedImage(ObjectId ob, int64_t image, TxnId from) {
+  entries_.push_back(PrivateLogEntry{PrivateLogEntry::Kind::kDelegatedImage,
+                                     ob, image, from, false});
+}
+
+std::optional<int64_t> PrivateLog::DelegateAway(ObjectId ob) {
+  std::optional<int64_t> image;
+  for (PrivateLogEntry& entry : entries_) {
+    if (entry.object == ob && !entry.delegated_away) {
+      image = entry.value;  // last live value wins (append order)
+      entry.delegated_away = true;
+    }
+  }
+  return image;
+}
+
+std::optional<int64_t> PrivateLog::LiveValue(ObjectId ob) const {
+  std::optional<int64_t> value;
+  for (const PrivateLogEntry& entry : entries_) {
+    if (entry.object == ob && !entry.delegated_away) {
+      value = entry.value;
+    }
+  }
+  return value;
+}
+
+bool PrivateLog::Covers(ObjectId ob) const {
+  for (const PrivateLogEntry& entry : entries_) {
+    if (entry.object == ob && !entry.delegated_away) return true;
+  }
+  return false;
+}
+
+std::vector<PrivateLogEntry> PrivateLog::FilteredEntries() const {
+  std::vector<PrivateLogEntry> out;
+  for (const PrivateLogEntry& entry : entries_) {
+    if (!entry.delegated_away) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<ObjectId> PrivateLog::LiveObjects() const {
+  std::vector<ObjectId> out;
+  for (const PrivateLogEntry& entry : entries_) {
+    if (!entry.delegated_away &&
+        std::find(out.begin(), out.end(), entry.object) == out.end()) {
+      out.push_back(entry.object);
+    }
+  }
+  return out;
+}
+
+void PrivateLog::SerializeEntries(const std::vector<PrivateLogEntry>& entries,
+                                  std::string* out) {
+  PutVarint64(out, entries.size());
+  for (const PrivateLogEntry& entry : entries) {
+    PutFixed8(out, static_cast<uint8_t>(entry.kind));
+    PutVarint64(out, entry.object);
+    PutVarint64(out, ZigZagEncode(entry.value));
+    PutVarint64(out, entry.from == kInvalidTxn ? 0 : entry.from);
+  }
+}
+
+Status PrivateLog::DeserializeEntries(const std::string& data, size_t* offset,
+                                      std::vector<PrivateLogEntry>* out) {
+  Decoder dec(data.data() + *offset, data.size() - *offset);
+  const size_t initial_remaining = dec.remaining();
+  uint64_t count = 0;
+  ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PrivateLogEntry entry;
+    uint8_t kind = 0;
+    ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&kind));
+    entry.kind = static_cast<PrivateLogEntry::Kind>(kind);
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&entry.object));
+    uint64_t raw = 0;
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+    entry.value = ZigZagDecode(raw);
+    uint64_t from = 0;
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&from));
+    entry.from = from == 0 ? kInvalidTxn : from;
+    out->push_back(entry);
+  }
+  *offset += initial_remaining - dec.remaining();
+  return Status::OK();
+}
+
+}  // namespace ariesrh::eos

@@ -1,0 +1,84 @@
+// EOS private logs.
+//
+// EOS (Biliris & Panagos) is a NO-UNDO/REDO recovery manager: updates are
+// withheld from the database until commit. Each transaction accumulates a
+// *private log*; commit flushes the (filtered) private log into the global
+// log, abort simply discards it. Delegation (Section 3.7 of the paper) moves
+// responsibility across private logs: the delegator marks its entries for
+// the object as delegated away (they are filtered out at commit), and the
+// delegatee receives a *delegated image* — the object state at delegation
+// time — stored in its own private log so the delegatee never depends on the
+// delegator still existing.
+
+#ifndef ARIESRH_EOS_PRIVATE_LOG_H_
+#define ARIESRH_EOS_PRIVATE_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::eos {
+
+/// One private-log entry. EOS delegation is defined for the read/write
+/// model, so entries carry full object values (no deltas).
+struct PrivateLogEntry {
+  enum class Kind : uint8_t {
+    kWrite = 0,           ///< the transaction's own write
+    kDelegatedImage = 1,  ///< object image received through delegation
+  };
+
+  Kind kind = Kind::kWrite;
+  ObjectId object = kInvalidObject;
+  int64_t value = 0;
+  /// For kDelegatedImage: the delegator the image came from.
+  TxnId from = kInvalidTxn;
+  /// Set when a later delegation moved responsibility for this entry away;
+  /// commit filters such entries out (paper: "the delegator filters out
+  /// updates it has delegated when it comes time to commit").
+  bool delegated_away = false;
+};
+
+/// A transaction's volatile private log.
+class PrivateLog {
+ public:
+  void AppendWrite(ObjectId ob, int64_t value);
+  void AppendDelegatedImage(ObjectId ob, int64_t image, TxnId from);
+
+  /// Marks every live entry for `ob` as delegated away. Returns the image
+  /// the delegatee should receive — the most recent live value for `ob` in
+  /// this log — or nullopt if this log holds no live value (the delegatee
+  /// must then take the committed state).
+  std::optional<int64_t> DelegateAway(ObjectId ob);
+
+  /// Most recent live value for `ob` (read-your-writes), if any.
+  std::optional<int64_t> LiveValue(ObjectId ob) const;
+
+  /// True if any live entry references `ob` (responsibility test).
+  bool Covers(ObjectId ob) const;
+
+  /// The entries that survive commit filtering, in append order.
+  std::vector<PrivateLogEntry> FilteredEntries() const;
+
+  /// Objects with at least one live entry.
+  std::vector<ObjectId> LiveObjects() const;
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<PrivateLogEntry>& entries() const { return entries_; }
+
+  /// Serialization of the filtered entries for the global-log commit unit.
+  static void SerializeEntries(const std::vector<PrivateLogEntry>& entries,
+                               std::string* out);
+  static Status DeserializeEntries(const std::string& data, size_t* offset,
+                                   std::vector<PrivateLogEntry>* out);
+
+ private:
+  std::vector<PrivateLogEntry> entries_;
+};
+
+}  // namespace ariesrh::eos
+
+#endif  // ARIESRH_EOS_PRIVATE_LOG_H_

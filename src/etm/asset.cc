@@ -1,0 +1,15 @@
+#include "etm/asset.h"
+
+namespace ariesrh::etm {
+
+Result<bool> Asset::Run(TxnId txn,
+                        const std::function<Status(TxnId)>& body) {
+  Status status = body(txn);
+  if (status.ok()) return true;
+  // The body failed: the transaction aborts, discarding whatever it still
+  // is responsible for (anything it delegated away earlier survives).
+  ARIESRH_RETURN_IF_ERROR(db_->Abort(txn));
+  return false;
+}
+
+}  // namespace ariesrh::etm

@@ -1,0 +1,57 @@
+// ASSET primitives facade (Biliris et al., SIGMOD '94).
+//
+// Mirrors the primitive vocabulary the paper's ETM code snippets use —
+// initiate / begin / commit / abort plus the three extensions delegate,
+// permit, and form-dependency — over our Database. The engine is a
+// single-threaded simulation, so `initiate(f); begin(t); wait(t)` becomes
+// Initiate() + Run(t, body): the body executes inline and Run reports
+// whether it succeeded (the analogue of wait()'s return value).
+
+#ifndef ARIESRH_ETM_ASSET_H_
+#define ARIESRH_ETM_ASSET_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "txn/dependency_graph.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::etm {
+
+class Asset {
+ public:
+  explicit Asset(Database* db) : db_(db) {}
+
+  /// initiate + begin: creates a transaction.
+  Result<TxnId> Initiate() { return db_->Begin(); }
+
+  /// Runs `body` on behalf of `txn`. If the body fails, the transaction is
+  /// aborted and false is returned — the analogue of `if (!wait(t))`.
+  /// The transaction is left active on success; the caller decides its fate.
+  Result<bool> Run(TxnId txn, const std::function<Status(TxnId)>& body);
+
+  Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& obs) {
+    return db_->Delegate(from, to, obs);
+  }
+  /// delegate(t, self()) with no object list: delegate *all* objects.
+  Status DelegateAll(TxnId from, TxnId to) { return db_->DelegateAll(from, to); }
+  Status Permit(TxnId owner, TxnId grantee, ObjectId ob) {
+    return db_->Permit(owner, grantee, ob);
+  }
+  Status FormDependency(DependencyType type, TxnId dependent, TxnId on) {
+    return db_->FormDependency(type, dependent, on);
+  }
+  Status Commit(TxnId txn) { return db_->Commit(txn); }
+  Status Abort(TxnId txn) { return db_->Abort(txn); }
+
+  Database* db() { return db_; }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_ASSET_H_

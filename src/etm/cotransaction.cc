@@ -1,0 +1,25 @@
+#include "etm/cotransaction.h"
+
+namespace ariesrh::etm {
+
+Result<CoTransactionPair> CoTransactionPair::Create(Database* db) {
+  ARIESRH_ASSIGN_OR_RETURN(TxnId a, db->Begin());
+  ARIESRH_ASSIGN_OR_RETURN(TxnId b, db->Begin());
+  return CoTransactionPair(db, a, b);
+}
+
+Status CoTransactionPair::Yield() {
+  // Control is passed at the time of delegation (paper Section 2.2): the
+  // active transaction hands its accumulated responsibility to its partner.
+  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(active_, passive_));
+  std::swap(active_, passive_);
+  return Status::OK();
+}
+
+Status CoTransactionPair::Finish(bool commit) {
+  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(passive_, active_));
+  ARIESRH_RETURN_IF_ERROR(db_->Commit(passive_));
+  return commit ? db_->Commit(active_) : db_->Abort(active_);
+}
+
+}  // namespace ariesrh::etm

@@ -1,0 +1,45 @@
+// Co-transactions (Chrysanthis & Ramamritham): two cooperating transactions
+// of which exactly one is active at a time; control — and responsibility for
+// all accumulated work — passes from one to the other at each delegation,
+// like coroutines over transactional state.
+
+#ifndef ARIESRH_ETM_COTRANSACTION_H_
+#define ARIESRH_ETM_COTRANSACTION_H_
+
+#include "core/database.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::etm {
+
+class CoTransactionPair {
+ public:
+  /// Starts both transactions; the first is initially in control.
+  static Result<CoTransactionPair> Create(Database* db);
+
+  /// The transaction currently holding control. Only it should invoke
+  /// operations.
+  TxnId active() const { return active_; }
+  TxnId passive() const { return passive_; }
+
+  /// Transfers control: the active transaction delegates everything it is
+  /// responsible for to its partner, which becomes active.
+  Status Yield();
+
+  /// Ends the pair: the active side (which holds all responsibility after a
+  /// final implicit yield of the passive side's nothing) commits or aborts;
+  /// the passive side commits empty-handed.
+  Status Finish(bool commit);
+
+ private:
+  CoTransactionPair(Database* db, TxnId a, TxnId b)
+      : db_(db), active_(a), passive_(b) {}
+
+  Database* db_;
+  TxnId active_;
+  TxnId passive_;
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_COTRANSACTION_H_

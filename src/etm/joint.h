@@ -1,0 +1,54 @@
+// Joint transactions (Chrysanthis & Ramamritham) — the fourth ETM the paper
+// names as synthesizable from delegation (Section 1): a group of
+// transactions that succeed or fail *together*. Members contribute work
+// independently; when a member finishes it delegates everything it is
+// responsible for to the group's anchor transaction, whose single
+// commit/abort decides the whole group's fate. Any member aborting aborts
+// the group (abort dependencies through the anchor).
+
+#ifndef ARIESRH_ETM_JOINT_H_
+#define ARIESRH_ETM_JOINT_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::etm {
+
+class JointTransaction {
+ public:
+  /// Creates the group with its anchor transaction.
+  static Result<JointTransaction> Create(Database* db);
+
+  /// Adds a member. The member gets an abort dependency both ways with the
+  /// anchor: if either dies, so does the other (and hence the whole group).
+  Result<TxnId> Join();
+
+  /// A member finishes its contribution: its responsibility moves to the
+  /// anchor and the member transaction ends (commit — which is safe, since
+  /// it no longer owns anything).
+  Status Finish(TxnId member);
+
+  /// Commits the whole group's accumulated work. Fails (kBusy) while
+  /// members are still active.
+  Status CommitAll();
+
+  /// Aborts the group: the anchor and every live member roll back.
+  Status AbortAll();
+
+  TxnId anchor() const { return anchor_; }
+  size_t live_members() const;
+
+ private:
+  JointTransaction(Database* db, TxnId anchor) : db_(db), anchor_(anchor) {}
+
+  Database* db_;
+  TxnId anchor_;
+  std::vector<TxnId> members_;
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_JOINT_H_

@@ -1,0 +1,57 @@
+// Nested transactions (Moss '81), synthesized from delegation per the
+// paper's Section 2.2.2:
+//   * upward inheritance — when a subtransaction commits, it delegates all
+//     the changes it is responsible for to its parent;
+//   * failure atomicity — a subtransaction may abort without aborting its
+//     parent, but aborting a transaction aborts its live descendants;
+//   * visibility — a subtransaction may access objects its ancestors hold
+//     (realized with permits);
+//   * permanence — effects become durable only when the root commits.
+
+#ifndef ARIESRH_ETM_NESTED_H_
+#define ARIESRH_ETM_NESTED_H_
+
+#include <map>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::etm {
+
+class NestedTransactions {
+ public:
+  explicit NestedTransactions(Database* db) : db_(db) {}
+
+  /// Starts a top-level (root) transaction.
+  Result<TxnId> BeginRoot();
+
+  /// Starts a subtransaction of `parent` (itself a root or a child).
+  /// The child gains permits on every object the parent currently holds,
+  /// and an abort dependency so aborting the parent aborts it.
+  Result<TxnId> BeginChild(TxnId parent);
+
+  /// Commits a node. For a child this performs upward inheritance
+  /// (delegate-all to the parent) before committing; for a root it makes
+  /// everything durable.
+  Status Commit(TxnId txn);
+
+  /// Aborts a node; live descendants abort with it (via the engine's abort
+  /// dependencies), the parent survives.
+  Status Abort(TxnId txn);
+
+  /// Grants `child` access to `ob` past any lock held by an ancestor.
+  Status PermitFromAncestors(TxnId child, ObjectId ob);
+
+  /// The parent of `txn`, or kInvalidTxn for roots/unknown ids.
+  TxnId ParentOf(TxnId txn) const;
+
+ private:
+  Database* db_;
+  std::map<TxnId, TxnId> parent_;  // child -> parent (roots absent)
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_NESTED_H_

@@ -1,0 +1,67 @@
+// Open nested transactions (named by the paper, Section 1, among the ETMs
+// synthesizable with delegate): subtransactions whose effects become
+// visible — and durable — as soon as they commit, *before* the parent
+// finishes. Early release buys concurrency; atomicity is recovered through
+// *compensation*: if the parent later aborts, a compensating transaction
+// semantically undoes each early-committed child (in reverse order).
+//
+// The delegation connection: an open child publishes its results by
+// delegating them to a short-lived committer transaction (the reporting
+// pattern), so the child's own control flow can continue or fail without
+// touching what was published. Compensations are ordinary transactions
+// registered alongside.
+
+#ifndef ARIESRH_ETM_OPEN_NESTED_H_
+#define ARIESRH_ETM_OPEN_NESTED_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::etm {
+
+/// A compensation action: runs inside a fresh transaction and must
+/// semantically undo one early-committed child (e.g. re-increment what the
+/// child decremented). Must be defined for every open child.
+using Compensation = std::function<Status(Database*, TxnId)>;
+
+class OpenNestedTransaction {
+ public:
+  /// Starts the parent.
+  static Result<OpenNestedTransaction> Create(Database* db);
+
+  /// Runs one open child: `body` executes inside a fresh transaction; on
+  /// success its effects are committed immediately (early release) and
+  /// `compensation` is registered for a potential parent abort. On body
+  /// failure the child alone rolls back and the error is returned.
+  Status RunOpenChild(const std::function<Status(Database*, TxnId)>& body,
+                      Compensation compensation);
+
+  /// The parent's own transaction (for direct updates).
+  TxnId parent() const { return parent_; }
+
+  /// Commits the parent; registered compensations are discarded.
+  Status Commit();
+
+  /// Aborts the parent and runs every registered compensation in reverse
+  /// order, each in its own committed transaction. Returns the first
+  /// compensation failure (remaining ones still run).
+  Status Abort();
+
+  size_t pending_compensations() const { return compensations_.size(); }
+
+ private:
+  OpenNestedTransaction(Database* db, TxnId parent)
+      : db_(db), parent_(parent) {}
+
+  Database* db_;
+  TxnId parent_;
+  std::vector<Compensation> compensations_;
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_OPEN_NESTED_H_

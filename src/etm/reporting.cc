@@ -1,0 +1,23 @@
+#include "etm/reporting.h"
+
+namespace ariesrh::etm {
+
+Status Reporter::Publish(const std::vector<ObjectId>& objects) {
+  ARIESRH_ASSIGN_OR_RETURN(TxnId report, db_->Begin());
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(worker_, report, objects));
+  return CommitReport(report);
+}
+
+Status Reporter::PublishAll() {
+  ARIESRH_ASSIGN_OR_RETURN(TxnId report, db_->Begin());
+  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(worker_, report));
+  return CommitReport(report);
+}
+
+Status Reporter::CommitReport(TxnId report) {
+  ARIESRH_RETURN_IF_ERROR(db_->Commit(report));
+  ++reports_;
+  return Status::OK();
+}
+
+}  // namespace ariesrh::etm

@@ -1,0 +1,44 @@
+// Reporting transactions (Chrysanthis & Ramamritham): a long-running
+// transaction periodically *reports* — makes its tentative results so far
+// permanent and visible — by delegating its current results to a fresh
+// transaction that commits immediately, while the worker carries on. A later
+// abort of the worker cannot take back what was already reported: the
+// reported updates' fate was decided by the (committed) report transaction.
+
+#ifndef ARIESRH_ETM_REPORTING_H_
+#define ARIESRH_ETM_REPORTING_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::etm {
+
+class Reporter {
+ public:
+  /// `worker` is the long-running transaction whose results get published.
+  Reporter(Database* db, TxnId worker) : db_(db), worker_(worker) {}
+
+  /// Publishes the worker's results on `objects`: delegates them to a fresh
+  /// report transaction and commits it. The worker keeps running.
+  Status Publish(const std::vector<ObjectId>& objects);
+
+  /// Publishes everything the worker is currently responsible for.
+  Status PublishAll();
+
+  /// Number of reports published so far.
+  int reports() const { return reports_; }
+
+ private:
+  Status CommitReport(TxnId report);
+
+  Database* db_;
+  TxnId worker_;
+  int reports_ = 0;
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_REPORTING_H_

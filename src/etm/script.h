@@ -1,0 +1,74 @@
+// ASSET script runner.
+//
+// The paper's premise (abstract, Section 1) is that Extended Transaction
+// Models should be *specified at a high level* — ASSET primitives embedded
+// in a host language — instead of custom-built engines. This is a small
+// textual front end over those primitives: transaction programs written as
+// scripts drive the full engine, including delegation, dependencies,
+// permits, savepoints, crashes, and recovery. Tests and examples use it to
+// state ETM scenarios declaratively.
+//
+// Grammar (one command per line; `#` starts a comment; blank lines ok):
+//
+//   begin <txn>
+//   set <txn> <ob> <value>
+//   add <txn> <ob> <delta>
+//   read <txn> <ob>                        # result recorded in the trace
+//   delegate <from> <to> <ob> [<ob>...]
+//   delegate-all <from> <to>
+//   delegate-last <from> <to> <ob>     # only <from>'s most recent update
+//   permit <owner> <grantee> <ob>
+//   depend commit|strong-commit|abort <dependent> <on>
+//   savepoint <txn> <name>
+//   rollback-to <txn> <name>
+//   commit <txn>
+//   abort <txn>
+//   checkpoint | flush | crash | recover | archive
+//   backup <name> | media-failure | restore <name>
+//   expect <ob> <value>                    # committed-state assertion
+//   expect-responsible <invoker> <ob> <responsible>
+//   expect-error <command...>              # the command must fail
+//
+// Transaction names are symbolic (t1, worker, ...); objects are unsigned
+// integers. Each command's effect is appended to the trace.
+
+#ifndef ARIESRH_ETM_SCRIPT_H_
+#define ARIESRH_ETM_SCRIPT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace ariesrh::etm {
+
+class ScriptRunner {
+ public:
+  explicit ScriptRunner(Database* db) : db_(db) {}
+
+  /// Executes the script, stopping at the first failing command (or failed
+  /// expectation) with its line number in the error message.
+  Status Run(const std::string& script);
+
+  /// Human-readable record of everything executed (one entry per command).
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  /// Engine id of a script transaction name (kInvalidTxn if unknown).
+  TxnId Lookup(const std::string& name) const;
+
+ private:
+  Status RunLine(const std::vector<std::string>& tokens);
+  Status RunCommand(const std::vector<std::string>& tokens);
+  Result<TxnId> Txn(const std::string& name) const;
+
+  Database* db_;
+  std::map<std::string, TxnId> txns_;
+  std::map<std::string, Lsn> savepoints_;  // "txn:name" -> LSN
+  std::map<std::string, Database::BackupImage> backups_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_SCRIPT_H_

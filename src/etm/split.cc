@@ -1,0 +1,25 @@
+#include "etm/split.h"
+
+namespace ariesrh::etm {
+
+Result<TxnId> SplitTransactions::Split(TxnId splitting,
+                                       const std::vector<ObjectId>& ob_set) {
+  ARIESRH_ASSIGN_OR_RETURN(TxnId split_off, db_->Begin());
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(splitting, split_off, ob_set));
+  return split_off;
+}
+
+Result<TxnId> SplitTransactions::SplitAll(TxnId splitting) {
+  ARIESRH_ASSIGN_OR_RETURN(TxnId split_off, db_->Begin());
+  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(splitting, split_off));
+  return split_off;
+}
+
+Status SplitTransactions::Join(TxnId joining, TxnId into) {
+  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(joining, into));
+  // Having delegated everything, the joining transaction's own fate no
+  // longer matters; commit it to end it cleanly.
+  return db_->Commit(joining);
+}
+
+}  // namespace ariesrh::etm

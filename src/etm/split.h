@@ -1,0 +1,50 @@
+// Split/Join transactions (Pu, Kaiser & Hutchinson, VLDB '88), synthesized
+// from delegation exactly as the paper's Section 2.2.1 shows:
+//
+//   t2 = initiate(f);
+//   delegate(self(), t2, ob_set);   // the split
+//   begin(t2);
+//
+// and the join:
+//
+//   wait(t2);
+//   delegate(t2, t1);               // t2 delegates *all* objects
+//
+// After a split, the two transactions commit or abort independently; the
+// split-off transaction controls the fate of the delegated updates even
+// though it never invoked them.
+
+#ifndef ARIESRH_ETM_SPLIT_H_
+#define ARIESRH_ETM_SPLIT_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::etm {
+
+class SplitTransactions {
+ public:
+  explicit SplitTransactions(Database* db) : db_(db) {}
+
+  /// Splits `splitting`: starts a new transaction and delegates
+  /// responsibility for `ob_set` to it. Returns the split-off transaction.
+  /// Both transactions may then commit or abort independently.
+  Result<TxnId> Split(TxnId splitting, const std::vector<ObjectId>& ob_set);
+
+  /// Splits off everything `splitting` is responsible for.
+  Result<TxnId> SplitAll(TxnId splitting);
+
+  /// Joins `joining` into `into`: delegates all of `joining`'s objects to
+  /// `into` and commits the (now empty-handed) `joining`.
+  Status Join(TxnId joining, TxnId into);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace ariesrh::etm
+
+#endif  // ARIESRH_ETM_SPLIT_H_

@@ -1,0 +1,183 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ariesrh {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kIncrement:
+      return "I";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockModesCompatible(LockMode a, LockMode b) {
+  if (a == LockMode::kExclusive || b == LockMode::kExclusive) return false;
+  // S-S and I-I are compatible; S-I is not (an increment changes the value a
+  // reader depends on).
+  return a == b;
+}
+
+Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode) {
+  ObjectLocks& locks = table_[ob];
+  auto self = locks.holders.find(txn);
+  if (self != locks.holders.end() && self->second >= mode) {
+    return Status::OK();  // already held in an equal or stronger mode
+  }
+  if (ConflictsIgnoringPermits(locks, txn, mode)) {
+    return Status::Busy("lock conflict on object " + std::to_string(ob) +
+                        " requested " + LockModeName(mode));
+  }
+  locks.holders[txn] = mode;
+  held_[txn].insert(ob);
+  return Status::OK();
+}
+
+bool LockManager::ConflictsIgnoringPermits(const ObjectLocks& locks,
+                                           TxnId requester,
+                                           LockMode mode) const {
+  for (const auto& [holder, held_mode] : locks.holders) {
+    if (holder == requester) continue;
+    if (LockModesCompatible(held_mode, mode)) continue;
+    if (locks.permits.contains({holder, requester})) continue;
+    return true;
+  }
+  return false;
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (ObjectId ob : it->second) {
+    auto tab = table_.find(ob);
+    if (tab == table_.end()) continue;
+    tab->second.holders.erase(txn);
+    // Permits granted by a terminated owner are moot; drop them.
+    std::erase_if(tab->second.permits,
+                  [txn](const auto& p) { return p.first == txn; });
+    if (tab->second.holders.empty() && tab->second.permits.empty()) {
+      table_.erase(tab);
+    }
+  }
+  held_.erase(it);
+}
+
+void LockManager::Release(TxnId txn, ObjectId ob) {
+  auto tab = table_.find(ob);
+  if (tab != table_.end()) {
+    tab->second.holders.erase(txn);
+    if (tab->second.holders.empty() && tab->second.permits.empty()) {
+      table_.erase(tab);
+    }
+  }
+  auto it = held_.find(txn);
+  if (it != held_.end()) {
+    it->second.erase(ob);
+    if (it->second.empty()) held_.erase(it);
+  }
+}
+
+void LockManager::Transfer(TxnId from, TxnId to, ObjectId ob) {
+  auto tab = table_.find(ob);
+  if (tab == table_.end()) return;
+  auto holder = tab->second.holders.find(from);
+  if (holder == tab->second.holders.end()) return;
+  LockMode mode = holder->second;
+  tab->second.holders.erase(holder);
+
+  auto it = held_.find(from);
+  if (it != held_.end()) {
+    it->second.erase(ob);
+    if (it->second.empty()) held_.erase(it);
+  }
+
+  auto [to_pos, inserted] = tab->second.holders.emplace(to, mode);
+  if (!inserted) {
+    to_pos->second = std::max(to_pos->second, mode);
+  }
+  held_[to].insert(ob);
+}
+
+void LockManager::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
+  table_[ob].permits.insert({owner, grantee});
+}
+
+bool LockManager::Holds(TxnId txn, ObjectId ob, LockMode mode) const {
+  auto tab = table_.find(ob);
+  if (tab == table_.end()) return false;
+  auto holder = tab->second.holders.find(txn);
+  return holder != tab->second.holders.end() && holder->second >= mode;
+}
+
+std::map<ObjectId, LockMode> LockManager::HeldLocks(TxnId txn) const {
+  std::map<ObjectId, LockMode> out;
+  auto it = held_.find(txn);
+  if (it == held_.end()) return out;
+  for (ObjectId ob : it->second) {
+    auto tab = table_.find(ob);
+    if (tab == table_.end()) continue;
+    auto holder = tab->second.holders.find(txn);
+    if (holder != tab->second.holders.end()) out[ob] = holder->second;
+  }
+  return out;
+}
+
+void LockManager::Reset() {
+  table_.clear();
+  held_.clear();
+}
+
+void WaitForGraph::AddEdge(TxnId waiter, TxnId holder) {
+  if (waiter != holder) edges_[waiter].insert(holder);
+}
+
+void WaitForGraph::RemoveEdge(TxnId waiter, TxnId holder) {
+  auto it = edges_.find(waiter);
+  if (it == edges_.end()) return;
+  it->second.erase(holder);
+  if (it->second.empty()) edges_.erase(it);
+}
+
+void WaitForGraph::RemoveTxn(TxnId txn) {
+  edges_.erase(txn);
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    it->second.erase(txn);
+    it = it->second.empty() ? edges_.erase(it) : std::next(it);
+  }
+}
+
+bool WaitForGraph::WouldDeadlock(TxnId waiter, TxnId holder) const {
+  return waiter == holder || Reaches(holder, waiter);
+}
+
+bool WaitForGraph::HasCycle() const {
+  for (const auto& [from, tos] : edges_) {
+    for (TxnId to : tos) {
+      if (Reaches(to, from)) return true;
+    }
+  }
+  return false;
+}
+
+bool WaitForGraph::Reaches(TxnId from, TxnId to) const {
+  std::vector<TxnId> stack = {from};
+  std::set<TxnId> seen;
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == to) return true;
+    if (!seen.insert(cur).second) continue;
+    auto it = edges_.find(cur);
+    if (it == edges_.end()) continue;
+    stack.insert(stack.end(), it->second.begin(), it->second.end());
+  }
+  return false;
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,185 @@
+#include "recovery/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "recovery/redo.h"
+#include "recovery/rewrite_baselines.h"
+
+namespace ariesrh {
+
+namespace {
+
+TxnAnalysis& Touch(ForwardPassResult* result, TxnId txn, Lsn lsn) {
+  TxnAnalysis& info = result->txns[txn];
+  if (info.id == kInvalidTxn) {
+    // First sighting: loser by default (paper, forward pass `begin`).
+    info.id = txn;
+    info.first_lsn = lsn;
+  }
+  info.last_lsn = lsn;
+  result->max_txn_id = std::max(result->max_txn_id, txn);
+  return info;
+}
+
+// TRANSFER RESPONSIBILITY, exactly as in normal processing (Section 3.5
+// delegate step 3): move the delegated objects' entries, merging scopes.
+// Operation-granularity records transfer only the covered scope ranges.
+void TransferScopes(ForwardPassResult* result, const LogRecord& rec,
+                    Stats* stats) {
+  TxnAnalysis& tor = result->txns[rec.tor];
+  TxnAnalysis& tee = result->txns[rec.tee];
+  for (size_t i = 0; i < rec.objects.size(); ++i) {
+    const ObjectId ob = rec.objects[i];
+    auto it = tor.ob_list.find(ob);
+    if (it == tor.ob_list.end()) continue;  // nothing left to transfer
+    ObjectEntry& dst = tee.ob_list[ob];
+    dst.delegated_from = rec.tor;
+    const bool ranged = i < rec.ranges.size() &&
+                        rec.ranges[i].first != kInvalidLsn;
+    if (ranged) {
+      stats->scopes_transferred += TransferScopeRange(
+          &it->second, &dst, rec.ranges[i].first, rec.ranges[i].second);
+      if (it->second.scopes.empty()) tor.ob_list.erase(it);
+    } else {
+      stats->scopes_transferred += it->second.scopes.size();
+      dst.MergeFrom(it->second);
+      tor.ob_list.erase(it);
+    }
+  }
+}
+
+}  // namespace
+
+Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
+                                      BufferPool* pool, Stats* stats,
+                                      const CheckpointData* ckpt,
+                                      Lsn ckpt_end_lsn,
+                                      ForwardPassKind kind) {
+  const bool do_redo = kind != ForwardPassKind::kAnalysisOnly;
+  const bool do_analysis = kind != ForwardPassKind::kRedoOnly;
+  ForwardPassResult result;
+
+  Lsn analysis_from = kFirstLsn;
+  Lsn redo_from = kFirstLsn;
+  if (ckpt != nullptr) {
+    analysis_from = ckpt_end_lsn + 1;
+    redo_from = ckpt->RedoStart(ckpt_end_lsn);
+    result.max_txn_id =
+        ckpt->next_txn_id > 0 ? ckpt->next_txn_id - 1 : 0;
+    for (const CheckpointData::TxnSnapshot& snap : ckpt->active_txns) {
+      TxnAnalysis& info = result.txns[snap.id];
+      info.id = snap.id;
+      info.first_lsn = snap.first_lsn;
+      info.last_lsn = snap.last_lsn;
+      info.ob_list = snap.ob_list;
+      result.max_txn_id = std::max(result.max_txn_id, snap.id);
+    }
+  }
+
+  // An analysis-only pass starts at the checkpoint; a redo-bearing pass
+  // may have to reach back to the oldest dirty page.
+  const Lsn scan_from =
+      do_redo ? std::min(redo_from, analysis_from) : analysis_from;
+  const Lsn scan_to = log->flushed_lsn();
+  result.scan_end = scan_to;
+  ++stats->recovery_passes;
+
+  for (Lsn lsn = scan_from; lsn <= scan_to; ++lsn) {
+    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(lsn));
+    ++stats->recovery_forward_records;
+    const bool analyze = do_analysis && lsn >= analysis_from;
+
+    switch (rec.type) {
+      case LogRecordType::kUpdate: {
+        if (do_redo && lsn >= redo_from) {
+          bool applied = false;
+          ARIESRH_RETURN_IF_ERROR(
+              ApplyRecordToPage(pool, rec, /*check_page_lsn=*/true, &applied));
+          if (applied) ++stats->recovery_redos;
+        }
+        if (analyze) {
+          TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
+          if (mode == DelegationMode::kRH) {
+            // ADJUST SCOPES, as in normal processing (Section 3.6.1).
+            ObjectEntry& entry = info.ob_list[rec.object];
+            entry.ExtendOrOpen(rec.txn_id, lsn);
+            if (rec.kind == UpdateKind::kSet) entry.has_set_update = true;
+          }
+        }
+        break;
+      }
+      case LogRecordType::kClr: {
+        if (do_redo && lsn >= redo_from) {
+          bool applied = false;
+          ARIESRH_RETURN_IF_ERROR(
+              ApplyRecordToPage(pool, rec, /*check_page_lsn=*/true, &applied));
+          if (applied) ++stats->recovery_redos;
+        }
+        if (analyze) {
+          Touch(&result, rec.txn_id, lsn);
+          result.compensated.insert(rec.compensated_lsn);
+        }
+        break;
+      }
+      case LogRecordType::kBegin:
+        if (analyze) Touch(&result, rec.txn_id, lsn);
+        break;
+      case LogRecordType::kCommit:
+        if (analyze) {
+          TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
+          info.committed = true;
+          // A winner's responsibilities are resolved; its scopes must not
+          // feed the loser sweep.
+          info.ob_list.clear();
+        }
+        break;
+      case LogRecordType::kAbort:
+        if (analyze) Touch(&result, rec.txn_id, lsn).aborting = true;
+        break;
+      case LogRecordType::kEnd:
+        if (analyze) {
+          TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
+          info.ended = true;
+          info.ob_list.clear();
+        }
+        break;
+      case LogRecordType::kDelegate:
+        if (analyze) {
+          Touch(&result, rec.tor, lsn);
+          Touch(&result, rec.tee, lsn);
+          if (mode == DelegationMode::kRH) {
+            TransferScopes(&result, rec, stats);
+          } else if (mode == DelegationMode::kLazyRewrite) {
+            // Physically rewrite history now (deferred Figure 1): surgery
+            // over both chains as they stood just before this record.
+            std::unordered_map<TxnId, Lsn> heads;
+            // The delegate record itself was already counted as both
+            // transactions' last record by Touch above; the chains to
+            // rewrite are the ones hanging off its own two pointers.
+            heads[rec.tor] = rec.tor_bc;
+            heads[rec.tee] = rec.tee_bc;
+            std::set<ObjectId> objects(rec.objects.begin(),
+                                       rec.objects.end());
+            ARIESRH_RETURN_IF_ERROR(RewriteHistory(
+                log, stats, rec.tor, rec.tee, objects, &heads));
+            // Point the delegate record's chain pointers at the rewritten
+            // chain heads so later traversals stay consistent.
+            LogRecord patched = rec;
+            patched.tor_bc = heads[rec.tor];
+            patched.tee_bc = heads[rec.tee];
+            ARIESRH_RETURN_IF_ERROR(log->Rewrite(lsn, patched));
+          }
+        }
+        break;
+      case LogRecordType::kCkptBegin:
+      case LogRecordType::kCkptEnd:
+        // A completed checkpoint after `ckpt` would have moved the master
+        // record; seeing one here means it was superseded or torn. Skip.
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ariesrh

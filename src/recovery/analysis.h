@@ -1,0 +1,79 @@
+// The ARIES/RH forward pass: merged analysis + redo (paper Section 3.6.1).
+//
+// A single sweep of the stable log that (a) repeats history — reapplies
+// every logged update and CLR whose page does not yet reflect it — and
+// (b) rebuilds the volatile state delegation depends on: the transaction
+// table, each transaction's Ob_List with scopes (by re-playing UPDATE scope
+// adjustments and DELEGATE scope transfers exactly as normal processing
+// performed them), the set of compensated updates, and the winner/loser
+// classification. The paper's key efficiency point is that all of this is
+// piggy-backed on the sweep ARIES already performs; no extra pass exists.
+
+#ifndef ARIESRH_RECOVERY_ANALYSIS_H_
+#define ARIESRH_RECOVERY_ANALYSIS_H_
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/options.h"
+#include "recovery/checkpoint.h"
+#include "storage/buffer_pool.h"
+#include "txn/scope.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+/// Per-transaction state rebuilt by the forward pass.
+struct TxnAnalysis {
+  TxnId id = kInvalidTxn;
+  Lsn first_lsn = kInvalidLsn;
+  Lsn last_lsn = kInvalidLsn;
+  bool committed = false;  ///< COMMIT record seen -> winner
+  bool aborting = false;   ///< ABORT record seen, rollback was in progress
+  bool ended = false;      ///< END record seen -> fully resolved
+  std::map<ObjectId, ObjectEntry> ob_list;  ///< scopes (kRH mode only)
+
+  bool IsLoser() const { return !committed && !ended; }
+};
+
+/// Everything recovery's backward pass needs.
+struct ForwardPassResult {
+  std::unordered_map<TxnId, TxnAnalysis> txns;
+  /// LSNs of updates already undone before the crash (from CLRs).
+  std::unordered_set<Lsn> compensated;
+  /// Highest transaction id observed (for re-seeding the id counter).
+  TxnId max_txn_id = 0;
+  /// Last LSN processed (end of the stable log).
+  Lsn scan_end = 0;
+};
+
+/// What a forward sweep does. The paper's presentation (and ARIES/RH's
+/// default) merges analysis and redo into one sweep (§3.3: "ARIES/RH
+/// relies on a single forward pass"); the classic three-pass ARIES variant
+/// runs analysis first and redo second — supported here so the two layouts
+/// can be compared (they must produce identical states).
+enum class ForwardPassKind {
+  kMerged,        ///< analysis + redo in one sweep
+  kAnalysisOnly,  ///< rebuild tables/scopes, do not touch pages
+  kRedoOnly,      ///< repeat history, no table changes
+};
+
+/// Runs a forward pass over the stable log. `ckpt` (with `ckpt_end_lsn`)
+/// seeds the tables and bounds the scan when a checkpoint exists; pass
+/// nullptr to scan from the log head. In kLazyRewrite mode the
+/// analysis-bearing pass also physically applies each DELEGATE record via
+/// chain surgery (the baseline the paper contrasts with RH).
+Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
+                                      BufferPool* pool, Stats* stats,
+                                      const CheckpointData* ckpt,
+                                      Lsn ckpt_end_lsn,
+                                      ForwardPassKind kind =
+                                          ForwardPassKind::kMerged);
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_RECOVERY_ANALYSIS_H_

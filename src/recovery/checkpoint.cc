@@ -1,0 +1,108 @@
+#include "recovery/checkpoint.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace ariesrh {
+
+Lsn CheckpointData::RedoStart(Lsn ckpt_end_lsn) const {
+  Lsn start = ckpt_end_lsn + 1;
+  for (const auto& [page, rec_lsn] : dirty_pages) {
+    start = std::min(start, rec_lsn);
+  }
+  return start;
+}
+
+std::string CheckpointData::Serialize() const {
+  std::string out;
+  PutVarint64(&out, next_txn_id);
+
+  PutVarint64(&out, active_txns.size());
+  for (const TxnSnapshot& txn : active_txns) {
+    PutVarint64(&out, txn.id);
+    PutVarint64(&out, txn.first_lsn);
+    PutVarint64(&out, txn.last_lsn);
+    PutVarint64(&out, txn.ob_list.size());
+    for (const auto& [ob, entry] : txn.ob_list) {
+      PutVarint64(&out, ob);
+      PutVarint64(&out, entry.delegated_from == kInvalidTxn
+                            ? 0
+                            : entry.delegated_from);
+      PutFixed8(&out, entry.has_set_update ? 1 : 0);
+      PutVarint64(&out, entry.scopes.size());
+      for (const Scope& scope : entry.scopes) {
+        PutVarint64(&out, scope.invoker);
+        PutVarint64(&out, scope.first);
+        PutVarint64(&out, scope.last);
+        PutFixed8(&out, scope.open ? 1 : 0);
+      }
+    }
+  }
+
+  PutVarint64(&out, dirty_pages.size());
+  for (const auto& [page, rec_lsn] : dirty_pages) {
+    PutVarint64(&out, page);
+    PutVarint64(&out, rec_lsn);
+  }
+  return out;
+}
+
+Result<CheckpointData> CheckpointData::Deserialize(const std::string& payload) {
+  Decoder dec(payload);
+  CheckpointData data;
+  ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&data.next_txn_id));
+
+  uint64_t txn_count = 0;
+  ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn_count));
+  data.active_txns.reserve(txn_count);
+  for (uint64_t i = 0; i < txn_count; ++i) {
+    TxnSnapshot txn;
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn.id));
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn.first_lsn));
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn.last_lsn));
+    uint64_t ob_count = 0;
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&ob_count));
+    for (uint64_t j = 0; j < ob_count; ++j) {
+      ObjectId ob = 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&ob));
+      ObjectEntry entry;
+      uint64_t deleg = 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&deleg));
+      entry.delegated_from = deleg == 0 ? kInvalidTxn : deleg;
+      uint8_t has_set = 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&has_set));
+      entry.has_set_update = has_set != 0;
+      uint64_t scope_count = 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&scope_count));
+      entry.scopes.reserve(scope_count);
+      for (uint64_t s = 0; s < scope_count; ++s) {
+        Scope scope;
+        ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&scope.invoker));
+        ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&scope.first));
+        ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&scope.last));
+        uint8_t open = 0;
+        ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&open));
+        scope.open = open != 0;
+        entry.scopes.push_back(scope);
+      }
+      txn.ob_list.emplace(ob, std::move(entry));
+    }
+    data.active_txns.push_back(std::move(txn));
+  }
+
+  uint64_t page_count = 0;
+  ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&page_count));
+  for (uint64_t i = 0; i < page_count; ++i) {
+    uint64_t page = 0, rec_lsn = 0;
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&page));
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec_lsn));
+    data.dirty_pages[static_cast<PageId>(page)] = rec_lsn;
+  }
+  if (!dec.empty()) {
+    return Status::Corruption("trailing bytes in checkpoint payload");
+  }
+  return data;
+}
+
+}  // namespace ariesrh

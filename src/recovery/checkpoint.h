@@ -1,0 +1,49 @@
+// Fuzzy checkpoints.
+//
+// The paper's presentation ignores checkpoints "for simplicity" but notes
+// the data structures can be rebuilt from them. We implement that: a
+// checkpoint snapshots the transaction table (including Ob_Lists with their
+// scopes — the delegation state) and the dirty page table, so recovery's
+// forward pass can start at the checkpoint instead of the log head.
+
+#ifndef ARIESRH_RECOVERY_CHECKPOINT_H_
+#define ARIESRH_RECOVERY_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "txn/scope.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh {
+
+/// The table snapshot serialized into a CKPT_END record's payload.
+struct CheckpointData {
+  struct TxnSnapshot {
+    TxnId id = kInvalidTxn;
+    Lsn first_lsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+    std::map<ObjectId, ObjectEntry> ob_list;
+  };
+
+  /// Next transaction id to hand out after recovery.
+  TxnId next_txn_id = 1;
+  /// Every transaction active at checkpoint time.
+  std::vector<TxnSnapshot> active_txns;
+  /// Dirty page table: page -> recovery LSN (first update that dirtied it).
+  std::map<PageId, Lsn> dirty_pages;
+
+  /// Smallest LSN redo must start from given this checkpoint: the minimum
+  /// dirty-page recovery LSN, or just past the checkpoint if nothing was
+  /// dirty.
+  Lsn RedoStart(Lsn ckpt_end_lsn) const;
+
+  std::string Serialize() const;
+  static Result<CheckpointData> Deserialize(const std::string& payload);
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_RECOVERY_CHECKPOINT_H_

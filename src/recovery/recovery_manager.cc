@@ -1,0 +1,161 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+
+#include "recovery/undo_conventional.h"
+#include "recovery/undo_rh.h"
+#include "wal/log_record.h"
+
+namespace ariesrh {
+
+RecoveryManager::RecoveryManager(const Options& options, SimulatedDisk* disk,
+                                 LogManager* log, BufferPool* pool,
+                                 Stats* stats)
+    : options_(options), disk_(disk), log_(log), pool_(pool), stats_(stats) {}
+
+Status RecoveryManager::TruncateTornTail(SimulatedDisk* disk) {
+  while (disk->stable_end_lsn() >= kFirstLsn) {
+    const Lsn last = disk->stable_end_lsn();
+    Result<std::string> image = disk->ReadLogRecord(last);
+    if (!image.ok()) return image.status();
+    Result<LogRecord> rec = LogRecord::Deserialize(*image);
+    if (rec.ok() && rec->lsn == last) return Status::OK();
+    // Torn or misplaced record: drop it and keep probing backwards.
+    ARIESRH_RETURN_IF_ERROR(disk->DropLastLogRecord());
+  }
+  return Status::OK();
+}
+
+Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
+  // Locate the most recent completed checkpoint via the master record.
+  //
+  // The history-rewriting baselines cannot start from a checkpoint: a
+  // delegation *retroactively* edits records and chain heads that predate
+  // the snapshot, so a checkpointed transaction table may be stale by the
+  // time of the crash. (Yet another cost of physically rewriting history —
+  // ARIES/RH has no such problem because the log is immutable.) They
+  // recover from the log head instead.
+  const bool can_use_checkpoint =
+      options_.delegation_mode == DelegationMode::kRH ||
+      options_.delegation_mode == DelegationMode::kDisabled;
+  CheckpointData ckpt;
+  const CheckpointData* ckpt_ptr = nullptr;
+  Lsn ckpt_end_lsn = can_use_checkpoint ? disk_->master_record() : 0;
+  if (ckpt_end_lsn != 0 && ckpt_end_lsn <= log_->flushed_lsn()) {
+    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(ckpt_end_lsn));
+    if (rec.type != LogRecordType::kCkptEnd) {
+      return Status::Corruption("master record does not point at CKPT_END");
+    }
+    ARIESRH_ASSIGN_OR_RETURN(ckpt,
+                             CheckpointData::Deserialize(rec.ckpt_payload));
+    ckpt_ptr = &ckpt;
+  } else {
+    ckpt_end_lsn = 0;
+  }
+
+  // Forward work: repeat history and rebuild the delegation state — in one
+  // merged sweep (the paper's layout) or as classic separate analysis and
+  // redo passes.
+  ForwardPassResult fwd;
+  if (options_.merged_forward_pass) {
+    ARIESRH_ASSIGN_OR_RETURN(
+        fwd, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
+                         ckpt_ptr, ckpt_end_lsn, ForwardPassKind::kMerged));
+  } else {
+    ARIESRH_ASSIGN_OR_RETURN(
+        fwd,
+        ForwardPass(options_.delegation_mode, log_, pool_, stats_, ckpt_ptr,
+                    ckpt_end_lsn, ForwardPassKind::kAnalysisOnly));
+    ARIESRH_RETURN_IF_ERROR(
+        ForwardPass(options_.delegation_mode, log_, pool_, stats_, ckpt_ptr,
+                    ckpt_end_lsn, ForwardPassKind::kRedoOnly)
+            .status());
+  }
+
+  // Backward pass: undo the loser updates.
+  std::vector<TxnId> resolved;
+  ARIESRH_RETURN_IF_ERROR(UndoLosers(fwd, &resolved));
+
+  // Every resolved transaction gets an END record so a crash during a later
+  // run does not reconsider it.
+  Outcome outcome;
+  outcome.checkpoint_used = ckpt_end_lsn;
+  for (const auto& [txn, info] : fwd.txns) {
+    if (info.committed) {
+      ++outcome.winners;
+      if (!info.ended) {
+        log_->Append(LogRecord::MakeEnd(txn, info.last_lsn));
+      }
+    } else if (!info.ended) {
+      ++outcome.losers;
+    }
+  }
+  ARIESRH_RETURN_IF_ERROR(log_->FlushAll());
+
+  outcome.next_txn_id = fwd.max_txn_id + 1;
+  return outcome;
+}
+
+Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
+                                   std::vector<TxnId>* resolved) {
+  ++stats_->recovery_passes;
+
+  // Test-only: simulate a crash in the middle of the undo pass.
+  uint64_t budget = options_.faults.crash_after_undo_steps;
+  uint64_t* budget_ptr =
+      options_.faults.crash_after_undo_steps > 0 ? &budget : nullptr;
+
+  // CLRs written during undo chain onto each loser's backward chain.
+  std::unordered_map<TxnId, Lsn> bc_heads;
+  std::vector<TxnId> losers;
+  for (const auto& [txn, info] : fwd.txns) {
+    if (info.IsLoser()) {
+      losers.push_back(txn);
+      bc_heads[txn] = info.last_lsn;
+    }
+  }
+  std::sort(losers.begin(), losers.end());
+
+  if (options_.delegation_mode == DelegationMode::kRH) {
+    // Undo the *loser updates* — via loser scope clusters (Figure 8).
+    std::vector<ScopeUndoTarget> targets;
+    for (TxnId txn : losers) {
+      const TxnAnalysis& info = fwd.txns.at(txn);
+      for (const auto& [ob, entry] : info.ob_list) {
+        for (const Scope& scope : entry.scopes) {
+          targets.push_back(ScopeUndoTarget{txn, ob, scope});
+        }
+      }
+    }
+    if (options_.undo_strategy == UndoStrategy::kFullScan) {
+      ARIESRH_RETURN_IF_ERROR(FullScanUndo(targets, fwd.compensated,
+                                           fwd.scan_end, log_, pool_, stats_,
+                                           &bc_heads, budget_ptr));
+    } else {
+      ARIESRH_RETURN_IF_ERROR(ScopeSweepUndo(targets, fwd.compensated,
+                                             fwd.scan_end, log_, pool_,
+                                             stats_, &bc_heads, budget_ptr));
+    }
+  } else {
+    // Conventional ARIES: follow loser backward chains. Correct for
+    // kDisabled (no delegation) and for the eager / lazy-rewrite baselines
+    // (history has been physically rewritten by now).
+    std::unordered_map<TxnId, Lsn> loser_heads;
+    for (TxnId txn : losers) {
+      // In lazy-rewrite mode the forward pass's surgery may have moved the
+      // chain heads; fwd.txns reflects that (delegate records touch both).
+      loser_heads[txn] = fwd.txns.at(txn).last_lsn;
+    }
+    ARIESRH_RETURN_IF_ERROR(
+        ChainUndo(loser_heads, log_, pool_, stats_, &bc_heads, budget_ptr));
+  }
+
+  // Rollback complete: write END records.
+  for (TxnId txn : losers) {
+    log_->Append(LogRecord::MakeEnd(txn, bc_heads[txn]));
+    resolved->push_back(txn);
+  }
+  return Status::OK();
+}
+
+}  // namespace ariesrh

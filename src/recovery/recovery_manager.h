@@ -1,0 +1,58 @@
+// Restart recovery orchestration: torn-tail truncation, checkpoint lookup,
+// the forward (analysis + redo) pass, and the mode-appropriate backward
+// (undo) pass, ending with END records for every resolved loser.
+
+#ifndef ARIESRH_RECOVERY_RECOVERY_MANAGER_H_
+#define ARIESRH_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "recovery/analysis.h"
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+/// Drives restart recovery. Construct against the post-crash components
+/// (fresh log manager and buffer pool over the surviving disk) and call
+/// Recover() once.
+class RecoveryManager {
+ public:
+  RecoveryManager(const Options& options, SimulatedDisk* disk,
+                  LogManager* log, BufferPool* pool, Stats* stats);
+
+  struct Outcome {
+    TxnId next_txn_id = 1;   ///< id counter seed for new transactions
+    uint64_t winners = 0;    ///< committed before the crash
+    uint64_t losers = 0;     ///< rolled back by recovery
+    Lsn checkpoint_used = 0; ///< CKPT_END the pass started from (0 = none)
+  };
+
+  /// Runs the full restart sequence. Idempotent under crashes during
+  /// recovery: re-running after a partial recovery converges to the same
+  /// state (CLRs and the compensated set prevent double undo).
+  Result<Outcome> Recover();
+
+  /// Scans backward from the stable log's end dropping records whose CRC
+  /// fails (torn tail). Called before constructing the log manager.
+  static Status TruncateTornTail(SimulatedDisk* disk);
+
+ private:
+  Status UndoLosers(const ForwardPassResult& fwd,
+                    std::vector<TxnId>* resolved);
+
+  const Options& options_;
+  SimulatedDisk* disk_;
+  LogManager* log_;
+  BufferPool* pool_;
+  Stats* stats_;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_RECOVERY_RECOVERY_MANAGER_H_

@@ -1,0 +1,55 @@
+#include "recovery/redo.h"
+
+#include <cassert>
+
+namespace ariesrh {
+
+Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
+                         bool check_page_lsn, bool* applied) {
+  assert(rec.type == LogRecordType::kUpdate ||
+         rec.type == LogRecordType::kClr);
+  if (applied != nullptr) *applied = false;
+  const PageId page_id = PageOf(rec.object);
+  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool->Fetch(page_id));
+  if (check_page_lsn && page->page_lsn() >= rec.lsn) {
+    return Status::OK();  // the page already reflects this record
+  }
+  if (applied != nullptr) *applied = true;
+  const uint32_t slot = SlotOf(rec.object);
+  if (rec.kind == UpdateKind::kSet) {
+    page->Set(slot, rec.after);
+  } else {
+    page->Add(slot, rec.after);
+  }
+  page->set_page_lsn(rec.lsn);
+  pool->MarkDirty(page_id, rec.lsn);
+  return Status::OK();
+}
+
+Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
+                  const LogRecord& update_rec, TxnId responsible,
+                  std::unordered_map<TxnId, Lsn>* bc_heads) {
+  assert(update_rec.type == LogRecordType::kUpdate);
+  // The compensation carries the inverse action in its `after` field so it
+  // can be (re)applied through the same path as an update: a Set is undone
+  // by restoring the before image, an Add by the negated delta.
+  const int64_t restore =
+      update_rec.kind == UpdateKind::kSet ? update_rec.before
+                                          : -update_rec.after;
+  auto head = bc_heads->find(responsible);
+  const Lsn prev = head == bc_heads->end() ? kInvalidLsn : head->second;
+  LogRecord clr = LogRecord::MakeClr(
+      responsible, prev, update_rec.object, update_rec.kind,
+      /*restore_before=*/update_rec.after, /*restore_after=*/restore,
+      /*compensated=*/update_rec.lsn, /*undo_next=*/update_rec.prev_lsn);
+  const Lsn clr_lsn = log->Append(clr);
+  (*bc_heads)[responsible] = clr_lsn;
+
+  clr.lsn = clr_lsn;
+  ARIESRH_RETURN_IF_ERROR(
+      ApplyRecordToPage(pool, clr, /*check_page_lsn=*/false));
+  ++stats->recovery_undos;
+  return Status::OK();
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,39 @@
+// Page application helpers shared by normal processing, the redo pass, and
+// both undo algorithms.
+
+#ifndef ARIESRH_RECOVERY_REDO_H_
+#define ARIESRH_RECOVERY_REDO_H_
+
+#include <unordered_map>
+
+#include "storage/buffer_pool.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace ariesrh {
+
+/// Applies an UPDATE or CLR record to its page.
+///
+/// With `check_page_lsn` (the redo pass), the record is applied only if the
+/// page LSN is older than the record's LSN — ARIES "repeating history"
+/// idempotence; otherwise (normal processing) it is applied unconditionally.
+/// Either way the page LSN advances to the record's LSN on application and
+/// the page is marked dirty.
+/// `applied` (optional) reports whether the page was actually modified.
+Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
+                         bool check_page_lsn, bool* applied = nullptr);
+
+/// Undoes one update record on behalf of `responsible`: writes a CLR chained
+/// into `responsible`'s backward chain (tracked in `bc_heads`) and applies
+/// the compensation to the page. Used by normal-processing abort and by both
+/// recovery undo algorithms.
+Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
+                  const LogRecord& update_rec, TxnId responsible,
+                  std::unordered_map<TxnId, Lsn>* bc_heads);
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_RECOVERY_REDO_H_

@@ -1,0 +1,115 @@
+#include "recovery/rewrite_baselines.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace ariesrh {
+
+namespace {
+
+// The chain link of `rec` as seen by `owner`: plain records use prev_lsn;
+// a DELEGATE record sits on two chains and exposes the side of its owner.
+Lsn ChainLink(const LogRecord& rec, TxnId owner) {
+  if (rec.type == LogRecordType::kDelegate) {
+    return owner == rec.tor ? rec.tor_bc : rec.tee_bc;
+  }
+  return rec.prev_lsn;
+}
+
+void SetChainLink(LogRecord* rec, TxnId owner, Lsn link) {
+  if (rec->type == LogRecordType::kDelegate) {
+    if (owner == rec->tor) {
+      rec->tor_bc = link;
+    } else {
+      rec->tee_bc = link;
+    }
+  } else {
+    rec->prev_lsn = link;
+  }
+}
+
+}  // namespace
+
+Status RewriteHistory(LogManager* log, Stats* stats, TxnId t1, TxnId t2,
+                      const std::set<ObjectId>& objects,
+                      std::unordered_map<TxnId, Lsn>* bc_heads) {
+  // Registry of every record touched by the surgery, keyed by LSN, plus its
+  // original image for change detection. A DELEGATE record can appear on
+  // both walked chains; the registry deduplicates it.
+  std::map<Lsn, LogRecord> registry;
+  std::map<Lsn, LogRecord> original;
+
+  auto walk = [&](TxnId owner) -> Result<std::vector<Lsn>> {
+    std::vector<Lsn> chain;  // descending LSN order
+    Lsn lsn = bc_heads->contains(owner) ? (*bc_heads)[owner] : kInvalidLsn;
+    while (lsn != kInvalidLsn) {
+      auto it = registry.find(lsn);
+      if (it == registry.end()) {
+        ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(lsn));
+        original.emplace(lsn, rec);
+        it = registry.emplace(lsn, std::move(rec)).first;
+      }
+      chain.push_back(lsn);
+      lsn = ChainLink(it->second, owner);
+    }
+    return chain;
+  };
+
+  ARIESRH_ASSIGN_OR_RETURN(std::vector<Lsn> chain1, walk(t1));
+  ARIESRH_ASSIGN_OR_RETURN(std::vector<Lsn> chain2, walk(t2));
+
+  // Partition t1's chain: records whose responsibility moves to t2.
+  auto moves = [&](Lsn lsn) {
+    const LogRecord& rec = registry.at(lsn);
+    return (rec.type == LogRecordType::kUpdate ||
+            rec.type == LogRecordType::kClr) &&
+           rec.txn_id == t1 && objects.contains(rec.object);
+  };
+
+  std::vector<Lsn> new1;
+  std::vector<Lsn> moved;
+  for (Lsn lsn : chain1) {
+    (moves(lsn) ? moved : new1).push_back(lsn);
+  }
+
+  // Rewriting history: the moved records now appear to have been written by
+  // the delegatee all along (Figure 1's setTransID).
+  for (Lsn lsn : moved) {
+    registry.at(lsn).txn_id = t2;
+  }
+
+  // Merge the moved records into t2's chain, keeping descending LSN order.
+  std::vector<Lsn> new2;
+  new2.reserve(chain2.size() + moved.size());
+  std::merge(chain2.begin(), chain2.end(), moved.begin(), moved.end(),
+             std::back_inserter(new2), std::greater<Lsn>());
+
+  // Re-link both chains and update the heads.
+  auto relink = [&](const std::vector<Lsn>& chain, TxnId owner) {
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const Lsn next = (i + 1 < chain.size()) ? chain[i + 1] : kInvalidLsn;
+      SetChainLink(&registry.at(chain[i]), owner, next);
+    }
+    (*bc_heads)[owner] = chain.empty() ? kInvalidLsn : chain.front();
+  };
+  relink(new1, t1);
+  relink(new2, t2);
+
+  // Persist every record whose bytes changed. Rewrites of durable records
+  // are random stable-log writes; tail records are patched in memory.
+  for (auto& [lsn, rec] : registry) {
+    const std::string before = original.at(lsn).Serialize();
+    std::string after = rec.Serialize();
+    if (before != after) {
+      ARIESRH_RETURN_IF_ERROR(log->Rewrite(lsn, rec));
+    }
+  }
+
+  ++stats->delegations;
+  stats->scopes_transferred += moved.size();
+  return Status::OK();
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,44 @@
+// Physical history rewriting — the two baseline implementations of
+// delegation the paper argues against (Section 3.2), built so the benchmarks
+// can measure exactly the costs ARIES/RH avoids.
+//
+//   * Eager (Figure 1 applied at delegate time): every delegation walks the
+//     delegator's backward chain, overwrites the transaction id of matching
+//     update records, and re-links both transactions' chains — random reads
+//     and in-place rewrites against the stable log.
+//   * Lazy rewrite: delegations are logged; the recovery forward pass
+//     physically rewrites history when it meets each DELEGATE record, after
+//     which conventional chain undo applies.
+//
+// Both funnel through RewriteHistory(), which performs the chain surgery:
+// matching records move from the delegator's chain into the delegatee's
+// (merged by LSN), their transaction id is overwritten with the delegatee,
+// and every record whose chain link changed is rewritten in place.
+
+#ifndef ARIESRH_RECOVERY_REWRITE_BASELINES_H_
+#define ARIESRH_RECOVERY_REWRITE_BASELINES_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+/// Rewrites history for delegate(t1, t2, objects): moves every UPDATE/CLR
+/// record on t1's backward chain whose object is in `objects` into t2's
+/// chain, overwriting its transaction id, and re-links both chains.
+///
+/// `bc_heads` maps transactions to their current chain heads (in/out: the
+/// surgery can change either head). Chains are walked through DELEGATE
+/// records via the side belonging to the walked transaction.
+Status RewriteHistory(LogManager* log, Stats* stats, TxnId t1, TxnId t2,
+                      const std::set<ObjectId>& objects,
+                      std::unordered_map<TxnId, Lsn>* bc_heads);
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_RECOVERY_REWRITE_BASELINES_H_

@@ -1,0 +1,61 @@
+#include "recovery/undo_conventional.h"
+
+#include <queue>
+#include <vector>
+
+#include "recovery/redo.h"
+
+namespace ariesrh {
+
+Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
+                 LogManager* log, BufferPool* pool, Stats* stats,
+                 std::unordered_map<TxnId, Lsn>* bc_heads,
+                 uint64_t* undo_budget) {
+  // Outstanding (next LSN to undo, owner); always process the maximum LSN
+  // next so log accesses are monotonically decreasing.
+  using Entry = std::pair<Lsn, TxnId>;
+  std::priority_queue<Entry> todo;
+  for (const auto& [txn, head] : loser_heads) {
+    if (head != kInvalidLsn) todo.emplace(head, txn);
+  }
+
+  while (!todo.empty()) {
+    auto [lsn, txn] = todo.top();
+    todo.pop();
+    ++stats->recovery_backward_examined;
+    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(lsn));
+
+    Lsn next = kInvalidLsn;
+    switch (rec.type) {
+      case LogRecordType::kUpdate:
+        if (undo_budget != nullptr) {
+          if (*undo_budget == 0) {
+            ARIESRH_RETURN_IF_ERROR(log->FlushAll());
+            return Status::IOError("injected crash during recovery undo");
+          }
+          --*undo_budget;
+        }
+        ARIESRH_RETURN_IF_ERROR(
+            UndoUpdate(log, pool, stats, rec, txn, bc_heads));
+        next = rec.prev_lsn;
+        break;
+      case LogRecordType::kClr:
+        // Everything between this CLR and its undo-next is already undone.
+        next = rec.undo_next_lsn;
+        break;
+      case LogRecordType::kDelegate:
+        next = (txn == rec.tor) ? rec.tor_bc : rec.tee_bc;
+        break;
+      default:
+        // BEGIN normally ends the chain (prev == kInvalidLsn), but history
+        // rewriting can splice older, moved records behind it — follow the
+        // pointer rather than assuming.
+        next = rec.prev_lsn;
+        break;
+    }
+    if (next != kInvalidLsn) todo.emplace(next, txn);
+  }
+  return Status::OK();
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,36 @@
+// Conventional ARIES undo: follow each loser transaction's backward chain,
+// undoing its updates in reverse chronological order, continually taking the
+// maximum outstanding LSN across losers. CLR undo-next pointers make the
+// pass idempotent across crashes during recovery.
+//
+// Used when delegation is disabled, and by the eager / lazy-rewrite
+// baselines after history has been physically rewritten (the chains then
+// reflect responsibility, so chain undo is correct for them).
+
+#ifndef ARIESRH_RECOVERY_UNDO_CONVENTIONAL_H_
+#define ARIESRH_RECOVERY_UNDO_CONVENTIONAL_H_
+
+#include <unordered_map>
+
+#include "storage/buffer_pool.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+/// Undoes all updates on the backward chains headed by `loser_heads`
+/// (txn -> chain head LSN). Writes CLRs chained through `bc_heads` (in/out).
+/// DELEGATE records encountered on a chain are traversed through the side
+/// (tor/tee) belonging to the chain's owner.
+/// `undo_budget` (optional, test-only) injects a crash after that many
+/// undos, as in ScopeSweepUndo.
+Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
+                 LogManager* log, BufferPool* pool, Stats* stats,
+                 std::unordered_map<TxnId, Lsn>* bc_heads,
+                 uint64_t* undo_budget = nullptr);
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_RECOVERY_UNDO_CONVENTIONAL_H_

@@ -1,0 +1,169 @@
+#include "recovery/undo_rh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "recovery/redo.h"
+
+namespace ariesrh {
+
+namespace {
+
+// LsrScopes ordering: largest right end first (the sweep consumes scopes in
+// reverse log order). Ties are broken arbitrarily but deterministically.
+struct ByRightEndDesc {
+  bool operator()(const ScopeUndoTarget& a, const ScopeUndoTarget& b) const {
+    if (a.scope.last != b.scope.last) return a.scope.last < b.scope.last;
+    if (a.scope.first != b.scope.first) return a.scope.first < b.scope.first;
+    if (a.object != b.object) return a.object < b.object;
+    return a.responsible < b.responsible;
+  }
+};
+
+// Spends one unit of the injected-fault budget before an undo; returns the
+// injected-crash error when exhausted.
+Status SpendUndoBudget(uint64_t* undo_budget, LogManager* log) {
+  if (undo_budget == nullptr) return Status::OK();
+  if (*undo_budget == 0) {
+    // Model the crash point: whatever undo work was logged becomes durable
+    // up to here, then the system dies.
+    ARIESRH_RETURN_IF_ERROR(log->FlushAll());
+    return Status::IOError("injected crash during recovery undo");
+  }
+  --*undo_budget;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
+                      const std::unordered_set<Lsn>& compensated,
+                      Lsn sweep_from, LogManager* log, BufferPool* pool,
+                      Stats* stats,
+                      std::unordered_map<TxnId, Lsn>* bc_heads,
+                      uint64_t* undo_budget) {
+  if (targets.empty()) return Status::OK();
+
+  // LsrScopes: constructed once, depleted in reverse scope order — a
+  // priority queue sorted by scope right end, largest first (Section 3.6.2).
+  std::priority_queue<ScopeUndoTarget, std::vector<ScopeUndoTarget>,
+                      ByRightEndDesc>
+      lsr_scopes(targets.begin(), targets.end());
+
+  // Cluster: the maximal set of overlapping scopes currently being swept,
+  // searched by invoking transaction on each update record. The cursor
+  // moves towards smaller LSNs, so the scope whose left end is hit *first*
+  // is the one with the LARGEST `first` — a max-heap on scope left ends
+  // drives retirement.
+  std::unordered_multimap<TxnId, ScopeUndoTarget> cluster;
+  auto left_end_before = [](const ScopeUndoTarget& a,
+                            const ScopeUndoTarget& b) {
+    return a.scope.first < b.scope.first;
+  };
+  std::priority_queue<ScopeUndoTarget, std::vector<ScopeUndoTarget>,
+                      decltype(left_end_before)>
+      cluster_starts(left_end_before);
+
+  Lsn k = lsr_scopes.top().scope.last;
+  if (sweep_from > k) {
+    stats->recovery_backward_skipped += sweep_from - k;
+  }
+
+  while (true) {
+    // (alpha-1) Admit every loser scope whose right end is the current
+    // record into the cluster.
+    while (!lsr_scopes.empty() && lsr_scopes.top().scope.last == k) {
+      ScopeUndoTarget target = lsr_scopes.top();
+      lsr_scopes.pop();
+      cluster.emplace(target.scope.invoker, target);
+      cluster_starts.push(target);
+    }
+    assert(!cluster.empty());
+
+    // (alpha-2) Examine the record; undo it if it is a loser update that has
+    // not already been compensated.
+    ++stats->recovery_backward_examined;
+    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(k));
+    if (rec.type == LogRecordType::kUpdate && !compensated.contains(rec.lsn)) {
+      auto [begin, end] = cluster.equal_range(rec.txn_id);
+      for (auto it = begin; it != end; ++it) {
+        const ScopeUndoTarget& target = it->second;
+        if (target.object == rec.object &&
+            target.scope.Covers(rec.txn_id, rec.lsn)) {
+          ARIESRH_RETURN_IF_ERROR(SpendUndoBudget(undo_budget, log));
+          ARIESRH_RETURN_IF_ERROR(UndoUpdate(log, pool, stats, rec,
+                                             target.responsible, bc_heads));
+          break;  // an update is covered by at most one scope
+        }
+      }
+    }
+
+    // (alpha-3) Retire scopes that begin at this record: fully processed.
+    while (!cluster_starts.empty() &&
+           cluster_starts.top().scope.first == k) {
+      const ScopeUndoTarget retired = cluster_starts.top();
+      cluster_starts.pop();
+      auto [begin, end] = cluster.equal_range(retired.scope.invoker);
+      for (auto it = begin; it != end; ++it) {
+        if (it->second.object == retired.object &&
+            it->second.scope == retired.scope) {
+          cluster.erase(it);
+          break;
+        }
+      }
+    }
+
+    // (alpha-4 / beta) Step left, or jump to the next cluster when the
+    // current one is exhausted.
+    if (cluster.empty()) {
+      if (lsr_scopes.empty()) break;
+      const Lsn next = lsr_scopes.top().scope.last;
+      assert(next < k && "sweep must be monotonically decreasing");
+      stats->recovery_backward_skipped += (k - next) - 1;
+      k = next;
+    } else {
+      assert(k > 0);
+      --k;
+    }
+  }
+  return Status::OK();
+}
+
+Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
+                    const std::unordered_set<Lsn>& compensated,
+                    Lsn sweep_from, LogManager* log, BufferPool* pool,
+                    Stats* stats, std::unordered_map<TxnId, Lsn>* bc_heads,
+                    uint64_t* undo_budget) {
+  if (targets.empty()) return Status::OK();
+
+  std::unordered_multimap<TxnId, const ScopeUndoTarget*> by_invoker;
+  Lsn stop = kInvalidLsn;
+  for (const ScopeUndoTarget& target : targets) {
+    by_invoker.emplace(target.scope.invoker, &target);
+    stop = std::min(stop, target.scope.first);
+  }
+
+  // The rejected alternative: march over EVERY record, newest first.
+  for (Lsn k = sweep_from; k >= stop; --k) {
+    ++stats->recovery_backward_examined;
+    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(k));
+    if (rec.type != LogRecordType::kUpdate || compensated.contains(rec.lsn)) {
+      continue;
+    }
+    auto [begin, end] = by_invoker.equal_range(rec.txn_id);
+    for (auto it = begin; it != end; ++it) {
+      const ScopeUndoTarget& target = *it->second;
+      if (target.object == rec.object &&
+          target.scope.Covers(rec.txn_id, rec.lsn)) {
+        ARIESRH_RETURN_IF_ERROR(SpendUndoBudget(undo_budget, log));
+        ARIESRH_RETURN_IF_ERROR(
+            UndoUpdate(log, pool, stats, rec, target.responsible, bc_heads));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,65 @@
+#include "replication/log_shipping.h"
+
+#include <vector>
+
+namespace ariesrh::replication {
+
+StandbyReplica::StandbyReplica(Options options)
+    : db_(std::make_unique<Database>(options)) {
+  // A standby is permanently "crashed": it has no volatile state, only the
+  // stable storage the shipping fills. Promotion is literally recovery.
+  db_->SimulateCrash();
+}
+
+Status StandbyReplica::SeedFromBackup(const Database::BackupImage& backup) {
+  if (shipped_through_ != 0) {
+    return Status::IllegalState("seed before the first sync");
+  }
+  if (backup.ckpt_record.empty() || backup.master_record == 0) {
+    return Status::InvalidArgument("backup image lacks a checkpoint record");
+  }
+  ARIESRH_RETURN_IF_ERROR(db_->RestoreFromBackup(backup));
+  // Pages reflect the log through the backup point. The standby's log
+  // starts mid-stream: it holds just the backup's CKPT_END record (the
+  // anchor promotion recovers from), positioned at its original LSN, and
+  // shipping resumes after the backup point.
+  ARIESRH_RETURN_IF_ERROR(
+      db_->disk()->SetLogBase(backup.master_record - 1));
+  db_->disk()->AppendLogRecords({backup.ckpt_record});
+  // Resume shipping right after the checkpoint; anything between it and the
+  // backup end is re-shipped and re-applied idempotently (page LSN checks).
+  shipped_through_ = backup.master_record;
+  return Status::OK();
+}
+
+Status StandbyReplica::SyncFrom(const Database& primary) {
+  SimulatedDisk* source =
+      const_cast<Database&>(primary).disk();  // read-only access
+  const Lsn durable = source->stable_end_lsn();
+  if (source->first_retained_lsn() > shipped_through_ + 1) {
+    return Status::IllegalState(
+        "primary archived log the standby still needs; reseed from backup");
+  }
+  std::vector<std::string> batch;
+  for (Lsn lsn = shipped_through_ + 1; lsn <= durable; ++lsn) {
+    ARIESRH_ASSIGN_OR_RETURN(std::string record, source->ReadLogRecord(lsn));
+    batch.push_back(std::move(record));
+  }
+  if (!batch.empty()) {
+    db_->disk()->AppendLogRecords(batch);
+    shipped_through_ = durable;
+  }
+  // The master record travels once the checkpoint it names is shipped.
+  if (source->master_record() != 0 &&
+      source->master_record() <= shipped_through_) {
+    db_->disk()->SetMasterRecord(source->master_record());
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> StandbyReplica::Promote() && {
+  ARIESRH_RETURN_IF_ERROR(db_->Recover().status());
+  return std::move(db_);
+}
+
+}  // namespace ariesrh::replication

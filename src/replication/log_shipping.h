@@ -1,0 +1,56 @@
+// Log-shipping standby replication.
+//
+// A standby replica receives the primary's durable log records
+// (ship-once, in order), maintains them on its own stable storage, and can
+// be promoted at any moment by running ordinary restart recovery — redo
+// rebuilds the pages, undo resolves whatever was in flight when the
+// primary died. No page shipping is needed (though a backup image can seed
+// a standby to shorten promotion).
+//
+// This subsystem doubles as an argument from the paper: log shipping is
+// only sound when the log is append-only. ARIES/RH never modifies written
+// records, so a shipped prefix stays valid forever. The eager/lazy
+// baselines *rewrite* records in place — records the standby may already
+// hold — so ship-once replication silently diverges
+// (StandbyReplicaTest.RewritingBaselinesBreakShipOnceReplication). Yet
+// another cost of physically rewriting history.
+
+#ifndef ARIESRH_REPLICATION_LOG_SHIPPING_H_
+#define ARIESRH_REPLICATION_LOG_SHIPPING_H_
+
+#include <memory>
+
+#include "core/database.h"
+
+namespace ariesrh::replication {
+
+class StandbyReplica {
+ public:
+  /// Creates an empty standby. `options` must match the primary's
+  /// delegation mode (the log is interpreted with it at promotion).
+  explicit StandbyReplica(Options options);
+
+  /// Seeds the standby from a primary backup (pages + checkpoint), so
+  /// promotion replays only the log after the backup point.
+  Status SeedFromBackup(const Database::BackupImage& backup);
+
+  /// Ships every durable record the standby has not seen yet, plus the
+  /// primary's master record when it is covered. Ship-once: records are
+  /// never re-read. Safe to call as often as desired.
+  Status SyncFrom(const Database& primary);
+
+  /// LSN through which the standby holds the primary's log.
+  Lsn shipped_through() const { return shipped_through_; }
+
+  /// Promotes the standby: runs restart recovery over the shipped log and
+  /// returns the now-usable database. The replica object is consumed.
+  Result<std::unique_ptr<Database>> Promote() &&;
+
+ private:
+  std::unique_ptr<Database> db_;  // held in the crashed (standby) state
+  Lsn shipped_through_ = 0;
+};
+
+}  // namespace ariesrh::replication
+
+#endif  // ARIESRH_REPLICATION_LOG_SHIPPING_H_

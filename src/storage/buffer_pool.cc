@@ -1,0 +1,110 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace ariesrh {
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity,
+                       WalFlushFn wal_flush)
+    : disk_(disk), capacity_(capacity), wal_flush_(std::move(wal_flush)) {
+  assert(capacity_ > 0);
+}
+
+Result<Page*> BufferPool::Fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Touch(id, &it->second);
+    return &it->second.page;
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    ARIESRH_RETURN_IF_ERROR(EvictOne());
+  }
+
+  Frame frame;
+  if (disk_->HasPage(id)) {
+    ARIESRH_ASSIGN_OR_RETURN(std::string image, disk_->ReadPage(id));
+    ARIESRH_ASSIGN_OR_RETURN(frame.page, Page::Deserialize(image));
+  } else {
+    frame.page = Page(id);
+  }
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
+  assert(inserted);
+  return &pos->second.page;
+}
+
+void BufferPool::MarkDirty(PageId id, Lsn rec_lsn) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end() && "MarkDirty on page not in pool");
+  Frame& frame = it->second;
+  if (!frame.dirty) {
+    frame.dirty = true;
+    frame.rec_lsn = rec_lsn;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      ARIESRH_RETURN_IF_ERROR(WriteBack(id, &frame));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || !it->second.dirty) return Status::OK();
+  return WriteBack(id, &it->second);
+}
+
+std::map<PageId, Lsn> BufferPool::DirtyPageTable() const {
+  std::map<PageId, Lsn> dpt;
+  for (const auto& [id, frame] : frames_) {
+    if (frame.dirty) dpt[id] = frame.rec_lsn;
+  }
+  return dpt;
+}
+
+void BufferPool::Reset() {
+  frames_.clear();
+  lru_.clear();
+}
+
+Status BufferPool::EvictOne() {
+  assert(!lru_.empty());
+  // Victim: least recently used frame.
+  PageId victim = lru_.back();
+  auto it = frames_.find(victim);
+  assert(it != frames_.end());
+  if (it->second.dirty) {
+    ARIESRH_RETURN_IF_ERROR(WriteBack(victim, &it->second));
+  }
+  lru_.pop_back();
+  frames_.erase(it);
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(PageId id, Frame* frame) {
+  // WAL rule: the log must be durable up to the page LSN before the page
+  // image (which reflects those updates) reaches stable storage.
+  if (frame->page.page_lsn() != 0) {
+    assert(wal_flush_ && "dirty page with no WAL flush hook");
+    ARIESRH_RETURN_IF_ERROR(wal_flush_(frame->page.page_lsn()));
+  }
+  ARIESRH_RETURN_IF_ERROR(disk_->WritePage(id, frame->page.Serialize()));
+  frame->dirty = false;
+  frame->rec_lsn = kInvalidLsn;
+  return Status::OK();
+}
+
+void BufferPool::Touch(PageId id, Frame* frame) {
+  lru_.erase(frame->lru_pos);
+  lru_.push_front(id);
+  frame->lru_pos = lru_.begin();
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,89 @@
+// Buffer pool: volatile cache of pages over the simulated disk.
+//
+// Policy is STEAL / NO-FORCE, the regime ARIES exists for:
+//   - STEAL: a dirty page holding uncommitted updates may be evicted and
+//     written to stable storage before its transaction commits (so recovery
+//     must be able to UNDO).
+//   - NO-FORCE: commit does not flush pages, only the log (so recovery must
+//     be able to REDO).
+//
+// The write-ahead rule is enforced here: before a dirty page is written to
+// disk, the log is flushed up to that page's page LSN.
+
+#ifndef ARIESRH_STORAGE_BUFFER_POOL_H_
+#define ARIESRH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "storage/simulated_disk.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh {
+
+/// Flushes the write-ahead log up to (and including) the given LSN.
+using WalFlushFn = std::function<Status(Lsn)>;
+
+/// LRU buffer pool. Volatile: Reset() models the crash. Not thread-safe.
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames. `wal_flush` enforces the WAL
+  /// rule on eviction and may be empty only if no page is ever dirtied.
+  BufferPool(SimulatedDisk* disk, size_t capacity, WalFlushFn wal_flush);
+
+  /// Returns the cached page, reading it from disk on a miss (a page never
+  /// written to disk materializes as a fresh zeroed page). The returned
+  /// pointer is valid until the next Fetch/Reset; callers do not hold pages
+  /// across other pool operations.
+  Result<Page*> Fetch(PageId id);
+
+  /// Marks a page dirty, recording its recovery LSN (the LSN of the first
+  /// update that dirtied it) for the dirty page table.
+  void MarkDirty(PageId id, Lsn rec_lsn);
+
+  /// Writes all dirty pages to disk (used by checkpoints and tests).
+  Status FlushAll();
+
+  /// Writes one dirty page to disk if cached and dirty.
+  Status FlushPage(PageId id);
+
+  /// Dirty page table: page id -> recovery LSN. Snapshot for checkpoints.
+  std::map<PageId, Lsn> DirtyPageTable() const;
+
+  /// Crash: discards every frame, including dirty ones.
+  void Reset();
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    Page page;
+    bool dirty = false;
+    Lsn rec_lsn = kInvalidLsn;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  Status EvictOne();
+  Status WriteBack(PageId id, Frame* frame);
+  void Touch(PageId id, Frame* frame);
+
+  SimulatedDisk* disk_;
+  size_t capacity_;
+  WalFlushFn wal_flush_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,45 @@
+#include "storage/page.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace ariesrh {
+
+std::string Page::Serialize() const {
+  std::string out;
+  PutFixed32(&out, id_);
+  PutFixed64(&out, page_lsn_);
+  for (int64_t cell : cells_) {
+    PutFixed64(&out, static_cast<uint64_t>(cell));
+  }
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(out)));
+  return out;
+}
+
+Result<Page> Page::Deserialize(const std::string& image) {
+  if (image.size() < 8) return Status::Corruption("page image too short");
+  const size_t body_len = image.size() - 4;
+  Decoder crc_dec(image.data() + body_len, 4);
+  uint32_t stored_crc = 0;
+  ARIESRH_RETURN_IF_ERROR(crc_dec.GetFixed32(&stored_crc));
+  if (crc32c::Unmask(stored_crc) != crc32c::Value(image.data(), body_len)) {
+    return Status::Corruption("page CRC mismatch");
+  }
+
+  Decoder dec(image.data(), body_len);
+  uint32_t id = 0;
+  uint64_t page_lsn = 0;
+  ARIESRH_RETURN_IF_ERROR(dec.GetFixed32(&id));
+  ARIESRH_RETURN_IF_ERROR(dec.GetFixed64(&page_lsn));
+  Page page(id);
+  page.set_page_lsn(page_lsn);
+  for (uint32_t slot = 0; slot < kObjectsPerPage; ++slot) {
+    uint64_t cell = 0;
+    ARIESRH_RETURN_IF_ERROR(dec.GetFixed64(&cell));
+    page.Set(slot, static_cast<int64_t>(cell));
+  }
+  if (!dec.empty()) return Status::Corruption("trailing bytes in page image");
+  return page;
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,139 @@
+// Simulated stable storage.
+//
+// The paper's evaluation argues about stable-storage access patterns: the
+// naive eager implementation of delegation "sweeps the whole log" with random
+// accesses, while ARIES/RH appends one record. To make those claims
+// measurable on commodity hardware (the paper reports no testbed numbers) we
+// substitute a simulated device that survives crashes and counts every
+// access, classifying log reads as sequential or random.
+//
+// Crash semantics: everything stored here survives SimulateCrash(); all
+// volatile state (buffer pool, log tail, transaction tables) lives elsewhere
+// and is discarded by the crash.
+//
+// The stable log is record-addressed: the record with LSN L lives at index
+// L-1, matching the paper's LOG[K] array model (Figure 1).
+
+#ifndef ARIESRH_STORAGE_SIMULATED_DISK_H_
+#define ARIESRH_STORAGE_SIMULATED_DISK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh {
+
+/// Stable pages + stable log with access accounting. Not thread-safe.
+class SimulatedDisk {
+ public:
+  /// `stats` must outlive the disk; counters are shared with the engine.
+  explicit SimulatedDisk(Stats* stats) : stats_(stats) {}
+
+  // --- stable pages ---
+
+  /// Writes a serialized page image durably.
+  Status WritePage(PageId id, std::string image);
+
+  /// Reads a page image; NotFound if the page was never written.
+  Result<std::string> ReadPage(PageId id) const;
+
+  bool HasPage(PageId id) const { return pages_.contains(id); }
+
+  /// Ids of every page ever written (for snapshot loading).
+  std::vector<PageId> StablePageIds() const;
+
+  /// Snapshot of all stable page images (for backups). Not counted as page
+  /// I/O: backups stream the device, not the database path.
+  std::unordered_map<PageId, std::string> ClonePages() const {
+    return pages_;
+  }
+
+  /// Replaces the stable pages wholesale (restore from backup).
+  void RestorePages(std::unordered_map<PageId, std::string> pages) {
+    pages_ = std::move(pages);
+  }
+
+  /// Media failure: the stable pages are lost; the (separately stored) log
+  /// survives.
+  void ClearPages() { pages_.clear(); }
+
+  // --- persistence ---
+
+  /// Serializes the entire stable state (pages, log, master record,
+  /// archive base) to a file, CRC-guarded. The in-memory "simulated" disk
+  /// thereby becomes durable across process exits.
+  Status SaveTo(const std::string& path) const;
+
+  /// Loads stable state saved by SaveTo. `stats` must outlive the disk.
+  static Result<SimulatedDisk> LoadFrom(const std::string& path,
+                                        Stats* stats);
+
+  // --- stable log ---
+
+  /// Durably appends serialized records; the first one receives LSN
+  /// `stable_end_lsn() + 1`. Called by the log manager on flush.
+  void AppendLogRecords(const std::vector<std::string>& records);
+
+  /// LSN of the last durable record; 0 if the stable log is empty.
+  Lsn stable_end_lsn() const { return base_lsn_ + records_.size(); }
+
+  /// First LSN still present (older records were archived); equals
+  /// kFirstLsn until ArchiveLogPrefix runs.
+  Lsn first_retained_lsn() const { return base_lsn_ + 1; }
+
+  /// Archives (drops) every record with LSN < keep_from. Returns the number
+  /// of records archived. The caller (Database::ArchiveLog) is responsible
+  /// for proving recovery will never need them again.
+  uint64_t ArchiveLogPrefix(Lsn keep_from);
+
+  /// Positions an EMPTY log so the next appended record receives LSN
+  /// `base + 1` (standby replicas seeded from a backup start mid-stream).
+  Status SetLogBase(Lsn base);
+
+  /// Reads the durable record with the given LSN. Classifies the read as
+  /// sequential if it is adjacent (either direction) to the previous read,
+  /// random otherwise — recovery sweeps are sequential, chain-following
+  /// jumps are random.
+  Result<std::string> ReadLogRecord(Lsn lsn) const;
+
+  /// Overwrites a durable record in place. Only the history-rewriting
+  /// baselines (Section 3.2's straw men) use this; ARIES/RH never does.
+  /// Counted as a random write (`log_rewrites`).
+  Status RewriteLogRecord(Lsn lsn, std::string record);
+
+  /// Discards every durable record with LSN greater than `new_end`. Used by
+  /// recovery after detecting a torn tail.
+  void TruncateLog(Lsn new_end);
+
+  /// Fault injection: corrupts the last `n` bytes of the final durable
+  /// record, modeling a torn tail write. Recovery must detect and truncate.
+  Status CorruptLogTail(size_t n);
+
+  /// Drops the last durable record entirely (torn write that lost the
+  /// whole sector).
+  Status DropLastLogRecord();
+
+  /// Master record: durable pointer to the most recent checkpoint's
+  /// CKPT_END record (0 = no checkpoint).
+  void SetMasterRecord(Lsn ckpt_end) { master_record_ = ckpt_end; }
+  Lsn master_record() const { return master_record_; }
+
+  Stats* stats() const { return stats_; }
+
+ private:
+  Lsn master_record_ = 0;
+  Lsn base_lsn_ = 0;  ///< number of archived records (LSNs <= this are gone)
+  Stats* stats_;
+  std::unordered_map<PageId, std::string> pages_;
+  std::vector<std::string> records_;
+  mutable Lsn last_read_lsn_ = kInvalidLsn;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_STORAGE_SIMULATED_DISK_H_

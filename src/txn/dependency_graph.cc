@@ -1,0 +1,89 @@
+#include "txn/dependency_graph.h"
+
+namespace ariesrh {
+
+const char* DependencyTypeName(DependencyType type) {
+  switch (type) {
+    case DependencyType::kCommit:
+      return "commit";
+    case DependencyType::kStrongCommit:
+      return "strong-commit";
+    case DependencyType::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
+Status DependencyGraph::Add(DependencyType type, TxnId dependent, TxnId on) {
+  if (dependent == on) {
+    return Status::InvalidArgument("self-dependency");
+  }
+  if (type != DependencyType::kAbort && CommitPathExists(on, dependent)) {
+    return Status::InvalidArgument("dependency would form a commit cycle");
+  }
+  out_[dependent].insert(Edge{on, type});
+  if (type == DependencyType::kAbort || type == DependencyType::kStrongCommit) {
+    abort_dependents_[on].insert(dependent);
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<TxnId, DependencyType>>
+DependencyGraph::CommitPrerequisites(TxnId txn) const {
+  std::vector<std::pair<TxnId, DependencyType>> out;
+  auto it = out_.find(txn);
+  if (it == out_.end()) return out;
+  for (const Edge& edge : it->second) {
+    if (edge.type == DependencyType::kCommit ||
+        edge.type == DependencyType::kStrongCommit) {
+      out.emplace_back(edge.on, edge.type);
+    }
+  }
+  return out;
+}
+
+std::vector<TxnId> DependencyGraph::AbortDependents(TxnId txn) const {
+  auto it = abort_dependents_.find(txn);
+  if (it == abort_dependents_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void DependencyGraph::RemoveTxn(TxnId txn) {
+  auto it = out_.find(txn);
+  if (it != out_.end()) {
+    for (const Edge& edge : it->second) {
+      auto dep = abort_dependents_.find(edge.on);
+      if (dep != abort_dependents_.end()) {
+        dep->second.erase(txn);
+        if (dep->second.empty()) abort_dependents_.erase(dep);
+      }
+    }
+    out_.erase(it);
+  }
+  abort_dependents_.erase(txn);
+}
+
+void DependencyGraph::Reset() {
+  out_.clear();
+  abort_dependents_.clear();
+}
+
+bool DependencyGraph::CommitPathExists(TxnId from, TxnId to) const {
+  if (from == to) return true;
+  std::vector<TxnId> stack = {from};
+  std::set<TxnId> seen;
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == to) return true;
+    if (!seen.insert(cur).second) continue;
+    auto it = out_.find(cur);
+    if (it == out_.end()) continue;
+    for (const Edge& edge : it->second) {
+      if (edge.type != DependencyType::kAbort) stack.push_back(edge.on);
+    }
+  }
+  return false;
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,74 @@
+// ASSET form-dependency support.
+//
+// ASSET's third primitive (besides delegate and permit) establishes
+// structure-related inter-transaction dependencies. Per Biliris et al. this
+// is "adding edges to the dependency graph, after checking for certain
+// cycles". We support the dependency kinds the ETM syntheses in Section 2.2
+// need:
+//   * kCommit        — t may commit only after t' has terminated.
+//   * kStrongCommit  — t may commit only if t' committed; t' aborting
+//                      forces t to abort.
+//   * kAbort         — t' aborting forces t to abort (t may otherwise
+//                      commit freely).
+
+#ifndef ARIESRH_TXN_DEPENDENCY_GRAPH_H_
+#define ARIESRH_TXN_DEPENDENCY_GRAPH_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh {
+
+enum class DependencyType : uint8_t {
+  kCommit = 0,
+  kStrongCommit = 1,
+  kAbort = 2,
+};
+
+const char* DependencyTypeName(DependencyType type);
+
+/// Typed dependency edges with cycle rejection on commit-ordering edges.
+class DependencyGraph {
+ public:
+  /// Adds "dependent depends on `on`". Commit-ordering edges (kCommit,
+  /// kStrongCommit) that would close a commit-ordering cycle are rejected
+  /// with InvalidArgument, since no commit order could satisfy them.
+  Status Add(DependencyType type, TxnId dependent, TxnId on);
+
+  /// Transactions whose termination gates `txn`'s commit, with edge types.
+  std::vector<std::pair<TxnId, DependencyType>> CommitPrerequisites(
+      TxnId txn) const;
+
+  /// Transactions that must abort when `txn` aborts (kAbort and
+  /// kStrongCommit dependents).
+  std::vector<TxnId> AbortDependents(TxnId txn) const;
+
+  /// Forgets a terminated transaction's outgoing edges. Incoming edges are
+  /// resolved by the transaction manager before calling this.
+  void RemoveTxn(TxnId txn);
+
+  /// Crash: dependencies are volatile.
+  void Reset();
+
+ private:
+  struct Edge {
+    TxnId on;
+    DependencyType type;
+    auto operator<=>(const Edge&) const = default;
+  };
+
+  bool CommitPathExists(TxnId from, TxnId to) const;
+
+  // dependent -> set of (on, type)
+  std::unordered_map<TxnId, std::set<Edge>> out_;
+  // on -> dependents that abort with it
+  std::unordered_map<TxnId, std::set<TxnId>> abort_dependents_;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_TXN_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,38 @@
+#include "txn/transaction.h"
+
+#include <sstream>
+
+namespace ariesrh {
+
+const char* TxnStateName(TxnState state) {
+  switch (state) {
+    case TxnState::kActive:
+      return "active";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+std::string Transaction::ToString() const {
+  std::ostringstream os;
+  os << "t" << id << "(" << TxnStateName(state) << ", first=" << first_lsn
+     << ", last=" << last_lsn << ", ob_list={";
+  bool first_ob = true;
+  for (const auto& [ob, entry] : ob_list) {
+    if (!first_ob) os << "; ";
+    first_ob = false;
+    os << "ob" << ob;
+    if (entry.delegated_from != kInvalidTxn) {
+      os << "<-t" << entry.delegated_from;
+    }
+    os << ":";
+    for (const Scope& scope : entry.scopes) os << scope.ToString();
+  }
+  os << "})";
+  return os.str();
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,56 @@
+// The volatile per-transaction control block: Tr_List entry + Ob_List.
+
+#ifndef ARIESRH_TXN_TRANSACTION_H_
+#define ARIESRH_TXN_TRANSACTION_H_
+
+#include <map>
+#include <string>
+
+#include "txn/scope.h"
+#include "util/types.h"
+
+namespace ariesrh {
+
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+const char* TxnStateName(TxnState state);
+
+/// Volatile transaction state. Lost on crash; the recovery forward pass
+/// rebuilds the equivalent information from the log (and checkpoints).
+struct Transaction {
+  TxnId id = kInvalidTxn;
+  TxnState state = TxnState::kActive;
+
+  /// LSN of the BEGIN record.
+  Lsn first_lsn = kInvalidLsn;
+  /// Head of the backward chain: the most recent record written on behalf
+  /// of this transaction (paper: Tr_List(t) contains the head of BC(t)).
+  Lsn last_lsn = kInvalidLsn;
+
+  /// Ob_List: objects this transaction is currently responsible for, with
+  /// the scopes identifying exactly which updates (paper Section 3.4).
+  std::map<ObjectId, ObjectEntry> ob_list;
+
+  /// True once RollbackTo has compensated part of this transaction's
+  /// history. The physically-rewriting baselines cannot safely delegate
+  /// to or from such a transaction (CLR undo-next pointers break when
+  /// records move between chains); ARIES/RH can.
+  bool did_partial_rollback = false;
+
+  /// True once this transaction was party to a delegation. The lazy-rewrite
+  /// baseline cannot partially roll back such a transaction: its recovery
+  /// surgery would move records out from under the CLR undo-next chain.
+  bool touched_by_delegation = false;
+
+  bool IsResponsibleFor(ObjectId ob) const { return ob_list.contains(ob); }
+
+  std::string ToString() const;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_TXN_TRANSACTION_H_

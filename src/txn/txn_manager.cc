@@ -1,0 +1,480 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_set>
+
+#include "recovery/redo.h"
+#include "recovery/rewrite_baselines.h"
+#include "recovery/undo_conventional.h"
+#include "recovery/undo_rh.h"
+
+namespace ariesrh {
+
+TxnManager::TxnManager(const Options& options, LogManager* log,
+                       BufferPool* pool, LockManager* locks, Stats* stats)
+    : options_(options),
+      log_(log),
+      pool_(pool),
+      locks_(locks),
+      stats_(stats) {}
+
+Result<TxnId> TxnManager::Begin() {
+  const TxnId id = next_txn_id_++;
+  Transaction tx;
+  tx.id = id;
+  tx.first_lsn = tx.last_lsn = log_->Append(LogRecord::MakeBegin(id));
+  txns_.emplace(id, std::move(tx));
+  return id;
+}
+
+Result<Transaction*> TxnManager::FindActive(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::NotFound("transaction " + std::to_string(txn) +
+                            " does not exist");
+  }
+  if (it->second.state != TxnState::kActive) {
+    return Status::IllegalState("transaction " + std::to_string(txn) +
+                                " is " + TxnStateName(it->second.state));
+  }
+  return &it->second;
+}
+
+const Transaction* TxnManager::Find(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+Result<int64_t> TxnManager::Read(TxnId txn, ObjectId ob) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  (void)tx;
+  ARIESRH_RETURN_IF_ERROR(locks_->Acquire(txn, ob, LockMode::kShared));
+  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(PageOf(ob)));
+  return page->Get(SlotOf(ob));
+}
+
+Status TxnManager::Set(TxnId txn, ObjectId ob, int64_t value) {
+  return DoUpdate(txn, ob, UpdateKind::kSet, LockMode::kExclusive, value);
+}
+
+Status TxnManager::Add(TxnId txn, ObjectId ob, int64_t delta) {
+  return DoUpdate(txn, ob, UpdateKind::kAdd, LockMode::kIncrement, delta);
+}
+
+Status TxnManager::DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind,
+                            LockMode lock_mode, int64_t value_or_delta) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  ARIESRH_RETURN_IF_ERROR(locks_->Acquire(txn, ob, lock_mode));
+
+  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(PageOf(ob)));
+  const uint32_t slot = SlotOf(ob);
+  const int64_t before = page->Get(slot);
+  const int64_t after = value_or_delta;  // kSet: new value; kAdd: delta
+
+  LogRecord rec = LogRecord::MakeUpdate(txn, tx->last_lsn, ob, kind, before,
+                                        after);
+  const Lsn lsn = log_->Append(std::move(rec));
+  tx->last_lsn = lsn;
+
+  // ADJUST SCOPES (Section 3.5, update step 1). Conventional DBSs already
+  // keep a per-transaction Object List (paper Section 3.4); kDisabled
+  // maintains that plain list so the "no delegation, no overhead" claim is
+  // measured against the structure ARIES/RH actually augments.
+  if (TrackScopes()) {
+    ObjectEntry& entry = tx->ob_list[ob];
+    entry.ExtendOrOpen(txn, lsn);
+    if (kind == UpdateKind::kSet) entry.has_set_update = true;
+  } else {
+    tx->ob_list.try_emplace(ob);
+  }
+
+  // Apply in place (the page pointer from Fetch above is still valid: no
+  // intervening pool operation).
+  if (kind == UpdateKind::kSet) {
+    page->Set(slot, after);
+  } else {
+    page->Add(slot, after);
+  }
+  page->set_page_lsn(lsn);
+  pool_->MarkDirty(PageOf(ob), lsn);
+  return Status::OK();
+}
+
+Status TxnManager::Delegate(TxnId from, TxnId to,
+                            const std::vector<ObjectId>& objects) {
+  if (options_.delegation_mode == DelegationMode::kDisabled) {
+    return Status::NotSupported("delegation disabled in this configuration");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("cannot delegate to self");
+  }
+  if (objects.empty()) {
+    return Status::InvalidArgument("empty delegation");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tee, FindActive(to));
+
+  // WELL-FORMED? (Section 3.5, delegate step 1): the delegator must be the
+  // responsible transaction for every delegated object.
+  for (ObjectId ob : objects) {
+    if (!tor->IsResponsibleFor(ob)) {
+      return Status::InvalidArgument(
+          "delegator is not responsible for object " + std::to_string(ob));
+    }
+  }
+
+  // The rewriting baselines splice records between backward chains, which
+  // invalidates CLR undo-next pointers created by partial rollbacks — the
+  // correctness hazard of mutating the log that Section 3.2 warns about.
+  // They must refuse the combination; RH, which never moves records, takes
+  // it in stride.
+  if (options_.delegation_mode != DelegationMode::kRH &&
+      (tor->did_partial_rollback || tee->did_partial_rollback)) {
+    return Status::IllegalState(
+        "history-rewriting baselines cannot delegate across a partial "
+        "rollback");
+  }
+
+  if (options_.delegation_mode == DelegationMode::kEager) {
+    // Figure 1 applied eagerly: physically rewrite the log now. No DELEGATE
+    // record is written — the rewrite *is* the delegation.
+    std::unordered_map<TxnId, Lsn> heads = {{from, tor->last_lsn},
+                                            {to, tee->last_lsn}};
+    std::set<ObjectId> ob_set(objects.begin(), objects.end());
+    ARIESRH_RETURN_IF_ERROR(
+        RewriteHistory(log_, stats_, from, to, ob_set, &heads));
+    tor->last_lsn = heads[from];
+    tee->last_lsn = heads[to];
+  } else {
+    // PREPARE + WRITE DELEGATION LOG RECORD (steps 2 and 4): the record
+    // links into both backward chains and becomes the head of each.
+    const Lsn lsn = log_->Append(LogRecord::MakeDelegate(
+        from, to, tor->last_lsn, tee->last_lsn, objects));
+    tor->last_lsn = lsn;
+    tee->last_lsn = lsn;
+    ++stats_->delegations;
+  }
+
+  // TRANSFER RESPONSIBILITY (step 3): move scopes between Ob_Lists.
+  for (ObjectId ob : objects) {
+    auto it = tor->ob_list.find(ob);
+    assert(it != tor->ob_list.end());
+    ObjectEntry& dst = tee->ob_list[ob];
+    dst.delegated_from = from;
+    if (options_.delegation_mode != DelegationMode::kEager) {
+      stats_->scopes_transferred += it->second.scopes.size();
+    }
+    dst.MergeFrom(it->second);
+    tor->ob_list.erase(it);
+    if (options_.transfer_locks_on_delegate) {
+      locks_->Transfer(from, to, ob);
+    }
+  }
+  tor->touched_by_delegation = true;
+  tee->touched_by_delegation = true;
+  return Status::OK();
+}
+
+Status TxnManager::DelegateOperations(TxnId from, TxnId to, ObjectId ob,
+                                      Lsn first, Lsn last) {
+  if (options_.delegation_mode != DelegationMode::kRH) {
+    return Status::NotSupported(
+        "operation-granularity delegation requires ARIES/RH (mode " +
+        std::string(DelegationModeName(options_.delegation_mode)) + ")");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("cannot delegate to self");
+  }
+  if (first == kInvalidLsn || last == kInvalidLsn || first > last) {
+    return Status::InvalidArgument("malformed delegation range");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tee, FindActive(to));
+
+  auto it = tor->ob_list.find(ob);
+  if (it == tor->ob_list.end()) {
+    return Status::InvalidArgument("delegator is not responsible for object " +
+                                   std::to_string(ob));
+  }
+  bool intersects = false;
+  bool retains_coverage = false;
+  for (const Scope& scope : it->second.scopes) {
+    if (scope.last >= first && scope.first <= last) intersects = true;
+    if (scope.first < first || scope.last > last) retains_coverage = true;
+  }
+  if (!intersects) {
+    return Status::InvalidArgument(
+        "delegator is not responsible for any update in the range");
+  }
+  // Splitting coverage that contains a non-commuting Set across two
+  // responsibility domains is unsound: Set undo restores a physical before
+  // image and would trample the other party's (possibly committed) work.
+  // Whole transfers are always fine; splits require all-commuting coverage.
+  if (retains_coverage && it->second.has_set_update) {
+    return Status::InvalidArgument(
+        "cannot split Set (non-commuting) coverage across responsibilities; "
+        "delegate the whole object instead");
+  }
+
+  const Lsn lsn = log_->Append(LogRecord::MakeDelegateRange(
+      from, to, tor->last_lsn, tee->last_lsn, ob, first, last));
+  tor->last_lsn = lsn;
+  tee->last_lsn = lsn;
+  ++stats_->delegations;
+
+  ObjectEntry& dst = tee->ob_list[ob];
+  dst.delegated_from = from;
+  stats_->scopes_transferred += TransferScopeRange(&it->second, &dst, first,
+                                                   last);
+  if (it->second.scopes.empty()) {
+    tor->ob_list.erase(it);
+    if (options_.transfer_locks_on_delegate) {
+      locks_->Transfer(from, to, ob);
+    }
+  }
+  tor->touched_by_delegation = true;
+  tee->touched_by_delegation = true;
+  return Status::OK();
+}
+
+Status TxnManager::DelegateAll(TxnId from, TxnId to) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
+  std::vector<ObjectId> objects;
+  objects.reserve(tor->ob_list.size());
+  for (const auto& [ob, entry] : tor->ob_list) objects.push_back(ob);
+  if (objects.empty()) return Status::OK();
+  return Delegate(from, to, objects);
+}
+
+Status TxnManager::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(FindActive(owner).status());
+  ARIESRH_RETURN_IF_ERROR(FindActive(grantee).status());
+  locks_->Permit(owner, grantee, ob);
+  return Status::OK();
+}
+
+Status TxnManager::FormDependency(DependencyType type, TxnId dependent,
+                                  TxnId on) {
+  ARIESRH_RETURN_IF_ERROR(FindActive(dependent).status());
+  auto it = txns_.find(on);
+  if (it == txns_.end()) {
+    return Status::NotFound("dependency target does not exist");
+  }
+  // Forming a dependency on an already-terminated transaction resolves
+  // immediately.
+  if (it->second.state == TxnState::kCommitted) {
+    return Status::OK();
+  }
+  if (it->second.state == TxnState::kAborted) {
+    if (type == DependencyType::kStrongCommit ||
+        type == DependencyType::kAbort) {
+      return Abort(dependent);
+    }
+    return Status::OK();
+  }
+  return deps_.Add(type, dependent, on);
+}
+
+Result<Lsn> TxnManager::Savepoint(TxnId txn) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  return tx->last_lsn;
+}
+
+Status TxnManager::RollbackTo(TxnId txn, Lsn savepoint) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  if (savepoint == kInvalidLsn || savepoint < tx->first_lsn) {
+    return Status::InvalidArgument("savepoint predates the transaction");
+  }
+  if (savepoint >= tx->last_lsn) return Status::OK();  // nothing newer
+  if (options_.delegation_mode == DelegationMode::kLazyRewrite &&
+      tx->touched_by_delegation) {
+    // The lazy baseline's recovery surgery moves this transaction's records
+    // between chains, which would invalidate the CLR undo-next pointers a
+    // partial rollback is about to create.
+    return Status::NotSupported(
+        "lazy-rewrite baseline cannot partially roll back a transaction "
+        "involved in delegation");
+  }
+
+  std::unordered_map<TxnId, Lsn> bc_heads = {{tx->id, tx->last_lsn}};
+  const bool scope_undo =
+      options_.delegation_mode == DelegationMode::kRH ||
+      options_.delegation_mode == DelegationMode::kLazyRewrite;
+  if (scope_undo) {
+    // Undo the responsible updates past the savepoint: each scope is
+    // clipped to (savepoint, last] for the sweep...
+    std::vector<ScopeUndoTarget> targets;
+    Lsn sweep_from = 0;
+    for (const auto& [ob, entry] : tx->ob_list) {
+      for (const Scope& scope : entry.scopes) {
+        if (scope.last <= savepoint) continue;
+        Scope clipped = scope;
+        clipped.first = std::max(clipped.first, savepoint + 1);
+        targets.push_back(ScopeUndoTarget{tx->id, ob, clipped});
+        sweep_from = std::max(sweep_from, clipped.last);
+      }
+    }
+    ARIESRH_RETURN_IF_ERROR(ScopeSweepUndo(targets, /*compensated=*/{},
+                                           sweep_from, log_, pool_, stats_,
+                                           &bc_heads));
+    // ...and the stored scopes shrink to what is still live.
+    for (auto entry_it = tx->ob_list.begin();
+         entry_it != tx->ob_list.end();) {
+      ObjectEntry::ScopeList& scopes = entry_it->second.scopes;
+      scopes.EraseIf(
+          [savepoint](const Scope& s) { return s.first > savepoint; });
+      for (Scope& scope : scopes) {
+        scope.last = std::min(scope.last, savepoint);
+      }
+      entry_it = scopes.empty() ? tx->ob_list.erase(entry_it)
+                                : std::next(entry_it);
+    }
+  } else {
+    // Conventional ARIES partial rollback: walk the backward chain,
+    // undoing until the savepoint is reached. CLR undo-next pointers keep
+    // this idempotent under repetition.
+    Lsn cur = tx->last_lsn;
+    while (cur != kInvalidLsn && cur > savepoint) {
+      ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(cur));
+      switch (rec.type) {
+        case LogRecordType::kUpdate:
+          ARIESRH_RETURN_IF_ERROR(
+              UndoUpdate(log_, pool_, stats_, rec, tx->id, &bc_heads));
+          cur = rec.prev_lsn;
+          break;
+        case LogRecordType::kClr:
+          cur = rec.undo_next_lsn;
+          break;
+        case LogRecordType::kDelegate:
+          cur = (tx->id == rec.tor) ? rec.tor_bc : rec.tee_bc;
+          break;
+        default:
+          cur = rec.prev_lsn;
+          break;
+      }
+    }
+    // The plain Object List entries are left as-is in these modes: they are
+    // a conservative superset used only as a delegation precondition, and
+    // chain-based undo does not consult them.
+  }
+  tx->last_lsn = bc_heads[tx->id];
+  tx->did_partial_rollback = true;
+  return Status::OK();
+}
+
+Status TxnManager::Commit(TxnId txn) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+
+  for (const auto& [on, type] : deps_.CommitPrerequisites(txn)) {
+    auto it = txns_.find(on);
+    const TxnState on_state =
+        it == txns_.end() ? TxnState::kCommitted : it->second.state;
+    if (on_state == TxnState::kActive) {
+      return Status::Busy("commit dependency on active transaction " +
+                          std::to_string(on));
+    }
+    if (on_state == TxnState::kAborted &&
+        type == DependencyType::kStrongCommit) {
+      // The prerequisite aborted: this transaction must abort too.
+      ARIESRH_RETURN_IF_ERROR(Abort(txn));
+      return Status::Aborted("strong-commit prerequisite " +
+                             std::to_string(on) + " aborted");
+    }
+  }
+
+  // COMMIT OPERATIONS / WRITE COMMIT RECORD / FLUSH LOG (Section 3.5).
+  // Under group commit (force_commits = false) the flush is deferred: the
+  // record rides out with the next forced flush.
+  const Lsn commit_lsn =
+      log_->Append(LogRecord::MakeCommit(txn, tx->last_lsn));
+  tx->last_lsn = commit_lsn;
+  if (options_.force_commits) {
+    ARIESRH_RETURN_IF_ERROR(log_->Flush(commit_lsn));
+  }
+  tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, tx->last_lsn));
+
+  tx->state = TxnState::kCommitted;
+  tx->ob_list.clear();
+  locks_->ReleaseAll(txn);
+  deps_.RemoveTxn(txn);
+  return Status::OK();
+}
+
+Status TxnManager::Abort(TxnId txn) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+
+  // ABORT record marks rollback-in-progress, then undo, then END.
+  tx->last_lsn = log_->Append(LogRecord::MakeAbort(txn, tx->last_lsn));
+  ARIESRH_RETURN_IF_ERROR(RollBack(tx));
+  tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, tx->last_lsn));
+
+  tx->state = TxnState::kAborted;
+  tx->ob_list.clear();
+  locks_->ReleaseAll(txn);
+  // Capture who must abort with us before the graph forgets this txn.
+  const std::vector<TxnId> dependents = deps_.AbortDependents(txn);
+  deps_.RemoveTxn(txn);
+  for (TxnId dependent : dependents) {
+    auto it = txns_.find(dependent);
+    if (it == txns_.end() || it->second.state != TxnState::kActive) continue;
+    ARIESRH_RETURN_IF_ERROR(Abort(dependent));
+  }
+  return Status::OK();
+}
+
+Status TxnManager::RollBack(Transaction* tx) {
+  std::unordered_map<TxnId, Lsn> bc_heads = {{tx->id, tx->last_lsn}};
+  // kRH and kLazyRewrite abort via the scope sweep; kDisabled has no scopes
+  // and kEager keeps its chains physically correct, so both use chain undo.
+  const bool scope_undo =
+      options_.delegation_mode == DelegationMode::kRH ||
+      options_.delegation_mode == DelegationMode::kLazyRewrite;
+  if (scope_undo) {
+    // ABORT OPERATIONS (Section 3.5): undo every update in the scopes of
+    // this transaction's Ob_List — exactly its Op_List, regardless of who
+    // invoked the updates — via the backward cluster sweep.
+    std::vector<ScopeUndoTarget> targets;
+    Lsn sweep_from = 0;
+    for (const auto& [ob, entry] : tx->ob_list) {
+      for (const Scope& scope : entry.scopes) {
+        targets.push_back(ScopeUndoTarget{tx->id, ob, scope});
+        sweep_from = std::max(sweep_from, scope.last);
+      }
+    }
+    ARIESRH_RETURN_IF_ERROR(ScopeSweepUndo(
+        targets, /*compensated=*/{}, sweep_from, log_, pool_, stats_,
+        &bc_heads));
+  } else {
+    // Conventional ARIES rollback: walk the backward chain. (Eager-mode
+    // chains are physically correct, so this also serves kEager.)
+    std::unordered_map<TxnId, Lsn> loser_heads = {{tx->id, tx->last_lsn}};
+    ARIESRH_RETURN_IF_ERROR(
+        ChainUndo(loser_heads, log_, pool_, stats_, &bc_heads));
+  }
+  tx->last_lsn = bc_heads[tx->id];
+  return Status::OK();
+}
+
+Result<TxnId> TxnManager::ResponsibleTxn(TxnId invoker, ObjectId ob,
+                                         Lsn lsn) const {
+  for (const auto& [id, tx] : txns_) {
+    if (tx.state != TxnState::kActive) continue;
+    auto entry = tx.ob_list.find(ob);
+    if (entry == tx.ob_list.end()) continue;
+    for (const Scope& scope : entry->second.scopes) {
+      if (scope.Covers(invoker, lsn)) return id;
+    }
+  }
+  return Status::NotFound("no live transaction responsible for that update");
+}
+
+void TxnManager::ReapTerminated() {
+  for (auto it = txns_.begin(); it != txns_.end();) {
+    it = it->second.state == TxnState::kActive ? std::next(it)
+                                               : txns_.erase(it);
+  }
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,151 @@
+// Transaction manager: normal processing per Section 3.5 of the paper.
+//
+// Implements begin / read / update (Set, Add) / delegate / permit /
+// form-dependency / commit / abort over the WAL, buffer pool, and lock
+// manager. Delegation maintenance follows the paper exactly:
+//   update    -> ADJUST SCOPES (open or extend the invoker's scope)
+//   delegate  -> WELL-FORMED? / PREPARE LOG RECORD / TRANSFER RESPONSIBILITY
+//                (move scopes between Ob_Lists) / WRITE DELEGATION RECORD
+//                (which becomes the head of both backward chains)
+//   commit    -> commit record, force the log (NO-FORCE for pages)
+//   abort     -> undo exactly the updates in the transaction's scopes by a
+//                backward cluster sweep, writing CLRs
+//
+// Under DelegationMode::kDisabled none of the scope bookkeeping runs and
+// abort uses conventional backward-chain undo — the engine is then plain
+// ARIES, which is what makes the paper's "no delegation, no overhead" claim
+// honestly measurable.
+
+#ifndef ARIESRH_TXN_TXN_MANAGER_H_
+#define ARIESRH_TXN_TXN_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "lock/lock_manager.h"
+#include "storage/buffer_pool.h"
+#include "txn/dependency_graph.h"
+#include "txn/transaction.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+/// Volatile; a crash discards it entirely. Not thread-safe.
+class TxnManager {
+ public:
+  TxnManager(const Options& options, LogManager* log, BufferPool* pool,
+             LockManager* locks, Stats* stats);
+
+  /// Starts a transaction (ASSET initiate+begin): writes a BEGIN record.
+  Result<TxnId> Begin();
+
+  /// Reads an object under a shared lock (or a stronger lock/permit already
+  /// held). Returns kBusy on lock conflict.
+  Result<int64_t> Read(TxnId txn, ObjectId ob);
+
+  /// Overwrites an object (exclusive lock).
+  Status Set(TxnId txn, ObjectId ob, int64_t value);
+
+  /// Increments an object (increment lock; commutes with other increments,
+  /// so several transactions may hold scopes on one object concurrently).
+  Status Add(TxnId txn, ObjectId ob, int64_t delta);
+
+  /// delegate(t1, t2, objects): transfers responsibility for every update
+  /// to the given objects that t1 is currently responsible for. The paper's
+  /// preconditions apply: both transactions active, t1 responsible for each
+  /// object. All objects transfer atomically (one DELEGATE record).
+  Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& objects);
+
+  /// Delegates every object in `from`'s Ob_List (used by joins and by
+  /// nested-transaction commit inheritance).
+  Status DelegateAll(TxnId from, TxnId to);
+
+  /// Operation-granularity delegation (paper Section 2.1): transfers
+  /// responsibility for only those of `from`'s updates to `ob` whose LSNs
+  /// lie in [first, last], splitting scopes at the boundaries. Both parties
+  /// may end up responsible for disjoint parts of the object's history.
+  /// kRH only: the rewriting baselines have no scope machinery to split.
+  /// The delegator keeps its lock unless nothing of the object remains its
+  /// responsibility.
+  Status DelegateOperations(TxnId from, TxnId to, ObjectId ob, Lsn first,
+                            Lsn last);
+
+  /// ASSET permit: let `grantee` access `ob` despite `owner`'s locks.
+  Status Permit(TxnId owner, TxnId grantee, ObjectId ob);
+
+  /// ASSET form-dependency.
+  Status FormDependency(DependencyType type, TxnId dependent, TxnId on);
+
+  /// Establishes a savepoint: a token for RollbackTo. Cheap (no log
+  /// record); the token is the transaction's current chain head.
+  Result<Lsn> Savepoint(TxnId txn);
+
+  /// Partial rollback (ARIES-style): undoes every update logged after the
+  /// savepoint that the transaction is currently responsible for, writing
+  /// CLRs, and clips its scopes accordingly. The transaction stays active
+  /// and keeps its locks.
+  ///
+  /// Interaction with delegation follows responsibility, not invocation
+  /// (history has been rewritten, so delegated-in updates count as this
+  /// transaction's): every currently-responsible update with LSN greater
+  /// than the savepoint is undone — including delegated-in ones — while
+  /// updates delegated *away* since the savepoint are no longer this
+  /// transaction's to undo and survive.
+  Status RollbackTo(TxnId txn, Lsn savepoint);
+
+  /// Commits: checks commit dependencies (kBusy if a prerequisite has not
+  /// terminated, kAborted via cascade if a strong prerequisite aborted),
+  /// writes and forces the COMMIT record, writes END, releases locks.
+  Status Commit(TxnId txn);
+
+  /// Aborts: rolls back every update the transaction is responsible for
+  /// (scope sweep under RH, chain undo otherwise), writes CLRs, ABORT and
+  /// END records, releases locks, then cascades to abort-dependents.
+  Status Abort(TxnId txn);
+
+  /// Looks up a live or terminated-this-session transaction.
+  const Transaction* Find(TxnId txn) const;
+
+  /// The transaction currently responsible for `invoker`'s update to `ob`
+  /// logged at `lsn` — i.e. ResponsibleTr(update[ob]) computed from scopes.
+  /// NotFound if no live transaction's scopes cover it.
+  Result<TxnId> ResponsibleTxn(TxnId invoker, ObjectId ob, Lsn lsn) const;
+
+  /// All live transactions (introspection for checkpoints and tests).
+  const std::map<TxnId, Transaction>& transactions() const { return txns_; }
+
+  /// Seeds the id counter (recovery hands back max-seen + 1).
+  void SetNextTxnId(TxnId next) { next_txn_id_ = next; }
+  TxnId next_txn_id() const { return next_txn_id_; }
+
+  /// Drops terminated transactions' control blocks (they are kept around
+  /// briefly for introspection).
+  void ReapTerminated();
+
+ private:
+  bool TrackScopes() const {
+    return options_.delegation_mode != DelegationMode::kDisabled;
+  }
+  Result<Transaction*> FindActive(TxnId txn);
+  Status DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind, LockMode lock_mode,
+                  int64_t value_or_delta);
+  Status RollBack(Transaction* tx);
+
+  const Options& options_;
+  LogManager* log_;
+  BufferPool* pool_;
+  LockManager* locks_;
+  Stats* stats_;
+  DependencyGraph deps_;
+  std::map<TxnId, Transaction> txns_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_TXN_TXN_MANAGER_H_

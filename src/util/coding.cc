@@ -1,0 +1,79 @@
+#include "util/coding.h"
+
+namespace ariesrh {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutLengthPrefixed(std::string* dst, const std::string& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+Status Decoder::GetFixed8(uint8_t* v) {
+  if (remaining() < 1) return Status::Corruption("truncated fixed8");
+  *v = static_cast<uint8_t>(*p_++);
+  return Status::OK();
+}
+
+Status Decoder::GetFixed32(uint32_t* v) {
+  if (remaining() < 4) return Status::Corruption("truncated fixed32");
+  const auto* u = reinterpret_cast<const unsigned char*>(p_);
+  *v = static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+       (static_cast<uint32_t>(u[2]) << 16) |
+       (static_cast<uint32_t>(u[3]) << 24);
+  p_ += 4;
+  return Status::OK();
+}
+
+Status Decoder::GetFixed64(uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  ARIESRH_RETURN_IF_ERROR(GetFixed32(&lo));
+  ARIESRH_RETURN_IF_ERROR(GetFixed32(&hi));
+  *v = (static_cast<uint64_t>(hi) << 32) | lo;
+  return Status::OK();
+}
+
+Status Decoder::GetVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (empty()) return Status::Corruption("truncated varint64");
+    uint64_t byte = static_cast<unsigned char>(*p_++);
+    result |= (byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint64 too long");
+}
+
+Status Decoder::GetLengthPrefixed(std::string* value) {
+  uint64_t len = 0;
+  ARIESRH_RETURN_IF_ERROR(GetVarint64(&len));
+  if (remaining() < len) return Status::Corruption("truncated string");
+  value->assign(p_, len);
+  p_ += len;
+  return Status::OK();
+}
+
+}  // namespace ariesrh

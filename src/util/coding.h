@@ -1,0 +1,65 @@
+// Little-endian fixed-width and varint encoders/decoders used by the log and
+// page serialization code. All decoders are bounds-checked: they take the
+// remaining byte count and report corruption instead of reading past the end,
+// because the log tail may be torn after a crash.
+
+#ifndef ARIESRH_UTIL_CODING_H_
+#define ARIESRH_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace ariesrh {
+
+/// Appends a 1-byte value.
+inline void PutFixed8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Appends a 4-byte little-endian value.
+void PutFixed32(std::string* dst, uint32_t v);
+
+/// Appends an 8-byte little-endian value.
+void PutFixed64(std::string* dst, uint64_t v);
+
+/// Appends a varint-encoded 64-bit value (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Appends a length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, const std::string& value);
+
+/// A bounds-checked sequential decoder over a byte buffer.
+class Decoder {
+ public:
+  Decoder(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit Decoder(const std::string& s) : Decoder(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool empty() const { return p_ == end_; }
+
+  Status GetFixed8(uint8_t* v);
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetVarint64(uint64_t* v);
+  Status GetLengthPrefixed(std::string* value);
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+/// Zig-zag maps signed to unsigned so small-magnitude negatives stay short
+/// under varint encoding.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_UTIL_CODING_H_

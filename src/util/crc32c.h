@@ -1,0 +1,33 @@
+// CRC-32C (Castagnoli) checksums guard every log record and page image
+// against torn writes on the simulated stable storage.
+
+#ifndef ARIESRH_UTIL_CRC32C_H_
+#define ARIESRH_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ariesrh::crc32c {
+
+/// Returns the CRC-32C of data[0..n-1], continuing from `init` (pass 0 to
+/// start a fresh checksum).
+uint32_t Extend(uint32_t init, const char* data, size_t n);
+
+/// Returns the CRC-32C of the buffer.
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(const std::string& s) { return Value(s.data(), s.size()); }
+
+/// Masks a CRC so that checksums of data containing embedded checksums do not
+/// degenerate (same trick as LevelDB).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace ariesrh::crc32c
+
+#endif  // ARIESRH_UTIL_CRC32C_H_

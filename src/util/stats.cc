@@ -1,0 +1,48 @@
+#include "util/stats.h"
+
+#include <sstream>
+
+namespace ariesrh {
+
+Stats Stats::Delta(const Stats& base) const {
+  Stats d;
+  d.log_appends = log_appends - base.log_appends;
+  d.log_bytes_appended = log_bytes_appended - base.log_bytes_appended;
+  d.log_flushes = log_flushes - base.log_flushes;
+  d.log_seq_reads = log_seq_reads - base.log_seq_reads;
+  d.log_random_reads = log_random_reads - base.log_random_reads;
+  d.log_rewrites = log_rewrites - base.log_rewrites;
+  d.log_bytes_read = log_bytes_read - base.log_bytes_read;
+  d.page_writes = page_writes - base.page_writes;
+  d.page_reads = page_reads - base.page_reads;
+  d.recovery_forward_records =
+      recovery_forward_records - base.recovery_forward_records;
+  d.recovery_backward_examined =
+      recovery_backward_examined - base.recovery_backward_examined;
+  d.recovery_backward_skipped =
+      recovery_backward_skipped - base.recovery_backward_skipped;
+  d.recovery_undos = recovery_undos - base.recovery_undos;
+  d.recovery_redos = recovery_redos - base.recovery_redos;
+  d.recovery_passes = recovery_passes - base.recovery_passes;
+  d.delegations = delegations - base.delegations;
+  d.scopes_transferred = scopes_transferred - base.scopes_transferred;
+  return d;
+}
+
+std::string Stats::ToString() const {
+  std::ostringstream os;
+  os << "log: appends=" << log_appends << " bytes=" << log_bytes_appended
+     << " flushes=" << log_flushes << " seq_reads=" << log_seq_reads
+     << " random_reads=" << log_random_reads << " rewrites=" << log_rewrites
+     << "\npages: writes=" << page_writes << " reads=" << page_reads
+     << "\nrecovery: fwd_records=" << recovery_forward_records
+     << " bwd_examined=" << recovery_backward_examined
+     << " bwd_skipped=" << recovery_backward_skipped
+     << " undos=" << recovery_undos << " redos=" << recovery_redos
+     << " passes=" << recovery_passes
+     << "\ndelegation: delegations=" << delegations
+     << " scopes_transferred=" << scopes_transferred;
+  return os.str();
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,52 @@
+// Instrumentation counters. The paper's efficiency argument (Section 4.2) is
+// about *access patterns* — sequential vs. random stable-storage accesses,
+// records examined vs. skipped — so the simulated devices and the recovery
+// passes publish their activity through these counters, and the benchmark
+// harness prints them as the reproduced "tables".
+
+#ifndef ARIESRH_UTIL_STATS_H_
+#define ARIESRH_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ariesrh {
+
+/// Counters describing work done by the simulated stable storage and the
+/// recovery algorithms. Plain struct: benchmarks snapshot and subtract.
+struct Stats {
+  // --- simulated stable log ---
+  uint64_t log_appends = 0;          ///< records appended
+  uint64_t log_bytes_appended = 0;
+  uint64_t log_flushes = 0;          ///< forced flushes (commit, WAL rule)
+  uint64_t log_seq_reads = 0;        ///< records read in sequential order
+  uint64_t log_random_reads = 0;     ///< records read out of sequence (seek)
+  uint64_t log_rewrites = 0;         ///< in-place record rewrites (baselines)
+  uint64_t log_bytes_read = 0;
+
+  // --- simulated stable pages ---
+  uint64_t page_writes = 0;
+  uint64_t page_reads = 0;
+
+  // --- recovery ---
+  uint64_t recovery_forward_records = 0;   ///< records seen by forward pass
+  uint64_t recovery_backward_examined = 0; ///< records examined by undo
+  uint64_t recovery_backward_skipped = 0;  ///< records jumped over (clusters)
+  uint64_t recovery_undos = 0;             ///< updates actually undone
+  uint64_t recovery_redos = 0;             ///< updates actually redone
+  uint64_t recovery_passes = 0;            ///< log sweeps performed
+
+  // --- delegation ---
+  uint64_t delegations = 0;
+  uint64_t scopes_transferred = 0;
+
+  /// Per-field difference (this - base); used to measure one operation.
+  Stats Delta(const Stats& base) const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_UTIL_STATS_H_

@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+namespace ariesrh {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIllegalState:
+      return "IllegalState";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,150 @@
+// Status / Result error-handling primitives.
+//
+// Fallible operations in this library return Status (or Result<T> when they
+// also produce a value) instead of throwing exceptions, following the
+// RocksDB/Arrow idiom: recovery code paths must be able to report and
+// propagate failures without unwinding through storage layers.
+
+#ifndef ARIESRH_UTIL_STATUS_H_
+#define ARIESRH_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ariesrh {
+
+/// Canonical error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kCorruption,      ///< checksum mismatch, malformed log/page image
+  kInvalidArgument, ///< caller violated an API precondition
+  kIllegalState,    ///< operation not permitted in the current state
+  kNotSupported,
+  kAborted,         ///< transaction aborted (deadlock victim, user abort)
+  kBusy,            ///< lock conflict under no-wait policies
+  kIOError,         ///< simulated-device failure
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IllegalState(std::string msg) {
+    return Status(StatusCode::kIllegalState, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIllegalState() const { return code_ == StatusCode::kIllegalState; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. `Result<T>` is the return type of fallible
+/// operations that produce a value on success.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : v_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : v_(std::move(status)) {
+    assert(!std::get<Status>(v_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// Returns the contained status; OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ARIESRH_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::ariesrh::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define ARIESRH_CONCAT_INNER_(a, b) a##b
+#define ARIESRH_CONCAT_(a, b) ARIESRH_CONCAT_INNER_(a, b)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` on success
+/// and returning the error otherwise.
+#define ARIESRH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define ARIESRH_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ARIESRH_ASSIGN_OR_RETURN_IMPL_(ARIESRH_CONCAT_(_res_, __LINE__), lhs, rexpr)
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_UTIL_STATUS_H_

@@ -1,0 +1,47 @@
+// Core identifier types shared across every module.
+
+#ifndef ARIESRH_UTIL_TYPES_H_
+#define ARIESRH_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ariesrh {
+
+/// Log sequence number. Records are identified by monotonically increasing
+/// LSNs; kInvalidLsn marks "no record" (e.g., the PrevLSN of a transaction's
+/// first record — the end of its backward chain).
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = std::numeric_limits<Lsn>::max();
+/// The first LSN ever assigned. LSN 0 is reserved so that page LSN 0 means
+/// "never touched by a logged update".
+inline constexpr Lsn kFirstLsn = 1;
+
+/// Transaction identifier. kInvalidTxn marks "no transaction".
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxn = 0;
+
+/// Database object identifier. Objects are the unit of delegation; each is a
+/// single int64 cell packed into a page (see storage/page.h).
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
+/// Page identifier inside the simulated stable store.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/// Number of object cells packed into one page.
+inline constexpr uint32_t kObjectsPerPage = 64;
+
+/// Maps an object to its page and slot.
+inline PageId PageOf(ObjectId ob) {
+  return static_cast<PageId>(ob / kObjectsPerPage);
+}
+inline uint32_t SlotOf(ObjectId ob) {
+  return static_cast<uint32_t>(ob % kObjectsPerPage);
+}
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_UTIL_TYPES_H_

@@ -1,0 +1,49 @@
+#include "wal/log_dump.h"
+
+#include <sstream>
+
+namespace ariesrh {
+
+Result<std::string> DumpLog(const LogManager& log, Lsn from, Lsn to) {
+  std::ostringstream os;
+  for (Lsn lsn = from; lsn <= to && lsn <= log.end_lsn(); ++lsn) {
+    Result<LogRecord> rec = log.Read(lsn);
+    if (rec.status().IsNotFound()) {
+      os << "[" << lsn << " <archived>]\n";
+      continue;
+    }
+    ARIESRH_RETURN_IF_ERROR(rec.status());
+    os << rec->ToString() << "\n";
+  }
+  return os.str();
+}
+
+Result<std::string> DumpLog(const LogManager& log) {
+  return DumpLog(log, kFirstLsn, log.end_lsn());
+}
+
+Result<std::vector<ObjectHistoryEntry>> ObjectHistory(const LogManager& log,
+                                                      ObjectId ob) {
+  std::vector<ObjectHistoryEntry> entries;
+  std::vector<Lsn> compensated;
+  for (Lsn lsn = kFirstLsn; lsn <= log.end_lsn(); ++lsn) {
+    Result<LogRecord> rec = log.Read(lsn);
+    if (rec.status().IsNotFound()) continue;  // archived prefix
+    ARIESRH_RETURN_IF_ERROR(rec.status());
+    if (rec->object != ob) continue;
+    if (rec->type == LogRecordType::kUpdate) {
+      entries.push_back(ObjectHistoryEntry{lsn, rec->txn_id, rec->kind,
+                                           rec->before, rec->after, false});
+    } else if (rec->type == LogRecordType::kClr) {
+      compensated.push_back(rec->compensated_lsn);
+    }
+  }
+  for (ObjectHistoryEntry& entry : entries) {
+    for (Lsn undone : compensated) {
+      if (entry.lsn == undone) entry.compensated = true;
+    }
+  }
+  return entries;
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,41 @@
+// Log inspection utilities: human-readable dumps of the write-ahead log and
+// per-object history reconstruction with responsibility resolution. Used by
+// the log_inspector example, the tests, and anyone debugging a recovery.
+
+#ifndef ARIESRH_WAL_LOG_DUMP_H_
+#define ARIESRH_WAL_LOG_DUMP_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+/// Renders the records in [from, to] one per line (LSN order). LSNs outside
+/// the retained log are skipped with a marker line.
+Result<std::string> DumpLog(const LogManager& log, Lsn from, Lsn to);
+
+/// Renders the whole retained log.
+Result<std::string> DumpLog(const LogManager& log);
+
+/// One update to an object, as found in the log.
+struct ObjectHistoryEntry {
+  Lsn lsn = kInvalidLsn;
+  TxnId writer = kInvalidTxn;  ///< txn_id in the record (invoker under RH)
+  UpdateKind kind = UpdateKind::kSet;
+  int64_t before = 0;
+  int64_t after = 0;
+  bool compensated = false;  ///< a CLR undoing this update exists
+};
+
+/// Scans the log and returns every update (and whether it was compensated)
+/// touching `ob`, oldest first. A diagnostic full sweep — not a hot path.
+Result<std::vector<ObjectHistoryEntry>> ObjectHistory(const LogManager& log,
+                                                      ObjectId ob);
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_WAL_LOG_DUMP_H_

@@ -1,0 +1,76 @@
+#include "wal/log_manager.h"
+
+#include <cassert>
+
+namespace ariesrh {
+
+LogManager::LogManager(SimulatedDisk* disk, Stats* stats)
+    : disk_(disk),
+      stats_(stats),
+      next_lsn_(disk->stable_end_lsn() + 1),
+      flushed_lsn_(disk->stable_end_lsn()) {}
+
+Lsn LogManager::Append(LogRecord rec) {
+  rec.lsn = next_lsn_++;
+  TailEntry entry;
+  entry.image = rec.Serialize();
+  ++stats_->log_appends;
+  stats_->log_bytes_appended += entry.image.size();
+  entry.record = std::move(rec);
+  tail_.push_back(std::move(entry));
+  return tail_.back().record.lsn;
+}
+
+Status LogManager::Flush(Lsn lsn) {
+  if (lsn == kInvalidLsn || lsn <= flushed_lsn_) return Status::OK();
+  assert(lsn < next_lsn_ && "flush beyond end of log");
+  std::vector<std::string> batch;
+  while (!tail_.empty() && tail_.front().record.lsn <= lsn) {
+    batch.push_back(std::move(tail_.front().image));
+    tail_.pop_front();
+  }
+  if (!batch.empty()) {
+    disk_->AppendLogRecords(batch);
+    flushed_lsn_ = lsn;
+  }
+  return Status::OK();
+}
+
+Status LogManager::FlushAll() { return Flush(end_lsn()); }
+
+Result<LogRecord> LogManager::Read(Lsn lsn) const {
+  if (lsn == kInvalidLsn || lsn == 0 || lsn >= next_lsn_) {
+    return Status::NotFound("LSN " + std::to_string(lsn) + " out of range");
+  }
+  if (lsn > flushed_lsn_) {
+    // Volatile tail read: no stable I/O.
+    const TailEntry& entry = tail_.at(lsn - flushed_lsn_ - 1);
+    assert(entry.record.lsn == lsn);
+    return entry.record;
+  }
+  ARIESRH_ASSIGN_OR_RETURN(std::string image, disk_->ReadLogRecord(lsn));
+  return LogRecord::Deserialize(image);
+}
+
+Status LogManager::Rewrite(Lsn lsn, LogRecord rec) {
+  if (lsn == kInvalidLsn || lsn == 0 || lsn >= next_lsn_) {
+    return Status::InvalidArgument("rewrite of LSN out of range");
+  }
+  if (rec.lsn != lsn) {
+    return Status::InvalidArgument("rewrite must preserve the record LSN");
+  }
+  if (lsn > flushed_lsn_) {
+    TailEntry& entry = tail_.at(lsn - flushed_lsn_ - 1);
+    entry.image = rec.Serialize();
+    entry.record = std::move(rec);
+    return Status::OK();
+  }
+  return disk_->RewriteLogRecord(lsn, rec.Serialize());
+}
+
+void LogManager::DiscardTail() {
+  tail_.clear();
+  next_lsn_ = flushed_lsn_ + 1;
+}
+
+}  // namespace ariesrh

@@ -1,0 +1,73 @@
+// Log manager: LSN assignment, the volatile log tail, group flush to the
+// simulated stable log, and record reads that transparently span the durable
+// prefix and the volatile tail.
+//
+// During normal execution the only stable-log operation ARIES/RH performs is
+// appending (and flushing) records. RewriteRecord exists solely for the
+// history-rewriting baselines of Section 3.2 and is never called by RH.
+
+#ifndef ARIESRH_WAL_LOG_MANAGER_H_
+#define ARIESRH_WAL_LOG_MANAGER_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "storage/simulated_disk.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_record.h"
+
+namespace ariesrh {
+
+/// Not thread-safe; the engine is a single-threaded simulation.
+class LogManager {
+ public:
+  /// Attaches to a disk; the durable prefix (if any) defines the next LSN.
+  /// `stats` must outlive the manager.
+  LogManager(SimulatedDisk* disk, Stats* stats);
+
+  /// Appends a record to the volatile tail, assigning and returning its LSN.
+  Lsn Append(LogRecord rec);
+
+  /// Makes the log durable up to and including `lsn` (no-op if already
+  /// durable). Implements both commit forcing and the WAL rule.
+  Status Flush(Lsn lsn);
+
+  /// Flushes the entire tail.
+  Status FlushAll();
+
+  /// Reads a record by LSN, from the tail if not yet durable.
+  Result<LogRecord> Read(Lsn lsn) const;
+
+  /// Overwrites an existing record in place (baselines only). Durable
+  /// records incur a stable random write; tail records are patched in
+  /// memory. The caller must preserve the record's LSN.
+  Status Rewrite(Lsn lsn, LogRecord rec);
+
+  /// LSN of the most recently appended record; 0 if the log is empty.
+  Lsn end_lsn() const { return next_lsn_ - 1; }
+
+  /// LSN up to which the log is durable; 0 if nothing is durable.
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+
+  /// Crash: discards the volatile tail. The durable prefix is untouched.
+  void DiscardTail();
+
+ private:
+  struct TailEntry {
+    LogRecord record;
+    std::string image;  // serialized at append time for byte accounting
+  };
+
+  SimulatedDisk* disk_;
+  Stats* stats_;
+  Lsn next_lsn_;
+  Lsn flushed_lsn_;
+  std::deque<TailEntry> tail_;  // records (flushed_lsn_, next_lsn_)
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_WAL_LOG_MANAGER_H_

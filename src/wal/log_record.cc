@@ -1,0 +1,292 @@
+#include "wal/log_record.h"
+
+#include <sstream>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace ariesrh {
+
+namespace {
+
+// LSN 0 is reserved, so serialization maps kInvalidLsn to 0 to keep the
+// common "no previous record" case at one varint byte.
+void PutLsn(std::string* dst, Lsn lsn) {
+  PutVarint64(dst, lsn == kInvalidLsn ? 0 : lsn);
+}
+
+Status GetLsn(Decoder* dec, Lsn* lsn) {
+  uint64_t raw = 0;
+  ARIESRH_RETURN_IF_ERROR(dec->GetVarint64(&raw));
+  *lsn = raw == 0 ? kInvalidLsn : raw;
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* LogRecordTypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kBegin:
+      return "BEGIN";
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kClr:
+      return "CLR";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kAbort:
+      return "ABORT";
+    case LogRecordType::kEnd:
+      return "END";
+    case LogRecordType::kDelegate:
+      return "DELEGATE";
+    case LogRecordType::kCkptBegin:
+      return "CKPT_BEGIN";
+    case LogRecordType::kCkptEnd:
+      return "CKPT_END";
+  }
+  return "UNKNOWN";
+}
+
+std::string LogRecord::Serialize() const {
+  std::string out;
+  PutFixed8(&out, static_cast<uint8_t>(type));
+  PutVarint64(&out, lsn);
+  PutVarint64(&out, txn_id);
+  PutLsn(&out, prev_lsn);
+
+  switch (type) {
+    case LogRecordType::kUpdate:
+      PutVarint64(&out, object);
+      PutFixed8(&out, static_cast<uint8_t>(kind));
+      PutVarint64(&out, ZigZagEncode(before));
+      PutVarint64(&out, ZigZagEncode(after));
+      break;
+    case LogRecordType::kClr:
+      PutVarint64(&out, object);
+      PutFixed8(&out, static_cast<uint8_t>(kind));
+      PutVarint64(&out, ZigZagEncode(before));
+      PutVarint64(&out, ZigZagEncode(after));
+      PutLsn(&out, compensated_lsn);
+      PutLsn(&out, undo_next_lsn);
+      break;
+    case LogRecordType::kDelegate:
+      PutVarint64(&out, tor);
+      PutVarint64(&out, tee);
+      PutLsn(&out, tor_bc);
+      PutLsn(&out, tee_bc);
+      PutVarint64(&out, objects.size());
+      for (ObjectId ob : objects) PutVarint64(&out, ob);
+      PutVarint64(&out, ranges.size());
+      for (const auto& [first, last] : ranges) {
+        PutLsn(&out, first);
+        PutLsn(&out, last);
+      }
+      break;
+    case LogRecordType::kCkptEnd:
+      PutLengthPrefixed(&out, ckpt_payload);
+      break;
+    default:
+      break;  // BEGIN/COMMIT/ABORT/END/CKPT_BEGIN carry no extra payload
+  }
+
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(out)));
+  return out;
+}
+
+Result<LogRecord> LogRecord::Deserialize(const std::string& image) {
+  if (image.size() < 5) return Status::Corruption("log record too short");
+  const size_t body_len = image.size() - 4;
+  {
+    Decoder crc_dec(image.data() + body_len, 4);
+    uint32_t stored = 0;
+    ARIESRH_RETURN_IF_ERROR(crc_dec.GetFixed32(&stored));
+    if (crc32c::Unmask(stored) != crc32c::Value(image.data(), body_len)) {
+      return Status::Corruption("log record CRC mismatch");
+    }
+  }
+
+  Decoder dec(image.data(), body_len);
+  LogRecord rec;
+  uint8_t type_byte = 0;
+  ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&type_byte));
+  if (type_byte < static_cast<uint8_t>(LogRecordType::kBegin) ||
+      type_byte > static_cast<uint8_t>(LogRecordType::kCkptEnd)) {
+    return Status::Corruption("unknown log record type");
+  }
+  rec.type = static_cast<LogRecordType>(type_byte);
+  ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.lsn));
+  ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.txn_id));
+  ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &rec.prev_lsn));
+
+  uint8_t kind_byte = 0;
+  uint64_t raw = 0;
+  switch (rec.type) {
+    case LogRecordType::kUpdate:
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.object));
+      ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&kind_byte));
+      rec.kind = static_cast<UpdateKind>(kind_byte);
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+      rec.before = ZigZagDecode(raw);
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+      rec.after = ZigZagDecode(raw);
+      break;
+    case LogRecordType::kClr:
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.object));
+      ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&kind_byte));
+      rec.kind = static_cast<UpdateKind>(kind_byte);
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+      rec.before = ZigZagDecode(raw);
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+      rec.after = ZigZagDecode(raw);
+      ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &rec.compensated_lsn));
+      ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &rec.undo_next_lsn));
+      break;
+    case LogRecordType::kDelegate: {
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.tor));
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.tee));
+      ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &rec.tor_bc));
+      ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &rec.tee_bc));
+      uint64_t count = 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&count));
+      rec.objects.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        ObjectId ob = 0;
+        ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&ob));
+        rec.objects.push_back(ob);
+      }
+      uint64_t range_count = 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&range_count));
+      if (range_count != 0 && range_count != rec.objects.size()) {
+        return Status::Corruption("delegate range count mismatch");
+      }
+      rec.ranges.reserve(range_count);
+      for (uint64_t i = 0; i < range_count; ++i) {
+        Lsn first = kInvalidLsn, last = kInvalidLsn;
+        ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &first));
+        ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &last));
+        rec.ranges.emplace_back(first, last);
+      }
+      break;
+    }
+    case LogRecordType::kCkptEnd:
+      ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.ckpt_payload));
+      break;
+    default:
+      break;
+  }
+  if (!dec.empty()) return Status::Corruption("trailing bytes in log record");
+  return rec;
+}
+
+std::string LogRecord::ToString() const {
+  std::ostringstream os;
+  os << "[" << lsn << " " << LogRecordTypeName(type) << " t" << txn_id;
+  switch (type) {
+    case LogRecordType::kUpdate:
+      os << " ob" << object << (kind == UpdateKind::kSet ? " set " : " add ")
+         << before << "->" << after;
+      break;
+    case LogRecordType::kClr:
+      os << " ob" << object << " undo-of " << compensated_lsn;
+      break;
+    case LogRecordType::kDelegate: {
+      os << " t" << tor << "=>t" << tee << " {";
+      for (size_t i = 0; i < objects.size(); ++i) {
+        if (i) os << ",";
+        os << "ob" << objects[i];
+      }
+      os << "}";
+      break;
+    }
+    default:
+      break;
+  }
+  os << "]";
+  return os.str();
+}
+
+LogRecord LogRecord::MakeBegin(TxnId txn) {
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.txn_id = txn;
+  return rec;
+}
+
+LogRecord LogRecord::MakeUpdate(TxnId txn, Lsn prev, ObjectId ob, UpdateKind k,
+                                int64_t before, int64_t after) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  rec.object = ob;
+  rec.kind = k;
+  rec.before = before;
+  rec.after = after;
+  return rec;
+}
+
+LogRecord LogRecord::MakeClr(TxnId txn, Lsn prev, ObjectId ob, UpdateKind k,
+                             int64_t restore_before, int64_t restore_after,
+                             Lsn compensated, Lsn undo_next) {
+  LogRecord rec;
+  rec.type = LogRecordType::kClr;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  rec.object = ob;
+  rec.kind = k;
+  rec.before = restore_before;
+  rec.after = restore_after;
+  rec.compensated_lsn = compensated;
+  rec.undo_next_lsn = undo_next;
+  return rec;
+}
+
+LogRecord LogRecord::MakeCommit(TxnId txn, Lsn prev) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  return rec;
+}
+
+LogRecord LogRecord::MakeAbort(TxnId txn, Lsn prev) {
+  LogRecord rec;
+  rec.type = LogRecordType::kAbort;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  return rec;
+}
+
+LogRecord LogRecord::MakeEnd(TxnId txn, Lsn prev) {
+  LogRecord rec;
+  rec.type = LogRecordType::kEnd;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  return rec;
+}
+
+LogRecord LogRecord::MakeDelegate(TxnId tor, TxnId tee, Lsn tor_bc, Lsn tee_bc,
+                                  std::vector<ObjectId> objects) {
+  LogRecord rec;
+  rec.type = LogRecordType::kDelegate;
+  // The delegate record is written "on behalf of" the delegator; recovery
+  // treats tor/tee explicitly, txn_id is informational.
+  rec.txn_id = tor;
+  rec.tor = tor;
+  rec.tee = tee;
+  rec.tor_bc = tor_bc;
+  rec.tee_bc = tee_bc;
+  rec.objects = std::move(objects);
+  return rec;
+}
+
+LogRecord LogRecord::MakeDelegateRange(TxnId tor, TxnId tee, Lsn tor_bc,
+                                       Lsn tee_bc, ObjectId ob, Lsn first,
+                                       Lsn last) {
+  LogRecord rec = MakeDelegate(tor, tee, tor_bc, tee_bc, {ob});
+  rec.ranges.emplace_back(first, last);
+  return rec;
+}
+
+}  // namespace ariesrh

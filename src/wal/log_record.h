@@ -1,0 +1,111 @@
+// Log record types and their stable serialization.
+//
+// The record vocabulary is conventional ARIES (BEGIN, UPDATE, CLR, COMMIT,
+// ABORT, END, checkpoints) plus the paper's one addition: the DELEGATE record
+// (Figure 6), which carries the delegator, the delegatee, pointers into both
+// of their backward chains, and the objects whose updates change hands.
+//
+// Backward chains: every record carries prev_lsn, the previous record written
+// on behalf of the same transaction. A DELEGATE record belongs to *two*
+// chains — it becomes the head of both the delegator's and the delegatee's —
+// so it carries two chain pointers (tor_bc / tee_bc) instead.
+
+#ifndef ARIESRH_WAL_LOG_RECORD_H_
+#define ARIESRH_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh {
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kUpdate = 2,
+  kClr = 3,       ///< compensation log record (one undone update)
+  kCommit = 4,
+  kAbort = 5,     ///< rollback started (normal-processing abort)
+  kEnd = 6,       ///< transaction fully resolved (commit or rollback done)
+  kDelegate = 7,
+  kCkptBegin = 8,
+  kCkptEnd = 9,   ///< carries the fuzzy-checkpoint table snapshot
+};
+
+/// How an update mutates its object cell.
+enum class UpdateKind : uint8_t {
+  kSet = 0,  ///< exclusive overwrite; undo restores the before image
+  kAdd = 1,  ///< commutative increment; undo applies the negated delta
+};
+
+const char* LogRecordTypeName(LogRecordType type);
+
+/// One log record. A plain aggregate; unused fields keep their defaults and
+/// are not serialized for record types that do not need them.
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;  ///< assigned by the log manager on append
+  LogRecordType type = LogRecordType::kBegin;
+  /// Transaction on whose behalf the record was written. For UPDATE records
+  /// under ARIES/RH this is the *invoking* transaction and never changes;
+  /// the rewriting baselines physically overwrite it with the delegatee.
+  TxnId txn_id = kInvalidTxn;
+  /// Previous record of txn_id (backward chain); kInvalidLsn at chain end.
+  Lsn prev_lsn = kInvalidLsn;
+
+  // --- UPDATE and CLR ---
+  ObjectId object = kInvalidObject;
+  UpdateKind kind = UpdateKind::kSet;
+  int64_t before = 0;  ///< kSet: before image (CLR: value to restore)
+  int64_t after = 0;   ///< kSet: after image; kAdd: delta (CLR: negated)
+
+  // --- CLR only ---
+  Lsn compensated_lsn = kInvalidLsn;  ///< the update this CLR undoes
+  Lsn undo_next_lsn = kInvalidLsn;    ///< next LSN to undo on this chain
+
+  // --- DELEGATE only (paper Figure 6) ---
+  TxnId tor = kInvalidTxn;   ///< delegator
+  TxnId tee = kInvalidTxn;   ///< delegatee
+  Lsn tor_bc = kInvalidLsn;  ///< delegator's previous chain head
+  Lsn tee_bc = kInvalidLsn;  ///< delegatee's previous chain head
+  std::vector<ObjectId> objects;  ///< objects delegated (atomic set)
+  /// Operation-granularity delegation: when non-empty (parallel to
+  /// `objects`), only the delegator's updates with LSN in [first, second]
+  /// are delegated for that object; (kInvalidLsn, kInvalidLsn) means the
+  /// whole object. Empty = whole-object delegation for every entry.
+  std::vector<std::pair<Lsn, Lsn>> ranges;
+
+  // --- CKPT_END only ---
+  std::string ckpt_payload;  ///< serialized table snapshot (see checkpoint.h)
+
+  /// Serializes to a stable byte image with a trailing masked CRC-32C.
+  std::string Serialize() const;
+
+  /// Parses a stable image, verifying the CRC. A failed CRC means a torn
+  /// tail; recovery truncates the log there.
+  static Result<LogRecord> Deserialize(const std::string& image);
+
+  /// Short human-readable rendering for traces and test failures.
+  std::string ToString() const;
+
+  // --- convenience constructors ---
+  static LogRecord MakeBegin(TxnId txn);
+  static LogRecord MakeUpdate(TxnId txn, Lsn prev, ObjectId ob, UpdateKind k,
+                              int64_t before, int64_t after);
+  static LogRecord MakeClr(TxnId txn, Lsn prev, ObjectId ob, UpdateKind k,
+                           int64_t restore_before, int64_t restore_after,
+                           Lsn compensated, Lsn undo_next);
+  static LogRecord MakeCommit(TxnId txn, Lsn prev);
+  static LogRecord MakeAbort(TxnId txn, Lsn prev);
+  static LogRecord MakeEnd(TxnId txn, Lsn prev);
+  static LogRecord MakeDelegate(TxnId tor, TxnId tee, Lsn tor_bc, Lsn tee_bc,
+                                std::vector<ObjectId> objects);
+  static LogRecord MakeDelegateRange(TxnId tor, TxnId tee, Lsn tor_bc,
+                                     Lsn tee_bc, ObjectId ob, Lsn first,
+                                     Lsn last);
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_WAL_LOG_RECORD_H_

@@ -1,0 +1,95 @@
+#include "workload/scheduler.h"
+
+namespace ariesrh::workload {
+
+size_t StepScheduler::AddProgram(TxnProgram program) {
+  ProgramState state;
+  state.program = std::move(program);
+  programs_.push_back(std::move(state));
+  return programs_.size() - 1;
+}
+
+Status StepScheduler::Run() {
+  // Start every program's transaction.
+  for (ProgramState& state : programs_) {
+    ARIESRH_ASSIGN_OR_RETURN(state.txn, db_->Begin());
+  }
+
+  while (true) {
+    // Collect the runnable programs.
+    std::vector<size_t> runnable;
+    for (size_t i = 0; i < programs_.size(); ++i) {
+      if (!programs_[i].done) runnable.push_back(i);
+    }
+    if (runnable.empty()) break;
+    ProgramState& state = programs_[runnable[rng_.Uniform(runnable.size())]];
+    ARIESRH_RETURN_IF_ERROR(StepProgram(&state));
+  }
+  return Status::OK();
+}
+
+Status StepScheduler::StepProgram(ProgramState* state) {
+  if (state->next_step >= state->program.steps.size()) {
+    // Program body finished: commit unless the body already resolved it.
+    const Transaction* tx = db_->txn_manager()->Find(state->txn);
+    if (tx != nullptr && tx->state == TxnState::kActive) {
+      Status status = db_->Commit(state->txn);
+      if (status.IsBusy()) {
+        ++busy_events_;
+        if (++state->busy_streak > options_.busy_retries_before_restart) {
+          return RestartProgram(state);
+        }
+        return Status::OK();  // retried on a later turn
+      }
+      if (status.IsAborted()) {
+        return RestartProgram(state);  // cascade victim
+      }
+      ARIESRH_RETURN_IF_ERROR(status);
+    }
+    state->done = true;
+    state->outcome = ProgramOutcome::kCommitted;
+    return Status::OK();
+  }
+
+  Status status = state->program.steps[state->next_step](db_, state->txn);
+  if (status.ok()) {
+    ++state->next_step;
+    state->busy_streak = 0;
+    return Status::OK();
+  }
+  if (status.IsBusy()) {
+    ++busy_events_;
+    if (++state->busy_streak > options_.busy_retries_before_restart) {
+      return RestartProgram(state);
+    }
+    return Status::OK();
+  }
+  // A non-retryable failure: the program aborts its transaction and fails.
+  const Transaction* tx = db_->txn_manager()->Find(state->txn);
+  if (tx != nullptr && tx->state == TxnState::kActive) {
+    ARIESRH_RETURN_IF_ERROR(db_->Abort(state->txn));
+  }
+  state->done = true;
+  state->outcome = ProgramOutcome::kFailed;
+  return Status::OK();
+}
+
+Status StepScheduler::RestartProgram(ProgramState* state) {
+  // Release everything by aborting, then run again from the first step.
+  const Transaction* tx = db_->txn_manager()->Find(state->txn);
+  if (tx != nullptr && tx->state == TxnState::kActive) {
+    ARIESRH_RETURN_IF_ERROR(db_->Abort(state->txn));
+  }
+  ++restarts_;
+  if (++state->restarts > options_.max_restarts) {
+    state->done = true;
+    state->outcome = ProgramOutcome::kFailed;
+    return Status::OK();
+  }
+  ARIESRH_ASSIGN_OR_RETURN(state->txn, db_->Begin());
+  state->next_step = 0;
+  state->busy_streak = 0;
+  return Status::OK();
+}
+
+}  // namespace ariesrh::workload

@@ -1,0 +1,105 @@
+// Deterministic interleaved execution of transaction programs.
+//
+// The engine is a single-threaded simulation, but the applications the
+// paper targets — "reactive (endless), open-ended (long-lived), and
+// collaborative (interactive) activities" — are concurrent. StepScheduler
+// provides that concurrency deterministically: each *program* is a sequence
+// of steps against a Database; the scheduler interleaves steps from all
+// programs in a seeded pseudo-random order. A step returning kBusy (lock
+// conflict, unmet commit dependency) is retried later; a program whose
+// transaction keeps losing conflicts is aborted and restarted from its
+// first step — the classic optimistic retry loop, here exercised
+// systematically and reproducibly (same seed, same interleaving).
+
+#ifndef ARIESRH_WORKLOAD_SCHEDULER_H_
+#define ARIESRH_WORKLOAD_SCHEDULER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "util/random.h"
+
+namespace ariesrh::workload {
+
+/// One step of a transaction program. Return OK to advance, kBusy to be
+/// retried later (the scheduler may run others first), any other error to
+/// fail the program.
+using ProgramStep = std::function<Status(Database*, TxnId)>;
+
+/// A named sequence of steps run inside one transaction. The scheduler
+/// begins the transaction; if, after the last step, it is still active, the
+/// scheduler commits it.
+struct TxnProgram {
+  std::string name;
+  std::vector<ProgramStep> steps;
+
+  TxnProgram& Then(ProgramStep step) {
+    steps.push_back(std::move(step));
+    return *this;
+  }
+};
+
+/// Outcome of one program after Run().
+enum class ProgramOutcome {
+  kCommitted,
+  kFailed,  ///< exhausted restarts or hit a non-retryable error
+};
+
+class StepScheduler {
+ public:
+  struct SchedulerOptions {
+    uint64_t seed = 1;
+    /// Consecutive kBusy results before the program's transaction is
+    /// aborted and the program restarted from scratch.
+    int busy_retries_before_restart = 32;
+    /// Restarts before the program is declared failed.
+    int max_restarts = 16;
+  };
+
+  StepScheduler(Database* db, SchedulerOptions options)
+      : db_(db), options_(options), rng_(options.seed) {}
+  explicit StepScheduler(Database* db)
+      : StepScheduler(db, SchedulerOptions{}) {}
+
+  /// Registers a program; returns its index.
+  size_t AddProgram(TxnProgram program);
+
+  /// Interleaves all programs to completion. Returns non-OK only on engine
+  /// errors; per-program failures are reported via outcome().
+  Status Run();
+
+  ProgramOutcome outcome(size_t index) const {
+    return programs_[index].outcome;
+  }
+  /// Total transaction restarts across all programs (conflict pressure).
+  uint64_t restarts() const { return restarts_; }
+  /// Total kBusy step results observed.
+  uint64_t busy_events() const { return busy_events_; }
+
+ private:
+  struct ProgramState {
+    TxnProgram program;
+    TxnId txn = kInvalidTxn;
+    size_t next_step = 0;
+    int busy_streak = 0;
+    int restarts = 0;
+    bool done = false;
+    ProgramOutcome outcome = ProgramOutcome::kFailed;
+  };
+
+  Status StepProgram(ProgramState* state);
+  Status RestartProgram(ProgramState* state);
+
+  Database* db_;
+  SchedulerOptions options_;
+  Random rng_;
+  std::vector<ProgramState> programs_;
+  uint64_t restarts_ = 0;
+  uint64_t busy_events_ = 0;
+};
+
+}  // namespace ariesrh::workload
+
+#endif  // ARIESRH_WORKLOAD_SCHEDULER_H_

@@ -1,0 +1,77 @@
+// Coverage for the small public naming/introspection helpers used by logs,
+// traces, and test output across the library.
+
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+#include "lock/lock_manager.h"
+#include "txn/dependency_graph.h"
+#include "txn/transaction.h"
+#include "wal/log_record.h"
+
+namespace ariesrh {
+namespace {
+
+TEST(NamesTest, DelegationModeNames) {
+  EXPECT_STREQ(DelegationModeName(DelegationMode::kDisabled), "disabled");
+  EXPECT_STREQ(DelegationModeName(DelegationMode::kRH), "rh");
+  EXPECT_STREQ(DelegationModeName(DelegationMode::kEager), "eager");
+  EXPECT_STREQ(DelegationModeName(DelegationMode::kLazyRewrite),
+               "lazy-rewrite");
+}
+
+TEST(NamesTest, UndoStrategyNames) {
+  EXPECT_STREQ(UndoStrategyName(UndoStrategy::kScopeClusters),
+               "scope-clusters");
+  EXPECT_STREQ(UndoStrategyName(UndoStrategy::kFullScan), "full-scan");
+}
+
+TEST(NamesTest, TxnStateNames) {
+  EXPECT_STREQ(TxnStateName(TxnState::kActive), "active");
+  EXPECT_STREQ(TxnStateName(TxnState::kCommitted), "committed");
+  EXPECT_STREQ(TxnStateName(TxnState::kAborted), "aborted");
+}
+
+TEST(NamesTest, DependencyTypeNames) {
+  EXPECT_STREQ(DependencyTypeName(DependencyType::kCommit), "commit");
+  EXPECT_STREQ(DependencyTypeName(DependencyType::kStrongCommit),
+               "strong-commit");
+  EXPECT_STREQ(DependencyTypeName(DependencyType::kAbort), "abort");
+}
+
+TEST(NamesTest, LockModeNames) {
+  EXPECT_STREQ(LockModeName(LockMode::kShared), "S");
+  EXPECT_STREQ(LockModeName(LockMode::kIncrement), "I");
+  EXPECT_STREQ(LockModeName(LockMode::kExclusive), "X");
+}
+
+TEST(NamesTest, LogRecordTypeNames) {
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kBegin), "BEGIN");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kUpdate), "UPDATE");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kClr), "CLR");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kCommit), "COMMIT");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kAbort), "ABORT");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kEnd), "END");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kDelegate), "DELEGATE");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kCkptBegin), "CKPT_BEGIN");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kCkptEnd), "CKPT_END");
+}
+
+TEST(NamesTest, TransactionToStringShowsScopesAndDelegation) {
+  Transaction tx;
+  tx.id = 7;
+  tx.first_lsn = 1;
+  tx.last_lsn = 9;
+  ObjectEntry entry;
+  entry.delegated_from = 3;
+  entry.scopes.push_back(Scope{3, 4, 6, false});
+  tx.ob_list[11] = entry;
+  const std::string s = tx.ToString();
+  EXPECT_NE(s.find("t7"), std::string::npos);
+  EXPECT_NE(s.find("active"), std::string::npos);
+  EXPECT_NE(s.find("ob11<-t3"), std::string::npos);
+  EXPECT_NE(s.find("(t3, 4, 6)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,159 @@
+// HistoryOracle unit tests: the executable model of the paper's Section 2.1
+// semantics must itself be right, since the property suites trust it.
+
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+TEST(OracleTest, CommittedSetSurvives) {
+  HistoryOracle oracle;
+  oracle.Begin(1);
+  oracle.Update(1, 5, UpdateKind::kSet, 42);
+  oracle.Commit(1);
+  EXPECT_EQ(oracle.ExpectedValue(5), 42);
+}
+
+TEST(OracleTest, AbortedSetVanishes) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 42);
+  oracle.Abort(1);
+  EXPECT_EQ(oracle.ExpectedValue(5), 0);
+}
+
+TEST(OracleTest, CrashKillsPending) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 42);
+  oracle.Update(2, 6, UpdateKind::kAdd, 7);
+  oracle.Commit(2);
+  oracle.Crash();
+  EXPECT_EQ(oracle.ExpectedValue(5), 0);
+  EXPECT_EQ(oracle.ExpectedValue(6), 7);
+}
+
+TEST(OracleTest, SetsApplyInInvocationOrder) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 10);
+  oracle.Commit(1);
+  oracle.Update(2, 5, UpdateKind::kSet, 20);
+  oracle.Commit(2);
+  EXPECT_EQ(oracle.ExpectedValue(5), 20);
+}
+
+TEST(OracleTest, AddsAccumulateAndInterleaveWithSets) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kAdd, 10);
+  oracle.Update(2, 5, UpdateKind::kAdd, 20);
+  oracle.Commit(1);
+  oracle.Abort(2);
+  EXPECT_EQ(oracle.ExpectedValue(5), 10);
+  oracle.Update(3, 5, UpdateKind::kSet, 100);
+  oracle.Update(3, 5, UpdateKind::kAdd, 1);
+  oracle.Commit(3);
+  EXPECT_EQ(oracle.ExpectedValue(5), 101);
+}
+
+TEST(OracleTest, DelegationMovesFate) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 42);
+  oracle.Delegate(1, 2, {5});
+  oracle.Abort(1);  // no longer responsible: no effect on the update
+  EXPECT_EQ(oracle.ExpectedValue(5), 0);  // still pending
+  oracle.Commit(2);
+  EXPECT_EQ(oracle.ExpectedValue(5), 42);
+}
+
+TEST(OracleTest, DelegationOnlyMovesNamedObjects) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 42);
+  oracle.Update(1, 6, UpdateKind::kSet, 43);
+  oracle.Delegate(1, 2, {5});
+  oracle.Commit(2);
+  oracle.Abort(1);
+  EXPECT_EQ(oracle.ExpectedValue(5), 42);
+  EXPECT_EQ(oracle.ExpectedValue(6), 0);
+}
+
+TEST(OracleTest, DelegationChains) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 7);
+  oracle.Delegate(1, 2, {5});
+  oracle.Delegate(2, 3, {5});
+  oracle.Abort(1);
+  oracle.Abort(2);
+  oracle.Commit(3);
+  EXPECT_EQ(oracle.ExpectedValue(5), 7);
+}
+
+TEST(OracleTest, ResolvedOpsAreImmuneToLaterDelegation) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 7);
+  oracle.Commit(1);
+  oracle.Delegate(1, 2, {5});  // nothing pending: no-op
+  oracle.Abort(2);
+  EXPECT_EQ(oracle.ExpectedValue(5), 7);
+}
+
+TEST(OracleTest, DelegateRangeMovesOnlyCoveredLsns) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kAdd, 10, /*lsn=*/100);
+  oracle.Update(1, 5, UpdateKind::kAdd, 20, /*lsn=*/101);
+  oracle.Update(1, 5, UpdateKind::kAdd, 30, /*lsn=*/102);
+  oracle.DelegateRange(1, 2, 5, 101, 101);
+  oracle.Commit(2);  // only the 20
+  oracle.Abort(1);   // 10 and 30 die
+  EXPECT_EQ(oracle.ExpectedValue(5), 20);
+}
+
+TEST(OracleTest, DelegateRangeIgnoresOpsWithoutLsns) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kAdd, 10);  // no LSN recorded
+  oracle.DelegateRange(1, 2, 5, 1, 1000);
+  oracle.Commit(2);
+  EXPECT_EQ(oracle.ExpectedValue(5), 0);  // op stayed with t1
+}
+
+TEST(OracleTest, RollbackToKillsSuffixOnly) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kAdd, 10, 100);
+  oracle.Update(1, 5, UpdateKind::kAdd, 20, 105);
+  oracle.RollbackTo(1, 102);
+  oracle.Commit(1);
+  EXPECT_EQ(oracle.ExpectedValue(5), 10);
+}
+
+TEST(OracleTest, RollbackToRespectsResponsibility) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kAdd, 10, 100);
+  oracle.Delegate(1, 2, {5});
+  oracle.RollbackTo(1, 50);  // t1 rolls back, but the op is t2's now
+  oracle.Commit(2);
+  EXPECT_EQ(oracle.ExpectedValue(5), 10);
+}
+
+TEST(OracleTest, ExpectedValuesCoversEveryTouchedObject) {
+  HistoryOracle oracle;
+  oracle.Update(1, 5, UpdateKind::kSet, 1);
+  oracle.Update(1, 9, UpdateKind::kAdd, 2);
+  oracle.Abort(1);
+  auto values = oracle.ExpectedValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[5], 0);
+  EXPECT_EQ(values[9], 0);
+}
+
+TEST(OracleTest, ResponsibleForTracksLatestPendingOp) {
+  HistoryOracle oracle;
+  EXPECT_EQ(oracle.ResponsibleFor(1, 5), kInvalidTxn);
+  oracle.Update(1, 5, UpdateKind::kSet, 1);
+  EXPECT_EQ(oracle.ResponsibleFor(1, 5), 1u);
+  oracle.Delegate(1, 2, {5});
+  EXPECT_EQ(oracle.ResponsibleFor(1, 5), 2u);
+  oracle.Commit(2);
+  EXPECT_EQ(oracle.ResponsibleFor(1, 5), kInvalidTxn);  // resolved
+}
+
+}  // namespace
+}  // namespace ariesrh

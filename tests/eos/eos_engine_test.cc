@@ -1,0 +1,292 @@
+// EOS NO-UNDO/REDO engine with delegation (paper Section 3.7).
+
+#include "eos/eos_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh::eos {
+namespace {
+
+class EosEngineTest : public ::testing::Test {
+ protected:
+  EosEngine eos_;
+};
+
+TEST_F(EosEngineTest, WritesInvisibleUntilCommit) {
+  TxnId t = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t, 5, 42).ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 0);  // NO-UNDO: nothing installed yet
+  EXPECT_EQ(*eos_.Read(t, 5), 42);       // read-your-writes
+  ASSERT_TRUE(eos_.Commit(t).ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 42);
+}
+
+TEST_F(EosEngineTest, AbortDiscardsPrivateLog) {
+  TxnId t = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t, 5, 42).ok());
+  ASSERT_TRUE(eos_.Abort(t).ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 0);
+}
+
+TEST_F(EosEngineTest, ExclusiveLocksConflict) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 1).ok());
+  EXPECT_TRUE(eos_.Write(t2, 5, 2).IsBusy());
+  ASSERT_TRUE(eos_.Commit(t1).ok());
+  EXPECT_TRUE(eos_.Write(t2, 5, 2).ok());
+}
+
+TEST_F(EosEngineTest, CommittedStateSurvivesCrash) {
+  TxnId t = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t, 5, 42).ok());
+  ASSERT_TRUE(eos_.Commit(t).ok());
+  TxnId loser = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(loser, 6, 99).ok());
+
+  eos_.SimulateCrash();
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 42);
+  EXPECT_EQ(*eos_.ReadCommitted(6), 0);  // loser never reached the log
+}
+
+TEST_F(EosEngineTest, RecoveryIsSingleForwardPass) {
+  for (int i = 0; i < 5; ++i) {
+    TxnId t = *eos_.Begin();
+    ASSERT_TRUE(eos_.Write(t, i, i).ok());
+    ASSERT_TRUE(eos_.Commit(t).ok());
+  }
+  eos_.SimulateCrash();
+  const Stats before = eos_.stats();
+  ASSERT_TRUE(eos_.Recover().ok());
+  const Stats delta = eos_.stats().Delta(before);
+  EXPECT_EQ(delta.recovery_passes, 1u);
+  EXPECT_EQ(delta.recovery_undos, 0u);  // NO-UNDO, ever
+}
+
+TEST_F(EosEngineTest, DelegationPreconditionRequiresLiveUpdates) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  EXPECT_TRUE(eos_.Delegate(t1, t2, {5}).IsInvalidArgument());
+  EXPECT_TRUE(eos_.Delegate(t1, t1, {5}).IsInvalidArgument());
+}
+
+TEST_F(EosEngineTest, DelegateeCommitPublishesDelegatorsWrite) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 42).ok());
+  ASSERT_TRUE(eos_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(eos_.Abort(t1).ok());  // delegator's fate is irrelevant now
+  EXPECT_EQ(*eos_.ReadCommitted(5), 0);
+  ASSERT_TRUE(eos_.Commit(t2).ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 42);
+}
+
+TEST_F(EosEngineTest, DelegatorCommitFiltersDelegatedWrites) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 42).ok());
+  ASSERT_TRUE(eos_.Write(t1, 6, 43).ok());
+  ASSERT_TRUE(eos_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(eos_.Commit(t1).ok());  // only object 6 goes out
+  EXPECT_EQ(*eos_.ReadCommitted(5), 0);
+  EXPECT_EQ(*eos_.ReadCommitted(6), 43);
+  ASSERT_TRUE(eos_.Abort(t2).ok());   // object 5 dies with the delegatee
+  EXPECT_EQ(*eos_.ReadCommitted(5), 0);
+}
+
+TEST_F(EosEngineTest, DelegationChainAcrossCrash) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  TxnId t3 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 7).ok());
+  ASSERT_TRUE(eos_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(eos_.Delegate(t2, t3, {5}).ok());
+  ASSERT_TRUE(eos_.Abort(t1).ok());
+  ASSERT_TRUE(eos_.Abort(t2).ok());
+  ASSERT_TRUE(eos_.Commit(t3).ok());
+  eos_.SimulateCrash();
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 7);
+}
+
+TEST_F(EosEngineTest, LoserDelegateeDoesNotRedo) {
+  // Paper 3.7: "if an update was in a loser transaction, it will not be
+  // redone... when a transaction delegates an update it filters it out."
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 42).ok());
+  ASSERT_TRUE(eos_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(eos_.Commit(t1).ok());  // winner, but filtered
+  eos_.SimulateCrash();               // t2 is a loser
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 0);
+}
+
+TEST_F(EosEngineTest, DelegationImageSnapshotsStateAtDelegationTime) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 42).ok());
+  ASSERT_TRUE(eos_.Delegate(t1, t2, {5}).ok());
+  // The delegatee sees (and owns) the image.
+  EXPECT_EQ(*eos_.Read(t2, 5), 42);
+  ASSERT_TRUE(eos_.Commit(t2).ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 42);
+}
+
+TEST_F(EosEngineTest, WriteAfterDelegationIsSeparate) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 10).ok());
+  ASSERT_TRUE(eos_.Delegate(t1, t2, {5}).ok());
+  // The lock moved to t2; t1 writing again conflicts (its own former lock).
+  EXPECT_TRUE(eos_.Write(t1, 5, 20).IsBusy());
+  ASSERT_TRUE(eos_.Commit(t2).ok());
+  ASSERT_TRUE(eos_.Write(t1, 5, 20).ok());
+  ASSERT_TRUE(eos_.Commit(t1).ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 20);
+}
+
+TEST_F(EosEngineTest, RecoveryPreservesCommitOrder) {
+  TxnId a = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(a, 5, 1).ok());
+  ASSERT_TRUE(eos_.Commit(a).ok());
+  TxnId b = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(b, 5, 2).ok());
+  ASSERT_TRUE(eos_.Commit(b).ok());
+  eos_.SimulateCrash();
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 2);  // later commit wins
+}
+
+TEST_F(EosEngineTest, CrashedEngineRejectsApi) {
+  eos_.SimulateCrash();
+  EXPECT_TRUE(eos_.Begin().status().IsIllegalState());
+  EXPECT_TRUE(eos_.ReadCommitted(1).status().IsIllegalState());
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_TRUE(eos_.Begin().ok());
+}
+
+TEST_F(EosEngineTest, RepeatedRecoveryIdempotent) {
+  TxnId t = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t, 5, 42).ok());
+  ASSERT_TRUE(eos_.Commit(t).ok());
+  for (int i = 0; i < 3; ++i) {
+    eos_.SimulateCrash();
+    ASSERT_TRUE(eos_.Recover().ok());
+    EXPECT_EQ(*eos_.ReadCommitted(5), 42);
+  }
+}
+
+TEST_F(EosEngineTest, CheckpointShortensRecovery) {
+  for (int i = 0; i < 10; ++i) {
+    TxnId t = *eos_.Begin();
+    ASSERT_TRUE(eos_.Write(t, i, i + 1).ok());
+    ASSERT_TRUE(eos_.Commit(t).ok());
+  }
+  ASSERT_TRUE(eos_.Checkpoint().ok());
+  TxnId late = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(late, 100, 42).ok());
+  ASSERT_TRUE(eos_.Commit(late).ok());
+
+  eos_.SimulateCrash();
+  const Stats before = eos_.stats();
+  ASSERT_TRUE(eos_.Recover().ok());
+  // Only the one post-checkpoint commit unit is replayed.
+  EXPECT_EQ(eos_.stats().Delta(before).recovery_forward_records, 1u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*eos_.ReadCommitted(i), i + 1);
+  }
+  EXPECT_EQ(*eos_.ReadCommitted(100), 42);
+}
+
+TEST_F(EosEngineTest, CheckpointWithDelegatedStateInFlight) {
+  TxnId tor = *eos_.Begin();
+  TxnId tee = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(tor, 5, 42).ok());
+  ASSERT_TRUE(eos_.Delegate(tor, tee, {5}).ok());
+  // The checkpoint image holds only committed state; the in-flight
+  // delegated image lives in the (volatile) private log and dies with the
+  // crash unless the delegatee commits first.
+  ASSERT_TRUE(eos_.Checkpoint().ok());
+  eos_.SimulateCrash();
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 0);
+}
+
+TEST_F(EosEngineTest, CheckpointAfterDelegateeCommitPersists) {
+  TxnId tor = *eos_.Begin();
+  TxnId tee = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(tor, 5, 42).ok());
+  ASSERT_TRUE(eos_.Delegate(tor, tee, {5}).ok());
+  ASSERT_TRUE(eos_.Commit(tee).ok());
+  ASSERT_TRUE(eos_.Checkpoint().ok());
+  eos_.SimulateCrash();
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 42);
+}
+
+TEST_F(EosEngineTest, RepeatedCheckpointsUseLatest) {
+  for (int round = 1; round <= 3; ++round) {
+    TxnId t = *eos_.Begin();
+    ASSERT_TRUE(eos_.Write(t, 1, round).ok());
+    ASSERT_TRUE(eos_.Commit(t).ok());
+    ASSERT_TRUE(eos_.Checkpoint().ok());
+  }
+  eos_.SimulateCrash();
+  const Stats before = eos_.stats();
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(eos_.stats().Delta(before).recovery_forward_records, 0u);
+  EXPECT_EQ(*eos_.ReadCommitted(1), 3);
+}
+
+TEST_F(EosEngineTest, DelegateAllMovesEveryLiveObject) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(t1, 5, 50).ok());
+  ASSERT_TRUE(eos_.Write(t1, 6, 60).ok());
+  ASSERT_TRUE(eos_.DelegateAll(t1, t2).ok());
+  ASSERT_TRUE(eos_.Abort(t1).ok());
+  ASSERT_TRUE(eos_.Commit(t2).ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 50);
+  EXPECT_EQ(*eos_.ReadCommitted(6), 60);
+}
+
+TEST_F(EosEngineTest, DelegateAllWithNothingIsNoOp) {
+  TxnId t1 = *eos_.Begin();
+  TxnId t2 = *eos_.Begin();
+  ASSERT_TRUE(eos_.DelegateAll(t1, t2).ok());
+  ASSERT_TRUE(eos_.Commit(t1).ok());
+  ASSERT_TRUE(eos_.Commit(t2).ok());
+}
+
+TEST_F(EosEngineTest, PermitClearsTheWayForWrites) {
+  TxnId owner = *eos_.Begin();
+  TxnId peer = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(owner, 5, 1).ok());
+  EXPECT_TRUE(eos_.Write(peer, 5, 2).IsBusy());
+  ASSERT_TRUE(eos_.Permit(owner, peer, 5).ok());
+  EXPECT_TRUE(eos_.Write(peer, 5, 2).ok());
+  ASSERT_TRUE(eos_.Commit(owner).ok());
+  ASSERT_TRUE(eos_.Commit(peer).ok());
+  // Both committed; the later commit unit wins in the global log replay.
+  eos_.SimulateCrash();
+  ASSERT_TRUE(eos_.Recover().ok());
+  EXPECT_EQ(*eos_.ReadCommitted(5), 2);
+}
+
+TEST_F(EosEngineTest, PermittedReadStillSeesCommittedState) {
+  // NO-UNDO keeps tentative values in private logs; a permit does not leak
+  // them to readers (unlike the in-place ARIES engine).
+  TxnId owner = *eos_.Begin();
+  TxnId peer = *eos_.Begin();
+  ASSERT_TRUE(eos_.Write(owner, 5, 42).ok());
+  ASSERT_TRUE(eos_.Permit(owner, peer, 5).ok());
+  EXPECT_EQ(*eos_.Read(peer, 5), 0);
+  ASSERT_TRUE(eos_.Commit(owner).ok());
+  EXPECT_EQ(*eos_.Read(peer, 5), 42);
+  ASSERT_TRUE(eos_.Commit(peer).ok());
+}
+
+}  // namespace
+}  // namespace ariesrh::eos

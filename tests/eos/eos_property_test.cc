@@ -1,0 +1,115 @@
+// Randomized EOS property tests: the NO-UNDO/REDO engine obeys the same
+// Section 2.1 delegation semantics as ARIES/RH, so the same HistoryOracle
+// applies (restricted to the read/write model, per Section 3.7).
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "eos/eos_engine.h"
+#include "util/random.h"
+
+namespace ariesrh::eos {
+namespace {
+
+class EosPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, EosPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST_P(EosPropertyTest, RandomHistoryMatchesOracleAcrossCrash) {
+  EosEngine engine;
+  HistoryOracle oracle;
+  Random rng(GetParam());
+  std::vector<TxnId> active;
+  constexpr ObjectId kObjects = 16;
+
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (active.empty() || dice < 25) {
+      TxnId t = *engine.Begin();
+      oracle.Begin(t);
+      active.push_back(t);
+    } else if (dice < 60) {
+      TxnId t = active[rng.Uniform(active.size())];
+      ObjectId ob = rng.Uniform(kObjects);
+      int64_t value = rng.UniformRange(-500, 500);
+      if (engine.Write(t, ob, value).ok()) {
+        oracle.Update(t, ob, UpdateKind::kSet, value);
+      }
+    } else if (dice < 75 && active.size() >= 2) {
+      TxnId from = active[rng.Uniform(active.size())];
+      TxnId to = active[rng.Uniform(active.size())];
+      if (from == to) continue;
+      // Delegate one object the delegator has live writes on, if any.
+      for (ObjectId ob = 0; ob < kObjects; ++ob) {
+        if (engine.Delegate(from, to, {ob}).ok()) {
+          oracle.Delegate(from, to, {ob});
+          break;
+        }
+      }
+    } else {
+      const size_t index = rng.Uniform(active.size());
+      TxnId t = active[index];
+      if (rng.Percent(65)) {
+        if (engine.Commit(t).ok()) {
+          oracle.Commit(t);
+          active.erase(active.begin() + static_cast<ptrdiff_t>(index));
+        }
+      } else if (engine.Abort(t).ok()) {
+        oracle.Abort(t);
+        active.erase(active.begin() + static_cast<ptrdiff_t>(index));
+      }
+    }
+  }
+
+  engine.SimulateCrash();
+  oracle.Crash();
+  ASSERT_TRUE(engine.Recover().ok());
+  for (const auto& [ob, expected] : oracle.ExpectedValues()) {
+    Result<int64_t> got = engine.ReadCommitted(ob);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, expected) << "object " << ob << " seed " << GetParam();
+  }
+}
+
+TEST_P(EosPropertyTest, CheckpointedRecoveryMatchesOracle) {
+  EosEngine engine;
+  HistoryOracle oracle;
+  Random rng(GetParam() * 37);
+  std::vector<TxnId> active;
+
+  for (int step = 0; step < 300; ++step) {
+    if (step % 61 == 60) {
+      ASSERT_TRUE(engine.Checkpoint().ok());
+    }
+    const uint64_t dice = rng.Uniform(100);
+    if (active.empty() || dice < 30) {
+      TxnId t = *engine.Begin();
+      oracle.Begin(t);
+      active.push_back(t);
+    } else if (dice < 65) {
+      TxnId t = active[rng.Uniform(active.size())];
+      ObjectId ob = rng.Uniform(12);
+      int64_t value = rng.UniformRange(0, 99);
+      if (engine.Write(t, ob, value).ok()) {
+        oracle.Update(t, ob, UpdateKind::kSet, value);
+      }
+    } else {
+      const size_t index = rng.Uniform(active.size());
+      TxnId t = active[index];
+      if (engine.Commit(t).ok()) {
+        oracle.Commit(t);
+        active.erase(active.begin() + static_cast<ptrdiff_t>(index));
+      }
+    }
+  }
+  engine.SimulateCrash();
+  oracle.Crash();
+  ASSERT_TRUE(engine.Recover().ok());
+  for (const auto& [ob, expected] : oracle.ExpectedValues()) {
+    EXPECT_EQ(*engine.ReadCommitted(ob), expected)
+        << "object " << ob << " seed " << GetParam();
+  }
+}
+
+}  // namespace
+}  // namespace ariesrh::eos

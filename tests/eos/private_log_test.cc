@@ -1,0 +1,109 @@
+#include "eos/private_log.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh::eos {
+namespace {
+
+TEST(PrivateLogTest, AppendAndLiveValue) {
+  PrivateLog log;
+  EXPECT_FALSE(log.LiveValue(5).has_value());
+  log.AppendWrite(5, 10);
+  log.AppendWrite(5, 20);
+  log.AppendWrite(6, 30);
+  EXPECT_EQ(log.LiveValue(5), 20);
+  EXPECT_EQ(log.LiveValue(6), 30);
+  EXPECT_TRUE(log.Covers(5));
+  EXPECT_FALSE(log.Covers(7));
+}
+
+TEST(PrivateLogTest, DelegateAwayMarksAndReturnsImage) {
+  PrivateLog log;
+  log.AppendWrite(5, 10);
+  log.AppendWrite(5, 20);
+  std::optional<int64_t> image = log.DelegateAway(5);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(*image, 20);
+  EXPECT_FALSE(log.Covers(5));
+  EXPECT_FALSE(log.LiveValue(5).has_value());
+}
+
+TEST(PrivateLogTest, DelegateAwayOfUntouchedObjectIsEmpty) {
+  PrivateLog log;
+  EXPECT_FALSE(log.DelegateAway(5).has_value());
+}
+
+TEST(PrivateLogTest, FilteredEntriesExcludeDelegatedAway) {
+  PrivateLog log;
+  log.AppendWrite(5, 10);
+  log.AppendWrite(6, 20);
+  log.DelegateAway(5);
+  auto filtered = log.FilteredEntries();
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].object, 6u);
+}
+
+TEST(PrivateLogTest, DelegatedImageIsLive) {
+  PrivateLog log;
+  log.AppendDelegatedImage(5, 42, /*from=*/3);
+  EXPECT_EQ(log.LiveValue(5), 42);
+  EXPECT_TRUE(log.Covers(5));
+  auto filtered = log.FilteredEntries();
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].kind, PrivateLogEntry::Kind::kDelegatedImage);
+  EXPECT_EQ(filtered[0].from, 3u);
+}
+
+TEST(PrivateLogTest, RedelegationOfReceivedImage) {
+  PrivateLog log;
+  log.AppendDelegatedImage(5, 42, 3);
+  std::optional<int64_t> image = log.DelegateAway(5);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(*image, 42);
+  EXPECT_TRUE(log.FilteredEntries().empty());
+}
+
+TEST(PrivateLogTest, LiveObjectsDeduplicated) {
+  PrivateLog log;
+  log.AppendWrite(5, 1);
+  log.AppendWrite(5, 2);
+  log.AppendWrite(6, 3);
+  auto live = log.LiveObjects();
+  EXPECT_EQ(live, (std::vector<ObjectId>{5, 6}));
+}
+
+TEST(PrivateLogTest, SerializationRoundTrip) {
+  PrivateLog log;
+  log.AppendWrite(5, -10);
+  log.AppendDelegatedImage(6, 77, 9);
+  std::string buffer;
+  PrivateLog::SerializeEntries(log.FilteredEntries(), &buffer);
+  std::vector<PrivateLogEntry> back;
+  size_t offset = 0;
+  ASSERT_TRUE(PrivateLog::DeserializeEntries(buffer, &offset, &back).ok());
+  EXPECT_EQ(offset, buffer.size());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].kind, PrivateLogEntry::Kind::kWrite);
+  EXPECT_EQ(back[0].object, 5u);
+  EXPECT_EQ(back[0].value, -10);
+  EXPECT_EQ(back[1].kind, PrivateLogEntry::Kind::kDelegatedImage);
+  EXPECT_EQ(back[1].from, 9u);
+}
+
+TEST(PrivateLogTest, DeserializeTruncatedFails) {
+  PrivateLog log;
+  log.AppendWrite(5, 1000000);
+  std::string buffer;
+  PrivateLog::SerializeEntries(log.FilteredEntries(), &buffer);
+  for (size_t keep = 0; keep + 1 < buffer.size(); ++keep) {
+    std::vector<PrivateLogEntry> back;
+    size_t offset = 0;
+    EXPECT_FALSE(PrivateLog::DeserializeEntries(buffer.substr(0, keep),
+                                                &offset, &back)
+                     .ok())
+        << "kept " << keep;
+  }
+}
+
+}  // namespace
+}  // namespace ariesrh::eos

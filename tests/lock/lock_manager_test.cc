@@ -1,0 +1,181 @@
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using enum LockMode;
+  EXPECT_TRUE(LockModesCompatible(kShared, kShared));
+  EXPECT_TRUE(LockModesCompatible(kIncrement, kIncrement));
+  EXPECT_FALSE(LockModesCompatible(kShared, kIncrement));
+  EXPECT_FALSE(LockModesCompatible(kIncrement, kShared));
+  EXPECT_FALSE(LockModesCompatible(kExclusive, kShared));
+  EXPECT_FALSE(LockModesCompatible(kShared, kExclusive));
+  EXPECT_FALSE(LockModesCompatible(kExclusive, kExclusive));
+  EXPECT_FALSE(LockModesCompatible(kExclusive, kIncrement));
+}
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManager locks_;
+};
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  EXPECT_TRUE(locks_.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks_.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(2, 10, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, IncrementLocksCoexist) {
+  EXPECT_TRUE(locks_.Acquire(1, 10, LockMode::kIncrement).ok());
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kIncrement).ok());
+}
+
+TEST_F(LockManagerTest, ExclusiveConflicts) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kShared).IsBusy());
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kIncrement).IsBusy());
+  // Different object is free.
+  EXPECT_TRUE(locks_.Acquire(2, 11, LockMode::kExclusive).ok());
+}
+
+TEST_F(LockManagerTest, ReacquireIsNoOp) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks_.Acquire(1, 10, LockMode::kShared).ok());  // weaker
+  EXPECT_TRUE(locks_.Holds(1, 10, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, UpgradeSoleHolder) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks_.Holds(1, 10, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, UpgradeBlockedByOtherHolder) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kShared).ok());
+  ASSERT_TRUE(locks_.Acquire(2, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).IsBusy());
+}
+
+TEST_F(LockManagerTest, ReleaseAllFreesEverything) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks_.Acquire(1, 11, LockMode::kShared).ok());
+  locks_.ReleaseAll(1);
+  EXPECT_FALSE(locks_.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks_.HeldLocks(1).empty());
+}
+
+TEST_F(LockManagerTest, ReleaseSingleObject) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks_.Acquire(1, 11, LockMode::kExclusive).ok());
+  locks_.Release(1, 10);
+  EXPECT_FALSE(locks_.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(1, 11, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, TransferMovesLockToDelegatee) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  locks_.Transfer(1, 2, 10);
+  EXPECT_FALSE(locks_.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(2, 10, LockMode::kExclusive));
+  // Delegator now conflicts with its own former lock.
+  EXPECT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).IsBusy());
+}
+
+TEST_F(LockManagerTest, TransferMergesWithStrongerExistingLock) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kShared).ok());
+  ASSERT_TRUE(locks_.Acquire(2, 10, LockMode::kShared).ok());
+  locks_.Transfer(1, 2, 10);
+  EXPECT_TRUE(locks_.Holds(2, 10, LockMode::kShared));
+  EXPECT_FALSE(locks_.Holds(1, 10, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, TransferOfUnheldLockIsNoOp) {
+  locks_.Transfer(1, 2, 10);
+  EXPECT_TRUE(locks_.HeldLocks(2).empty());
+}
+
+TEST_F(LockManagerTest, PermitBypassesConflict) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kShared).IsBusy());
+  locks_.Permit(1, 2, 10);
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kShared).ok());
+  // The permit is directional: txn 3 still conflicts.
+  EXPECT_TRUE(locks_.Acquire(3, 10, LockMode::kShared).IsBusy());
+}
+
+TEST_F(LockManagerTest, PermitsDieWithOwner) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  locks_.Permit(1, 2, 10);
+  locks_.ReleaseAll(1);
+  ASSERT_TRUE(locks_.Acquire(3, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kShared).IsBusy());
+}
+
+TEST_F(LockManagerTest, HeldLocksSnapshot) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks_.Acquire(1, 11, LockMode::kIncrement).ok());
+  auto held = locks_.HeldLocks(1);
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held[10], LockMode::kExclusive);
+  EXPECT_EQ(held[11], LockMode::kIncrement);
+}
+
+TEST_F(LockManagerTest, ResetClearsState) {
+  ASSERT_TRUE(locks_.Acquire(1, 10, LockMode::kExclusive).ok());
+  locks_.Reset();
+  EXPECT_TRUE(locks_.Acquire(2, 10, LockMode::kExclusive).ok());
+}
+
+TEST(WaitForGraphTest, DetectsDirectCycle) {
+  WaitForGraph graph;
+  graph.AddEdge(1, 2);
+  EXPECT_FALSE(graph.HasCycle());
+  EXPECT_TRUE(graph.WouldDeadlock(2, 1));
+  EXPECT_FALSE(graph.WouldDeadlock(3, 1));
+  graph.AddEdge(2, 1);
+  EXPECT_TRUE(graph.HasCycle());
+}
+
+TEST(WaitForGraphTest, DetectsTransitiveCycle) {
+  WaitForGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 4);
+  EXPECT_TRUE(graph.WouldDeadlock(4, 1));
+  graph.AddEdge(4, 1);
+  EXPECT_TRUE(graph.HasCycle());
+}
+
+TEST(WaitForGraphTest, SelfWaitIsDeadlock) {
+  WaitForGraph graph;
+  EXPECT_TRUE(graph.WouldDeadlock(1, 1));
+}
+
+TEST(WaitForGraphTest, RemoveTxnBreaksCycle) {
+  WaitForGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 1);
+  ASSERT_TRUE(graph.HasCycle());
+  graph.RemoveTxn(2);
+  EXPECT_FALSE(graph.HasCycle());
+}
+
+TEST(WaitForGraphTest, RemoveEdge) {
+  WaitForGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 1);
+  ASSERT_TRUE(graph.HasCycle());
+  graph.RemoveEdge(2, 1);
+  EXPECT_FALSE(graph.HasCycle());
+}
+
+}  // namespace
+}  // namespace ariesrh

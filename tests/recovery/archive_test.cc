@@ -1,0 +1,162 @@
+// Log archiving, and how delegation pins the log tail: a live scope keeps
+// the records it covers (and everything recovery needs around them) from
+// being archived, no matter how old they are.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace ariesrh {
+namespace {
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  Database db_;
+
+  // Some committed noise to give the archiver something to drop.
+  void CommittedNoise(int txns) {
+    for (int i = 0; i < txns; ++i) {
+      TxnId t = *db_.Begin();
+      ASSERT_TRUE(db_.Add(t, 7, 1).ok());
+      ASSERT_TRUE(db_.Commit(t).ok());
+    }
+  }
+};
+
+TEST_F(ArchiveTest, RequiresCheckpoint) {
+  CommittedNoise(5);
+  EXPECT_TRUE(db_.ArchiveLog().status().IsIllegalState());
+}
+
+TEST_F(ArchiveTest, ArchivesCommittedPrefixAfterCheckpoint) {
+  CommittedNoise(20);
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());  // empty the DPT
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  Result<uint64_t> archived = db_.ArchiveLog();
+  ASSERT_TRUE(archived.ok()) << archived.status().ToString();
+  EXPECT_GT(*archived, 50u);  // 20 txns x (BEGIN, UPDATE, COMMIT, END)
+  // Recovery still works from the shortened log.
+  db_.SimulateCrash();
+  ASSERT_TRUE(db_.Recover().ok());
+  EXPECT_EQ(*db_.ReadCommitted(7), 20);
+}
+
+TEST_F(ArchiveTest, ActiveTransactionPinsItsBegin) {
+  TxnId old_txn = *db_.Begin();
+  ASSERT_TRUE(db_.Add(old_txn, 1, 5).ok());
+  const Lsn old_begin = db_.txn_manager()->Find(old_txn)->first_lsn;
+  CommittedNoise(20);
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  ASSERT_TRUE(db_.ArchiveLog().ok());
+  // Nothing at or after the old transaction's BEGIN may be gone.
+  EXPECT_LE(db_.disk()->first_retained_lsn(), old_begin);
+  ASSERT_TRUE(db_.Abort(old_txn).ok());  // undo still finds its records
+  db_.SimulateCrash();
+  ASSERT_TRUE(db_.Recover().ok());
+  EXPECT_EQ(*db_.ReadCommitted(1), 0);
+  EXPECT_EQ(*db_.ReadCommitted(7), 20);
+}
+
+TEST_F(ArchiveTest, DelegatedScopePinsOldHistory) {
+  // The delegator commits and disappears, but the delegatee holds a scope
+  // over the old updates: they must survive archiving so the delegatee can
+  // still abort.
+  TxnId tor = *db_.Begin();
+  TxnId tee = *db_.Begin();
+  ASSERT_TRUE(db_.Add(tor, 1, 42).ok());
+  const Lsn update_lsn = db_.txn_manager()->Find(tor)->last_lsn;
+  ASSERT_TRUE(db_.Delegate(tor, tee, {1}).ok());
+  ASSERT_TRUE(db_.Commit(tor).ok());
+
+  CommittedNoise(30);
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  Result<uint64_t> archived = db_.ArchiveLog();
+  ASSERT_TRUE(archived.ok());
+  EXPECT_LE(db_.disk()->first_retained_lsn(), update_lsn);
+
+  // The delegatee can still abort — the pinned record is read and undone.
+  ASSERT_TRUE(db_.Abort(tee).ok());
+  EXPECT_EQ(*db_.ReadCommitted(1), 0);
+}
+
+TEST_F(ArchiveTest, ArchiveThenCrashRecoverWithDelegation) {
+  TxnId tor = *db_.Begin();
+  TxnId tee = *db_.Begin();
+  ASSERT_TRUE(db_.Add(tor, 1, 42).ok());
+  ASSERT_TRUE(db_.Delegate(tor, tee, {1}).ok());
+  ASSERT_TRUE(db_.Commit(tor).ok());
+  CommittedNoise(10);
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  ASSERT_TRUE(db_.ArchiveLog().ok());
+
+  db_.SimulateCrash();  // tee is a loser; its scope's record was pinned
+  ASSERT_TRUE(db_.Recover().ok());
+  EXPECT_EQ(*db_.ReadCommitted(1), 0);
+  EXPECT_EQ(*db_.ReadCommitted(7), 10);
+}
+
+TEST_F(ArchiveTest, ResolvingTheScopeUnpinsHistory) {
+  TxnId tor = *db_.Begin();
+  TxnId tee = *db_.Begin();
+  ASSERT_TRUE(db_.Add(tor, 1, 42).ok());
+  const Lsn update_lsn = db_.txn_manager()->Find(tor)->last_lsn;
+  ASSERT_TRUE(db_.Delegate(tor, tee, {1}).ok());
+  ASSERT_TRUE(db_.Commit(tor).ok());
+  CommittedNoise(10);
+
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  ASSERT_TRUE(db_.ArchiveLog().ok());
+  EXPECT_LE(db_.disk()->first_retained_lsn(), update_lsn);  // pinned
+
+  ASSERT_TRUE(db_.Commit(tee).ok());  // scope resolved
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  ASSERT_TRUE(db_.ArchiveLog().ok());
+  EXPECT_GT(db_.disk()->first_retained_lsn(), update_lsn);  // released
+}
+
+TEST_F(ArchiveTest, RewritingBaselinesCannotArchive) {
+  for (DelegationMode mode :
+       {DelegationMode::kEager, DelegationMode::kLazyRewrite}) {
+    Options options;
+    options.delegation_mode = mode;
+    Database db(options);
+    TxnId t = *db.Begin();
+    ASSERT_TRUE(db.Add(t, 1, 1).ok());
+    ASSERT_TRUE(db.Commit(t).ok());
+    ASSERT_TRUE(db.Checkpoint().ok());
+    EXPECT_TRUE(db.ArchiveLog().status().code() ==
+                StatusCode::kNotSupported)
+        << DelegationModeName(mode);
+  }
+}
+
+TEST_F(ArchiveTest, ArchiveIsIdempotent) {
+  CommittedNoise(10);
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  Result<uint64_t> first = db_.ArchiveLog();
+  ASSERT_TRUE(first.ok());
+  Result<uint64_t> second = db_.ArchiveLog();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 0u);
+}
+
+TEST_F(ArchiveTest, WorkAndArchivingInterleave) {
+  for (int round = 0; round < 5; ++round) {
+    CommittedNoise(10);
+    ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+    ASSERT_TRUE(db_.Checkpoint().ok());
+    ASSERT_TRUE(db_.ArchiveLog().ok());
+  }
+  db_.SimulateCrash();
+  ASSERT_TRUE(db_.Recover().ok());
+  EXPECT_EQ(*db_.ReadCommitted(7), 50);
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,186 @@
+// Randomized crash-recovery torture: generate random histories of updates,
+// delegations, commits and aborts; crash at a random point; recover; compare
+// every object against the HistoryOracle. Failures print the seed.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/oracle.h"
+#include "util/random.h"
+
+namespace ariesrh {
+namespace {
+
+constexpr ObjectId kObjects = 24;
+
+// Drives one random history against both the engine and the oracle.
+class TortureDriver {
+ public:
+  TortureDriver(Database* db, uint64_t seed) : db_(db), rng_(seed) {}
+
+  void Step() {
+    const uint64_t dice = rng_.Uniform(100);
+    if (active_.empty() || dice < 20) {
+      BeginTxn();
+    } else if (dice < 60) {
+      RandomUpdate();
+    } else if (dice < 75) {
+      RandomDelegate();
+    } else if (dice < 88) {
+      Resolve(/*commit=*/true);
+    } else {
+      Resolve(/*commit=*/false);
+    }
+  }
+
+  void CrashAndCheck() {
+    db_->SimulateCrash();
+    oracle_.Crash();
+    Result<RecoveryManager::Outcome> outcome = db_->Recover();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    for (const auto& [ob, expected] : oracle_.ExpectedValues()) {
+      Result<int64_t> got = db_->ReadCommitted(ob);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, expected) << "object " << ob;
+    }
+    active_.clear();
+  }
+
+  HistoryOracle* oracle() { return &oracle_; }
+
+ private:
+  void BeginTxn() {
+    Result<TxnId> txn = db_->Begin();
+    ASSERT_TRUE(txn.ok());
+    oracle_.Begin(*txn);
+    active_.push_back(*txn);
+  }
+
+  TxnId PickActive() { return active_[rng_.Uniform(active_.size())]; }
+
+  void RandomUpdate() {
+    const TxnId txn = PickActive();
+    const ObjectId ob = rng_.Uniform(kObjects);
+    // Increments dominate so concurrent responsibility arises; sets are
+    // rarer and often conflict (kBusy is fine — just skip).
+    if (rng_.Percent(70)) {
+      const int64_t delta = rng_.UniformRange(-50, 50);
+      if (db_->Add(txn, ob, delta).ok()) {
+        oracle_.Update(txn, ob, UpdateKind::kAdd, delta);
+      }
+    } else {
+      const int64_t value = rng_.UniformRange(-1000, 1000);
+      if (db_->Set(txn, ob, value).ok()) {
+        oracle_.Update(txn, ob, UpdateKind::kSet, value);
+      }
+    }
+  }
+
+  void RandomDelegate() {
+    if (active_.size() < 2) return;
+    const TxnId from = PickActive();
+    TxnId to = PickActive();
+    if (from == to) return;
+    const Transaction* tx = db_->txn_manager()->Find(from);
+    if (tx == nullptr || tx->ob_list.empty()) return;
+    // Pick a random subset of the delegator's objects.
+    std::vector<ObjectId> objects;
+    for (const auto& [ob, entry] : tx->ob_list) {
+      if (rng_.Percent(60)) objects.push_back(ob);
+    }
+    if (objects.empty()) objects.push_back(tx->ob_list.begin()->first);
+    if (db_->Delegate(from, to, objects).ok()) {
+      oracle_.Delegate(from, to, objects);
+    }
+  }
+
+  void Resolve(bool commit) {
+    const size_t index = rng_.Uniform(active_.size());
+    const TxnId txn = active_[index];
+    if (commit) {
+      if (db_->Commit(txn).ok()) {
+        oracle_.Commit(txn);
+        active_.erase(active_.begin() + index);
+      }
+    } else {
+      if (db_->Abort(txn).ok()) {
+        oracle_.Abort(txn);
+        active_.erase(active_.begin() + index);
+      }
+    }
+  }
+
+  Database* db_;
+  Random rng_;
+  HistoryOracle oracle_;
+  std::vector<TxnId> active_;
+};
+
+class RecoveryTortureTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryTortureTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST_P(RecoveryTortureTest, RandomHistoryCrashRecoverMatchesOracle) {
+  Database db;
+  TortureDriver driver(&db, GetParam());
+  for (int step = 0; step < 300; ++step) {
+    driver.Step();
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "seed " << GetParam() << " step " << step;
+    }
+  }
+  driver.CrashAndCheck();
+}
+
+TEST_P(RecoveryTortureTest, SurvivesMultipleCrashCycles) {
+  Database db;
+  TortureDriver driver(&db, GetParam() * 7919);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int step = 0; step < 120; ++step) {
+      driver.Step();
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "seed " << GetParam() << " cycle " << cycle << " step "
+               << step;
+      }
+    }
+    driver.CrashAndCheck();
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "seed " << GetParam() << " cycle " << cycle;
+    }
+  }
+}
+
+TEST_P(RecoveryTortureTest, SmallBufferPoolForcesSteals) {
+  Options options;
+  options.buffer_pool_pages = 1;  // every page fetch may steal a dirty page
+  Database db(options);
+  TortureDriver driver(&db, GetParam() * 31 + 5);
+  for (int step = 0; step < 200; ++step) {
+    driver.Step();
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "seed " << GetParam() << " step " << step;
+    }
+  }
+  driver.CrashAndCheck();
+}
+
+TEST_P(RecoveryTortureTest, WithPeriodicCheckpoints) {
+  Database db;
+  TortureDriver driver(&db, GetParam() * 104729);
+  for (int step = 0; step < 300; ++step) {
+    driver.Step();
+    if (step % 37 == 36) {
+      ASSERT_TRUE(db.Checkpoint().ok());
+    }
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "seed " << GetParam() << " step " << step;
+    }
+  }
+  driver.CrashAndCheck();
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,229 @@
+// Log-shipping standby replication, and why it requires an append-only log.
+
+#include "replication/log_shipping.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace ariesrh::replication {
+namespace {
+
+TEST(StandbyReplicaTest, PromoteEmptyStandby) {
+  StandbyReplica standby{Options{}};
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(*(*promoted)->ReadCommitted(1), 0);
+}
+
+TEST(StandbyReplicaTest, ShipsCommittedWork) {
+  Database primary;
+  StandbyReplica standby{Options{}};
+  TxnId t = *primary.Begin();
+  ASSERT_TRUE(primary.Set(t, 1, 10).ok());
+  ASSERT_TRUE(primary.Add(t, 2, 5).ok());
+  ASSERT_TRUE(primary.Commit(t).ok());
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  EXPECT_EQ(standby.shipped_through(),
+            primary.log_manager()->flushed_lsn());
+
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(*(*promoted)->ReadCommitted(1), 10);
+  EXPECT_EQ(*(*promoted)->ReadCommitted(2), 5);
+}
+
+TEST(StandbyReplicaTest, InFlightTransactionsResolveAtPromotion) {
+  Database primary;
+  StandbyReplica standby{Options{}};
+  TxnId winner = *primary.Begin();
+  ASSERT_TRUE(primary.Set(winner, 1, 10).ok());
+  ASSERT_TRUE(primary.Commit(winner).ok());
+  TxnId loser = *primary.Begin();
+  ASSERT_TRUE(primary.Set(loser, 2, 99).ok());
+  ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
+
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  // The primary "dies"; promotion rolls the in-flight loser back.
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(*(*promoted)->ReadCommitted(1), 10);
+  EXPECT_EQ(*(*promoted)->ReadCommitted(2), 0);
+}
+
+TEST(StandbyReplicaTest, IncrementalSyncsAccumulate) {
+  Database primary;
+  StandbyReplica standby{Options{}};
+  for (int round = 0; round < 5; ++round) {
+    TxnId t = *primary.Begin();
+    ASSERT_TRUE(primary.Add(t, 1, 1).ok());
+    ASSERT_TRUE(primary.Commit(t).ok());
+    ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  }
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());  // idle sync: no-op
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(*(*promoted)->ReadCommitted(1), 5);
+}
+
+TEST(StandbyReplicaTest, DelegationShipsTransparently) {
+  Database primary;
+  StandbyReplica standby{Options{}};
+  TxnId t0 = *primary.Begin();
+  TxnId t1 = *primary.Begin();
+  ASSERT_TRUE(primary.Set(t0, 5, 42).ok());
+  ASSERT_TRUE(primary.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(primary.Commit(t1).ok());  // delegatee commits
+  ASSERT_TRUE(primary.Commit(t0).ok());
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(*(*promoted)->ReadCommitted(5), 42);
+}
+
+TEST(StandbyReplicaTest, SeededStandbyReplaysOnlySuffix) {
+  Database primary;
+  for (int i = 0; i < 20; ++i) {
+    TxnId t = *primary.Begin();
+    ASSERT_TRUE(primary.Add(t, 1, 1).ok());
+    ASSERT_TRUE(primary.Commit(t).ok());
+  }
+  Database::BackupImage backup = *primary.Backup();
+
+  TxnId late = *primary.Begin();
+  ASSERT_TRUE(primary.Set(late, 2, 7).ok());
+  ASSERT_TRUE(primary.Commit(late).ok());
+
+  StandbyReplica standby{Options{}};
+  ASSERT_TRUE(standby.SeedFromBackup(backup).ok());
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(*(*promoted)->ReadCommitted(1), 20);
+  EXPECT_EQ(*(*promoted)->ReadCommitted(2), 7);
+}
+
+TEST(StandbyReplicaTest, SeedAfterSyncRejected) {
+  Database primary;
+  TxnId t = *primary.Begin();
+  ASSERT_TRUE(primary.Add(t, 1, 1).ok());
+  ASSERT_TRUE(primary.Commit(t).ok());
+  Database::BackupImage backup = *primary.Backup();
+  StandbyReplica standby{Options{}};
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  EXPECT_TRUE(standby.SeedFromBackup(backup).IsIllegalState());
+}
+
+TEST(StandbyReplicaTest, ArchivedPrimaryRequiresReseed) {
+  Database primary;
+  StandbyReplica standby{Options{}};  // never synced
+  for (int i = 0; i < 10; ++i) {
+    TxnId t = *primary.Begin();
+    ASSERT_TRUE(primary.Add(t, 1, 1).ok());
+    ASSERT_TRUE(primary.Commit(t).ok());
+  }
+  ASSERT_TRUE(primary.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(primary.Checkpoint().ok());
+  ASSERT_TRUE(primary.ArchiveLog().ok());
+  EXPECT_TRUE(standby.SyncFrom(primary).IsIllegalState());
+}
+
+TEST(StandbyReplicaTest, RandomWorkloadPromotionMatchesOracle) {
+  Database primary;
+  workload::WorkloadOptions options;
+  options.seed = 2718;
+  workload::WorkloadDriver driver(&primary, options);
+  StandbyReplica standby{Options{}};
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(driver.Run(150).ok());
+    ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
+    ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  }
+  // The primary vanishes; the standby must agree with the oracle's view of
+  // the crash (losers = whatever was unresolved).
+  driver.CrashOnly();
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok());
+  for (const auto& [ob, expected] : driver.oracle().ExpectedValues()) {
+    EXPECT_EQ(*(*promoted)->ReadCommitted(ob), expected) << "object " << ob;
+  }
+}
+
+TEST(StandbyReplicaTest, RewritingBaselinesBreakShipOnceReplication) {
+  // The demonstration the module header promises: under the eager
+  // baseline, a delegation rewrites records the standby already shipped;
+  // ship-once replication never re-reads them, so the promoted standby
+  // diverges from the primary. Under RH the identical history ships
+  // perfectly (the log is append-only).
+  for (DelegationMode mode : {DelegationMode::kRH, DelegationMode::kEager}) {
+    Options options;
+    options.delegation_mode = mode;
+    Database primary(options);
+    StandbyReplica standby{options};
+
+    TxnId t0 = *primary.Begin();
+    TxnId t1 = *primary.Begin();
+    ASSERT_TRUE(primary.Set(t0, 5, 42).ok());
+    ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
+    ASSERT_TRUE(standby.SyncFrom(primary).ok());  // update record shipped
+
+    // The delegation: RH appends one record; eager rewrites the already-
+    // shipped update in place (invisible to ship-once replication).
+    ASSERT_TRUE(primary.Delegate(t0, t1, {5}).ok());
+    ASSERT_TRUE(primary.Commit(t1).ok());
+    ASSERT_TRUE(primary.Commit(t0).ok());
+    ASSERT_TRUE(standby.SyncFrom(primary).ok());
+
+    Result<std::unique_ptr<Database>> promoted =
+        std::move(standby).Promote();
+    ASSERT_TRUE(promoted.ok());
+    const int64_t value = *(*promoted)->ReadCommitted(5);
+    if (mode == DelegationMode::kRH) {
+      EXPECT_EQ(value, 42) << "RH standby must match the primary";
+    } else {
+      // Eager: the stale shipped record still says t0 wrote it, and the
+      // standby saw no delegate record at all — t1's commit means nothing
+      // for it... the update's fate follows t0 instead. Both commit here,
+      // so the *state* happens to match; the divergence shows in the
+      // responsibility interpretation. Make it bite: re-run with t0
+      // aborting below.
+      EXPECT_EQ(value, 42);
+    }
+  }
+
+  // The biting version: invoker aborts, delegatee commits.
+  for (DelegationMode mode : {DelegationMode::kRH, DelegationMode::kEager}) {
+    Options options;
+    options.delegation_mode = mode;
+    Database primary(options);
+    StandbyReplica standby{options};
+
+    TxnId t0 = *primary.Begin();
+    TxnId t1 = *primary.Begin();
+    ASSERT_TRUE(primary.Set(t0, 5, 42).ok());
+    ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
+    ASSERT_TRUE(standby.SyncFrom(primary).ok());  // pre-delegation ship
+
+    ASSERT_TRUE(primary.Delegate(t0, t1, {5}).ok());
+    ASSERT_TRUE(primary.Commit(t1).ok());  // responsible party commits
+    ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
+    ASSERT_TRUE(standby.SyncFrom(primary).ok());
+
+    Result<std::unique_ptr<Database>> promoted =
+        std::move(standby).Promote();
+    ASSERT_TRUE(promoted.ok());
+    const int64_t value = *(*promoted)->ReadCommitted(5);
+    const int64_t primary_view = 42;  // t1 committed the delegated update
+    if (mode == DelegationMode::kRH) {
+      EXPECT_EQ(value, primary_view);
+    } else {
+      // The standby's stale record still belongs to t0 (a loser at
+      // promotion): the update is wrongly rolled back. Divergence.
+      EXPECT_NE(value, primary_view)
+          << "expected ship-once divergence under eager rewriting";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ariesrh::replication

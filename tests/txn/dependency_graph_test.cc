@@ -1,0 +1,77 @@
+#include "txn/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+TEST(DependencyGraphTest, CommitPrerequisitesReported) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 1, 2).ok());
+  ASSERT_TRUE(graph.Add(DependencyType::kStrongCommit, 1, 3).ok());
+  ASSERT_TRUE(graph.Add(DependencyType::kAbort, 1, 4).ok());
+  auto prereqs = graph.CommitPrerequisites(1);
+  ASSERT_EQ(prereqs.size(), 2u);  // abort deps do not gate commit
+  EXPECT_TRUE(graph.CommitPrerequisites(2).empty());
+}
+
+TEST(DependencyGraphTest, AbortDependentsReported) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.Add(DependencyType::kAbort, 1, 9).ok());
+  ASSERT_TRUE(graph.Add(DependencyType::kStrongCommit, 2, 9).ok());
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 3, 9).ok());
+  auto dependents = graph.AbortDependents(9);
+  ASSERT_EQ(dependents.size(), 2u);  // plain commit deps do not cascade
+  EXPECT_EQ(dependents[0], 1u);
+  EXPECT_EQ(dependents[1], 2u);
+}
+
+TEST(DependencyGraphTest, SelfDependencyRejected) {
+  DependencyGraph graph;
+  EXPECT_TRUE(graph.Add(DependencyType::kCommit, 1, 1).IsInvalidArgument());
+}
+
+TEST(DependencyGraphTest, CommitCycleRejected) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 1, 2).ok());
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 2, 3).ok());
+  EXPECT_TRUE(graph.Add(DependencyType::kCommit, 3, 1).IsInvalidArgument());
+  EXPECT_TRUE(
+      graph.Add(DependencyType::kStrongCommit, 3, 1).IsInvalidArgument());
+}
+
+TEST(DependencyGraphTest, AbortEdgesDoNotFormCommitCycles) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 1, 2).ok());
+  // An abort dependency in the reverse direction is fine: it imposes no
+  // commit ordering.
+  EXPECT_TRUE(graph.Add(DependencyType::kAbort, 2, 1).ok());
+}
+
+TEST(DependencyGraphTest, RemoveTxnClearsBothDirections) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.Add(DependencyType::kStrongCommit, 1, 2).ok());
+  graph.RemoveTxn(1);
+  EXPECT_TRUE(graph.CommitPrerequisites(1).empty());
+  EXPECT_TRUE(graph.AbortDependents(2).empty());
+  // The cycle check no longer sees the removed edges.
+  EXPECT_TRUE(graph.Add(DependencyType::kCommit, 2, 1).ok());
+}
+
+TEST(DependencyGraphTest, ResetClearsEverything) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 1, 2).ok());
+  graph.Reset();
+  EXPECT_TRUE(graph.CommitPrerequisites(1).empty());
+  EXPECT_TRUE(graph.Add(DependencyType::kCommit, 2, 1).ok());
+}
+
+TEST(DependencyGraphTest, DuplicateEdgeIsIdempotent) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 1, 2).ok());
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 1, 2).ok());
+  EXPECT_EQ(graph.CommitPrerequisites(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,133 @@
+// Group commit (Options::force_commits = false): durability is deferred to
+// the next forced flush; everything else — recovery, delegation, ordering —
+// is unchanged.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace ariesrh {
+namespace {
+
+Options LazyOptions() {
+  Options options;
+  options.force_commits = false;
+  return options;
+}
+
+TEST(GroupCommitTest, CommitDoesNotFlush) {
+  Database db(LazyOptions());
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 10).ok());
+  const uint64_t flushes_before = db.stats().log_flushes;
+  ASSERT_TRUE(db.Commit(t).ok());
+  EXPECT_EQ(db.stats().log_flushes, flushes_before);
+  EXPECT_EQ(db.log_manager()->flushed_lsn(), 0u);
+}
+
+TEST(GroupCommitTest, UnsyncedCommitLostToCrash) {
+  Database db(LazyOptions());
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 10).ok());
+  ASSERT_TRUE(db.Commit(t).ok());  // acknowledged...
+  db.SimulateCrash();              // ...but never made durable
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(1), 0);
+}
+
+TEST(GroupCommitTest, SyncedCommitSurvives) {
+  Database db(LazyOptions());
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 10).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  ASSERT_TRUE(db.Sync().ok());
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(1), 10);
+}
+
+TEST(GroupCommitTest, OneSyncCoversManyCommits) {
+  Database db(LazyOptions());
+  for (int i = 0; i < 50; ++i) {
+    TxnId t = *db.Begin();
+    ASSERT_TRUE(db.Add(t, 1, 1).ok());
+    ASSERT_TRUE(db.Commit(t).ok());
+  }
+  const uint64_t flushes_before = db.stats().log_flushes;
+  ASSERT_TRUE(db.Sync().ok());
+  EXPECT_EQ(db.stats().log_flushes, flushes_before + 1);  // the group
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(1), 50);
+}
+
+TEST(GroupCommitTest, DurabilityIsPrefixOrdered) {
+  // A later forced flush (here a checkpoint) makes every earlier commit
+  // durable too — the log is a prefix, never a sieve.
+  Database db(LazyOptions());
+  TxnId a = *db.Begin();
+  ASSERT_TRUE(db.Set(a, 1, 10).ok());
+  ASSERT_TRUE(db.Commit(a).ok());
+  ASSERT_TRUE(db.Checkpoint().ok());  // forces the log through its record
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(1), 10);
+}
+
+TEST(GroupCommitTest, StealForcesUpdatesButNotTheCommit) {
+  // The WAL rule forces the log only through the *page LSN* of the stolen
+  // page — the update record, not the later commit record. An acknowledged
+  // but unsynced commit therefore stays volatile even when its page hits
+  // disk: after a crash the transaction is a loser and the stolen page is
+  // rolled back. (This is exactly why group commit weakens durability.)
+  Options options = LazyOptions();
+  options.buffer_pool_pages = 1;
+  Database db(options);
+  TxnId a = *db.Begin();
+  ASSERT_TRUE(db.Set(a, 0, 7).ok());  // page 0
+  const Lsn update_lsn = db.txn_manager()->Find(a)->last_lsn;
+  ASSERT_TRUE(db.Commit(a).ok());
+  TxnId b = *db.Begin();
+  // Touching another page evicts page 0: WAL forces the log through the
+  // update record only.
+  ASSERT_TRUE(db.Set(b, kObjectsPerPage, 1).ok());
+  EXPECT_GE(db.log_manager()->flushed_lsn(), update_lsn);
+  EXPECT_TRUE(db.disk()->HasPage(0));  // STEAL happened
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(0), 0);  // a's commit never became durable
+}
+
+TEST(GroupCommitTest, DelegationUnderGroupCommit) {
+  Database db(LazyOptions());
+  TxnId t0 = *db.Begin();
+  TxnId t1 = *db.Begin();
+  ASSERT_TRUE(db.Set(t0, 5, 42).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db.Commit(t1).ok());
+  ASSERT_TRUE(db.Sync().ok());
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(5), 42);
+}
+
+TEST(GroupCommitTest, FlushCountAdvantageIsMeasurable) {
+  auto flushes_for = [](bool force) {
+    Options options;
+    options.force_commits = force;
+    Database db(options);
+    for (int i = 0; i < 100; ++i) {
+      TxnId t = *db.Begin();
+      EXPECT_TRUE(db.Add(t, 1, 1).ok());
+      EXPECT_TRUE(db.Commit(t).ok());
+    }
+    EXPECT_TRUE(db.Sync().ok());
+    return db.stats().log_flushes;
+  };
+  EXPECT_GE(flushes_for(true), 100u);
+  EXPECT_LE(flushes_for(false), 2u);
+}
+
+}  // namespace
+}  // namespace ariesrh

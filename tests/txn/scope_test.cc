@@ -1,0 +1,96 @@
+#include "txn/scope.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+TEST(ScopeTest, CoversMatchesInvokerAndRange) {
+  Scope scope{/*invoker=*/3, /*first=*/10, /*last=*/20, /*open=*/true};
+  EXPECT_TRUE(scope.Covers(3, 10));
+  EXPECT_TRUE(scope.Covers(3, 15));
+  EXPECT_TRUE(scope.Covers(3, 20));
+  EXPECT_FALSE(scope.Covers(3, 9));
+  EXPECT_FALSE(scope.Covers(3, 21));
+  EXPECT_FALSE(scope.Covers(4, 15));  // wrong invoker
+}
+
+TEST(ScopeTest, SinglePointScope) {
+  Scope scope{1, 7, 7, true};
+  EXPECT_TRUE(scope.Covers(1, 7));
+  EXPECT_FALSE(scope.Covers(1, 6));
+  EXPECT_FALSE(scope.Covers(1, 8));
+}
+
+TEST(ObjectEntryTest, FirstUpdateOpensScope) {
+  ObjectEntry entry;
+  entry.ExtendOrOpen(5, 100);
+  ASSERT_EQ(entry.scopes.size(), 1u);
+  EXPECT_EQ(entry.scopes[0], (Scope{5, 100, 100, true}));
+  EXPECT_TRUE(entry.HasOpenScopeOf(5));
+}
+
+TEST(ObjectEntryTest, SubsequentUpdatesExtendOpenScope) {
+  ObjectEntry entry;
+  entry.ExtendOrOpen(5, 100);
+  entry.ExtendOrOpen(5, 103);
+  entry.ExtendOrOpen(5, 110);
+  ASSERT_EQ(entry.scopes.size(), 1u);
+  EXPECT_EQ(entry.scopes[0], (Scope{5, 100, 110, true}));
+}
+
+TEST(ObjectEntryTest, MergeClosesReceivedScopes) {
+  ObjectEntry src;
+  src.ExtendOrOpen(1, 10);
+  src.ExtendOrOpen(1, 12);
+
+  ObjectEntry dst;
+  dst.ExtendOrOpen(2, 11);
+  dst.MergeFrom(src);
+
+  ASSERT_EQ(dst.scopes.size(), 2u);
+  EXPECT_TRUE(dst.scopes[0].open);    // own scope stays open
+  EXPECT_FALSE(dst.scopes[1].open);   // received scope frozen
+  EXPECT_EQ(dst.scopes[1].invoker, 1u);
+  EXPECT_TRUE(dst.HasOpenScopeOf(2));
+  EXPECT_FALSE(dst.HasOpenScopeOf(1));
+}
+
+TEST(ObjectEntryTest, ReceivedBackScopeIsNotExtended) {
+  // t delegates its scope away; the object comes back via another
+  // delegation; t's next update must open a NEW scope rather than grow the
+  // returned (closed) one — otherwise coverage could double up.
+  ObjectEntry original;
+  original.ExtendOrOpen(7, 50);
+  original.ExtendOrOpen(7, 55);
+
+  ObjectEntry returned;
+  returned.MergeFrom(original);  // scope (7,50,55) now closed
+  returned.ExtendOrOpen(7, 90);
+
+  ASSERT_EQ(returned.scopes.size(), 2u);
+  EXPECT_EQ(returned.scopes[0], (Scope{7, 50, 55, false}));
+  EXPECT_EQ(returned.scopes[1], (Scope{7, 90, 90, true}));
+}
+
+TEST(ObjectEntryTest, ScopesOfDifferentInvokersCoexist) {
+  ObjectEntry entry;
+  entry.ExtendOrOpen(1, 10);
+  ObjectEntry other;
+  other.ExtendOrOpen(2, 11);
+  entry.MergeFrom(other);
+  entry.ExtendOrOpen(1, 14);  // still extends t1's own open scope
+  ASSERT_EQ(entry.scopes.size(), 2u);
+  EXPECT_EQ(entry.scopes[0], (Scope{1, 10, 14, true}));
+  EXPECT_EQ(entry.scopes[1], (Scope{2, 11, 11, false}));
+}
+
+TEST(ObjectEntryTest, ToStringRendersScopes) {
+  Scope scope{3, 5, 9, false};
+  EXPECT_EQ(scope.ToString(), "(t3, 5, 9)");
+  Scope open{3, 5, 9, true};
+  EXPECT_EQ(open.ToString(), "(t3, 5, 9, open)");
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,202 @@
+// Normal-processing tests against the Database facade (no crashes here;
+// recovery has its own suites).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace ariesrh {
+namespace {
+
+class TxnManagerTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(TxnManagerTest, BeginAssignsFreshIds) {
+  TxnId a = *db_.Begin();
+  TxnId b = *db_.Begin();
+  EXPECT_NE(a, kInvalidTxn);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(TxnManagerTest, ReadYourOwnWrite) {
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t, 5, 42).ok());
+  EXPECT_EQ(*db_.Read(t, 5), 42);
+  ASSERT_TRUE(db_.Add(t, 5, 8).ok());
+  EXPECT_EQ(*db_.Read(t, 5), 50);
+}
+
+TEST_F(TxnManagerTest, FreshObjectReadsZero) {
+  TxnId t = *db_.Begin();
+  EXPECT_EQ(*db_.Read(t, 1234), 0);
+}
+
+TEST_F(TxnManagerTest, CommitMakesValuesVisible) {
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t, 7, 99).ok());
+  ASSERT_TRUE(db_.Commit(t).ok());
+  EXPECT_EQ(*db_.ReadCommitted(7), 99);
+}
+
+TEST_F(TxnManagerTest, AbortRestoresPriorValues) {
+  TxnId t1 = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t1, 7, 10).ok());
+  ASSERT_TRUE(db_.Commit(t1).ok());
+
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t2, 7, 20).ok());
+  ASSERT_TRUE(db_.Add(t2, 8, 5).ok());
+  ASSERT_TRUE(db_.Abort(t2).ok());
+  EXPECT_EQ(*db_.ReadCommitted(7), 10);
+  EXPECT_EQ(*db_.ReadCommitted(8), 0);
+}
+
+TEST_F(TxnManagerTest, AbortUndoesMultipleUpdatesInReverse) {
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t, 1, 100).ok());
+  ASSERT_TRUE(db_.Set(t, 1, 200).ok());
+  ASSERT_TRUE(db_.Set(t, 1, 300).ok());
+  ASSERT_TRUE(db_.Abort(t).ok());
+  EXPECT_EQ(*db_.ReadCommitted(1), 0);
+}
+
+TEST_F(TxnManagerTest, OperationsOnTerminatedTxnFail) {
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Commit(t).ok());
+  EXPECT_TRUE(db_.Set(t, 1, 1).IsIllegalState());
+  EXPECT_TRUE(db_.Commit(t).IsIllegalState());
+  EXPECT_TRUE(db_.Abort(t).IsIllegalState());
+}
+
+TEST_F(TxnManagerTest, OperationsOnUnknownTxnFail) {
+  EXPECT_TRUE(db_.Set(999, 1, 1).IsNotFound());
+  EXPECT_TRUE(db_.Commit(999).IsNotFound());
+}
+
+TEST_F(TxnManagerTest, WriteConflictReturnsBusy) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t1, 5, 1).ok());
+  EXPECT_TRUE(db_.Set(t2, 5, 2).IsBusy());
+  EXPECT_TRUE(db_.Read(t2, 5).status().IsBusy());
+  ASSERT_TRUE(db_.Commit(t1).ok());
+  EXPECT_TRUE(db_.Set(t2, 5, 2).ok());  // lock released by commit
+}
+
+TEST_F(TxnManagerTest, ConcurrentIncrementsCommute) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.Add(t1, 5, 10).ok());
+  ASSERT_TRUE(db_.Add(t2, 5, 7).ok());
+  ASSERT_TRUE(db_.Add(t1, 5, 1).ok());
+  ASSERT_TRUE(db_.Commit(t1).ok());
+  ASSERT_TRUE(db_.Commit(t2).ok());
+  EXPECT_EQ(*db_.ReadCommitted(5), 18);
+}
+
+TEST_F(TxnManagerTest, ConcurrentIncrementAbortRemovesOnlyOwnDelta) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.Add(t1, 5, 10).ok());
+  ASSERT_TRUE(db_.Add(t2, 5, 7).ok());
+  ASSERT_TRUE(db_.Abort(t2).ok());
+  ASSERT_TRUE(db_.Commit(t1).ok());
+  EXPECT_EQ(*db_.ReadCommitted(5), 10);
+}
+
+TEST_F(TxnManagerTest, PermitAllowsReadPastExclusiveLock) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t1, 5, 42).ok());
+  EXPECT_TRUE(db_.Read(t2, 5).status().IsBusy());
+  ASSERT_TRUE(db_.Permit(t1, t2, 5).ok());
+  EXPECT_EQ(*db_.Read(t2, 5), 42);  // sees the uncommitted value
+  ASSERT_TRUE(db_.Commit(t1).ok());
+  ASSERT_TRUE(db_.Commit(t2).ok());
+}
+
+TEST_F(TxnManagerTest, CommitDependencyGatesCommit) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.FormDependency(DependencyType::kCommit, t2, t1).ok());
+  EXPECT_TRUE(db_.Commit(t2).IsBusy());
+  ASSERT_TRUE(db_.Commit(t1).ok());
+  EXPECT_TRUE(db_.Commit(t2).ok());
+}
+
+TEST_F(TxnManagerTest, CommitDependencySatisfiedByAbortToo) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.FormDependency(DependencyType::kCommit, t2, t1).ok());
+  ASSERT_TRUE(db_.Abort(t1).ok());
+  EXPECT_TRUE(db_.Commit(t2).ok());  // plain commit dep: either outcome
+}
+
+TEST_F(TxnManagerTest, StrongCommitDependencyAbortsWithPrerequisite) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t2, 9, 1).ok());
+  ASSERT_TRUE(db_.FormDependency(DependencyType::kStrongCommit, t2, t1).ok());
+  ASSERT_TRUE(db_.Abort(t1).ok());
+  // The cascade already aborted t2.
+  EXPECT_TRUE(db_.Commit(t2).IsIllegalState());
+  EXPECT_EQ(*db_.ReadCommitted(9), 0);
+}
+
+TEST_F(TxnManagerTest, AbortDependencyCascades) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  TxnId t3 = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t2, 9, 5).ok());
+  ASSERT_TRUE(db_.Set(t3, 10, 5).ok());
+  ASSERT_TRUE(db_.FormDependency(DependencyType::kAbort, t2, t1).ok());
+  ASSERT_TRUE(db_.FormDependency(DependencyType::kAbort, t3, t2).ok());
+  ASSERT_TRUE(db_.Abort(t1).ok());
+  EXPECT_EQ(db_.txn_manager()->Find(t2)->state, TxnState::kAborted);
+  EXPECT_EQ(db_.txn_manager()->Find(t3)->state, TxnState::kAborted);
+  EXPECT_EQ(*db_.ReadCommitted(9), 0);
+  EXPECT_EQ(*db_.ReadCommitted(10), 0);
+}
+
+TEST_F(TxnManagerTest, AbortDependencyDoesNotFireOnCommit) {
+  TxnId t1 = *db_.Begin();
+  TxnId t2 = *db_.Begin();
+  ASSERT_TRUE(db_.FormDependency(DependencyType::kAbort, t2, t1).ok());
+  ASSERT_TRUE(db_.Commit(t1).ok());
+  EXPECT_EQ(db_.txn_manager()->Find(t2)->state, TxnState::kActive);
+  EXPECT_TRUE(db_.Commit(t2).ok());
+}
+
+TEST_F(TxnManagerTest, CommitForcesLogToDisk) {
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t, 5, 1).ok());
+  const Lsn before = db_.log_manager()->flushed_lsn();
+  ASSERT_TRUE(db_.Commit(t).ok());
+  EXPECT_GT(db_.log_manager()->flushed_lsn(), before);
+}
+
+TEST_F(TxnManagerTest, ScopeTrackingFollowsUpdates) {
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t, 5, 1).ok());
+  ASSERT_TRUE(db_.Set(t, 5, 2).ok());
+  const Transaction* tx = db_.txn_manager()->Find(t);
+  ASSERT_NE(tx, nullptr);
+  ASSERT_TRUE(tx->IsResponsibleFor(5));
+  const auto& scopes = tx->ob_list.at(5).scopes;
+  ASSERT_EQ(scopes.size(), 1u);
+  EXPECT_EQ(scopes[0].invoker, t);
+  EXPECT_EQ(scopes[0].last - scopes[0].first, 1u);  // two adjacent updates
+}
+
+TEST_F(TxnManagerTest, ReapTerminatedDropsControlBlocks) {
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Commit(t).ok());
+  ASSERT_NE(db_.txn_manager()->Find(t), nullptr);
+  db_.txn_manager()->ReapTerminated();
+  EXPECT_EQ(db_.txn_manager()->Find(t), nullptr);
+}
+
+}  // namespace
+}  // namespace ariesrh

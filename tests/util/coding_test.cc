@@ -1,0 +1,142 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ariesrh {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  Decoder dec(buf);
+  uint32_t v = 0;
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  Decoder dec(buf);
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.GetFixed64(&v).ok());
+  EXPECT_EQ(v, 0x0123456789abcdefull);
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+class VarintParamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintParamTest, RoundTrip) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  Decoder dec(buf);
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.GetVarint64(&v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(dec.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeValues, VarintParamTest,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) + 17,
+                      std::numeric_limits<uint64_t>::max()));
+
+TEST(CodingTest, VarintSizes) {
+  auto size_of = [](uint64_t v) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    return buf.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(CodingTest, TruncatedReadsReportCorruption) {
+  std::string buf;
+  PutFixed64(&buf, 12345);
+  Decoder dec(buf.data(), 3);  // cut short
+  uint64_t v = 0;
+  EXPECT_TRUE(dec.GetFixed64(&v).IsCorruption());
+
+  std::string vbuf;
+  PutVarint64(&vbuf, 1ull << 40);
+  Decoder vdec(vbuf.data(), 2);
+  EXPECT_TRUE(vdec.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, OverlongVarintIsCorruption) {
+  std::string buf(11, static_cast<char>(0x80));  // never terminates
+  Decoder dec(buf);
+  uint64_t v = 0;
+  EXPECT_TRUE(dec.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder dec(buf);
+  std::string s;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s, std::string(1000, 'x'));
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedBody) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello world");
+  Decoder dec(buf.data(), 4);
+  std::string s;
+  EXPECT_TRUE(dec.GetLengthPrefixed(&s).IsCorruption());
+}
+
+class ZigZagParamTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ZigZagParamTest, RoundTrip) {
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeValues, ZigZagParamTest,
+    ::testing::Values(0ll, 1ll, -1ll, 63ll, -64ll, 1000000ll, -1000000ll,
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(CodingTest, ZigZagKeepsSmallMagnitudesSmall) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,46 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(crc32c::Value("", 0), 0u);
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros), 0x8a9136aau);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = crc32c::Value(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = crc32c::Value(data.data(), split);
+    uint32_t extended =
+        crc32c::Extend(partial, data.data() + split, data.size() - split);
+    EXPECT_EQ(extended, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  std::string data = "delegation rewrites history";
+  const uint32_t base = crc32c::Value(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(crc32c::Value(mutated), base) << "byte " << i;
+  }
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);  // masking must change the value
+  }
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,126 @@
+#include "util/inline_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ariesrh {
+namespace {
+
+using IV = InlineVector<int, 2>;
+
+TEST(InlineVectorTest, StartsEmpty) {
+  IV v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(InlineVectorTest, InlinePushBack) {
+  IV v;
+  v.push_back(1);
+  v.push_back(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(InlineVectorTest, SpillsToHeapBeyondInlineCapacity) {
+  IV v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(InlineVectorTest, InitializerList) {
+  IV v = {7, 8, 9};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 9);
+}
+
+TEST(InlineVectorTest, CopySemantics) {
+  IV a = {1, 2, 3, 4};
+  IV b = a;
+  a.push_back(5);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(a.size(), 5u);
+  IV c;
+  c = b;
+  EXPECT_EQ(c, b);
+}
+
+TEST(InlineVectorTest, MoveSemantics) {
+  IV a = {1, 2, 3, 4};
+  IV b = std::move(a);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_TRUE(a.empty());
+
+  IV c = {9};  // inline source
+  IV d = std::move(c);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], 9);
+}
+
+TEST(InlineVectorTest, EraseMiddle) {
+  IV v = {1, 2, 3, 4};
+  v.erase(v.begin() + 1);
+  EXPECT_EQ(v, (std::vector<int>{1, 3, 4}));
+  v.erase(v.begin() + 2);
+  EXPECT_EQ(v, (std::vector<int>{1, 3}));
+}
+
+TEST(InlineVectorTest, EraseInline) {
+  IV v = {1, 2};
+  v.erase(v.begin());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 2);
+}
+
+TEST(InlineVectorTest, EraseIf) {
+  IV v = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(v.EraseIf([](int x) { return x % 2 == 0; }), 3u);
+  EXPECT_EQ(v, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(v.EraseIf([](int) { return false; }), 0u);
+}
+
+TEST(InlineVectorTest, Clear) {
+  IV v = {1, 2, 3};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(9);  // usable again, inline
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(InlineVectorTest, ComparesWithStdVector) {
+  IV v = {1, 2, 3};
+  EXPECT_TRUE(v == (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(v == (std::vector<int>{1, 2}));
+}
+
+TEST(InlineVectorTest, RangeFor) {
+  IV v = {1, 2, 3, 4};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(InlineVectorTest, ReserveKeepsContents) {
+  IV v = {1, 2};
+  v.reserve(100);
+  EXPECT_EQ(v, (std::vector<int>{1, 2}));
+  v.push_back(3);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(InlineVectorTest, NonTrivialElementType) {
+  InlineVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back("gamma");  // spill moves the strings
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[2], "gamma");
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,80 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ariesrh {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(RandomTest, PercentBoundaries) {
+  Random rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Percent(0));
+    EXPECT_TRUE(rng.Percent(100));
+  }
+}
+
+TEST(RandomTest, OneInZeroNeverFires) {
+  Random rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.OneIn(0));
+  }
+}
+
+TEST(RandomTest, SkewedStaysInRange) {
+  Random rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Skewed(100), 100u);
+  }
+  EXPECT_EQ(rng.Skewed(0), 0u);
+}
+
+TEST(RandomTest, SkewedFavorsSmallValues) {
+  Random rng(17);
+  int small = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Skewed(1000) < 100) ++small;
+  }
+  // Uniform would give ~10%; skewed should be well above.
+  EXPECT_GT(small, trials / 5);
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,59 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+TEST(StatsTest, DefaultsToZero) {
+  Stats stats;
+  EXPECT_EQ(stats.log_appends, 0u);
+  EXPECT_EQ(stats.recovery_undos, 0u);
+  EXPECT_EQ(stats.delegations, 0u);
+}
+
+TEST(StatsTest, DeltaSubtractsFieldwise) {
+  Stats base;
+  base.log_appends = 10;
+  base.page_writes = 3;
+  base.recovery_redos = 7;
+  Stats now = base;
+  now.log_appends = 25;
+  now.page_writes = 3;
+  now.recovery_redos = 8;
+  now.delegations = 2;
+  Stats delta = now.Delta(base);
+  EXPECT_EQ(delta.log_appends, 15u);
+  EXPECT_EQ(delta.page_writes, 0u);
+  EXPECT_EQ(delta.recovery_redos, 1u);
+  EXPECT_EQ(delta.delegations, 2u);
+}
+
+TEST(StatsTest, DeltaOfSelfIsZero) {
+  Stats stats;
+  stats.log_appends = 42;
+  stats.log_bytes_appended = 4096;
+  stats.recovery_backward_skipped = 17;
+  Stats delta = stats.Delta(stats);
+  EXPECT_EQ(delta.log_appends, 0u);
+  EXPECT_EQ(delta.log_bytes_appended, 0u);
+  EXPECT_EQ(delta.recovery_backward_skipped, 0u);
+}
+
+TEST(StatsTest, ToStringMentionsAllGroups) {
+  Stats stats;
+  stats.log_appends = 1;
+  stats.page_writes = 2;
+  stats.recovery_undos = 3;
+  stats.delegations = 4;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("log:"), std::string::npos);
+  EXPECT_NE(s.find("pages:"), std::string::npos);
+  EXPECT_NE(s.find("recovery:"), std::string::npos);
+  EXPECT_NE(s.find("delegation:"), std::string::npos);
+  EXPECT_NE(s.find("appends=1"), std::string::npos);
+  EXPECT_NE(s.find("undos=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ariesrh

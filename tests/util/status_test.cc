@@ -1,0 +1,94 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IllegalState("x").IsIllegalState());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_EQ(Status::NotFound("missing key").message(), "missing key");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::Corruption("bad crc").ToString(), "Corruption: bad crc");
+  EXPECT_EQ(Status::Busy("").ToString(), "Busy");
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::NotFound("x").IsCorruption());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status Passthrough(Status s) {
+  ARIESRH_RETURN_IF_ERROR(s);
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Passthrough(Status::OK()).ok());
+  EXPECT_TRUE(Passthrough(Status::Busy("b")).IsBusy());
+}
+
+Result<int> Doubled(Result<int> in) {
+  ARIESRH_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(MacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Doubled(Status::Corruption("c"));
+  EXPECT_TRUE(err.status().IsCorruption());
+}
+
+TEST(MacroTest, AssignOrReturnTwiceInOneScope) {
+  auto fn = []() -> Result<int> {
+    ARIESRH_ASSIGN_OR_RETURN(int a, Result<int>(1));
+    ARIESRH_ASSIGN_OR_RETURN(int b, Result<int>(2));
+    return a + b;
+  };
+  EXPECT_EQ(*fn(), 3);
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,144 @@
+#include "wal/log_record.h"
+
+#include <gtest/gtest.h>
+
+namespace ariesrh {
+namespace {
+
+LogRecord RoundTrip(const LogRecord& rec) {
+  Result<LogRecord> back = LogRecord::Deserialize(rec.Serialize());
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return back.ok() ? *back : LogRecord{};
+}
+
+TEST(LogRecordTest, BeginRoundTrip) {
+  LogRecord rec = LogRecord::MakeBegin(7);
+  rec.lsn = 12;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.type, LogRecordType::kBegin);
+  EXPECT_EQ(back.txn_id, 7u);
+  EXPECT_EQ(back.lsn, 12u);
+  EXPECT_EQ(back.prev_lsn, kInvalidLsn);
+}
+
+TEST(LogRecordTest, UpdateRoundTrip) {
+  LogRecord rec =
+      LogRecord::MakeUpdate(3, 10, 99, UpdateKind::kSet, -5, 1234);
+  rec.lsn = 11;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.type, LogRecordType::kUpdate);
+  EXPECT_EQ(back.txn_id, 3u);
+  EXPECT_EQ(back.prev_lsn, 10u);
+  EXPECT_EQ(back.object, 99u);
+  EXPECT_EQ(back.kind, UpdateKind::kSet);
+  EXPECT_EQ(back.before, -5);
+  EXPECT_EQ(back.after, 1234);
+}
+
+TEST(LogRecordTest, AddUpdateRoundTrip) {
+  LogRecord rec = LogRecord::MakeUpdate(3, 10, 99, UpdateKind::kAdd, 7, -3);
+  rec.lsn = 11;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.kind, UpdateKind::kAdd);
+  EXPECT_EQ(back.after, -3);
+}
+
+TEST(LogRecordTest, ClrRoundTrip) {
+  LogRecord rec =
+      LogRecord::MakeClr(4, 20, 50, UpdateKind::kAdd, 9, -9, 15, 14);
+  rec.lsn = 21;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.type, LogRecordType::kClr);
+  EXPECT_EQ(back.compensated_lsn, 15u);
+  EXPECT_EQ(back.undo_next_lsn, 14u);
+  EXPECT_EQ(back.after, -9);
+}
+
+TEST(LogRecordTest, DelegateRoundTrip) {
+  LogRecord rec = LogRecord::MakeDelegate(1, 2, 5, kInvalidLsn, {10, 11, 12});
+  rec.lsn = 30;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.type, LogRecordType::kDelegate);
+  EXPECT_EQ(back.tor, 1u);
+  EXPECT_EQ(back.tee, 2u);
+  EXPECT_EQ(back.tor_bc, 5u);
+  EXPECT_EQ(back.tee_bc, kInvalidLsn);
+  EXPECT_EQ(back.objects, (std::vector<ObjectId>{10, 11, 12}));
+}
+
+TEST(LogRecordTest, CommitAbortEndRoundTrip) {
+  for (auto maker : {&LogRecord::MakeCommit, &LogRecord::MakeAbort,
+                     &LogRecord::MakeEnd}) {
+    LogRecord rec = maker(9, 100);
+    rec.lsn = 101;
+    LogRecord back = RoundTrip(rec);
+    EXPECT_EQ(back.type, rec.type);
+    EXPECT_EQ(back.txn_id, 9u);
+    EXPECT_EQ(back.prev_lsn, 100u);
+  }
+}
+
+TEST(LogRecordTest, CheckpointEndCarriesPayload) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCkptEnd;
+  rec.txn_id = 0;
+  rec.lsn = 55;
+  rec.ckpt_payload = std::string("\x01\x02\x03payload", 10);
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.ckpt_payload, rec.ckpt_payload);
+}
+
+TEST(LogRecordTest, CorruptionDetectedOnEveryByteFlip) {
+  LogRecord rec = LogRecord::MakeUpdate(3, 10, 99, UpdateKind::kSet, 0, 42);
+  rec.lsn = 8;
+  std::string image = rec.Serialize();
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string bad = image;
+    bad[i] ^= 0x10;
+    Result<LogRecord> result = LogRecord::Deserialize(bad);
+    EXPECT_FALSE(result.ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(LogRecordTest, TruncationDetected) {
+  LogRecord rec = LogRecord::MakeDelegate(1, 2, 5, 6, {1, 2, 3});
+  rec.lsn = 9;
+  std::string image = rec.Serialize();
+  for (size_t keep = 0; keep < image.size(); ++keep) {
+    EXPECT_FALSE(LogRecord::Deserialize(image.substr(0, keep)).ok())
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(LogRecordTest, UnknownTypeRejected) {
+  LogRecord rec = LogRecord::MakeBegin(1);
+  rec.lsn = 1;
+  std::string image = rec.Serialize();
+  image[0] = 99;  // invalid type byte; CRC now fails too
+  EXPECT_FALSE(LogRecord::Deserialize(image).ok());
+}
+
+TEST(LogRecordTest, ToStringMentionsEssentials) {
+  LogRecord rec = LogRecord::MakeUpdate(3, 10, 99, UpdateKind::kSet, 0, 42);
+  rec.lsn = 8;
+  std::string s = rec.ToString();
+  EXPECT_NE(s.find("UPDATE"), std::string::npos);
+  EXPECT_NE(s.find("t3"), std::string::npos);
+  EXPECT_NE(s.find("ob99"), std::string::npos);
+
+  LogRecord d = LogRecord::MakeDelegate(1, 2, 5, 6, {7});
+  d.lsn = 9;
+  std::string ds = d.ToString();
+  EXPECT_NE(ds.find("DELEGATE"), std::string::npos);
+  EXPECT_NE(ds.find("t1=>t2"), std::string::npos);
+}
+
+TEST(LogRecordTest, EmptyDelegationListRoundTrip) {
+  LogRecord rec = LogRecord::MakeDelegate(1, 2, kInvalidLsn, kInvalidLsn, {});
+  rec.lsn = 4;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_TRUE(back.objects.empty());
+}
+
+}  // namespace
+}  // namespace ariesrh

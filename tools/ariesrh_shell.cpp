@@ -1,0 +1,168 @@
+// Interactive ARIES/RH shell: a REPL over the ASSET script language with
+// optional persistent storage, so a database can be built up, crashed,
+// recovered, inspected, and carried across shell sessions.
+//
+//   $ ./ariesrh_shell                 # in-memory session
+//   $ ./ariesrh_shell mydb.ariesrh    # persistent: loaded if present,
+//                                     # saved on 'save' and on exit
+//
+// Accepts every ScriptRunner command (begin/set/add/delegate/commit/...)
+// plus shell builtins:
+//   log [from [to]]    dump the write-ahead log
+//   history <ob>       show an object's update history
+//   txns               list live transactions with their Ob_Lists
+//   stats              engine counters
+//   save               persist stable state to the session file
+//   help               command summary
+//   quit / exit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+#include "etm/script.h"
+#include "wal/log_dump.h"
+
+using namespace ariesrh;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "script commands:\n"
+      "  begin <t> | set <t> <ob> <v> | add <t> <ob> <d> | read <t> <ob>\n"
+      "  delegate <from> <to> <ob>... | delegate-all <f> <t> |"
+      " delegate-last <f> <t> <ob>\n"
+      "  permit <owner> <grantee> <ob> | depend <type> <dep> <on>\n"
+      "  savepoint <t> <name> | rollback-to <t> <name>\n"
+      "  commit <t> | abort <t> | checkpoint | flush | archive\n"
+      "  crash | recover | backup <name> | media-failure | restore <name>\n"
+      "  expect <ob> <v> | expect-error <cmd...>\n"
+      "shell builtins:\n"
+      "  log [from [to]] | history <ob> | txns | stats | save | help |"
+      " quit\n");
+}
+
+bool HandleBuiltin(const std::string& line, Database* db,
+                   const std::string& save_path) {
+  std::istringstream stream(line);
+  std::string cmd;
+  stream >> cmd;
+
+  if (cmd == "help") {
+    PrintHelp();
+    return true;
+  }
+  if (cmd == "log") {
+    Lsn from = kFirstLsn, to = db->log_manager()->end_lsn();
+    stream >> from >> to;
+    Result<std::string> dump = DumpLog(*db->log_manager(), from, to);
+    std::printf("%s", dump.ok() ? dump->c_str()
+                                : dump.status().ToString().c_str());
+    return true;
+  }
+  if (cmd == "history") {
+    ObjectId ob = 0;
+    if (!(stream >> ob)) {
+      std::printf("usage: history <ob>\n");
+      return true;
+    }
+    Result<std::vector<ObjectHistoryEntry>> history =
+        ObjectHistory(*db->log_manager(), ob);
+    if (!history.ok()) {
+      std::printf("%s\n", history.status().ToString().c_str());
+      return true;
+    }
+    for (const ObjectHistoryEntry& entry : *history) {
+      std::printf("  LSN %llu by t%llu %s %lld -> %lld%s\n",
+                  (unsigned long long)entry.lsn,
+                  (unsigned long long)entry.writer,
+                  entry.kind == UpdateKind::kSet ? "set" : "add",
+                  (long long)entry.before, (long long)entry.after,
+                  entry.compensated ? "  [compensated]" : "");
+    }
+    return true;
+  }
+  if (cmd == "txns") {
+    for (const auto& [id, tx] : db->txn_manager()->transactions()) {
+      std::printf("  %s\n", tx.ToString().c_str());
+    }
+    return true;
+  }
+  if (cmd == "stats") {
+    std::printf("%s\n", db->stats().ToString().c_str());
+    return true;
+  }
+  if (cmd == "save") {
+    if (save_path.empty()) {
+      std::printf("no session file (start the shell with a path)\n");
+      return true;
+    }
+    Status status = db->SaveTo(save_path);
+    std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string save_path = argc > 1 ? argv[1] : "";
+  std::unique_ptr<Database> db;
+  if (!save_path.empty()) {
+    Result<std::unique_ptr<Database>> opened = Database::Open({}, save_path);
+    if (opened.ok()) {
+      db = std::move(*opened);
+      Result<RecoveryManager::Outcome> outcome = db->Recover();
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "recovery failed: %s\n",
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("opened %s (%llu winners, %llu losers recovered)\n",
+                  save_path.c_str(), (unsigned long long)outcome->winners,
+                  (unsigned long long)outcome->losers);
+    } else {
+      db = std::make_unique<Database>();
+      std::printf("new database (will save to %s)\n", save_path.c_str());
+    }
+  } else {
+    db = std::make_unique<Database>();
+    std::printf("in-memory database; 'help' lists commands\n");
+  }
+
+  etm::ScriptRunner runner(db.get());
+  std::string line;
+  while (true) {
+    std::printf("ariesrh> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    if (HandleBuiltin(line, db.get(), save_path)) continue;
+
+    const size_t before = runner.trace().size();
+    Status status = runner.Run(line);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      continue;
+    }
+    for (size_t i = before; i < runner.trace().size(); ++i) {
+      std::printf("%s\n", runner.trace()[i].c_str());
+    }
+  }
+
+  if (!save_path.empty() && !db->NeedsRecovery()) {
+    Status status = db->SaveTo(save_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %s\n", save_path.c_str());
+  }
+  return 0;
+}
