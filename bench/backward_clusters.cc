@@ -170,4 +170,4 @@ BENCHMARK(BM_Undo_OverlappingScopeCluster)->Arg(8)->Arg(64)->Arg(256);
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("backward_clusters");

@@ -11,10 +11,48 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/database.h"
 #include "util/random.h"
+
+namespace ariesrh::bench {
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs the registered benchmarks
+/// with console output as usual AND writes the full google-benchmark JSON
+/// report (timings + per-row counters) to BENCH_<name>.json in the working
+/// directory, so experiment tables can be collected without re-running.
+inline int BenchMain(const char* name, int argc, char** argv) {
+  // Default --benchmark_out to BENCH_<name>.json; an explicit flag wins.
+  std::string out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ariesrh::bench
+
+/// Per-binary main: like BENCHMARK_MAIN() but also emits BENCH_<name>.json.
+#define ARIESRH_BENCH_MAIN(name)                          \
+  int main(int argc, char** argv) {                       \
+    return ::ariesrh::bench::BenchMain(name, argc, argv); \
+  }
 
 namespace ariesrh::bench {
 

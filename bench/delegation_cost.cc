@@ -85,4 +85,4 @@ BENCHMARK(BM_DelegateOneObjectVsHistoryLength)
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("delegation_cost");

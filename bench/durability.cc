@@ -131,4 +131,4 @@ BENCHMARK(BM_Promote_Seeded)->Arg(500)->Arg(2000);
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("durability");

@@ -106,4 +106,4 @@ BENCHMARK(BM_FullCycle_LazyRewrite)->Arg(200)->Arg(800);
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("eager_vs_rh");

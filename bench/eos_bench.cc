@@ -120,4 +120,4 @@ BENCHMARK(BM_EosDelegationFiltering)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("eos_bench");

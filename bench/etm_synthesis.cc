@@ -121,4 +121,4 @@ BENCHMARK(BM_ReportingWorker)->Arg(16)->Arg(64)->Arg(256);
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("etm_synthesis");

@@ -88,4 +88,4 @@ BENCHMARK(BM_Recovery_AriesRH)->Arg(100)->Arg(400)->Arg(1600);
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("no_delegation_overhead");

@@ -103,4 +103,4 @@ BENCHMARK(BM_RecoveryWithCheckpoint)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace ariesrh::bench
 
-BENCHMARK_MAIN();
+ARIESRH_BENCH_MAIN("recovery_overhead");

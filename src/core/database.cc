@@ -1,11 +1,13 @@
 #include "core/database.h"
 
+#include "obs/trace.h"
 #include "recovery/checkpoint.h"
 #include "wal/log_record.h"
 
 namespace ariesrh {
 
 Database::Database(Options options) : options_(options) {
+  stats_.AttachObservability(&obs_);
   disk_ = std::make_unique<SimulatedDisk>(&stats_);
   BuildVolatileComponents();
 }
@@ -16,8 +18,8 @@ void Database::BuildVolatileComponents() {
   log_ = std::make_unique<LogManager>(disk_.get(), &stats_);
   pool_ = std::make_unique<BufferPool>(
       disk_.get(), options_.buffer_pool_pages,
-      [this](Lsn lsn) { return log_->Flush(lsn); });
-  locks_ = std::make_unique<LockManager>();
+      [this](Lsn lsn) { return log_->Flush(lsn); }, &stats_);
+  locks_ = std::make_unique<LockManager>(&stats_);
   txn_manager_ = std::make_unique<TxnManager>(options_, log_.get(),
                                               pool_.get(), locks_.get(),
                                               &stats_);
@@ -129,6 +131,8 @@ Status Database::Checkpoint() {
   const Lsn end_lsn = log_->Append(std::move(end));
   ARIESRH_RETURN_IF_ERROR(log_->Flush(end_lsn));
   disk_->SetMasterRecord(end_lsn);
+  obs::Emit(&obs_.trace, obs::TraceEventType::kCheckpoint, end_lsn,
+            data.active_txns.size(), data.dirty_pages.size());
   return Status::OK();
 }
 
@@ -222,7 +226,11 @@ Result<uint64_t> Database::ArchiveLog() {
 }
 
 void Database::SimulateCrash() {
-  // Everything volatile disappears; the simulated disk survives.
+  // Everything volatile disappears; the simulated disk survives — and so
+  // does the observability bundle, by design: the trace is how a crash is
+  // observed after the fact.
+  obs::Emit(&obs_.trace, obs::TraceEventType::kCrash,
+            log_ != nullptr ? log_->flushed_lsn() : 0);
   log_.reset();
   pool_.reset();
   locks_.reset();

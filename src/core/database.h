@@ -23,6 +23,7 @@
 
 #include "core/options.h"
 #include "lock/lock_manager.h"
+#include "obs/observability.h"
 #include "recovery/recovery_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
@@ -138,6 +139,14 @@ class Database {
 
   const Stats& stats() const { return stats_; }
   Stats* mutable_stats() { return &stats_; }
+
+  /// The engine's observability bundle. Both survive SimulateCrash() —
+  /// restart metrics accumulate into the same registry, and the trace shows
+  /// the crash/recovery boundary events in sequence.
+  obs::Observability* observability() { return &obs_; }
+  obs::MetricsRegistry* metrics() { return &obs_.registry; }
+  obs::EventTrace* trace() { return &obs_.trace; }
+
   const Options& options() const { return options_; }
 
   /// Mutable access for test knobs (fault injection, undo strategy). Do not
@@ -155,6 +164,7 @@ class Database {
   void BuildVolatileComponents();
 
   Options options_;
+  obs::Observability obs_;  // declared before stats_: bound during its life
   Stats stats_;
   std::unique_ptr<SimulatedDisk> disk_;
   std::unique_ptr<LogManager> log_;

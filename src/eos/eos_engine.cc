@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.h"
 #include "storage/page.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -45,7 +46,10 @@ Status DeserializeCommitUnit(const std::string& image, TxnId* txn,
 
 }  // namespace
 
-EosEngine::EosEngine() : disk_(std::make_unique<SimulatedDisk>(&stats_)) {}
+EosEngine::EosEngine() {
+  stats_.AttachObservability(&obs_);
+  disk_ = std::make_unique<SimulatedDisk>(&stats_);
+}
 
 Result<EosEngine::Txn*> EosEngine::FindActive(TxnId txn) {
   if (crashed_) {
@@ -65,6 +69,8 @@ Result<TxnId> EosEngine::Begin() {
   }
   const TxnId id = next_txn_id_++;
   txns_[id].id = id;
+  ++stats_.txns_begun;
+  obs::Emit(&obs_.trace, obs::TraceEventType::kTxnBegin, id);
   return id;
 }
 
@@ -103,6 +109,8 @@ Status EosEngine::Delegate(TxnId from, TxnId to,
   }
   ++stats_.delegations;
   stats_.scopes_transferred += objects.size();
+  obs::Emit(&obs_.trace, obs::TraceEventType::kDelegate, from, to,
+            objects.size());
   return Status::OK();
 }
 
@@ -133,6 +141,9 @@ Status EosEngine::Commit(TxnId txn) {
   ARIESRH_RETURN_IF_ERROR(ApplyEntries(entries));
   locks_.ReleaseAll(txn);
   txns_.erase(txn);
+  ++stats_.txns_committed;
+  obs::Emit(&obs_.trace, obs::TraceEventType::kTxnCommit, txn,
+            disk_->stable_end_lsn());
   return Status::OK();
 }
 
@@ -141,6 +152,8 @@ Status EosEngine::Abort(TxnId txn) {
   (void)tx;  // the private log simply disappears — NO-UNDO
   locks_.ReleaseAll(txn);
   txns_.erase(txn);
+  ++stats_.txns_aborted;
+  obs::Emit(&obs_.trace, obs::TraceEventType::kTxnAbort, txn);
   return Status::OK();
 }
 
@@ -172,6 +185,8 @@ Status EosEngine::Checkpoint() {
 }
 
 void EosEngine::SimulateCrash() {
+  obs::Emit(&obs_.trace, obs::TraceEventType::kCrash,
+            disk_->stable_end_lsn());
   db_.clear();
   txns_.clear();
   locks_.Reset();
@@ -200,11 +215,17 @@ Status EosEngine::Recover() {
     }
   }
 
+  obs::Emit(&obs_.trace, obs::TraceEventType::kRecoveryPassBegin,
+            static_cast<uint64_t>(obs::RecoveryPassKind::kEosRedo),
+            snapshot_through + 1, disk_->stable_end_lsn());
+  const uint64_t redos_before = stats_.recovery_redos;
+  uint64_t pass_records = 0;
   TxnId max_txn = 0;
   for (Lsn lsn = snapshot_through + 1; lsn <= disk_->stable_end_lsn();
        ++lsn) {
     ARIESRH_ASSIGN_OR_RETURN(std::string image, disk_->ReadLogRecord(lsn));
     ++stats_.recovery_forward_records;
+    ++pass_records;
     TxnId txn = kInvalidTxn;
     std::vector<PrivateLogEntry> entries;
     ARIESRH_RETURN_IF_ERROR(DeserializeCommitUnit(image, &txn, &entries));
@@ -212,6 +233,9 @@ Status EosEngine::Recover() {
     ARIESRH_RETURN_IF_ERROR(ApplyEntries(entries));
     max_txn = std::max(max_txn, txn);
   }
+  obs::Emit(&obs_.trace, obs::TraceEventType::kRecoveryPassEnd,
+            static_cast<uint64_t>(obs::RecoveryPassKind::kEosRedo),
+            pass_records, stats_.recovery_redos - redos_before);
   next_txn_id_ = std::max(next_txn_id_, max_txn + 1);
   crashed_ = false;
   return Status::OK();

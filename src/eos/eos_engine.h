@@ -22,6 +22,7 @@
 
 #include "eos/private_log.h"
 #include "lock/lock_manager.h"
+#include "obs/observability.h"
 #include "storage/simulated_disk.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -83,6 +84,9 @@ class EosEngine {
   const Stats& stats() const { return stats_; }
   Stats* mutable_stats() { return &stats_; }
 
+  /// The engine's observability bundle (survives SimulateCrash()).
+  obs::Observability* observability() { return &obs_; }
+
  private:
   struct Txn {
     TxnId id = kInvalidTxn;
@@ -92,9 +96,10 @@ class EosEngine {
   Status ApplyEntries(const std::vector<PrivateLogEntry>& entries);
   Result<Txn*> FindActive(TxnId txn);
 
+  obs::Observability obs_;  // declared before stats_: bound during its life
   Stats stats_;
   std::unique_ptr<SimulatedDisk> disk_;  // global log lives here
-  LockManager locks_;
+  LockManager locks_{&stats_};
   std::map<TxnId, Txn> txns_;
   std::map<ObjectId, int64_t> db_;  // committed state (volatile image)
   TxnId next_txn_id_ = 1;

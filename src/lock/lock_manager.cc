@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace ariesrh {
 
 const char* LockModeName(LockMode mode) {
@@ -31,11 +33,21 @@ Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode) {
     return Status::OK();  // already held in an equal or stronger mode
   }
   if (ConflictsIgnoringPermits(locks, txn, mode)) {
+    if (stats_ != nullptr) {
+      ++stats_->lock_conflicts;
+      obs::Emit(stats_->trace(), obs::TraceEventType::kLockConflict, txn, ob,
+                static_cast<uint64_t>(mode));
+    }
     return Status::Busy("lock conflict on object " + std::to_string(ob) +
                         " requested " + LockModeName(mode));
   }
   locks.holders[txn] = mode;
   held_[txn].insert(ob);
+  if (stats_ != nullptr) {
+    ++stats_->lock_acquires;
+    obs::Emit(stats_->trace(), obs::TraceEventType::kLockGrant, txn, ob,
+              static_cast<uint64_t>(mode));
+  }
   return Status::OK();
 }
 
@@ -88,6 +100,7 @@ void LockManager::Transfer(TxnId from, TxnId to, ObjectId ob) {
   if (tab == table_.end()) return;
   auto holder = tab->second.holders.find(from);
   if (holder == tab->second.holders.end()) return;
+  if (stats_ != nullptr) ++stats_->lock_transfers;
   LockMode mode = holder->second;
   tab->second.holders.erase(holder);
 
@@ -106,6 +119,7 @@ void LockManager::Transfer(TxnId from, TxnId to, ObjectId ob) {
 
 void LockManager::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
   table_[ob].permits.insert({owner, grantee});
+  if (stats_ != nullptr) ++stats_->lock_permits;
 }
 
 bool LockManager::Holds(TxnId txn, ObjectId ob, LockMode mode) const {

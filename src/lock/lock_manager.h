@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/stats.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -42,6 +43,11 @@ bool LockModesCompatible(LockMode a, LockMode b);
 /// Not thread-safe; the engine is a single-threaded simulation.
 class LockManager {
  public:
+  /// `stats`, when given, receives acquire/conflict/transfer/permit counts
+  /// and lock trace events; it must outlive the manager. Unit tests that
+  /// exercise locking in isolation construct without one.
+  explicit LockManager(Stats* stats = nullptr) : stats_(stats) {}
+
   /// Acquires (or upgrades to) `mode` on `ob` for `txn`. Returns kBusy if a
   /// conflicting holder exists and has not permitted `txn`. Re-acquiring an
   /// equal or weaker mode is a no-op; upgrades succeed when every other
@@ -81,6 +87,7 @@ class LockManager {
   bool ConflictsIgnoringPermits(const ObjectLocks& locks, TxnId requester,
                                 LockMode mode) const;
 
+  Stats* stats_ = nullptr;
   std::unordered_map<ObjectId, ObjectLocks> table_;
   std::unordered_map<TxnId, std::set<ObjectId>> held_;
 };

@@ -1,0 +1,23 @@
+// Monotonic time source shared by the observability layer (histogram
+// timers, trace event timestamps). Kept separate so hot paths include one
+// tiny header instead of <chrono> machinery in every call site.
+
+#ifndef ARIESRH_OBS_CLOCK_H_
+#define ARIESRH_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ariesrh::obs {
+
+/// Nanoseconds on a monotonic clock. Only differences are meaningful.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ariesrh::obs
+
+#endif  // ARIESRH_OBS_CLOCK_H_

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace ariesrh::obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(uint64_t value) {
+  // Prometheus `le` semantics: value <= bound lands in that bucket.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no upper bound; report the largest finite bound.
+        return bounds.empty() ? 0 : bounds.back();
+      }
+      const uint64_t lo = i == 0 ? 0 : bounds[i - 1];
+      const uint64_t hi = bounds[i];
+      const double into =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + static_cast<uint64_t>(static_cast<double>(hi - lo) *
+                                        std::clamp(into, 0.0, 1.0));
+    }
+    seen += in_bucket;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+const std::vector<uint64_t>& DefaultLatencyBoundsNs() {
+  static const std::vector<uint64_t> kBounds = {
+      100,        250,        500,        1'000,      2'500,
+      5'000,      10'000,     25'000,     50'000,     100'000,
+      250'000,    500'000,    1'000'000,  2'500'000,  5'000'000,
+      10'000'000, 25'000'000, 50'000'000, 100'000'000, 250'000'000,
+      500'000'000, 1'000'000'000};
+  return kBounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<uint64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::Expose() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << "# TYPE " << name << " counter\n"
+       << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const Histogram::Snapshot snap = hist->GetSnapshot();
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.counts[i];
+      os << name << "_bucket{le=\"" << snap.bounds[i] << "\"} " << cumulative
+         << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n"
+       << name << "_sum " << snap.sum << "\n"
+       << name << "_count " << snap.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << counter->Value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << gauge->Value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    const Histogram::Snapshot snap = hist->GetSnapshot();
+    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << snap.count
+       << ",\"sum\":" << snap.sum << ",\"mean\":" << snap.Mean()
+       << ",\"p50\":" << snap.P50() << ",\"p95\":" << snap.P95()
+       << ",\"p99\":" << snap.P99() << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace ariesrh::obs

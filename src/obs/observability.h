@@ -1,0 +1,30 @@
+// The per-engine observability bundle: one metrics registry plus one event
+// trace. A Database (or EosEngine) owns an Observability and attaches its
+// util::Stats to it (Stats::AttachObservability), after which:
+//
+//   * every Stats field is backed by a registry-owned counter — the flat
+//     snapshot/Delta API the benchmarks use and the named-metric exposition
+//     observe the same cells;
+//   * components reached through that Stats* can emit trace events
+//     (stats->trace()) and register latency histograms (stats->registry()).
+//
+// Observability deliberately survives SimulateCrash(): counters, latency
+// distributions, and the event timeline span crash/recovery cycles, which
+// is exactly when they are most interesting.
+
+#ifndef ARIESRH_OBS_OBSERVABILITY_H_
+#define ARIESRH_OBS_OBSERVABILITY_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ariesrh::obs {
+
+struct Observability {
+  MetricsRegistry registry;
+  EventTrace trace;
+};
+
+}  // namespace ariesrh::obs
+
+#endif  // ARIESRH_OBS_OBSERVABILITY_H_

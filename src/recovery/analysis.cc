@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recovery/redo.h"
 #include "recovery/rewrite_baselines.h"
 
@@ -49,6 +51,18 @@ void TransferScopes(ForwardPassResult* result, const LogRecord& rec,
   }
 }
 
+obs::RecoveryPassKind PassKindOf(ForwardPassKind kind) {
+  switch (kind) {
+    case ForwardPassKind::kAnalysisOnly:
+      return obs::RecoveryPassKind::kAnalysis;
+    case ForwardPassKind::kRedoOnly:
+      return obs::RecoveryPassKind::kRedo;
+    case ForwardPassKind::kMerged:
+      break;
+  }
+  return obs::RecoveryPassKind::kMergedForward;
+}
+
 }  // namespace
 
 Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
@@ -85,9 +99,21 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
   result.scan_end = scan_to;
   ++stats->recovery_passes;
 
+  const obs::RecoveryPassKind pass_kind = PassKindOf(kind);
+  obs::Histogram* pass_ns = nullptr;
+  if (obs::MetricsRegistry* registry = stats->registry()) {
+    pass_ns = registry->GetHistogram("ariesrh_recovery_pass_ns");
+  }
+  obs::ScopedLatencyTimer pass_timer(pass_ns);
+  obs::Emit(stats->trace(), obs::TraceEventType::kRecoveryPassBegin,
+            static_cast<uint64_t>(pass_kind), scan_from, scan_to);
+  uint64_t pass_records = 0;
+  const uint64_t redos_before = stats->recovery_redos;
+
   for (Lsn lsn = scan_from; lsn <= scan_to; ++lsn) {
     ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(lsn));
     ++stats->recovery_forward_records;
+    ++pass_records;
     const bool analyze = do_analysis && lsn >= analysis_from;
 
     switch (rec.type) {
@@ -179,6 +205,9 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         break;
     }
   }
+  obs::Emit(stats->trace(), obs::TraceEventType::kRecoveryPassEnd,
+            static_cast<uint64_t>(pass_kind), pass_records,
+            stats->recovery_redos - redos_before);
   return result;
 }
 

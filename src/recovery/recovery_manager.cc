@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recovery/undo_conventional.h"
 #include "recovery/undo_rh.h"
 #include "wal/log_record.h"
@@ -100,6 +102,17 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
                                    std::vector<TxnId>* resolved) {
   ++stats_->recovery_passes;
 
+  obs::Histogram* pass_ns = nullptr;
+  if (obs::MetricsRegistry* registry = stats_->registry()) {
+    pass_ns = registry->GetHistogram("ariesrh_recovery_pass_ns");
+  }
+  obs::ScopedLatencyTimer pass_timer(pass_ns);
+  obs::Emit(stats_->trace(), obs::TraceEventType::kRecoveryPassBegin,
+            static_cast<uint64_t>(obs::RecoveryPassKind::kUndo),
+            kFirstLsn, fwd.scan_end);
+  const uint64_t examined_before = stats_->recovery_backward_examined;
+  const uint64_t undos_before = stats_->recovery_undos;
+
   // Test-only: simulate a crash in the middle of the undo pass.
   uint64_t budget = options_.faults.crash_after_undo_steps;
   uint64_t* budget_ptr =
@@ -155,6 +168,10 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
     log_->Append(LogRecord::MakeEnd(txn, bc_heads[txn]));
     resolved->push_back(txn);
   }
+  obs::Emit(stats_->trace(), obs::TraceEventType::kRecoveryPassEnd,
+            static_cast<uint64_t>(obs::RecoveryPassKind::kUndo),
+            stats_->recovery_backward_examined - examined_before,
+            stats_->recovery_undos - undos_before);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <queue>
 
+#include "obs/trace.h"
 #include "recovery/redo.h"
 
 namespace ariesrh {
@@ -68,6 +69,8 @@ Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
   Lsn k = lsr_scopes.top().scope.last;
   if (sweep_from > k) {
     stats->recovery_backward_skipped += sweep_from - k;
+    obs::Emit(stats->trace(), obs::TraceEventType::kUndoClusterSkip,
+              sweep_from, k, sweep_from - k);
   }
 
   while (true) {
@@ -121,6 +124,10 @@ Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
       const Lsn next = lsr_scopes.top().scope.last;
       assert(next < k && "sweep must be monotonically decreasing");
       stats->recovery_backward_skipped += (k - next) - 1;
+      if (k - next > 1) {
+        obs::Emit(stats->trace(), obs::TraceEventType::kUndoClusterSkip, k,
+                  next, (k - next) - 1);
+      }
       k = next;
     } else {
       assert(k > 0);

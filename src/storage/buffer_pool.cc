@@ -5,8 +5,11 @@
 namespace ariesrh {
 
 BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity,
-                       WalFlushFn wal_flush)
-    : disk_(disk), capacity_(capacity), wal_flush_(std::move(wal_flush)) {
+                       WalFlushFn wal_flush, Stats* stats)
+    : disk_(disk),
+      capacity_(capacity),
+      wal_flush_(std::move(wal_flush)),
+      stats_(stats) {
   assert(capacity_ > 0);
 }
 
@@ -14,10 +17,12 @@ Result<Page*> BufferPool::Fetch(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
+    if (stats_ != nullptr) ++stats_->bp_hits;
     Touch(id, &it->second);
     return &it->second.page;
   }
   ++misses_;
+  if (stats_ != nullptr) ++stats_->bp_misses;
   if (frames_.size() >= capacity_) {
     ARIESRH_RETURN_IF_ERROR(EvictOne());
   }

@@ -21,6 +21,7 @@
 
 #include "storage/page.h"
 #include "storage/simulated_disk.h"
+#include "util/stats.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -34,7 +35,9 @@ class BufferPool {
  public:
   /// `capacity` is the number of page frames. `wal_flush` enforces the WAL
   /// rule on eviction and may be empty only if no page is ever dirtied.
-  BufferPool(SimulatedDisk* disk, size_t capacity, WalFlushFn wal_flush);
+  /// `stats`, when given, mirrors hits/misses into the engine-wide counters.
+  BufferPool(SimulatedDisk* disk, size_t capacity, WalFlushFn wal_flush,
+             Stats* stats = nullptr);
 
   /// Returns the cached page, reading it from disk on a miss (a page never
   /// written to disk materializes as a fresh zeroed page). The returned
@@ -78,6 +81,7 @@ class BufferPool {
   SimulatedDisk* disk_;
   size_t capacity_;
   WalFlushFn wal_flush_;
+  Stats* stats_ = nullptr;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = most recently used
   uint64_t hits_ = 0;

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "recovery/redo.h"
 #include "recovery/rewrite_baselines.h"
 #include "recovery/undo_conventional.h"
@@ -18,7 +19,11 @@ TxnManager::TxnManager(const Options& options, LogManager* log,
       log_(log),
       pool_(pool),
       locks_(locks),
-      stats_(stats) {}
+      stats_(stats) {
+  if (obs::MetricsRegistry* registry = stats->registry()) {
+    commit_ns_ = registry->GetHistogram("ariesrh_txn_commit_ns");
+  }
+}
 
 Result<TxnId> TxnManager::Begin() {
   const TxnId id = next_txn_id_++;
@@ -26,6 +31,8 @@ Result<TxnId> TxnManager::Begin() {
   tx.id = id;
   tx.first_lsn = tx.last_lsn = log_->Append(LogRecord::MakeBegin(id));
   txns_.emplace(id, std::move(tx));
+  ++stats_->txns_begun;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kTxnBegin, id);
   return id;
 }
 
@@ -155,6 +162,7 @@ Status TxnManager::Delegate(TxnId from, TxnId to,
     tor->last_lsn = lsn;
     tee->last_lsn = lsn;
     ++stats_->delegations;
+    obs::Emit(stats_->trace(), obs::TraceEventType::kDelegate, from, to, lsn);
   }
 
   // TRANSFER RESPONSIBILITY (step 3): move scopes between Ob_Lists.
@@ -223,6 +231,7 @@ Status TxnManager::DelegateOperations(TxnId from, TxnId to, ObjectId ob,
   tor->last_lsn = lsn;
   tee->last_lsn = lsn;
   ++stats_->delegations;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kDelegate, from, to, lsn);
 
   ObjectEntry& dst = tee->ob_list[ob];
   dst.delegated_from = from;
@@ -387,6 +396,7 @@ Status TxnManager::Commit(TxnId txn) {
   // COMMIT OPERATIONS / WRITE COMMIT RECORD / FLUSH LOG (Section 3.5).
   // Under group commit (force_commits = false) the flush is deferred: the
   // record rides out with the next forced flush.
+  obs::ScopedLatencyTimer timer(commit_ns_);
   const Lsn commit_lsn =
       log_->Append(LogRecord::MakeCommit(txn, tx->last_lsn));
   tx->last_lsn = commit_lsn;
@@ -399,6 +409,8 @@ Status TxnManager::Commit(TxnId txn) {
   tx->ob_list.clear();
   locks_->ReleaseAll(txn);
   deps_.RemoveTxn(txn);
+  ++stats_->txns_committed;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kTxnCommit, txn, commit_lsn);
   return Status::OK();
 }
 
@@ -413,6 +425,9 @@ Status TxnManager::Abort(TxnId txn) {
   tx->state = TxnState::kAborted;
   tx->ob_list.clear();
   locks_->ReleaseAll(txn);
+  ++stats_->txns_aborted;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kTxnAbort, txn,
+            tx->last_lsn);
   // Capture who must abort with us before the graph forgets this txn.
   const std::vector<TxnId> dependents = deps_.AbortDependents(txn);
   deps_.RemoveTxn(txn);

@@ -25,6 +25,7 @@
 
 #include "core/options.h"
 #include "lock/lock_manager.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "txn/dependency_graph.h"
 #include "txn/transaction.h"
@@ -141,6 +142,7 @@ class TxnManager {
   BufferPool* pool_;
   LockManager* locks_;
   Stats* stats_;
+  obs::Histogram* commit_ns_ = nullptr;  ///< null when Stats is unattached
   DependencyGraph deps_;
   std::map<TxnId, Transaction> txns_;
   TxnId next_txn_id_ = 1;

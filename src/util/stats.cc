@@ -1,48 +1,68 @@
 #include "util/stats.h"
 
+#include <cstring>
 #include <sstream>
+
+#include "obs/observability.h"
 
 namespace ariesrh {
 
+Stats::Stats(const Stats& other) {
+#define ARIESRH_STATS_COPY_FIELD(group, field, label) \
+  field = other.field.value();
+  ARIESRH_STATS_FIELDS(ARIESRH_STATS_COPY_FIELD)
+#undef ARIESRH_STATS_COPY_FIELD
+}
+
+Stats& Stats::operator=(const Stats& other) {
+#define ARIESRH_STATS_ASSIGN_FIELD(group, field, label) \
+  field = other.field.value();
+  ARIESRH_STATS_FIELDS(ARIESRH_STATS_ASSIGN_FIELD)
+#undef ARIESRH_STATS_ASSIGN_FIELD
+  return *this;
+}
+
 Stats Stats::Delta(const Stats& base) const {
   Stats d;
-  d.log_appends = log_appends - base.log_appends;
-  d.log_bytes_appended = log_bytes_appended - base.log_bytes_appended;
-  d.log_flushes = log_flushes - base.log_flushes;
-  d.log_seq_reads = log_seq_reads - base.log_seq_reads;
-  d.log_random_reads = log_random_reads - base.log_random_reads;
-  d.log_rewrites = log_rewrites - base.log_rewrites;
-  d.log_bytes_read = log_bytes_read - base.log_bytes_read;
-  d.page_writes = page_writes - base.page_writes;
-  d.page_reads = page_reads - base.page_reads;
-  d.recovery_forward_records =
-      recovery_forward_records - base.recovery_forward_records;
-  d.recovery_backward_examined =
-      recovery_backward_examined - base.recovery_backward_examined;
-  d.recovery_backward_skipped =
-      recovery_backward_skipped - base.recovery_backward_skipped;
-  d.recovery_undos = recovery_undos - base.recovery_undos;
-  d.recovery_redos = recovery_redos - base.recovery_redos;
-  d.recovery_passes = recovery_passes - base.recovery_passes;
-  d.delegations = delegations - base.delegations;
-  d.scopes_transferred = scopes_transferred - base.scopes_transferred;
+#define ARIESRH_STATS_DELTA_FIELD(group, field, label) \
+  d.field = field.value() - base.field.value();
+  ARIESRH_STATS_FIELDS(ARIESRH_STATS_DELTA_FIELD)
+#undef ARIESRH_STATS_DELTA_FIELD
   return d;
 }
 
 std::string Stats::ToString() const {
   std::ostringstream os;
-  os << "log: appends=" << log_appends << " bytes=" << log_bytes_appended
-     << " flushes=" << log_flushes << " seq_reads=" << log_seq_reads
-     << " random_reads=" << log_random_reads << " rewrites=" << log_rewrites
-     << "\npages: writes=" << page_writes << " reads=" << page_reads
-     << "\nrecovery: fwd_records=" << recovery_forward_records
-     << " bwd_examined=" << recovery_backward_examined
-     << " bwd_skipped=" << recovery_backward_skipped
-     << " undos=" << recovery_undos << " redos=" << recovery_redos
-     << " passes=" << recovery_passes
-     << "\ndelegation: delegations=" << delegations
-     << " scopes_transferred=" << scopes_transferred;
+  const char* current_group = "";
+#define ARIESRH_STATS_PRINT_FIELD(group, field, label)            \
+  if (std::strcmp(current_group, #group) != 0) {                  \
+    if (*current_group != '\0') os << "\n";                       \
+    os << #group ": ";                                            \
+    current_group = #group;                                       \
+  } else {                                                        \
+    os << " ";                                                    \
+  }                                                               \
+  os << label "=" << field.value();
+  ARIESRH_STATS_FIELDS(ARIESRH_STATS_PRINT_FIELD)
+#undef ARIESRH_STATS_PRINT_FIELD
   return os.str();
+}
+
+void Stats::AttachObservability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) return;
+#define ARIESRH_STATS_BIND_FIELD(group, field, label) \
+  field.Bind(obs->registry.GetCounter("ariesrh_" #field)->cell());
+  ARIESRH_STATS_FIELDS(ARIESRH_STATS_BIND_FIELD)
+#undef ARIESRH_STATS_BIND_FIELD
+}
+
+obs::EventTrace* Stats::trace() const {
+  return obs_ != nullptr ? &obs_->trace : nullptr;
+}
+
+obs::MetricsRegistry* Stats::registry() const {
+  return obs_ != nullptr ? &obs_->registry : nullptr;
 }
 
 }  // namespace ariesrh

@@ -2,13 +2,19 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace ariesrh {
 
 LogManager::LogManager(SimulatedDisk* disk, Stats* stats)
     : disk_(disk),
       stats_(stats),
       next_lsn_(disk->stable_end_lsn() + 1),
-      flushed_lsn_(disk->stable_end_lsn()) {}
+      flushed_lsn_(disk->stable_end_lsn()) {
+  if (obs::MetricsRegistry* registry = stats->registry()) {
+    flush_ns_ = registry->GetHistogram("ariesrh_log_flush_ns");
+  }
+}
 
 Lsn LogManager::Append(LogRecord rec) {
   rec.lsn = next_lsn_++;
@@ -16,6 +22,8 @@ Lsn LogManager::Append(LogRecord rec) {
   entry.image = rec.Serialize();
   ++stats_->log_appends;
   stats_->log_bytes_appended += entry.image.size();
+  obs::Emit(stats_->trace(), obs::TraceEventType::kLogAppend, rec.lsn,
+            entry.image.size(), static_cast<uint64_t>(rec.type));
   entry.record = std::move(rec);
   tail_.push_back(std::move(entry));
   return tail_.back().record.lsn;
@@ -24,6 +32,7 @@ Lsn LogManager::Append(LogRecord rec) {
 Status LogManager::Flush(Lsn lsn) {
   if (lsn == kInvalidLsn || lsn <= flushed_lsn_) return Status::OK();
   assert(lsn < next_lsn_ && "flush beyond end of log");
+  obs::ScopedLatencyTimer timer(flush_ns_);
   std::vector<std::string> batch;
   while (!tail_.empty() && tail_.front().record.lsn <= lsn) {
     batch.push_back(std::move(tail_.front().image));
@@ -32,6 +41,8 @@ Status LogManager::Flush(Lsn lsn) {
   if (!batch.empty()) {
     disk_->AppendLogRecords(batch);
     flushed_lsn_ = lsn;
+    obs::Emit(stats_->trace(), obs::TraceEventType::kLogFlush, lsn,
+              batch.size());
   }
   return Status::OK();
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/simulated_disk.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -63,6 +64,7 @@ class LogManager {
 
   SimulatedDisk* disk_;
   Stats* stats_;
+  obs::Histogram* flush_ns_ = nullptr;  ///< null when Stats is unattached
   Lsn next_lsn_;
   Lsn flushed_lsn_;
   std::deque<TailEntry> tail_;  // records (flushed_lsn_, next_lsn_)

@@ -36,6 +36,7 @@ Status StepScheduler::StepProgram(ProgramState* state) {
       Status status = db_->Commit(state->txn);
       if (status.IsBusy()) {
         ++busy_events_;
+        ++db_->mutable_stats()->sched_busy_events;
         if (++state->busy_streak > options_.busy_retries_before_restart) {
           return RestartProgram(state);
         }
@@ -59,6 +60,7 @@ Status StepScheduler::StepProgram(ProgramState* state) {
   }
   if (status.IsBusy()) {
     ++busy_events_;
+    ++db_->mutable_stats()->sched_busy_events;
     if (++state->busy_streak > options_.busy_retries_before_restart) {
       return RestartProgram(state);
     }
@@ -81,6 +83,7 @@ Status StepScheduler::RestartProgram(ProgramState* state) {
     ARIESRH_RETURN_IF_ERROR(db_->Abort(state->txn));
   }
   ++restarts_;
+  ++db_->mutable_stats()->sched_restarts;
   if (++state->restarts > options_.max_restarts) {
     state->done = true;
     state->outcome = ProgramOutcome::kFailed;

@@ -12,6 +12,8 @@
 //   history <ob>       show an object's update history
 //   txns               list live transactions with their Ob_Lists
 //   stats              engine counters
+//   metrics            Prometheus-style metrics exposition
+//   trace [n]          last n engine trace events (default 32)
 //   save               persist stable state to the session file
 //   help               command summary
 //   quit / exit
@@ -42,8 +44,9 @@ void PrintHelp() {
       "  crash | recover | backup <name> | media-failure | restore <name>\n"
       "  expect <ob> <v> | expect-error <cmd...>\n"
       "shell builtins:\n"
-      "  log [from [to]] | history <ob> | txns | stats | save | help |"
-      " quit\n");
+      "  log [from [to]] | history <ob> | txns | stats | metrics |"
+      " trace [n] |\n"
+      "  save | help | quit\n");
 }
 
 bool HandleBuiltin(const std::string& line, Database* db,
@@ -94,6 +97,16 @@ bool HandleBuiltin(const std::string& line, Database* db,
   }
   if (cmd == "stats") {
     std::printf("%s\n", db->stats().ToString().c_str());
+    return true;
+  }
+  if (cmd == "metrics") {
+    std::printf("%s", db->metrics()->Expose().c_str());
+    return true;
+  }
+  if (cmd == "trace") {
+    size_t n = 32;
+    if (!(stream >> n)) n = 32;  // failed extraction zeroes n
+    std::printf("%s", db->trace()->DumpText(n).c_str());
     return true;
   }
   if (cmd == "save") {
