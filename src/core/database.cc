@@ -9,7 +9,11 @@ namespace ariesrh {
 Database::Database(Options options) : options_(options) {
   stats_.AttachObservability(&obs_);
   disk_ = std::make_unique<SimulatedDisk>(&stats_);
-  BuildVolatileComponents();
+  disk_->set_log_random_read_stall_ns(options_.sim_log_random_read_ns);
+  init_status_ = options_.Validate();
+  // An invalid configuration leaves the database inert: no volatile
+  // components are built and every operation reports init_status_.
+  if (init_status_.ok()) BuildVolatileComponents();
 }
 
 Database::~Database() = default;
@@ -26,6 +30,7 @@ void Database::BuildVolatileComponents() {
 }
 
 Status Database::EnsureUsable() const {
+  ARIESRH_RETURN_IF_ERROR(init_status_);
   if (crashed_) {
     return Status::IllegalState("database crashed; call Recover() first");
   }
@@ -50,6 +55,11 @@ Status Database::Set(TxnId txn, ObjectId ob, int64_t value) {
 Status Database::Add(TxnId txn, ObjectId ob, int64_t delta) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
   return txn_manager_->Add(txn, ob, delta);
+}
+
+Status Database::Delegate(TxnId from, TxnId to, const DelegationSpec& spec) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Delegate(from, to, spec);
 }
 
 Status Database::Delegate(TxnId from, TxnId to,
@@ -144,9 +154,12 @@ Status Database::SaveTo(const std::string& path) {
 
 Result<std::unique_ptr<Database>> Database::Open(Options options,
                                                  const std::string& path) {
+  ARIESRH_RETURN_IF_ERROR(options.Validate());
   auto db = std::unique_ptr<Database>(new Database(options));
   ARIESRH_ASSIGN_OR_RETURN(*db->disk_,
                            SimulatedDisk::LoadFrom(path, &db->stats_));
+  // The stall knob is an open-time property, not part of the image.
+  db->disk_->set_log_random_read_stall_ns(options.sim_log_random_read_ns);
   // Opening a stable image is indistinguishable from restarting after a
   // crash: volatile state must be rebuilt by Recover().
   db->SimulateCrash();
@@ -239,6 +252,7 @@ void Database::SimulateCrash() {
 }
 
 Result<RecoveryManager::Outcome> Database::Recover() {
+  ARIESRH_RETURN_IF_ERROR(init_status_);
   if (!crashed_) {
     return Status::IllegalState("Recover() without a preceding crash");
   }

@@ -27,6 +27,7 @@
 #include "recovery/recovery_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
+#include "txn/delegation_spec.h"
 #include "txn/txn_manager.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -48,8 +49,18 @@ class Database {
   Result<int64_t> Read(TxnId txn, ObjectId ob);
   Status Set(TxnId txn, ObjectId ob, int64_t value);
   Status Add(TxnId txn, ObjectId ob, int64_t delta);
+
+  /// The delegation entry point: transfers responsibility from `from` to
+  /// `to` per the spec (DelegationSpec::All / Objects / Operations).
+  Status Delegate(TxnId from, TxnId to, const DelegationSpec& spec);
+
+  /// Deprecated: use Delegate(from, to, DelegationSpec::Objects(objects)).
+  /// Kept as a thin wrapper so existing call sites compile unchanged.
   Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& objects);
+  /// Deprecated: use Delegate(from, to, DelegationSpec::All()).
   Status DelegateAll(TxnId from, TxnId to);
+  /// Deprecated: use Delegate(from, to,
+  /// DelegationSpec::Operations(ob, first, last)).
   Status DelegateOperations(TxnId from, TxnId to, ObjectId ob, Lsn first,
                             Lsn last);
   Status Permit(TxnId owner, TxnId grantee, ObjectId ob);
@@ -164,6 +175,9 @@ class Database {
   void BuildVolatileComponents();
 
   Options options_;
+  /// Options::Validate() verdict from construction. When not OK, every
+  /// operation (including Recover) returns it — the database is inert.
+  Status init_status_ = Status::OK();
   obs::Observability obs_;  // declared before stats_: bound during its life
   Stats stats_;
   std::unique_ptr<SimulatedDisk> disk_;

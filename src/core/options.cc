@@ -26,4 +26,27 @@ const char* UndoStrategyName(UndoStrategy strategy) {
   return "unknown";
 }
 
+Status Options::Validate() const {
+  if (buffer_pool_pages == 0) {
+    return Status::InvalidArgument(
+        "buffer_pool_pages must be at least 1");
+  }
+  if (recovery_threads == 0) {
+    return Status::InvalidArgument(
+        "recovery_threads must be at least 1 (1 = serial recovery)");
+  }
+  // The scope-cluster machinery only exists under kRH: the rewriting
+  // baselines resolve delegation by editing chains and then run
+  // conventional chain undo, so an explicit full-scan/cluster choice is
+  // meaningless there and almost certainly a configuration mistake.
+  if ((delegation_mode == DelegationMode::kEager ||
+       delegation_mode == DelegationMode::kLazyRewrite) &&
+      undo_strategy == UndoStrategy::kFullScan) {
+    return Status::InvalidArgument(
+        "undo_strategy full-scan only applies to delegation_mode rh; the "
+        "rewriting baselines always use conventional chain undo");
+  }
+  return Status::OK();
+}
+
 }  // namespace ariesrh

@@ -4,7 +4,10 @@
 #define ARIESRH_CORE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+
+#include "util/status.h"
 
 namespace ariesrh {
 
@@ -46,8 +49,15 @@ const char* UndoStrategyName(UndoStrategy strategy);
 struct FaultInjection {
   /// When non-zero, recovery's undo pass "crashes" (flushes the log written
   /// so far and fails with IOError) after undoing this many updates. Used
-  /// to prove recovery is idempotent when interrupted mid-undo.
+  /// to prove recovery is idempotent when interrupted mid-undo. With
+  /// recovery_threads > 1 the budget is shared across all undo workers.
   uint64_t crash_after_undo_steps = 0;
+
+  /// When non-zero, recovery's redo work "crashes" (fails with IOError)
+  /// after applying this many records. Redo never writes the log, so
+  /// nothing needs flushing — the stable state is simply left mid-redo.
+  /// With recovery_threads > 1 the budget is shared across redo workers.
+  uint64_t crash_after_redo_records = 0;
 };
 
 /// Knobs for Database construction. Defaults give a small, fully-functional
@@ -89,8 +99,29 @@ struct Options {
   /// state, one extra sweep.
   bool merged_forward_pass = true;
 
+  /// Worker threads for restart recovery. 1 (the default) keeps the serial
+  /// layouts exactly as before. With more threads, recovery runs a serial
+  /// analysis pass that collects a redo plan, replays it page-partitioned
+  /// on a worker pool, and dispatches independent loser-scope cluster
+  /// groups to workers for the undo pass.
+  size_t recovery_threads = 1;
+
+  /// Simulated seek stall, in nanoseconds, charged to each *random*
+  /// (non-adjacent) stable-log record read; sequential scans stay free.
+  /// 0 (the default) disables stalling. Models the access-pattern
+  /// asymmetry of real stable storage so overlapping seeks — what
+  /// parallel restart exploits — is wall-clock measurable even where
+  /// plain CPU parallelism is not (single-core CI, the simulated disk's
+  /// in-memory reads). The stall is paid outside the log manager's lock.
+  uint64_t sim_log_random_read_ns = 0;
+
   /// Test-only fault injection.
   FaultInjection faults;
+
+  /// Checks the knobs for internal consistency. Called by the Database
+  /// constructor and Database::Open; a failed validation leaves the
+  /// database unusable (every operation returns this status).
+  Status Validate() const;
 };
 
 }  // namespace ariesrh

@@ -54,6 +54,7 @@ void TransferScopes(ForwardPassResult* result, const LogRecord& rec,
 obs::RecoveryPassKind PassKindOf(ForwardPassKind kind) {
   switch (kind) {
     case ForwardPassKind::kAnalysisOnly:
+    case ForwardPassKind::kAnalysisCollectRedo:
       return obs::RecoveryPassKind::kAnalysis;
     case ForwardPassKind::kRedoOnly:
       return obs::RecoveryPassKind::kRedo;
@@ -63,14 +64,26 @@ obs::RecoveryPassKind PassKindOf(ForwardPassKind kind) {
   return obs::RecoveryPassKind::kMergedForward;
 }
 
+// Spends one unit of the injected redo-fault budget before a page
+// application; returns the injected-crash error when exhausted.
+Status SpendRedoBudget(RecoveryFaultBudget* budget) {
+  if (budget == nullptr || budget->Spend()) return Status::OK();
+  return Status::IOError("injected crash during recovery redo");
+}
+
 }  // namespace
 
 Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       BufferPool* pool, Stats* stats,
                                       const CheckpointData* ckpt,
                                       Lsn ckpt_end_lsn,
-                                      ForwardPassKind kind) {
-  const bool do_redo = kind != ForwardPassKind::kAnalysisOnly;
+                                      ForwardPassKind kind,
+                                      RecoveryFaultBudget* redo_budget) {
+  const bool collect_redo = kind == ForwardPassKind::kAnalysisCollectRedo;
+  const bool do_redo = kind == ForwardPassKind::kMerged ||
+                       kind == ForwardPassKind::kRedoOnly;
+  // Both redo flavors need the scan to reach back to the redo point.
+  const bool redo_bounds = do_redo || collect_redo;
   const bool do_analysis = kind != ForwardPassKind::kRedoOnly;
   ForwardPassResult result;
 
@@ -94,7 +107,7 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
   // An analysis-only pass starts at the checkpoint; a redo-bearing pass
   // may have to reach back to the oldest dirty page.
   const Lsn scan_from =
-      do_redo ? std::min(redo_from, analysis_from) : analysis_from;
+      redo_bounds ? std::min(redo_from, analysis_from) : analysis_from;
   const Lsn scan_to = log->flushed_lsn();
   result.scan_end = scan_to;
   ++stats->recovery_passes;
@@ -119,10 +132,13 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
     switch (rec.type) {
       case LogRecordType::kUpdate: {
         if (do_redo && lsn >= redo_from) {
+          ARIESRH_RETURN_IF_ERROR(SpendRedoBudget(redo_budget));
           bool applied = false;
           ARIESRH_RETURN_IF_ERROR(
               ApplyRecordToPage(pool, rec, /*check_page_lsn=*/true, &applied));
           if (applied) ++stats->recovery_redos;
+        } else if (collect_redo && lsn >= redo_from) {
+          result.redo_plan.push_back(RedoItem{rec, PageOf(rec.object)});
         }
         if (analyze) {
           TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
@@ -137,10 +153,13 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
       }
       case LogRecordType::kClr: {
         if (do_redo && lsn >= redo_from) {
+          ARIESRH_RETURN_IF_ERROR(SpendRedoBudget(redo_budget));
           bool applied = false;
           ARIESRH_RETURN_IF_ERROR(
               ApplyRecordToPage(pool, rec, /*check_page_lsn=*/true, &applied));
           if (applied) ++stats->recovery_redos;
+        } else if (collect_redo && lsn >= redo_from) {
+          result.redo_plan.push_back(RedoItem{rec, PageOf(rec.object)});
         }
         if (analyze) {
           Touch(&result, rec.txn_id, lsn);
@@ -205,6 +224,7 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         break;
     }
   }
+  result.records_scanned = pass_records;
   obs::Emit(stats->trace(), obs::TraceEventType::kRecoveryPassEnd,
             static_cast<uint64_t>(pass_kind), pass_records,
             stats->recovery_redos - redos_before);

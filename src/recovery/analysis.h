@@ -18,6 +18,7 @@
 
 #include "core/options.h"
 #include "recovery/checkpoint.h"
+#include "recovery/redo.h"
 #include "storage/buffer_pool.h"
 #include "txn/scope.h"
 #include "util/stats.h"
@@ -49,6 +50,11 @@ struct ForwardPassResult {
   TxnId max_txn_id = 0;
   /// Last LSN processed (end of the stable log).
   Lsn scan_end = 0;
+  /// Records examined by this sweep (for the recovery Outcome).
+  uint64_t records_scanned = 0;
+  /// Redo work discovered but not applied (kAnalysisCollectRedo only), in
+  /// increasing LSN order — the input to PartitionedRedo.
+  std::vector<RedoItem> redo_plan;
 };
 
 /// What a forward sweep does. The paper's presentation (and ARIES/RH's
@@ -60,6 +66,10 @@ enum class ForwardPassKind {
   kMerged,        ///< analysis + redo in one sweep
   kAnalysisOnly,  ///< rebuild tables/scopes, do not touch pages
   kRedoOnly,      ///< repeat history, no table changes
+  /// Rebuild tables/scopes AND record every redo-eligible (LSN, page) pair
+  /// into ForwardPassResult::redo_plan without touching pages — the serial
+  /// front half of parallel restart: the plan feeds PartitionedRedo.
+  kAnalysisCollectRedo,
 };
 
 /// Runs a forward pass over the stable log. `ckpt` (with `ckpt_end_lsn`)
@@ -67,12 +77,16 @@ enum class ForwardPassKind {
 /// nullptr to scan from the log head. In kLazyRewrite mode the
 /// analysis-bearing pass also physically applies each DELEGATE record via
 /// chain surgery (the baseline the paper contrasts with RH).
+/// `redo_budget` (test-only) injects a crash in the redo-bearing kinds
+/// after that many page applications.
 Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       BufferPool* pool, Stats* stats,
                                       const CheckpointData* ckpt,
                                       Lsn ckpt_end_lsn,
                                       ForwardPassKind kind =
-                                          ForwardPassKind::kMerged);
+                                          ForwardPassKind::kMerged,
+                                      RecoveryFaultBudget* redo_budget =
+                                          nullptr);
 
 }  // namespace ariesrh
 

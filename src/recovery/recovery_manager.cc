@@ -1,14 +1,30 @@
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recovery/parallel.h"
+#include "recovery/redo.h"
 #include "recovery/undo_conventional.h"
 #include "recovery/undo_rh.h"
 #include "wal/log_record.h"
 
 namespace ariesrh {
+
+namespace {
+
+// Observes `ns` into the named per-pass latency histogram, if a metrics
+// registry is attached.
+void ObservePass(Stats* stats, const char* name, uint64_t ns) {
+  if (obs::MetricsRegistry* registry = stats->registry()) {
+    registry->GetHistogram(name)->Observe(ns);
+  }
+}
+
+}  // namespace
 
 RecoveryManager::RecoveryManager(const Options& options, SimulatedDisk* disk,
                                  LogManager* log, BufferPool* pool,
@@ -26,6 +42,24 @@ Status RecoveryManager::TruncateTornTail(SimulatedDisk* disk) {
     ARIESRH_RETURN_IF_ERROR(disk->DropLastLogRecord());
   }
   return Status::OK();
+}
+
+std::string RecoveryManager::Outcome::ToString() const {
+  std::ostringstream out;
+  out << "recovery: " << winners << " winners, " << losers << " losers, "
+      << threads_used << (threads_used == 1 ? " thread" : " threads");
+  if (checkpoint_used != 0) {
+    out << ", from checkpoint @" << checkpoint_used;
+  }
+  out << "\n  analysis: " << records_analyzed << " records in "
+      << analysis_ns / 1000 << "us"
+      << (merged_forward_pass ? " (merged with redo)" : "");
+  out << "\n  redo:     " << records_redone << " applied";
+  if (!merged_forward_pass) out << " in " << redo_ns / 1000 << "us";
+  out << "\n  undo:     " << records_undone << " compensated in "
+      << undo_ns / 1000 << "us (" << clusters_swept << " clusters, "
+      << records_skipped << " records skipped)";
+  return out.str();
 }
 
 Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
@@ -55,33 +89,85 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
     ckpt_end_lsn = 0;
   }
 
-  // Forward work: repeat history and rebuild the delegation state — in one
-  // merged sweep (the paper's layout) or as classic separate analysis and
-  // redo passes.
+  const size_t threads = std::max<size_t>(1, options_.recovery_threads);
+  Outcome outcome;
+  outcome.checkpoint_used = ckpt_end_lsn;
+  outcome.threads_used = static_cast<uint32_t>(threads);
+
+  // Test-only crash injection, shared across workers.
+  RecoveryFaultBudget redo_budget(options_.faults.crash_after_redo_records);
+  RecoveryFaultBudget* redo_budget_ptr =
+      options_.faults.crash_after_redo_records > 0 ? &redo_budget : nullptr;
+
+  // Forward work: repeat history and rebuild the delegation state.
   ForwardPassResult fwd;
-  if (options_.merged_forward_pass) {
+  if (threads > 1) {
+    // Parallel layout: one serial analysis sweep collects the redo plan
+    // (analysis is inherently sequential — scope transfers depend on log
+    // order), then the plan replays page-partitioned on the worker pool.
+    const uint64_t analysis_start = obs::MonotonicNanos();
     ARIESRH_ASSIGN_OR_RETURN(
         fwd, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
-                         ckpt_ptr, ckpt_end_lsn, ForwardPassKind::kMerged));
+                         ckpt_ptr, ckpt_end_lsn,
+                         ForwardPassKind::kAnalysisCollectRedo));
+    outcome.analysis_ns = obs::MonotonicNanos() - analysis_start;
+    outcome.records_analyzed = fwd.records_scanned;
+    ObservePass(stats_, "ariesrh_recovery_analysis_ns", outcome.analysis_ns);
+
+    ++stats_->recovery_passes;
+    obs::Emit(stats_->trace(), obs::TraceEventType::kRecoveryPassBegin,
+              static_cast<uint64_t>(obs::RecoveryPassKind::kRedo),
+              fwd.redo_plan.size(), threads);
+    const uint64_t redo_start = obs::MonotonicNanos();
+    uint64_t applied = 0;
+    Status redo_status = PartitionedRedo(fwd.redo_plan, threads, pool_,
+                                         stats_, redo_budget_ptr, &applied);
+    outcome.redo_ns = obs::MonotonicNanos() - redo_start;
+    outcome.records_redone = applied;
+    ObservePass(stats_, "ariesrh_recovery_redo_ns", outcome.redo_ns);
+    obs::Emit(stats_->trace(), obs::TraceEventType::kRecoveryPassEnd,
+              static_cast<uint64_t>(obs::RecoveryPassKind::kRedo),
+              fwd.redo_plan.size(), applied);
+    ARIESRH_RETURN_IF_ERROR(redo_status);
+  } else if (options_.merged_forward_pass) {
+    const uint64_t start = obs::MonotonicNanos();
+    const uint64_t redos_before = stats_->recovery_redos;
+    ARIESRH_ASSIGN_OR_RETURN(
+        fwd, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
+                         ckpt_ptr, ckpt_end_lsn, ForwardPassKind::kMerged,
+                         redo_budget_ptr));
+    outcome.analysis_ns = obs::MonotonicNanos() - start;
+    outcome.merged_forward_pass = true;
+    outcome.records_analyzed = fwd.records_scanned;
+    outcome.records_redone = stats_->recovery_redos - redos_before;
+    ObservePass(stats_, "ariesrh_recovery_analysis_ns", outcome.analysis_ns);
   } else {
+    const uint64_t analysis_start = obs::MonotonicNanos();
     ARIESRH_ASSIGN_OR_RETURN(
         fwd,
         ForwardPass(options_.delegation_mode, log_, pool_, stats_, ckpt_ptr,
                     ckpt_end_lsn, ForwardPassKind::kAnalysisOnly));
+    outcome.analysis_ns = obs::MonotonicNanos() - analysis_start;
+    outcome.records_analyzed = fwd.records_scanned;
+    ObservePass(stats_, "ariesrh_recovery_analysis_ns", outcome.analysis_ns);
+
+    const uint64_t redo_start = obs::MonotonicNanos();
+    const uint64_t redos_before = stats_->recovery_redos;
     ARIESRH_RETURN_IF_ERROR(
         ForwardPass(options_.delegation_mode, log_, pool_, stats_, ckpt_ptr,
-                    ckpt_end_lsn, ForwardPassKind::kRedoOnly)
+                    ckpt_end_lsn, ForwardPassKind::kRedoOnly, redo_budget_ptr)
             .status());
+    outcome.redo_ns = obs::MonotonicNanos() - redo_start;
+    outcome.records_redone = stats_->recovery_redos - redos_before;
+    ObservePass(stats_, "ariesrh_recovery_redo_ns", outcome.redo_ns);
   }
 
   // Backward pass: undo the loser updates.
   std::vector<TxnId> resolved;
-  ARIESRH_RETURN_IF_ERROR(UndoLosers(fwd, &resolved));
+  ARIESRH_RETURN_IF_ERROR(UndoLosers(fwd, &resolved, &outcome));
 
   // Every resolved transaction gets an END record so a crash during a later
   // run does not reconsider it.
-  Outcome outcome;
-  outcome.checkpoint_used = ckpt_end_lsn;
   for (const auto& [txn, info] : fwd.txns) {
     if (info.committed) {
       ++outcome.winners;
@@ -99,7 +185,8 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
 }
 
 Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
-                                   std::vector<TxnId>* resolved) {
+                                   std::vector<TxnId>* resolved,
+                                   Outcome* outcome) {
   ++stats_->recovery_passes;
 
   obs::Histogram* pass_ns = nullptr;
@@ -111,12 +198,17 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
             static_cast<uint64_t>(obs::RecoveryPassKind::kUndo),
             kFirstLsn, fwd.scan_end);
   const uint64_t examined_before = stats_->recovery_backward_examined;
+  const uint64_t skipped_before = stats_->recovery_backward_skipped;
   const uint64_t undos_before = stats_->recovery_undos;
+  const uint64_t undo_start = obs::MonotonicNanos();
 
-  // Test-only: simulate a crash in the middle of the undo pass.
-  uint64_t budget = options_.faults.crash_after_undo_steps;
-  uint64_t* budget_ptr =
+  // Test-only: simulate a crash in the middle of the undo pass. The budget
+  // is shared across workers when the undo runs parallel.
+  RecoveryFaultBudget budget(options_.faults.crash_after_undo_steps);
+  RecoveryFaultBudget* budget_ptr =
       options_.faults.crash_after_undo_steps > 0 ? &budget : nullptr;
+
+  const size_t threads = std::max<size_t>(1, options_.recovery_threads);
 
   // CLRs written during undo chain onto each loser's backward chain.
   std::unordered_map<TxnId, Lsn> bc_heads;
@@ -129,6 +221,7 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
   }
   std::sort(losers.begin(), losers.end());
 
+  Status undo_status = Status::OK();
   if (options_.delegation_mode == DelegationMode::kRH) {
     // Undo the *loser updates* — via loser scope clusters (Figure 8).
     std::vector<ScopeUndoTarget> targets;
@@ -141,27 +234,75 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
       }
     }
     if (options_.undo_strategy == UndoStrategy::kFullScan) {
-      ARIESRH_RETURN_IF_ERROR(FullScanUndo(targets, fwd.compensated,
-                                           fwd.scan_end, log_, pool_, stats_,
-                                           &bc_heads, budget_ptr));
+      // Ablation baseline: inherently a single sequential scan of every
+      // record — parallelizing it would defeat its purpose, so it always
+      // runs serial.
+      outcome->clusters_swept = targets.empty() ? 0 : 1;
+      undo_status = FullScanUndo(targets, fwd.compensated, fwd.scan_end,
+                                 log_, pool_, stats_, &bc_heads, budget_ptr);
     } else {
-      ARIESRH_RETURN_IF_ERROR(ScopeSweepUndo(targets, fwd.compensated,
-                                             fwd.scan_end, log_, pool_,
-                                             stats_, &bc_heads, budget_ptr));
+      const std::vector<std::vector<ScopeUndoTarget>> groups =
+          PartitionUndoClusters(targets);
+      outcome->clusters_swept = groups.size();
+      if (threads <= 1 || groups.size() <= 1) {
+        undo_status =
+            ScopeSweepUndo(targets, fwd.compensated, fwd.scan_end, log_,
+                           pool_, stats_, &bc_heads, budget_ptr);
+      } else {
+        // Parallel undo: one sweep per independent cluster group. Each
+        // responsible transaction lives in exactly one group (the partition
+        // merges on shared responsibility), so per-group chain-head maps
+        // never conflict and merge back trivially.
+        std::vector<std::unordered_map<TxnId, Lsn>> group_heads(
+            groups.size());
+        for (size_t g = 0; g < groups.size(); ++g) {
+          for (const ScopeUndoTarget& target : groups[g]) {
+            group_heads[g][target.responsible] =
+                bc_heads.at(target.responsible);
+          }
+        }
+        undo_status =
+            RunOnWorkers(threads, groups.size(), [&](size_t g) -> Status {
+              // Start each group's sweep at its own newest scope end; the
+              // gap from the log end down to it is skipped regardless of
+              // which worker sweeps it.
+              Lsn group_from = kFirstLsn;
+              for (const ScopeUndoTarget& target : groups[g]) {
+                group_from = std::max(group_from, target.scope.last);
+              }
+              return ScopeSweepUndo(groups[g], fwd.compensated, group_from,
+                                    log_, pool_, stats_, &group_heads[g],
+                                    budget_ptr);
+            });
+        // Merge updated chain heads back (even on failure: the CLRs that
+        // were written are durable work the END records must reflect).
+        for (const auto& heads : group_heads) {
+          for (const auto& [txn, head] : heads) bc_heads[txn] = head;
+        }
+      }
     }
   } else {
     // Conventional ARIES: follow loser backward chains. Correct for
     // kDisabled (no delegation) and for the eager / lazy-rewrite baselines
-    // (history has been physically rewritten by now).
+    // (history has been physically rewritten by now). The chain walk is a
+    // single global max-LSN iteration, so it stays serial.
     std::unordered_map<TxnId, Lsn> loser_heads;
     for (TxnId txn : losers) {
       // In lazy-rewrite mode the forward pass's surgery may have moved the
       // chain heads; fwd.txns reflects that (delegate records touch both).
       loser_heads[txn] = fwd.txns.at(txn).last_lsn;
     }
-    ARIESRH_RETURN_IF_ERROR(
-        ChainUndo(loser_heads, log_, pool_, stats_, &bc_heads, budget_ptr));
+    outcome->clusters_swept = loser_heads.empty() ? 0 : 1;
+    undo_status =
+        ChainUndo(loser_heads, log_, pool_, stats_, &bc_heads, budget_ptr);
   }
+
+  outcome->undo_ns = obs::MonotonicNanos() - undo_start;
+  outcome->records_undone = stats_->recovery_undos - undos_before;
+  outcome->records_skipped =
+      stats_->recovery_backward_skipped - skipped_before;
+  ObservePass(stats_, "ariesrh_recovery_undo_ns", outcome->undo_ns);
+  ARIESRH_RETURN_IF_ERROR(undo_status);
 
   // Rollback complete: write END records.
   for (TxnId txn : losers) {

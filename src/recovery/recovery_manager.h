@@ -1,10 +1,18 @@
 // Restart recovery orchestration: torn-tail truncation, checkpoint lookup,
-// the forward (analysis + redo) pass, and the mode-appropriate backward
+// the forward (analysis + redo) work, and the mode-appropriate backward
 // (undo) pass, ending with END records for every resolved loser.
+//
+// With Options::recovery_threads > 1 the pipeline is parallel: a serial
+// analysis sweep collects a redo plan, PartitionedRedo replays it bucketed
+// by page on a worker pool, and the undo pass dispatches independent
+// loser-scope cluster groups (PartitionUndoClusters) to workers. Serial
+// recovery (threads == 1) keeps the classic layouts byte-for-byte.
 
 #ifndef ARIESRH_RECOVERY_RECOVERY_MANAGER_H_
 #define ARIESRH_RECOVERY_RECOVERY_MANAGER_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/options.h"
@@ -26,11 +34,30 @@ class RecoveryManager {
   RecoveryManager(const Options& options, SimulatedDisk* disk,
                   LogManager* log, BufferPool* pool, Stats* stats);
 
+  /// What restart recovery did — enough for operators (the shell's
+  /// `recover` command prints it) and for tests to assert equivalence
+  /// across thread counts.
   struct Outcome {
     TxnId next_txn_id = 1;   ///< id counter seed for new transactions
     uint64_t winners = 0;    ///< committed before the crash
     uint64_t losers = 0;     ///< rolled back by recovery
     Lsn checkpoint_used = 0; ///< CKPT_END the pass started from (0 = none)
+
+    uint32_t threads_used = 1;        ///< worker threads the run employed
+    bool merged_forward_pass = false; ///< analysis+redo in one sweep?
+
+    uint64_t analysis_ns = 0;  ///< wall time of the analysis-bearing sweep
+    uint64_t redo_ns = 0;      ///< wall time of redo (0 when merged)
+    uint64_t undo_ns = 0;      ///< wall time of the backward pass
+
+    uint64_t records_analyzed = 0;  ///< records the forward sweep examined
+    uint64_t records_redone = 0;    ///< records actually applied to pages
+    uint64_t records_undone = 0;    ///< loser updates compensated (CLRs)
+    uint64_t clusters_swept = 0;    ///< undo cluster groups dispatched
+    uint64_t records_skipped = 0;   ///< records the cluster sweep never read
+
+    /// Multi-line human-readable rendering (shell `recover` output).
+    std::string ToString() const;
   };
 
   /// Runs the full restart sequence. Idempotent under crashes during
@@ -43,8 +70,8 @@ class RecoveryManager {
   static Status TruncateTornTail(SimulatedDisk* disk);
 
  private:
-  Status UndoLosers(const ForwardPassResult& fwd,
-                    std::vector<TxnId>* resolved);
+  Status UndoLosers(const ForwardPassResult& fwd, std::vector<TxnId>* resolved,
+                    Outcome* outcome);
 
   const Options& options_;
   SimulatedDisk* disk_;

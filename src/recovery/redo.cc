@@ -1,5 +1,6 @@
 #include "recovery/redo.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ariesrh {
@@ -10,20 +11,23 @@ Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
          rec.type == LogRecordType::kClr);
   if (applied != nullptr) *applied = false;
   const PageId page_id = PageOf(rec.object);
-  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool->Fetch(page_id));
-  if (check_page_lsn && page->page_lsn() >= rec.lsn) {
-    return Status::OK();  // the page already reflects this record
-  }
-  if (applied != nullptr) *applied = true;
-  const uint32_t slot = SlotOf(rec.object);
-  if (rec.kind == UpdateKind::kSet) {
-    page->Set(slot, rec.after);
-  } else {
-    page->Add(slot, rec.after);
-  }
-  page->set_page_lsn(rec.lsn);
-  pool->MarkDirty(page_id, rec.lsn);
-  return Status::OK();
+  return pool->WithPage(page_id, [&](Page* page) -> Lsn {
+    if (check_page_lsn && page->page_lsn() >= rec.lsn) {
+      return kInvalidLsn;  // the page already reflects this record
+    }
+    if (applied != nullptr) *applied = true;
+    const uint32_t slot = SlotOf(rec.object);
+    if (rec.kind == UpdateKind::kSet) {
+      page->Set(slot, rec.after);
+    } else {
+      page->Add(slot, rec.after);
+    }
+    // CLRs from concurrent per-cluster undo sweeps can reach one page out of
+    // LSN order (their slots differ, so the values commute); the page LSN
+    // must still cover every applied record for the WAL rule on eviction.
+    page->set_page_lsn(std::max(page->page_lsn(), rec.lsn));
+    return rec.lsn;
+  });
 }
 
 Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
@@ -50,6 +54,56 @@ Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
       ApplyRecordToPage(pool, clr, /*check_page_lsn=*/false));
   ++stats->recovery_undos;
   return Status::OK();
+}
+
+Status PartitionedRedo(const std::vector<RedoItem>& plan, size_t threads,
+                       BufferPool* pool, Stats* stats,
+                       RecoveryFaultBudget* redo_budget, uint64_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  if (plan.empty()) return Status::OK();
+
+  // Bucket by page, keeping the plan's (increasing-LSN) order inside each
+  // bucket; one bucket is one work unit, so per-page order is preserved no
+  // matter how workers interleave.
+  std::unordered_map<PageId, std::vector<size_t>> by_page;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    by_page[plan[i].page].push_back(i);
+  }
+  std::vector<std::vector<size_t>> buckets;
+  buckets.reserve(by_page.size());
+  for (auto& [page, items] : by_page) buckets.push_back(std::move(items));
+  // Largest buckets first: the work queue then back-fills small buckets
+  // behind the stragglers.
+  std::sort(buckets.begin(), buckets.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return a.size() > b.size();
+            });
+
+  std::atomic<uint64_t> total_applied{0};
+  Status status =
+      RunOnWorkers(threads, buckets.size(), [&](size_t b) -> Status {
+        uint64_t bucket_applied = 0;
+        for (size_t i : buckets[b]) {
+          if (redo_budget != nullptr && !redo_budget->Spend()) {
+            total_applied.fetch_add(bucket_applied,
+                                    std::memory_order_relaxed);
+            return Status::IOError("injected crash during recovery redo");
+          }
+          bool did = false;
+          ARIESRH_RETURN_IF_ERROR(ApplyRecordToPage(
+              pool, plan[i].rec, /*check_page_lsn=*/true, &did));
+          if (did) {
+            ++stats->recovery_redos;
+            ++bucket_applied;
+          }
+        }
+        total_applied.fetch_add(bucket_applied, std::memory_order_relaxed);
+        return Status::OK();
+      });
+  if (applied != nullptr) {
+    *applied = total_applied.load(std::memory_order_relaxed);
+  }
+  return status;
 }
 
 }  // namespace ariesrh

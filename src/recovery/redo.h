@@ -1,11 +1,13 @@
 // Page application helpers shared by normal processing, the redo pass, and
-// both undo algorithms.
+// both undo algorithms — plus the partitioned parallel redo pass.
 
 #ifndef ARIESRH_RECOVERY_REDO_H_
 #define ARIESRH_RECOVERY_REDO_H_
 
 #include <unordered_map>
+#include <vector>
 
+#include "recovery/parallel.h"
 #include "storage/buffer_pool.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -21,7 +23,8 @@ namespace ariesrh {
 /// page LSN is older than the record's LSN — ARIES "repeating history"
 /// idempotence; otherwise (normal processing) it is applied unconditionally.
 /// Either way the page LSN advances to the record's LSN on application and
-/// the page is marked dirty.
+/// the page is marked dirty. The fetch + apply runs atomically under the
+/// pool latch, so concurrent recovery workers can share the pool.
 /// `applied` (optional) reports whether the page was actually modified.
 Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
                          bool check_page_lsn, bool* applied = nullptr);
@@ -33,6 +36,29 @@ Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
 Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
                   const LogRecord& update_rec, TxnId responsible,
                   std::unordered_map<TxnId, Lsn>* bc_heads);
+
+/// One unit of redo work discovered by the forward scan: the parsed record
+/// and the page it touches. The scan emits items in increasing LSN order,
+/// so any stable partition of a plan by page preserves per-page LSN order.
+/// Carrying the parsed record means redo workers never touch the log — the
+/// collecting scan already paid for the read and the decode. The plan is
+/// bounded by the log suffix past the last checkpoint, like the scan itself.
+struct RedoItem {
+  LogRecord rec;
+  PageId page = kInvalidPage;
+};
+
+/// Partitioned parallel redo: buckets `plan` by page and replays each
+/// bucket's records (in the plan's LSN order) on up to `threads` workers.
+/// Pages are independent under redo — each record touches exactly one page
+/// and the page-LSN check makes application idempotent — so per-page order
+/// is the only order that matters. `redo_budget` (optional, test-only)
+/// injects a crash after that many applications. Returns the number of
+/// records actually applied through `applied` (optional).
+Status PartitionedRedo(const std::vector<RedoItem>& plan, size_t threads,
+                       BufferPool* pool, Stats* stats,
+                       RecoveryFaultBudget* redo_budget = nullptr,
+                       uint64_t* applied = nullptr);
 
 }  // namespace ariesrh
 

@@ -10,7 +10,7 @@ namespace ariesrh {
 Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
                  LogManager* log, BufferPool* pool, Stats* stats,
                  std::unordered_map<TxnId, Lsn>* bc_heads,
-                 uint64_t* undo_budget) {
+                 RecoveryFaultBudget* undo_budget) {
   // Outstanding (next LSN to undo, owner); always process the maximum LSN
   // next so log accesses are monotonically decreasing.
   using Entry = std::pair<Lsn, TxnId>;
@@ -28,12 +28,9 @@ Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
     Lsn next = kInvalidLsn;
     switch (rec.type) {
       case LogRecordType::kUpdate:
-        if (undo_budget != nullptr) {
-          if (*undo_budget == 0) {
-            ARIESRH_RETURN_IF_ERROR(log->FlushAll());
-            return Status::IOError("injected crash during recovery undo");
-          }
-          --*undo_budget;
+        if (undo_budget != nullptr && !undo_budget->Spend()) {
+          ARIESRH_RETURN_IF_ERROR(log->FlushAll());
+          return Status::IOError("injected crash during recovery undo");
         }
         ARIESRH_RETURN_IF_ERROR(
             UndoUpdate(log, pool, stats, rec, txn, bc_heads));

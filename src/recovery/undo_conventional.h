@@ -12,6 +12,7 @@
 
 #include <unordered_map>
 
+#include "recovery/parallel.h"
 #include "storage/buffer_pool.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -29,7 +30,7 @@ namespace ariesrh {
 Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
                  LogManager* log, BufferPool* pool, Stats* stats,
                  std::unordered_map<TxnId, Lsn>* bc_heads,
-                 uint64_t* undo_budget = nullptr);
+                 RecoveryFaultBudget* undo_budget = nullptr);
 
 }  // namespace ariesrh
 

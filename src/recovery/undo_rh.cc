@@ -24,16 +24,12 @@ struct ByRightEndDesc {
 
 // Spends one unit of the injected-fault budget before an undo; returns the
 // injected-crash error when exhausted.
-Status SpendUndoBudget(uint64_t* undo_budget, LogManager* log) {
-  if (undo_budget == nullptr) return Status::OK();
-  if (*undo_budget == 0) {
-    // Model the crash point: whatever undo work was logged becomes durable
-    // up to here, then the system dies.
-    ARIESRH_RETURN_IF_ERROR(log->FlushAll());
-    return Status::IOError("injected crash during recovery undo");
-  }
-  --*undo_budget;
-  return Status::OK();
+Status SpendUndoBudget(RecoveryFaultBudget* undo_budget, LogManager* log) {
+  if (undo_budget == nullptr || undo_budget->Spend()) return Status::OK();
+  // Model the crash point: whatever undo work was logged becomes durable
+  // up to here, then the system dies.
+  ARIESRH_RETURN_IF_ERROR(log->FlushAll());
+  return Status::IOError("injected crash during recovery undo");
 }
 
 }  // namespace
@@ -43,7 +39,7 @@ Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
                       Lsn sweep_from, LogManager* log, BufferPool* pool,
                       Stats* stats,
                       std::unordered_map<TxnId, Lsn>* bc_heads,
-                      uint64_t* undo_budget) {
+                      RecoveryFaultBudget* undo_budget) {
   if (targets.empty()) return Status::OK();
 
   // LsrScopes: constructed once, depleted in reverse scope order — a
@@ -141,7 +137,7 @@ Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
                     const std::unordered_set<Lsn>& compensated,
                     Lsn sweep_from, LogManager* log, BufferPool* pool,
                     Stats* stats, std::unordered_map<TxnId, Lsn>* bc_heads,
-                    uint64_t* undo_budget) {
+                    RecoveryFaultBudget* undo_budget) {
   if (targets.empty()) return Status::OK();
 
   std::unordered_multimap<TxnId, const ScopeUndoTarget*> by_invoker;
@@ -171,6 +167,81 @@ Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
     }
   }
   return Status::OK();
+}
+
+std::vector<std::vector<ScopeUndoTarget>> PartitionUndoClusters(
+    const std::vector<ScopeUndoTarget>& targets) {
+  std::vector<std::vector<ScopeUndoTarget>> groups;
+  if (targets.empty()) return groups;
+
+  const size_t n = targets.size();
+  // Union-find over target indices.
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+
+  // (1) LSN-interval overlap: sort indices by scope start and merge runs
+  // whose intervals chain into one covering cluster.
+  std::vector<size_t> by_start(n);
+  for (size_t i = 0; i < n; ++i) by_start[i] = i;
+  std::sort(by_start.begin(), by_start.end(), [&](size_t a, size_t b) {
+    if (targets[a].scope.first != targets[b].scope.first) {
+      return targets[a].scope.first < targets[b].scope.first;
+    }
+    return targets[a].scope.last < targets[b].scope.last;
+  });
+  size_t run_head = by_start[0];
+  Lsn run_end = targets[run_head].scope.last;
+  for (size_t j = 1; j < n; ++j) {
+    const size_t i = by_start[j];
+    if (targets[i].scope.first <= run_end) {
+      unite(run_head, i);
+      run_end = std::max(run_end, targets[i].scope.last);
+    } else {
+      run_head = i;
+      run_end = targets[i].scope.last;
+    }
+  }
+
+  // (2) Shared responsible transaction; (3) shared object.
+  std::unordered_map<TxnId, size_t> by_responsible;
+  std::unordered_map<ObjectId, size_t> by_object;
+  for (size_t i = 0; i < n; ++i) {
+    auto [rit, rnew] = by_responsible.try_emplace(targets[i].responsible, i);
+    if (!rnew) unite(rit->second, i);
+    auto [oit, onew] = by_object.try_emplace(targets[i].object, i);
+    if (!onew) unite(oit->second, i);
+  }
+
+  // Materialize groups. Within a group, keep targets in the serial-sweep
+  // admission order (largest scope end first) so each group's sweep is
+  // byte-for-byte the serial algorithm restricted to its scopes; order
+  // groups by their largest scope end, descending, for determinism.
+  std::unordered_map<size_t, size_t> root_to_group;
+  for (size_t j = 0; j < n; ++j) {
+    const size_t i = by_start[n - 1 - j];  // descending scope start
+    const size_t root = find(i);
+    auto [it, fresh] = root_to_group.try_emplace(root, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(targets[i]);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<ScopeUndoTarget>& a,
+               const std::vector<ScopeUndoTarget>& b) {
+              return a.front().scope.last > b.front().scope.last;
+            });
+  return groups;
 }
 
 }  // namespace ariesrh

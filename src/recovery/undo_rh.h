@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "recovery/parallel.h"
 #include "storage/buffer_pool.h"
 #include "txn/scope.h"
 #include "util/stats.h"
@@ -45,15 +46,17 @@ struct ScopeUndoTarget {
 /// the log during recovery); the gap down to the first cluster and the gaps
 /// between clusters are credited to `stats->recovery_backward_skipped`.
 ///
-/// `undo_budget` (optional, test-only) injects a crash: when it reaches
-/// zero before an undo, the function flushes the log and fails with
-/// IOError, modeling a failure in the middle of the undo pass.
+/// `undo_budget` (optional, test-only) injects a crash: when it is
+/// exhausted before an undo, the function flushes the log and fails with
+/// IOError, modeling a failure in the middle of the undo pass. The budget
+/// is shared (and thread-safe), so concurrent cluster sweeps draw from one
+/// global crash point.
 Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
                       const std::unordered_set<Lsn>& compensated,
                       Lsn sweep_from, LogManager* log, BufferPool* pool,
                       Stats* stats,
                       std::unordered_map<TxnId, Lsn>* bc_heads,
-                      uint64_t* undo_budget = nullptr);
+                      RecoveryFaultBudget* undo_budget = nullptr);
 
 /// Ablation baseline for the backward pass (Section 3.6.2's rejected
 /// alternative): scan EVERY record from `sweep_from` down to the oldest
@@ -64,7 +67,23 @@ Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
                     const std::unordered_set<Lsn>& compensated,
                     Lsn sweep_from, LogManager* log, BufferPool* pool,
                     Stats* stats, std::unordered_map<TxnId, Lsn>* bc_heads,
-                    uint64_t* undo_budget = nullptr);
+                    RecoveryFaultBudget* undo_budget = nullptr);
+
+/// Partitions loser scopes into groups that can be undone concurrently,
+/// one ScopeSweepUndo per group. Two scopes land in the same group when any
+/// of the following holds (transitively):
+///  - their LSN intervals overlap — they belong to the same sweep cluster,
+///    and splitting a cluster would break the single-examination sweep;
+///  - they share a responsible transaction — that loser's CLR chain must be
+///    written in strictly decreasing compensated-LSN order, which only a
+///    single sequential sweep guarantees;
+///  - they name the same object — a Set undo restores a before image, so
+///    per-object undo order must match the serial (decreasing-LSN) order.
+/// Groups are returned in a deterministic order (by largest scope end,
+/// descending) regardless of input order. Scopes inside a group keep the
+/// relative order ScopeSweepUndo would see serially.
+std::vector<std::vector<ScopeUndoTarget>> PartitionUndoClusters(
+    const std::vector<ScopeUndoTarget>& targets);
 
 }  // namespace ariesrh
 

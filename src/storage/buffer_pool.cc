@@ -14,6 +14,11 @@ BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity,
 }
 
 Result<Page*> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FetchLocked(id);
+}
+
+Result<Page*> BufferPool::FetchLocked(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
@@ -41,7 +46,20 @@ Result<Page*> BufferPool::Fetch(PageId id) {
   return &pos->second.page;
 }
 
+Status BufferPool::WithPage(PageId id, const std::function<Lsn(Page*)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ARIESRH_ASSIGN_OR_RETURN(Page * page, FetchLocked(id));
+  const Lsn dirtied = fn(page);
+  if (dirtied != kInvalidLsn) MarkDirtyLocked(id, dirtied);
+  return Status::OK();
+}
+
 void BufferPool::MarkDirty(PageId id, Lsn rec_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MarkDirtyLocked(id, rec_lsn);
+}
+
+void BufferPool::MarkDirtyLocked(PageId id, Lsn rec_lsn) {
   auto it = frames_.find(id);
   assert(it != frames_.end() && "MarkDirty on page not in pool");
   Frame& frame = it->second;
@@ -52,6 +70,7 @@ void BufferPool::MarkDirty(PageId id, Lsn rec_lsn) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
       ARIESRH_RETURN_IF_ERROR(WriteBack(id, &frame));
@@ -61,12 +80,14 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::FlushPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end() || !it->second.dirty) return Status::OK();
   return WriteBack(id, &it->second);
 }
 
 std::map<PageId, Lsn> BufferPool::DirtyPageTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<PageId, Lsn> dpt;
   for (const auto& [id, frame] : frames_) {
     if (frame.dirty) dpt[id] = frame.rec_lsn;
@@ -75,6 +96,7 @@ std::map<PageId, Lsn> BufferPool::DirtyPageTable() const {
 }
 
 void BufferPool::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   frames_.clear();
   lru_.clear();
 }

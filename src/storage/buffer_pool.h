@@ -9,6 +9,12 @@
 //
 // The write-ahead rule is enforced here: before a dirty page is written to
 // disk, the log is flushed up to that page's page LSN.
+//
+// Thread safety: all operations serialize on one internal latch so parallel
+// restart recovery (partitioned redo, per-cluster undo) can share the pool.
+// Fetch's returned pointer is only stable until the next pool operation, so
+// concurrent workers must use WithPage, which holds the latch across
+// fetch + apply — that is the unit of atomicity parallel redo needs.
 
 #ifndef ARIESRH_STORAGE_BUFFER_POOL_H_
 #define ARIESRH_STORAGE_BUFFER_POOL_H_
@@ -17,6 +23,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/page.h"
@@ -30,7 +37,7 @@ namespace ariesrh {
 /// Flushes the write-ahead log up to (and including) the given LSN.
 using WalFlushFn = std::function<Status(Lsn)>;
 
-/// LRU buffer pool. Volatile: Reset() models the crash. Not thread-safe.
+/// LRU buffer pool. Volatile: Reset() models the crash.
 class BufferPool {
  public:
   /// `capacity` is the number of page frames. `wal_flush` enforces the WAL
@@ -42,8 +49,18 @@ class BufferPool {
   /// Returns the cached page, reading it from disk on a miss (a page never
   /// written to disk materializes as a fresh zeroed page). The returned
   /// pointer is valid until the next Fetch/Reset; callers do not hold pages
-  /// across other pool operations.
+  /// across other pool operations. Single-threaded use only — concurrent
+  /// recovery workers go through WithPage.
   Result<Page*> Fetch(PageId id);
+
+  /// Fixes the page and runs `fn` on it while holding the pool latch, then
+  /// marks the page dirty with the LSN `fn` returns (kInvalidLsn = the page
+  /// was not modified). The latch spans fetch + apply, so a concurrent
+  /// worker's Fetch cannot evict the page mid-application. This is the
+  /// fix-for-redo path parallel recovery uses; a possible eviction inside
+  /// the fetch may invoke the WAL-flush hook while the latch is held (lock
+  /// order: pool latch, then log).
+  Status WithPage(PageId id, const std::function<Lsn(Page*)>& fn);
 
   /// Marks a page dirty, recording its recovery LSN (the LSN of the first
   /// update that dirtied it) for the dirty page table.
@@ -62,7 +79,10 @@ class BufferPool {
   void Reset();
 
   size_t capacity() const { return capacity_; }
-  size_t cached_pages() const { return frames_.size(); }
+  size_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
@@ -74,6 +94,8 @@ class BufferPool {
     std::list<PageId>::iterator lru_pos;
   };
 
+  Result<Page*> FetchLocked(PageId id);
+  void MarkDirtyLocked(PageId id, Lsn rec_lsn);
   Status EvictOne();
   Status WriteBack(PageId id, Frame* frame);
   void Touch(PageId id, Frame* frame);
@@ -82,6 +104,7 @@ class BufferPool {
   size_t capacity_;
   WalFlushFn wal_flush_;
   Stats* stats_ = nullptr;
+  mutable std::mutex mu_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = most recently used
   uint64_t hits_ = 0;

@@ -1,9 +1,11 @@
 #include "storage/simulated_disk.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -65,7 +67,8 @@ uint64_t SimulatedDisk::ArchiveLogPrefix(Lsn keep_from) {
   return dropped;
 }
 
-Result<std::string> SimulatedDisk::ReadLogRecord(Lsn lsn) const {
+Result<std::string> SimulatedDisk::ReadLogRecord(Lsn lsn,
+                                                 uint64_t* stall_ns) const {
   if (lsn <= base_lsn_) {
     return Status::NotFound("LSN " + std::to_string(lsn) + " was archived");
   }
@@ -73,16 +76,22 @@ Result<std::string> SimulatedDisk::ReadLogRecord(Lsn lsn) const {
     return Status::NotFound("LSN " + std::to_string(lsn) +
                             " not in stable log");
   }
+  const Lsn last =
+      last_read_lsn_.exchange(lsn, std::memory_order_relaxed);
   const bool sequential =
-      last_read_lsn_ != kInvalidLsn &&
-      (lsn == last_read_lsn_ + 1 || lsn + 1 == last_read_lsn_ ||
-       lsn == last_read_lsn_);
+      last != kInvalidLsn &&
+      (lsn == last + 1 || lsn + 1 == last || lsn == last);
   if (sequential) {
     ++stats_->log_seq_reads;
   } else {
     ++stats_->log_random_reads;
   }
-  last_read_lsn_ = lsn;
+  const uint64_t stall = sequential ? 0 : log_random_read_stall_ns_;
+  if (stall_ns != nullptr) {
+    *stall_ns = stall;  // the caller pays, outside its locks
+  } else if (stall > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+  }
   const std::string& rec = records_[lsn - base_lsn_ - 1];
   stats_->log_bytes_read += rec.size();
   return rec;

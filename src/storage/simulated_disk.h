@@ -17,6 +17,7 @@
 #ifndef ARIESRH_STORAGE_SIMULATED_DISK_H_
 #define ARIESRH_STORAGE_SIMULATED_DISK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -28,11 +29,39 @@
 
 namespace ariesrh {
 
-/// Stable pages + stable log with access accounting. Not thread-safe.
+/// Stable pages + stable log with access accounting. Not thread-safe in
+/// general; the one exception is ReadLogRecord, which parallel recovery
+/// invokes concurrently (under the log manager's shared lock) — its
+/// sequential/random classification cursor is atomic so concurrent readers
+/// only perturb the access-pattern accounting, never the data.
 class SimulatedDisk {
  public:
   /// `stats` must outlive the disk; counters are shared with the engine.
   explicit SimulatedDisk(Stats* stats) : stats_(stats) {}
+
+  // Movable (Database::Open installs a loaded disk by move-assignment); the
+  // atomic read cursor forces the member-wise ops to be spelled out.
+  SimulatedDisk(SimulatedDisk&& other) noexcept
+      : master_record_(other.master_record_),
+        base_lsn_(other.base_lsn_),
+        stats_(other.stats_),
+        pages_(std::move(other.pages_)),
+        records_(std::move(other.records_)),
+        log_random_read_stall_ns_(other.log_random_read_stall_ns_),
+        last_read_lsn_(
+            other.last_read_lsn_.load(std::memory_order_relaxed)) {}
+  SimulatedDisk& operator=(SimulatedDisk&& other) noexcept {
+    master_record_ = other.master_record_;
+    base_lsn_ = other.base_lsn_;
+    stats_ = other.stats_;
+    pages_ = std::move(other.pages_);
+    records_ = std::move(other.records_);
+    log_random_read_stall_ns_ = other.log_random_read_stall_ns_;
+    last_read_lsn_.store(
+        other.last_read_lsn_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 
   // --- stable pages ---
 
@@ -99,7 +128,25 @@ class SimulatedDisk {
   /// sequential if it is adjacent (either direction) to the previous read,
   /// random otherwise — recovery sweeps are sequential, chain-following
   /// jumps are random.
-  Result<std::string> ReadLogRecord(Lsn lsn) const;
+  ///
+  /// A random read is charged the configured seek stall (see
+  /// set_log_random_read_stall_ns). When `stall_ns` is provided the charge
+  /// is returned for the caller to pay — the log manager pays it outside
+  /// its lock so concurrent recovery workers overlap their seeks;
+  /// otherwise the disk stalls in place.
+  Result<std::string> ReadLogRecord(Lsn lsn,
+                                    uint64_t* stall_ns = nullptr) const;
+
+  /// Simulated seek penalty per random (non-adjacent) log-record read, in
+  /// nanoseconds; 0 (the default) disables stalling. Sequential scans are
+  /// always free — the access-pattern asymmetry the paper's evaluation is
+  /// built on, made wall-clock-visible for the parallel-restart benchmark.
+  void set_log_random_read_stall_ns(uint64_t ns) {
+    log_random_read_stall_ns_ = ns;
+  }
+  uint64_t log_random_read_stall_ns() const {
+    return log_random_read_stall_ns_;
+  }
 
   /// Overwrites a durable record in place. Only the history-rewriting
   /// baselines (Section 3.2's straw men) use this; ARIES/RH never does.
@@ -131,7 +178,8 @@ class SimulatedDisk {
   Stats* stats_;
   std::unordered_map<PageId, std::string> pages_;
   std::vector<std::string> records_;
-  mutable Lsn last_read_lsn_ = kInvalidLsn;
+  uint64_t log_random_read_stall_ns_ = 0;
+  mutable std::atomic<Lsn> last_read_lsn_{kInvalidLsn};
 };
 
 }  // namespace ariesrh

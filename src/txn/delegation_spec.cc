@@ -1,0 +1,29 @@
+#include "txn/delegation_spec.h"
+
+#include <sstream>
+
+namespace ariesrh {
+
+std::string DelegationSpec::ToString() const {
+  std::ostringstream out;
+  switch (granularity) {
+    case Granularity::kAllObjects:
+      out << "all-objects";
+      break;
+    case Granularity::kObjectList:
+      out << "objects[";
+      for (size_t i = 0; i < objects.size(); ++i) {
+        if (i > 0) out << ",";
+        out << objects[i];
+      }
+      out << "]";
+      break;
+    case Granularity::kOperationRange:
+      out << "operations{ob=" << object << ", lsn=[" << first << "," << last
+          << "]}";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace ariesrh

@@ -110,6 +110,19 @@ Status TxnManager::DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind,
 }
 
 Status TxnManager::Delegate(TxnId from, TxnId to,
+                            const DelegationSpec& spec) {
+  switch (spec.granularity) {
+    case DelegationSpec::Granularity::kAllObjects:
+      return DelegateAll(from, to);
+    case DelegationSpec::Granularity::kObjectList:
+      return Delegate(from, to, spec.objects);
+    case DelegationSpec::Granularity::kOperationRange:
+      return DelegateOperations(from, to, spec.object, spec.first, spec.last);
+  }
+  return Status::InvalidArgument("unknown delegation granularity");
+}
+
+Status TxnManager::Delegate(TxnId from, TxnId to,
                             const std::vector<ObjectId>& objects) {
   if (options_.delegation_mode == DelegationMode::kDisabled) {
     return Status::NotSupported("delegation disabled in this configuration");

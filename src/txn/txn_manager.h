@@ -27,6 +27,7 @@
 #include "lock/lock_manager.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
+#include "txn/delegation_spec.h"
 #include "txn/dependency_graph.h"
 #include "txn/transaction.h"
 #include "util/stats.h"
@@ -55,6 +56,12 @@ class TxnManager {
   /// Increments an object (increment lock; commutes with other increments,
   /// so several transactions may hold scopes on one object concurrently).
   Status Add(TxnId txn, ObjectId ob, int64_t delta);
+
+  /// delegate(t1, t2, spec): the unified delegation entry point — transfers
+  /// responsibility per the spec's granularity (all objects, an object
+  /// list, or one object's operation range). The paper's preconditions
+  /// apply: both transactions active, t1 responsible for what transfers.
+  Status Delegate(TxnId from, TxnId to, const DelegationSpec& spec);
 
   /// delegate(t1, t2, objects): transfers responsibility for every update
   /// to the given objects that t1 is currently responsible for. The paper's

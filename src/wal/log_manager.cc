@@ -1,6 +1,9 @@
 #include "wal/log_manager.h"
 
 #include <cassert>
+#include <chrono>
+#include <mutex>
+#include <thread>
 
 #include "obs/trace.h"
 
@@ -17,31 +20,51 @@ LogManager::LogManager(SimulatedDisk* disk, Stats* stats)
 }
 
 Lsn LogManager::Append(LogRecord rec) {
-  rec.lsn = next_lsn_++;
+  // Reserve the LSN lock-free so serialization — the expensive part — the
+  // (relaxed-atomic) byte accounting, and the trace emit all run outside
+  // the lock. Concurrent undo workers appending CLRs then contend only on
+  // the slot insertion below.
+  rec.lsn = next_lsn_.fetch_add(1, std::memory_order_acq_rel);
   TailEntry entry;
   entry.image = rec.Serialize();
+  entry.filled = true;
   ++stats_->log_appends;
   stats_->log_bytes_appended += entry.image.size();
   obs::Emit(stats_->trace(), obs::TraceEventType::kLogAppend, rec.lsn,
             entry.image.size(), static_cast<uint64_t>(rec.type));
+  const Lsn lsn = rec.lsn;
   entry.record = std::move(rec);
-  tail_.push_back(std::move(entry));
-  return tail_.back().record.lsn;
+  std::unique_lock lock(mu_);
+  // The tail is indexed by LSN; reserving before locking means slots can be
+  // claimed out of order, leaving transient holes that Flush and Read skip.
+  const size_t idx = static_cast<size_t>(
+      lsn - flushed_lsn_.load(std::memory_order_relaxed) - 1);
+  if (tail_.size() <= idx) tail_.resize(idx + 1);
+  tail_[idx] = std::move(entry);
+  return lsn;
 }
 
 Status LogManager::Flush(Lsn lsn) {
-  if (lsn == kInvalidLsn || lsn <= flushed_lsn_) return Status::OK();
-  assert(lsn < next_lsn_ && "flush beyond end of log");
+  std::unique_lock lock(mu_);
+  const Lsn flushed = flushed_lsn_.load(std::memory_order_relaxed);
+  if (lsn == kInvalidLsn || lsn <= flushed) return Status::OK();
+  assert(lsn < next_lsn_.load(std::memory_order_relaxed) &&
+         "flush beyond end of log");
   obs::ScopedLatencyTimer timer(flush_ns_);
   std::vector<std::string> batch;
-  while (!tail_.empty() && tail_.front().record.lsn <= lsn) {
+  // Stop at the first unfilled slot: a concurrent appender still owns it
+  // and the durable log must stay a contiguous prefix.
+  Lsn durable = flushed;
+  while (!tail_.empty() && tail_.front().filled &&
+         tail_.front().record.lsn <= lsn) {
+    durable = tail_.front().record.lsn;
     batch.push_back(std::move(tail_.front().image));
     tail_.pop_front();
   }
   if (!batch.empty()) {
     disk_->AppendLogRecords(batch);
-    flushed_lsn_ = lsn;
-    obs::Emit(stats_->trace(), obs::TraceEventType::kLogFlush, lsn,
+    flushed_lsn_.store(durable, std::memory_order_release);
+    obs::Emit(stats_->trace(), obs::TraceEventType::kLogFlush, durable,
               batch.size());
   }
   return Status::OK();
@@ -50,28 +73,49 @@ Status LogManager::Flush(Lsn lsn) {
 Status LogManager::FlushAll() { return Flush(end_lsn()); }
 
 Result<LogRecord> LogManager::Read(Lsn lsn) const {
-  if (lsn == kInvalidLsn || lsn == 0 || lsn >= next_lsn_) {
-    return Status::NotFound("LSN " + std::to_string(lsn) + " out of range");
+  std::string image;
+  uint64_t stall_ns = 0;
+  {
+    std::shared_lock lock(mu_);
+    const Lsn flushed = flushed_lsn_.load(std::memory_order_relaxed);
+    if (lsn == kInvalidLsn || lsn == 0 ||
+        lsn >= next_lsn_.load(std::memory_order_relaxed)) {
+      return Status::NotFound("LSN " + std::to_string(lsn) + " out of range");
+    }
+    if (lsn > flushed) {
+      // Volatile tail read: no stable I/O. A reserved-but-unfilled slot is
+      // still owned by a concurrent appender and reads as absent.
+      const size_t idx = static_cast<size_t>(lsn - flushed - 1);
+      if (idx >= tail_.size() || !tail_[idx].filled) {
+        return Status::NotFound("LSN " + std::to_string(lsn) +
+                                " is still being appended");
+      }
+      assert(tail_[idx].record.lsn == lsn);
+      return tail_[idx].record;
+    }
+    ARIESRH_ASSIGN_OR_RETURN(image, disk_->ReadLogRecord(lsn, &stall_ns));
   }
-  if (lsn > flushed_lsn_) {
-    // Volatile tail read: no stable I/O.
-    const TailEntry& entry = tail_.at(lsn - flushed_lsn_ - 1);
-    assert(entry.record.lsn == lsn);
-    return entry.record;
+  // The simulated seek and the deserialization (CRC + decode) both run
+  // outside the lock so concurrent recovery workers overlap them — the
+  // whole point of parallel restart.
+  if (stall_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(stall_ns));
   }
-  ARIESRH_ASSIGN_OR_RETURN(std::string image, disk_->ReadLogRecord(lsn));
   return LogRecord::Deserialize(image);
 }
 
 Status LogManager::Rewrite(Lsn lsn, LogRecord rec) {
-  if (lsn == kInvalidLsn || lsn == 0 || lsn >= next_lsn_) {
+  std::unique_lock lock(mu_);
+  const Lsn flushed = flushed_lsn_.load(std::memory_order_relaxed);
+  if (lsn == kInvalidLsn || lsn == 0 ||
+      lsn >= next_lsn_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("rewrite of LSN out of range");
   }
   if (rec.lsn != lsn) {
     return Status::InvalidArgument("rewrite must preserve the record LSN");
   }
-  if (lsn > flushed_lsn_) {
-    TailEntry& entry = tail_.at(lsn - flushed_lsn_ - 1);
+  if (lsn > flushed) {
+    TailEntry& entry = tail_.at(lsn - flushed - 1);
     entry.image = rec.Serialize();
     entry.record = std::move(rec);
     return Status::OK();
@@ -80,8 +124,10 @@ Status LogManager::Rewrite(Lsn lsn, LogRecord rec) {
 }
 
 void LogManager::DiscardTail() {
+  std::unique_lock lock(mu_);
   tail_.clear();
-  next_lsn_ = flushed_lsn_ + 1;
+  next_lsn_.store(flushed_lsn_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
 }
 
 }  // namespace ariesrh

@@ -5,11 +5,19 @@
 // During normal execution the only stable-log operation ARIES/RH performs is
 // appending (and flushing) records. RewriteRecord exists solely for the
 // history-rewriting baselines of Section 3.2 and is never called by RH.
+//
+// Thread safety: normal processing is single-threaded, but parallel restart
+// recovery (recovery/parallel.h) reads durable records from redo workers and
+// appends CLRs from undo workers concurrently. Append/Flush/Rewrite/
+// DiscardTail are exclusive; Read takes a shared lock so any number of redo
+// workers can read simultaneously. end_lsn()/flushed_lsn() are lock-free.
 
 #ifndef ARIESRH_WAL_LOG_MANAGER_H_
 #define ARIESRH_WAL_LOG_MANAGER_H_
 
+#include <atomic>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -22,7 +30,6 @@
 
 namespace ariesrh {
 
-/// Not thread-safe; the engine is a single-threaded simulation.
 class LogManager {
  public:
   /// Attaches to a disk; the durable prefix (if any) defines the next LSN.
@@ -30,6 +37,7 @@ class LogManager {
   LogManager(SimulatedDisk* disk, Stats* stats);
 
   /// Appends a record to the volatile tail, assigning and returning its LSN.
+  /// Safe to call from concurrent recovery workers.
   Lsn Append(LogRecord rec);
 
   /// Makes the log durable up to and including `lsn` (no-op if already
@@ -39,7 +47,9 @@ class LogManager {
   /// Flushes the entire tail.
   Status FlushAll();
 
-  /// Reads a record by LSN, from the tail if not yet durable.
+  /// Reads a record by LSN, from the tail if not yet durable. Concurrent
+  /// readers proceed in parallel; record deserialization happens outside
+  /// the lock.
   Result<LogRecord> Read(Lsn lsn) const;
 
   /// Overwrites an existing record in place (baselines only). Durable
@@ -48,10 +58,14 @@ class LogManager {
   Status Rewrite(Lsn lsn, LogRecord rec);
 
   /// LSN of the most recently appended record; 0 if the log is empty.
-  Lsn end_lsn() const { return next_lsn_ - 1; }
+  Lsn end_lsn() const {
+    return next_lsn_.load(std::memory_order_acquire) - 1;
+  }
 
   /// LSN up to which the log is durable; 0 if nothing is durable.
-  Lsn flushed_lsn() const { return flushed_lsn_; }
+  Lsn flushed_lsn() const {
+    return flushed_lsn_.load(std::memory_order_acquire);
+  }
 
   /// Crash: discards the volatile tail. The durable prefix is untouched.
   void DiscardTail();
@@ -59,14 +73,16 @@ class LogManager {
  private:
   struct TailEntry {
     LogRecord record;
-    std::string image;  // serialized at append time for byte accounting
+    std::string image;    // serialized at append time for byte accounting
+    bool filled = false;  // false while a concurrent appender owns the slot
   };
 
   SimulatedDisk* disk_;
   Stats* stats_;
   obs::Histogram* flush_ns_ = nullptr;  ///< null when Stats is unattached
-  Lsn next_lsn_;
-  Lsn flushed_lsn_;
+  mutable std::shared_mutex mu_;       ///< guards tail_ and the disk's log
+  std::atomic<Lsn> next_lsn_;
+  std::atomic<Lsn> flushed_lsn_;
   std::deque<TailEntry> tail_;  // records (flushed_lsn_, next_lsn_)
 };
 

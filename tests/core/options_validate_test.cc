@@ -1,0 +1,86 @@
+// Options::Validate and its wiring: an invalid configuration makes the
+// Database inert (every operation, including Recover, reports the
+// validation failure) and Database::Open refuses up front.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/database.h"
+
+namespace ariesrh {
+namespace {
+
+TEST(OptionsValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(Options{}.Validate().ok());
+}
+
+TEST(OptionsValidateTest, ZeroBufferPoolPagesRejected) {
+  Options options;
+  options.buffer_pool_pages = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsValidateTest, ZeroRecoveryThreadsRejected) {
+  Options options;
+  options.recovery_threads = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsValidateTest, FullScanOnlyAppliesToRh) {
+  for (DelegationMode mode :
+       {DelegationMode::kEager, DelegationMode::kLazyRewrite}) {
+    Options options;
+    options.delegation_mode = mode;
+    options.undo_strategy = UndoStrategy::kFullScan;
+    EXPECT_TRUE(options.Validate().IsInvalidArgument())
+        << DelegationModeName(mode);
+  }
+  // Valid: full-scan under kRH (the ablation), clusters everywhere.
+  Options rh;
+  rh.undo_strategy = UndoStrategy::kFullScan;
+  EXPECT_TRUE(rh.Validate().ok());
+  Options eager;
+  eager.delegation_mode = DelegationMode::kEager;
+  EXPECT_TRUE(eager.Validate().ok());
+}
+
+TEST(OptionsValidateTest, ParallelRecoveryThreadsAreValid) {
+  Options options;
+  options.recovery_threads = 8;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTest, InvalidOptionsMakeDatabaseInert) {
+  Options options;
+  options.recovery_threads = 0;
+  Database db(options);
+  EXPECT_TRUE(db.Begin().status().IsInvalidArgument());
+  EXPECT_TRUE(db.Sync().IsInvalidArgument());
+  EXPECT_TRUE(db.Recover().status().IsInvalidArgument());
+  EXPECT_TRUE(db.ReadCommitted(1).status().IsInvalidArgument());
+}
+
+TEST(OptionsValidateTest, OpenValidatesBeforeTouchingTheImage) {
+  const std::string path = ::testing::TempDir() + "/validate_open.ariesrh";
+  {
+    Database db;
+    TxnId t = *db.Begin();
+    ASSERT_TRUE(db.Set(t, 1, 42).ok());
+    ASSERT_TRUE(db.Commit(t).ok());
+    ASSERT_TRUE(db.Sync().ok());
+    ASSERT_TRUE(db.SaveTo(path).ok());
+  }
+  Options bad;
+  bad.buffer_pool_pages = 0;
+  EXPECT_TRUE(Database::Open(bad, path).status().IsInvalidArgument());
+  // The image itself is fine: valid options open it.
+  Result<std::unique_ptr<Database>> good = Database::Open({}, path);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE((*good)->Recover().ok());
+  EXPECT_EQ(*(*good)->ReadCommitted(1), 42);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -1,0 +1,267 @@
+// Parallel restart recovery: partitioned redo + per-cluster undo must reach
+// exactly the state serial recovery reaches — same ReadCommitted values,
+// same winner/loser counts, same number of records redone and undone — at
+// every thread count, including when recovery itself crashes partway.
+//
+// The stable image is replicated across runs with SaveTo/Open, so every
+// thread count starts from the byte-identical crashed state.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "recovery/undo_rh.h"
+
+namespace ariesrh {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + ".ariesrh";
+}
+
+// Objects touched by phase `p`: a band on its own pages, far from every
+// other phase's band.
+ObjectId PhaseObject(int p, int i) {
+  return static_cast<ObjectId>(p) * 4 * kObjectsPerPage +
+         static_cast<ObjectId>(i);
+}
+
+// A phased history: each phase works a disjoint object range in its own
+// contiguous LSN window and leaves one loser behind, so recovery faces
+// `phases` independent undo clusters (and redo work spread over many
+// pages). Returns the set of objects touched.
+std::vector<ObjectId> BuildClusteredHistory(Database* db, int phases,
+                                            int updates_per_txn) {
+  std::vector<ObjectId> objects;
+  for (int p = 0; p < phases; ++p) {
+    TxnId winner = *db->Begin();
+    TxnId loser = *db->Begin();
+    for (int i = 0; i < updates_per_txn; ++i) {
+      const ObjectId wob = PhaseObject(p, i % kObjectsPerPage);
+      const ObjectId lob = PhaseObject(p, 2 * kObjectsPerPage + i % 8);
+      EXPECT_TRUE(db->Add(winner, wob, 1 + i).ok());
+      EXPECT_TRUE(db->Add(loser, lob, 100 + i).ok());
+      if (i == 0) {
+        objects.push_back(wob);
+        objects.push_back(lob);
+      }
+    }
+    EXPECT_TRUE(db->Commit(winner).ok());
+    // `loser` stays active: a loser whose scopes span only this phase's
+    // LSN window.
+  }
+  EXPECT_TRUE(db->log_manager()->FlushAll().ok());
+  // Dedup (phase loops re-push the same first objects only once, but keep
+  // this robust to edits).
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  return objects;
+}
+
+std::vector<ObjectId> AllTouchedObjects(int phases, int updates_per_txn) {
+  std::vector<ObjectId> objects;
+  for (int p = 0; p < phases; ++p) {
+    for (int i = 0; i < updates_per_txn; ++i) {
+      objects.push_back(PhaseObject(p, i % kObjectsPerPage));
+      objects.push_back(PhaseObject(p, 2 * kObjectsPerPage + i % 8));
+    }
+  }
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  return objects;
+}
+
+struct RecoveredState {
+  std::map<ObjectId, int64_t> values;
+  RecoveryManager::Outcome outcome;
+};
+
+RecoveredState RecoverFromImage(const std::string& path, size_t threads,
+                                const std::vector<ObjectId>& objects) {
+  Options options;
+  options.recovery_threads = threads;
+  Result<std::unique_ptr<Database>> db = Database::Open(options, path);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  RecoveredState state;
+  Result<RecoveryManager::Outcome> outcome = (*db)->Recover();
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  if (!outcome.ok()) return state;
+  state.outcome = *outcome;
+  for (ObjectId ob : objects) {
+    Result<int64_t> value = (*db)->ReadCommitted(ob);
+    EXPECT_TRUE(value.ok());
+    state.values[ob] = value.ok() ? *value : -1;
+  }
+  return state;
+}
+
+TEST(ParallelRecoveryTest, ThreadCountsAgreeOnStateAndCounts) {
+  constexpr int kPhases = 6;
+  constexpr int kUpdates = 20;
+  const std::string path = TempPath("parallel_equivalence");
+  {
+    Database db;
+    BuildClusteredHistory(&db, kPhases, kUpdates);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    ASSERT_TRUE(db.SaveTo(path).ok());
+  }
+  const std::vector<ObjectId> objects = AllTouchedObjects(kPhases, kUpdates);
+
+  const RecoveredState serial = RecoverFromImage(path, 1, objects);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  EXPECT_EQ(serial.outcome.winners, static_cast<uint64_t>(kPhases));
+  EXPECT_EQ(serial.outcome.losers, static_cast<uint64_t>(kPhases));
+  EXPECT_EQ(serial.outcome.threads_used, 1u);
+  EXPECT_TRUE(serial.outcome.merged_forward_pass);
+  EXPECT_GT(serial.outcome.records_analyzed, 0u);
+  EXPECT_GT(serial.outcome.records_redone, 0u);
+  EXPECT_EQ(serial.outcome.records_undone,
+            static_cast<uint64_t>(kPhases) * kUpdates);
+  // Disjoint phases -> independent clusters.
+  EXPECT_GE(serial.outcome.clusters_swept, 2u);
+
+  for (size_t threads : {2u, 4u}) {
+    const RecoveredState parallel = RecoverFromImage(path, threads, objects);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    EXPECT_EQ(parallel.values, serial.values) << threads << " threads";
+    EXPECT_EQ(parallel.outcome.winners, serial.outcome.winners);
+    EXPECT_EQ(parallel.outcome.losers, serial.outcome.losers);
+    EXPECT_EQ(parallel.outcome.next_txn_id, serial.outcome.next_txn_id);
+    EXPECT_EQ(parallel.outcome.threads_used, threads);
+    EXPECT_FALSE(parallel.outcome.merged_forward_pass);
+    EXPECT_EQ(parallel.outcome.records_analyzed,
+              serial.outcome.records_analyzed);
+    EXPECT_EQ(parallel.outcome.records_redone,
+              serial.outcome.records_redone);
+    EXPECT_EQ(parallel.outcome.records_undone,
+              serial.outcome.records_undone);
+    EXPECT_EQ(parallel.outcome.clusters_swept,
+              serial.outcome.clusters_swept);
+  }
+  std::remove(path.c_str());
+}
+
+// The crash-point matrix: recovery dies mid-redo or mid-undo at every
+// thread count, then a clean retry must converge to the serial state.
+class ParallelCrashMatrixTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, bool>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndCrashPoints, ParallelCrashMatrixTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 3u, 7u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<2>(info.param) ? "redo" : "undo") +
+             "_crash" + std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST_P(ParallelCrashMatrixTest, InterruptedParallelRecoveryConverges) {
+  const auto [threads, crash_after, crash_in_redo] = GetParam();
+  constexpr int kPhases = 5;
+  constexpr int kUpdates = 8;
+  std::string test_name = ::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name();
+  for (char& c : test_name) {
+    if (c == '/') c = '_';
+  }
+  const std::string path = TempPath("crash_matrix_" + test_name);
+  {
+    Database db;
+    BuildClusteredHistory(&db, kPhases, kUpdates);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    ASSERT_TRUE(db.SaveTo(path).ok());
+  }
+  const std::vector<ObjectId> objects = AllTouchedObjects(kPhases, kUpdates);
+  const RecoveredState serial = RecoverFromImage(path, 1, objects);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+  Options options;
+  options.recovery_threads = threads;
+  Result<std::unique_ptr<Database>> opened = Database::Open(options, path);
+  ASSERT_TRUE(opened.ok());
+  Database* db = opened->get();
+
+  // First attempt dies at the injected point (redo touches every logged
+  // update here — the stable pages are empty — so any small budget hits).
+  if (crash_in_redo) {
+    db->mutable_options()->faults.crash_after_redo_records = crash_after;
+  } else {
+    db->mutable_options()->faults.crash_after_undo_steps = crash_after;
+  }
+  Result<RecoveryManager::Outcome> first = db->Recover();
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsIOError()) << first.status().ToString();
+  EXPECT_TRUE(db->NeedsRecovery());
+
+  // Clean retry converges to the serial state.
+  db->mutable_options()->faults = FaultInjection{};
+  Result<RecoveryManager::Outcome> second = db->Recover();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->winners, serial.outcome.winners);
+  EXPECT_EQ(second->losers, serial.outcome.losers);
+  for (ObjectId ob : objects) {
+    Result<int64_t> value = db->ReadCommitted(ob);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, serial.values.at(ob)) << "object " << ob;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PartitionUndoClustersTest, DisjointScopesSplitIntoGroups) {
+  // Three losers on disjoint objects and disjoint LSN windows.
+  const std::vector<ScopeUndoTarget> targets = {
+      {1, 10, Scope{1, 5, 9, false}},
+      {2, 20, Scope{2, 20, 24, false}},
+      {3, 30, Scope{3, 40, 44, false}},
+  };
+  const auto groups = PartitionUndoClusters(targets);
+  ASSERT_EQ(groups.size(), 3u);
+  // Deterministic order: newest cluster first.
+  EXPECT_EQ(groups[0].front().responsible, 3u);
+  EXPECT_EQ(groups[1].front().responsible, 2u);
+  EXPECT_EQ(groups[2].front().responsible, 1u);
+}
+
+TEST(PartitionUndoClustersTest, OverlapMergesGroups) {
+  const std::vector<ScopeUndoTarget> targets = {
+      {1, 10, Scope{1, 5, 12, false}},
+      {2, 20, Scope{2, 10, 24, false}},  // overlaps [5,12]
+      {3, 30, Scope{3, 40, 44, false}},
+  };
+  const auto groups = PartitionUndoClusters(targets);
+  ASSERT_EQ(groups.size(), 2u);
+}
+
+TEST(PartitionUndoClustersTest, SharedResponsibleMergesDisjointIntervals) {
+  // Txn 1 is responsible for two disjoint windows: its CLR chain must be
+  // written by one sweep.
+  const std::vector<ScopeUndoTarget> targets = {
+      {1, 10, Scope{1, 5, 9, false}},
+      {1, 20, Scope{1, 30, 34, false}},
+      {2, 30, Scope{2, 50, 54, false}},
+  };
+  const auto groups = PartitionUndoClusters(targets);
+  ASSERT_EQ(groups.size(), 2u);
+}
+
+TEST(PartitionUndoClustersTest, SharedObjectMergesDisjointIntervals) {
+  // Two losers touched the same object in disjoint windows: per-object
+  // undo order must stay global.
+  const std::vector<ScopeUndoTarget> targets = {
+      {1, 10, Scope{1, 5, 9, false}},
+      {2, 10, Scope{2, 30, 34, false}},
+      {3, 30, Scope{3, 50, 54, false}},
+  };
+  const auto groups = PartitionUndoClusters(targets);
+  ASSERT_EQ(groups.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ariesrh

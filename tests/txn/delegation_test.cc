@@ -30,7 +30,8 @@ TEST_F(DelegationTest, SelfDelegationRejected) {
 TEST_F(DelegationTest, EmptyDelegationRejected) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
-  EXPECT_TRUE(db_.Delegate(t1, t2, {}).IsInvalidArgument());
+  EXPECT_TRUE(
+      db_.Delegate(t1, t2, std::vector<ObjectId>{}).IsInvalidArgument());
 }
 
 TEST_F(DelegationTest, DelegationToTerminatedTxnRejected) {

@@ -109,6 +109,18 @@ bool HandleBuiltin(const std::string& line, Database* db,
     std::printf("%s", db->trace()->DumpText(n).c_str());
     return true;
   }
+  if (cmd == "recover") {
+    // Intercepted before the script runner so the shell can print the full
+    // recovery outcome (per-pass timings, cluster stats), which the script
+    // language's terse trace does not carry.
+    Result<RecoveryManager::Outcome> outcome = db->Recover();
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s\n", outcome->ToString().c_str());
+    return true;
+  }
   if (cmd == "save") {
     if (save_path.empty()) {
       std::printf("no session file (start the shell with a path)\n");
@@ -136,9 +148,8 @@ int main(int argc, char** argv) {
                      outcome.status().ToString().c_str());
         return 1;
       }
-      std::printf("opened %s (%llu winners, %llu losers recovered)\n",
-                  save_path.c_str(), (unsigned long long)outcome->winners,
-                  (unsigned long long)outcome->losers);
+      std::printf("opened %s\n%s\n", save_path.c_str(),
+                  outcome->ToString().c_str());
     } else {
       db = std::make_unique<Database>();
       std::printf("new database (will save to %s)\n", save_path.c_str());
