@@ -99,7 +99,7 @@ void BM_Undo_OverlappingScopeCluster(benchmark::State& state) {
     // Chain delegations: everyone hands object 1 to the next transaction,
     // producing `concurrent` overlapping scopes owned by the last one.
     for (size_t i = 0; i + 1 < group.size(); ++i) {
-      Check(db.Delegate(group[i], group[i + 1], {1}), "Delegate");
+      Check(db.Delegate(group[i], group[i + 1], DelegationSpec::Objects({1})), "Delegate");
     }
     Check(db.log_manager()->FlushAll(), "Flush");
     db.SimulateCrash();

@@ -1,7 +1,7 @@
 // Shared helpers for the benchmark harness.
 //
 // Each bench binary regenerates one of the experiment rows in DESIGN.md
-// (E1..E7): google-benchmark provides the timing table; Stats counters are
+// (E1..E8): google-benchmark provides the timing table; Stats counters are
 // attached to each row so the paper's access-pattern claims are visible
 // next to the wall-clock numbers.
 
@@ -107,7 +107,7 @@ inline void RunWorkload(Database* db, const WorkloadParams& params) {
       if (tx != nullptr && !tx->ob_list.empty() &&
           db->txn_manager()->Find(previous) != nullptr &&
           db->txn_manager()->Find(previous)->state == TxnState::kActive) {
-        Check(db->DelegateAll(txn, previous), "DelegateAll");
+        Check(db->Delegate(txn, previous, DelegationSpec::All()), "DelegateAll");
       }
     }
     if (rng.Percent(static_cast<uint32_t>(100 - params.loser_pct))) {

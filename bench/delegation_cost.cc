@@ -31,7 +31,7 @@ void BM_DelegateObjects(benchmark::State& state) {
     const Stats before = db.stats();
     state.ResumeTiming();
 
-    Check(db.Delegate(tor, tee, objects), "Delegate");
+    Check(db.Delegate(tor, tee, DelegationSpec::Objects(objects)), "Delegate");
 
     state.PauseTiming();
     const Stats delta = db.stats().Delta(before);
@@ -64,7 +64,7 @@ void BM_DelegateOneObjectVsHistoryLength(benchmark::State& state) {
 
   TxnId from = a, to = b;
   for (auto _ : state) {
-    Check(db.Delegate(from, to, {1}), "Delegate");
+    Check(db.Delegate(from, to, DelegationSpec::Objects({1})), "Delegate");
     std::swap(from, to);
   }
   const Stats delta = db.stats().Delta(before);

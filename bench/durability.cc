@@ -49,7 +49,7 @@ void ArchiveRetention(benchmark::State& state, bool pin_with_delegation) {
       TxnId invoker = CheckResult(db.Begin(), "Begin");
       pinner = CheckResult(db.Begin(), "Begin");
       Check(db.Add(invoker, 999, 1), "Add");
-      Check(db.Delegate(invoker, pinner, {999}), "Delegate");
+      Check(db.Delegate(invoker, pinner, DelegationSpec::Objects({999})), "Delegate");
       Check(db.Commit(invoker), "Commit");
     }
     for (int round = 0; round < 10; ++round) {

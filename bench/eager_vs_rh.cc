@@ -32,7 +32,7 @@ void DelegateAfterHistory(benchmark::State& state, DelegationMode mode) {
     const Stats before = db.stats();
     state.ResumeTiming();
 
-    Check(db.Delegate(tor, tee, {0, 1, 2, 3}), "Delegate");
+    Check(db.Delegate(tor, tee, DelegationSpec::Objects({0, 1, 2, 3})), "Delegate");
 
     state.PauseTiming();
     const Stats delta = db.stats().Delta(before);

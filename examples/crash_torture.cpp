@@ -48,7 +48,7 @@ struct Torture {
       const Transaction* tx = db.txn_manager()->Find(from);
       if (from == to || tx == nullptr || tx->ob_list.empty()) return;
       std::vector<ObjectId> objects = {tx->ob_list.begin()->first};
-      if (db.Delegate(from, to, objects).ok()) {
+      if (db.Delegate(from, to, ariesrh::DelegationSpec::Objects(objects)).ok()) {
         oracle.Delegate(from, to, objects);
         ++delegations;
       }

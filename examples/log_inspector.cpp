@@ -28,7 +28,7 @@ Status RunExample1(Database& db) {
   ARIESRH_RETURN_IF_ERROR(db.Add(t1, b, 1));
   ARIESRH_RETURN_IF_ERROR(db.Add(t1, a, 1));
   ARIESRH_RETURN_IF_ERROR(db.Add(t2, y, 1));
-  return db.Delegate(t1, t2, {a});
+  return db.Delegate(t1, t2, ariesrh::DelegationSpec::Objects({a}));
 }
 
 int Show(DelegationMode mode) {

@@ -52,7 +52,7 @@ int main() {
   // The delegation: t1 transfers responsibility for `a` to t2. One log
   // record is appended; nothing already written changes.
   const Stats before = db.stats();
-  DEMAND(db.Delegate(t1, t2, {a}));
+  DEMAND(db.Delegate(t1, t2, ariesrh::DelegationSpec::Objects({a})));
   const Stats delta = db.stats().Delta(before);
   std::printf(
       "delegate(t1, t2, {a}): %llu log append(s), %llu rewrite(s) — history "

@@ -10,6 +10,7 @@ Database::Database(Options options) : options_(options) {
   stats_.AttachObservability(&obs_);
   disk_ = std::make_unique<SimulatedDisk>(&stats_);
   disk_->set_log_random_read_stall_ns(options_.sim_log_random_read_ns);
+  disk_->set_log_force_stall_ns(options_.sim_log_force_ns);
   init_status_ = options_.Validate();
   // An invalid configuration leaves the database inert: no volatile
   // components are built and every operation reports init_status_.
@@ -27,6 +28,11 @@ void Database::BuildVolatileComponents() {
   txn_manager_ = std::make_unique<TxnManager>(options_, log_.get(),
                                               pool_.get(), locks_.get(),
                                               &stats_);
+  // The flusher is volatile like everything else here: SimulateCrash tears
+  // it down with the log manager and Recover() builds a fresh one.
+  if (options_.group_commit) {
+    log_->StartGroupCommit(options_.group_commit_window_us);
+  }
 }
 
 Status Database::EnsureUsable() const {
@@ -124,7 +130,9 @@ Status Database::Checkpoint() {
 
   CheckpointData data;
   data.next_txn_id = txn_manager_->next_txn_id();
-  for (const auto& [id, tx] : txn_manager_->transactions()) {
+  // A latched snapshot, not the live table: workers keep running while the
+  // fuzzy checkpoint serializes its view.
+  for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
     if (tx.state != TxnState::kActive) continue;
     CheckpointData::TxnSnapshot snap;
     snap.id = id;
@@ -158,8 +166,9 @@ Result<std::unique_ptr<Database>> Database::Open(Options options,
   auto db = std::unique_ptr<Database>(new Database(options));
   ARIESRH_ASSIGN_OR_RETURN(*db->disk_,
                            SimulatedDisk::LoadFrom(path, &db->stats_));
-  // The stall knob is an open-time property, not part of the image.
+  // The stall knobs are open-time properties, not part of the image.
   db->disk_->set_log_random_read_stall_ns(options.sim_log_random_read_ns);
+  db->disk_->set_log_force_stall_ns(options.sim_log_force_ns);
   // Opening a stable image is indistinguishable from restarting after a
   // crash: volatile state must be rebuilt by Recover().
   db->SimulateCrash();
@@ -226,7 +235,7 @@ Result<uint64_t> Database::ArchiveLog() {
   // itself, its redo point, every live transaction's chain, and every
   // update covered by a live scope (delegated responsibility pins history).
   Lsn safe = std::min(master, ckpt.RedoStart(master));
-  for (const auto& [id, tx] : txn_manager_->transactions()) {
+  for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
     if (tx.state != TxnState::kActive) continue;
     safe = std::min(safe, tx.first_lsn);
     for (const auto& [ob, entry] : tx.ob_list) {
@@ -275,8 +284,14 @@ Result<RecoveryManager::Outcome> Database::Recover() {
 
 Result<int64_t> Database::ReadCommitted(ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(PageOf(ob)));
-  return page->Get(SlotOf(ob));
+  // WithPage, not Fetch: the oracle read is allowed while workers run, and
+  // their fetches may evict this page the moment the pool latch drops.
+  int64_t value = 0;
+  ARIESRH_RETURN_IF_ERROR(pool_->WithPage(PageOf(ob), [&](Page* page) -> Lsn {
+    value = page->Get(SlotOf(ob));
+    return kInvalidLsn;  // not modified
+  }));
+  return value;
 }
 
 }  // namespace ariesrh

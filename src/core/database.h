@@ -55,12 +55,16 @@ class Database {
   Status Delegate(TxnId from, TxnId to, const DelegationSpec& spec);
 
   /// Deprecated: use Delegate(from, to, DelegationSpec::Objects(objects)).
-  /// Kept as a thin wrapper so existing call sites compile unchanged.
+  /// Kept as a thin wrapper so existing call sites compile (with a warning).
+  [[deprecated("use Delegate(from, to, DelegationSpec::Objects(objects))")]]
   Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& objects);
   /// Deprecated: use Delegate(from, to, DelegationSpec::All()).
+  [[deprecated("use Delegate(from, to, DelegationSpec::All())")]]
   Status DelegateAll(TxnId from, TxnId to);
   /// Deprecated: use Delegate(from, to,
   /// DelegationSpec::Operations(ob, first, last)).
+  [[deprecated(
+      "use Delegate(from, to, DelegationSpec::Operations(ob, first, last))")]]
   Status DelegateOperations(TxnId from, TxnId to, ObjectId ob, Lsn first,
                             Lsn last);
   Status Permit(TxnId owner, TxnId grantee, ObjectId ob);

@@ -39,6 +39,15 @@ Status Options::Validate() const {
   // baselines resolve delegation by editing chains and then run
   // conventional chain undo, so an explicit full-scan/cluster choice is
   // meaningless there and almost certainly a configuration mistake.
+  if (group_commit && !force_commits) {
+    return Status::InvalidArgument(
+        "group_commit makes every commit durable before it returns; "
+        "force_commits=false defers durability — pick one");
+  }
+  if (group_commit_window_us > 0 && !group_commit) {
+    return Status::InvalidArgument(
+        "group_commit_window_us only applies with group_commit enabled");
+  }
   if ((delegation_mode == DelegationMode::kEager ||
        delegation_mode == DelegationMode::kLazyRewrite) &&
       undo_strategy == UndoStrategy::kFullScan) {

@@ -69,10 +69,25 @@ struct Options {
   size_t buffer_pool_pages = 64;
 
   /// Force the log on every commit (classic durability). When false, the
-  /// commit record stays in the volatile tail until the next flush — group
-  /// commit: far fewer device flushes, but an acknowledged commit can be
+  /// commit record stays in the volatile tail until the next flush — lazy
+  /// durability: far fewer device flushes, but an acknowledged commit can be
   /// lost to a crash until Database::Sync() (or any forced flush) runs.
   bool force_commits = true;
+
+  /// Group commit: a dedicated flusher thread owns the stable-log forces.
+  /// Commit appends its record, enqueues a flush request, and parks until
+  /// the flusher's next batched force covers it — the commit record is
+  /// durable before Commit returns (the WAL rule holds), but N concurrent
+  /// committers share ~1 device force instead of paying N. Requires
+  /// force_commits (lazy durability and group commit are contradictory).
+  bool group_commit = false;
+
+  /// Group-commit coalescing window, in microseconds. After waking for a
+  /// flush request the flusher waits up to this long for more committers to
+  /// pile on before forcing; 0 forces immediately (batching then emerges
+  /// naturally from requests arriving while a force is in flight). Only
+  /// meaningful with group_commit.
+  uint64_t group_commit_window_us = 0;
 
   /// Whether delegate(t1, t2, ob) also moves t1's lock on ob to t2
   /// (broadened visibility, paper Section 2.1). Tests that exercise pure
@@ -114,6 +129,15 @@ struct Options {
   /// plain CPU parallelism is not (single-core CI, the simulated disk's
   /// in-memory reads). The stall is paid outside the log manager's lock.
   uint64_t sim_log_random_read_ns = 0;
+
+  /// Simulated device stall, in nanoseconds, charged to each stable-log
+  /// *force* (the synchronous write barrier a commit pays for durability).
+  /// 0 (the default) disables stalling. Models the fsync latency real
+  /// stable storage charges per force, so group commit's amortization —
+  /// N committers sharing one force — is wall-clock measurable even on the
+  /// in-memory simulated disk. The stall is paid outside the log manager's
+  /// tail lock, so concurrent appenders keep running during a force.
+  uint64_t sim_log_force_ns = 0;
 
   /// Test-only fault injection.
   FaultInjection faults;

@@ -33,10 +33,12 @@ class Asset {
   Result<bool> Run(TxnId txn, const std::function<Status(TxnId)>& body);
 
   Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& obs) {
-    return db_->Delegate(from, to, obs);
+    return db_->Delegate(from, to, DelegationSpec::Objects(obs));
   }
   /// delegate(t, self()) with no object list: delegate *all* objects.
-  Status DelegateAll(TxnId from, TxnId to) { return db_->DelegateAll(from, to); }
+  Status DelegateAll(TxnId from, TxnId to) {
+    return db_->Delegate(from, to, DelegationSpec::All());
+  }
   Status Permit(TxnId owner, TxnId grantee, ObjectId ob) {
     return db_->Permit(owner, grantee, ob);
   }

@@ -11,13 +11,13 @@ Result<CoTransactionPair> CoTransactionPair::Create(Database* db) {
 Status CoTransactionPair::Yield() {
   // Control is passed at the time of delegation (paper Section 2.2): the
   // active transaction hands its accumulated responsibility to its partner.
-  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(active_, passive_));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(active_, passive_, DelegationSpec::All()));
   std::swap(active_, passive_);
   return Status::OK();
 }
 
 Status CoTransactionPair::Finish(bool commit) {
-  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(passive_, active_));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(passive_, active_, DelegationSpec::All()));
   ARIESRH_RETURN_IF_ERROR(db_->Commit(passive_));
   return commit ? db_->Commit(active_) : db_->Abort(active_);
 }

@@ -20,7 +20,7 @@ Result<TxnId> JointTransaction::Join() {
 
 Status JointTransaction::Finish(TxnId member) {
   // Upward delegation: the member's contribution becomes the group's.
-  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(member, anchor_));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(member, anchor_, DelegationSpec::All()));
   return db_->Commit(member);
 }
 

@@ -28,7 +28,7 @@ Status NestedTransactions::Commit(TxnId txn) {
   if (parent != kInvalidTxn) {
     // Upward inheritance: all the changes the child is responsible for are
     // delegated to its parent when the child commits (Section 2.2).
-    ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(txn, parent));
+    ARIESRH_RETURN_IF_ERROR(db_->Delegate(txn, parent, DelegationSpec::All()));
   }
   ARIESRH_RETURN_IF_ERROR(db_->Commit(txn));
   parent_.erase(txn);

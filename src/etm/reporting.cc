@@ -4,13 +4,13 @@ namespace ariesrh::etm {
 
 Status Reporter::Publish(const std::vector<ObjectId>& objects) {
   ARIESRH_ASSIGN_OR_RETURN(TxnId report, db_->Begin());
-  ARIESRH_RETURN_IF_ERROR(db_->Delegate(worker_, report, objects));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(worker_, report, DelegationSpec::Objects(objects)));
   return CommitReport(report);
 }
 
 Status Reporter::PublishAll() {
   ARIESRH_ASSIGN_OR_RETURN(TxnId report, db_->Begin());
-  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(worker_, report));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(worker_, report, DelegationSpec::All()));
   return CommitReport(report);
 }
 

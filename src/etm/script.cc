@@ -137,7 +137,7 @@ Status ScriptRunner::RunCommand(const std::vector<std::string>& tokens) {
       ARIESRH_ASSIGN_OR_RETURN(ObjectId ob, ParseObject(tokens[i]));
       objects.push_back(ob);
     }
-    ARIESRH_RETURN_IF_ERROR(db_->Delegate(from, to, objects));
+    ARIESRH_RETURN_IF_ERROR(db_->Delegate(from, to, DelegationSpec::Objects(objects)));
     trace_.push_back("delegate " + tokens[1] + " => " + tokens[2]);
     return Status::OK();
   }
@@ -169,7 +169,7 @@ Status ScriptRunner::RunCommand(const std::vector<std::string>& tokens) {
                                      tokens[3] + " itself");
     }
     ARIESRH_RETURN_IF_ERROR(
-        db_->DelegateOperations(from, to, ob, last, last));
+        db_->Delegate(from, to, DelegationSpec::Operations(ob, last, last)));
     trace_.push_back("delegate-last " + tokens[1] + " => " + tokens[2]);
     return Status::OK();
   }
@@ -201,7 +201,7 @@ Status ScriptRunner::RunCommand(const std::vector<std::string>& tokens) {
     if (tokens.size() != 3) return ArityError(tokens, "delegate-all <f> <t>");
     ARIESRH_ASSIGN_OR_RETURN(TxnId from, Txn(tokens[1]));
     ARIESRH_ASSIGN_OR_RETURN(TxnId to, Txn(tokens[2]));
-    ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(from, to));
+    ARIESRH_RETURN_IF_ERROR(db_->Delegate(from, to, DelegationSpec::All()));
     trace_.push_back("delegate-all " + tokens[1] + " => " + tokens[2]);
     return Status::OK();
   }

@@ -5,18 +5,18 @@ namespace ariesrh::etm {
 Result<TxnId> SplitTransactions::Split(TxnId splitting,
                                        const std::vector<ObjectId>& ob_set) {
   ARIESRH_ASSIGN_OR_RETURN(TxnId split_off, db_->Begin());
-  ARIESRH_RETURN_IF_ERROR(db_->Delegate(splitting, split_off, ob_set));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(splitting, split_off, DelegationSpec::Objects(ob_set)));
   return split_off;
 }
 
 Result<TxnId> SplitTransactions::SplitAll(TxnId splitting) {
   ARIESRH_ASSIGN_OR_RETURN(TxnId split_off, db_->Begin());
-  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(splitting, split_off));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(splitting, split_off, DelegationSpec::All()));
   return split_off;
 }
 
 Status SplitTransactions::Join(TxnId joining, TxnId into) {
-  ARIESRH_RETURN_IF_ERROR(db_->DelegateAll(joining, into));
+  ARIESRH_RETURN_IF_ERROR(db_->Delegate(joining, into, DelegationSpec::All()));
   // Having delegated everything, the joining transaction's own fate no
   // longer matters; commit it to end it cleanly.
   return db_->Commit(joining);

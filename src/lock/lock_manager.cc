@@ -27,7 +27,9 @@ bool LockModesCompatible(LockMode a, LockMode b) {
 }
 
 Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode) {
-  ObjectLocks& locks = table_[ob];
+  Shard& shard = ShardFor(ob);
+  std::lock_guard lock(shard.mu);
+  ObjectLocks& locks = shard.table[ob];
   auto self = locks.holders.find(txn);
   if (self != locks.holders.end() && self->second >= mode) {
     return Status::OK();  // already held in an equal or stronger mode
@@ -42,7 +44,7 @@ Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode) {
                         " requested " + LockModeName(mode));
   }
   locks.holders[txn] = mode;
-  held_[txn].insert(ob);
+  shard.held[txn].insert(ob);
   if (stats_ != nullptr) {
     ++stats_->lock_acquires;
     obs::Emit(stats_->trace(), obs::TraceEventType::kLockGrant, txn, ob,
@@ -64,87 +66,106 @@ bool LockManager::ConflictsIgnoringPermits(const ObjectLocks& locks,
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  auto it = held_.find(txn);
-  if (it == held_.end()) return;
-  for (ObjectId ob : it->second) {
-    auto tab = table_.find(ob);
-    if (tab == table_.end()) continue;
-    tab->second.holders.erase(txn);
-    // Permits granted by a terminated owner are moot; drop them.
-    std::erase_if(tab->second.permits,
-                  [txn](const auto& p) { return p.first == txn; });
-    if (tab->second.holders.empty() && tab->second.permits.empty()) {
-      table_.erase(tab);
+  // One shard at a time; each shard's table and held index stay mutually
+  // consistent under its own mutex.
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.held.find(txn);
+    if (it == shard.held.end()) continue;
+    for (ObjectId ob : it->second) {
+      auto tab = shard.table.find(ob);
+      if (tab == shard.table.end()) continue;
+      tab->second.holders.erase(txn);
+      // Permits granted by a terminated owner are moot; drop them.
+      std::erase_if(tab->second.permits,
+                    [txn](const auto& p) { return p.first == txn; });
+      if (tab->second.holders.empty() && tab->second.permits.empty()) {
+        shard.table.erase(tab);
+      }
     }
+    shard.held.erase(it);
   }
-  held_.erase(it);
 }
 
 void LockManager::Release(TxnId txn, ObjectId ob) {
-  auto tab = table_.find(ob);
-  if (tab != table_.end()) {
+  Shard& shard = ShardFor(ob);
+  std::lock_guard lock(shard.mu);
+  auto tab = shard.table.find(ob);
+  if (tab != shard.table.end()) {
     tab->second.holders.erase(txn);
     if (tab->second.holders.empty() && tab->second.permits.empty()) {
-      table_.erase(tab);
+      shard.table.erase(tab);
     }
   }
-  auto it = held_.find(txn);
-  if (it != held_.end()) {
+  auto it = shard.held.find(txn);
+  if (it != shard.held.end()) {
     it->second.erase(ob);
-    if (it->second.empty()) held_.erase(it);
+    if (it->second.empty()) shard.held.erase(it);
   }
 }
 
 void LockManager::Transfer(TxnId from, TxnId to, ObjectId ob) {
-  auto tab = table_.find(ob);
-  if (tab == table_.end()) return;
+  Shard& shard = ShardFor(ob);
+  std::lock_guard lock(shard.mu);
+  auto tab = shard.table.find(ob);
+  if (tab == shard.table.end()) return;
   auto holder = tab->second.holders.find(from);
   if (holder == tab->second.holders.end()) return;
   if (stats_ != nullptr) ++stats_->lock_transfers;
   LockMode mode = holder->second;
   tab->second.holders.erase(holder);
 
-  auto it = held_.find(from);
-  if (it != held_.end()) {
+  auto it = shard.held.find(from);
+  if (it != shard.held.end()) {
     it->second.erase(ob);
-    if (it->second.empty()) held_.erase(it);
+    if (it->second.empty()) shard.held.erase(it);
   }
 
   auto [to_pos, inserted] = tab->second.holders.emplace(to, mode);
   if (!inserted) {
     to_pos->second = std::max(to_pos->second, mode);
   }
-  held_[to].insert(ob);
+  shard.held[to].insert(ob);
 }
 
 void LockManager::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
-  table_[ob].permits.insert({owner, grantee});
+  Shard& shard = ShardFor(ob);
+  std::lock_guard lock(shard.mu);
+  shard.table[ob].permits.insert({owner, grantee});
   if (stats_ != nullptr) ++stats_->lock_permits;
 }
 
 bool LockManager::Holds(TxnId txn, ObjectId ob, LockMode mode) const {
-  auto tab = table_.find(ob);
-  if (tab == table_.end()) return false;
+  const Shard& shard = ShardFor(ob);
+  std::lock_guard lock(shard.mu);
+  auto tab = shard.table.find(ob);
+  if (tab == shard.table.end()) return false;
   auto holder = tab->second.holders.find(txn);
   return holder != tab->second.holders.end() && holder->second >= mode;
 }
 
 std::map<ObjectId, LockMode> LockManager::HeldLocks(TxnId txn) const {
   std::map<ObjectId, LockMode> out;
-  auto it = held_.find(txn);
-  if (it == held_.end()) return out;
-  for (ObjectId ob : it->second) {
-    auto tab = table_.find(ob);
-    if (tab == table_.end()) continue;
-    auto holder = tab->second.holders.find(txn);
-    if (holder != tab->second.holders.end()) out[ob] = holder->second;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.held.find(txn);
+    if (it == shard.held.end()) continue;
+    for (ObjectId ob : it->second) {
+      auto tab = shard.table.find(ob);
+      if (tab == shard.table.end()) continue;
+      auto holder = tab->second.holders.find(txn);
+      if (holder != tab->second.holders.end()) out[ob] = holder->second;
+    }
   }
   return out;
 }
 
 void LockManager::Reset() {
-  table_.clear();
-  held_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.table.clear();
+    shard.held.clear();
+  }
 }
 
 void WaitForGraph::AddEdge(TxnId waiter, TxnId holder) {

@@ -14,11 +14,22 @@
 // Acquisition policy is no-wait: a conflicting request returns kBusy and the
 // caller decides (retry, abort, restructure). A standalone wait-for graph
 // with cycle detection is provided for callers that implement waiting.
+//
+// Thread safety: every operation is safe under concurrent callers. State is
+// partitioned into shards by object id; a shard bundles its slice of the
+// lock table WITH its own per-transaction held-object index, so any
+// object-keyed operation (Acquire, Release, Transfer, Permit, Holds) locks
+// exactly one shard mutex, and the whole-transaction sweeps (ReleaseAll,
+// HeldLocks, Reset) visit shards one at a time. No two shard mutexes are
+// ever held together, so there is no lock-ordering concern and shard
+// mutexes are leaves under every engine lock.
 
 #ifndef ARIESRH_LOCK_LOCK_MANAGER_H_
 #define ARIESRH_LOCK_LOCK_MANAGER_H_
 
+#include <array>
 #include <map>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -40,7 +51,7 @@ const char* LockModeName(LockMode mode);
 /// True when two holders in the given modes may coexist on one object.
 bool LockModesCompatible(LockMode a, LockMode b);
 
-/// Not thread-safe; the engine is a single-threaded simulation.
+/// Thread-safe (sharded by object; see the file comment).
 class LockManager {
  public:
   /// `stats`, when given, receives acquire/conflict/transfer/permit counts
@@ -71,7 +82,9 @@ class LockManager {
   /// True if `txn` holds `ob` in a mode at least as strong as `mode`.
   bool Holds(TxnId txn, ObjectId ob, LockMode mode) const;
 
-  /// Objects currently locked by `txn`, with modes.
+  /// Objects currently locked by `txn`, with modes. Assembled shard by
+  /// shard: a point-in-time view only if the transaction is not
+  /// concurrently acquiring (the usual session contract).
   std::map<ObjectId, LockMode> HeldLocks(TxnId txn) const;
 
   /// Crash: forget everything (locks are volatile).
@@ -84,12 +97,33 @@ class LockManager {
     std::set<std::pair<TxnId, TxnId>> permits;
   };
 
+  /// One partition: its objects' lock state plus the per-transaction index
+  /// of objects held *within this shard*.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ObjectId, ObjectLocks> table;
+    std::unordered_map<TxnId, std::set<ObjectId>> held;
+  };
+
+  static constexpr size_t kShards = 16;
+
+  Shard& ShardFor(ObjectId ob) { return shards_[ShardIndex(ob)]; }
+  const Shard& ShardFor(ObjectId ob) const { return shards_[ShardIndex(ob)]; }
+  static size_t ShardIndex(ObjectId ob) {
+    // Mix before masking: consecutive object ids land on distinct shards
+    // either way, but strided workloads should too.
+    uint64_t h = static_cast<uint64_t>(ob);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h) % kShards;
+  }
+
   bool ConflictsIgnoringPermits(const ObjectLocks& locks, TxnId requester,
                                 LockMode mode) const;
 
   Stats* stats_ = nullptr;
-  std::unordered_map<ObjectId, ObjectLocks> table_;
-  std::unordered_map<TxnId, std::set<ObjectId>> held_;
+  std::array<Shard, kShards> shards_;
 };
 
 /// Wait-for graph with cycle detection, for deadlock analysis in callers

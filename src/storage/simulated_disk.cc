@@ -35,11 +35,18 @@ std::vector<PageId> SimulatedDisk::StablePageIds() const {
   return ids;
 }
 
-void SimulatedDisk::AppendLogRecords(const std::vector<std::string>& records) {
+void SimulatedDisk::AppendLogRecords(const std::vector<std::string>& records,
+                                     uint64_t* stall_ns) {
   for (const std::string& rec : records) {
     records_.push_back(rec);
   }
   ++stats_->log_flushes;
+  if (stall_ns != nullptr) {
+    *stall_ns = log_force_stall_ns_;  // the caller pays, outside its locks
+  } else if (log_force_stall_ns_ > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(log_force_stall_ns_));
+  }
 }
 
 void SimulatedDisk::TruncateLog(Lsn new_end) {

@@ -48,6 +48,7 @@ class SimulatedDisk {
         pages_(std::move(other.pages_)),
         records_(std::move(other.records_)),
         log_random_read_stall_ns_(other.log_random_read_stall_ns_),
+        log_force_stall_ns_(other.log_force_stall_ns_),
         last_read_lsn_(
             other.last_read_lsn_.load(std::memory_order_relaxed)) {}
   SimulatedDisk& operator=(SimulatedDisk&& other) noexcept {
@@ -57,6 +58,7 @@ class SimulatedDisk {
     pages_ = std::move(other.pages_);
     records_ = std::move(other.records_);
     log_random_read_stall_ns_ = other.log_random_read_stall_ns_;
+    log_force_stall_ns_ = other.log_force_stall_ns_;
     last_read_lsn_.store(
         other.last_read_lsn_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
@@ -106,7 +108,14 @@ class SimulatedDisk {
 
   /// Durably appends serialized records; the first one receives LSN
   /// `stable_end_lsn() + 1`. Called by the log manager on flush.
-  void AppendLogRecords(const std::vector<std::string>& records);
+  ///
+  /// A force is charged the configured device stall (see
+  /// set_log_force_stall_ns). When `stall_ns` is provided the charge is
+  /// returned for the caller to pay — the log manager pays it outside its
+  /// tail lock so appenders keep running during the force; otherwise the
+  /// disk stalls in place.
+  void AppendLogRecords(const std::vector<std::string>& records,
+                        uint64_t* stall_ns = nullptr);
 
   /// LSN of the last durable record; 0 if the stable log is empty.
   Lsn stable_end_lsn() const { return base_lsn_ + records_.size(); }
@@ -148,6 +157,13 @@ class SimulatedDisk {
     return log_random_read_stall_ns_;
   }
 
+  /// Simulated device stall per stable-log force (the fsync barrier), in
+  /// nanoseconds; 0 (the default) disables stalling. This is the latency
+  /// group commit amortizes: one force covers every record in the batch
+  /// regardless of how many committers are waiting on it.
+  void set_log_force_stall_ns(uint64_t ns) { log_force_stall_ns_ = ns; }
+  uint64_t log_force_stall_ns() const { return log_force_stall_ns_; }
+
   /// Overwrites a durable record in place. Only the history-rewriting
   /// baselines (Section 3.2's straw men) use this; ARIES/RH never does.
   /// Counted as a random write (`log_rewrites`).
@@ -179,6 +195,7 @@ class SimulatedDisk {
   std::unordered_map<PageId, std::string> pages_;
   std::vector<std::string> records_;
   uint64_t log_random_read_stall_ns_ = 0;
+  uint64_t log_force_stall_ns_ = 0;
   mutable std::atomic<Lsn> last_read_lsn_{kInvalidLsn};
 };
 

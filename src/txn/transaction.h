@@ -3,7 +3,9 @@
 #ifndef ARIESRH_TXN_TRANSACTION_H_
 #define ARIESRH_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "txn/scope.h"
@@ -19,11 +21,35 @@ enum class TxnState : uint8_t {
 
 const char* TxnStateName(TxnState state);
 
+/// A mutex that copies/moves as a fresh, unlocked mutex, so control blocks
+/// holding one stay copyable (checkpoint snapshots) and movable (table
+/// insertion). Copying a latch never copies its lock state.
+class TxnLatch {
+ public:
+  TxnLatch() = default;
+  TxnLatch(const TxnLatch&) {}
+  TxnLatch& operator=(const TxnLatch&) { return *this; }
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
 /// Volatile transaction state. Lost on crash; the recovery forward pass
 /// rebuilds the equivalent information from the log (and checkpoints).
+///
+/// Concurrency contract: calls on behalf of one transaction come from one
+/// session (worker) at a time — the same contract a real engine's session
+/// layer provides. `latch` protects the fields cross-transaction observers
+/// touch (ob_list scope moves during delegation, checkpoint snapshots,
+/// ResponsibleTxn sweeps); `state` is atomic so dependency checks and
+/// schedulers can read it without the latch.
 struct Transaction {
   TxnId id = kInvalidTxn;
-  TxnState state = TxnState::kActive;
+  std::atomic<TxnState> state{TxnState::kActive};
 
   /// LSN of the BEGIN record.
   Lsn first_lsn = kInvalidLsn;
@@ -46,9 +72,45 @@ struct Transaction {
   /// surgery would move records out from under the CLR undo-next chain.
   bool touched_by_delegation = false;
 
+  /// Set (under `latch`) the moment commit/abort processing begins — before
+  /// `state` leaves kActive, which under group commit happens only after the
+  /// commit record is durable. Delegation checks it so no DELEGATE record
+  /// can slip into a chain behind its COMMIT record while the committer is
+  /// parked waiting for the log force.
+  bool terminating = false;
+
+  /// Guards ob_list / last_lsn against cross-transaction observers. Lock
+  /// order for two transactions (delegation): ascending TxnId.
+  mutable TxnLatch latch;
+
+  Transaction() = default;
+  Transaction(const Transaction& other) { CopyFrom(other); }
+  Transaction(Transaction&& other) noexcept { CopyFrom(other); }
+  Transaction& operator=(const Transaction& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Transaction& operator=(Transaction&& other) noexcept {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
   bool IsResponsibleFor(ObjectId ob) const { return ob_list.contains(ob); }
 
   std::string ToString() const;
+
+ private:
+  void CopyFrom(const Transaction& other) {
+    id = other.id;
+    state.store(other.state.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    first_lsn = other.first_lsn;
+    last_lsn = other.last_lsn;
+    ob_list = other.ob_list;
+    did_partial_rollback = other.did_partial_rollback;
+    touched_by_delegation = other.touched_by_delegation;
+    terminating = other.terminating;
+  }
 };
 
 }  // namespace ariesrh

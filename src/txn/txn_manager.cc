@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "obs/trace.h"
@@ -26,17 +28,21 @@ TxnManager::TxnManager(const Options& options, LogManager* log,
 }
 
 Result<TxnId> TxnManager::Begin() {
-  const TxnId id = next_txn_id_++;
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   Transaction tx;
   tx.id = id;
   tx.first_lsn = tx.last_lsn = log_->Append(LogRecord::MakeBegin(id));
-  txns_.emplace(id, std::move(tx));
+  {
+    std::unique_lock table_lock(table_mu_);
+    txns_.emplace(id, std::move(tx));
+  }
   ++stats_->txns_begun;
   obs::Emit(stats_->trace(), obs::TraceEventType::kTxnBegin, id);
   return id;
 }
 
 Result<Transaction*> TxnManager::FindActive(TxnId txn) {
+  std::shared_lock table_lock(table_mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) {
     return Status::NotFound("transaction " + std::to_string(txn) +
@@ -46,20 +52,28 @@ Result<Transaction*> TxnManager::FindActive(TxnId txn) {
     return Status::IllegalState("transaction " + std::to_string(txn) +
                                 " is " + TxnStateName(it->second.state));
   }
+  // The pointer outlives the table lock: std::map nodes are stable and only
+  // ReapTerminated (quiesced by contract) erases.
   return &it->second;
 }
 
 const Transaction* TxnManager::Find(TxnId txn) const {
+  std::shared_lock table_lock(table_mu_);
   auto it = txns_.find(txn);
   return it == txns_.end() ? nullptr : &it->second;
 }
 
 Result<int64_t> TxnManager::Read(TxnId txn, ObjectId ob) {
-  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
-  (void)tx;
+  ARIESRH_RETURN_IF_ERROR(FindActive(txn).status());
   ARIESRH_RETURN_IF_ERROR(locks_->Acquire(txn, ob, LockMode::kShared));
-  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(PageOf(ob)));
-  return page->Get(SlotOf(ob));
+  // WithPage, not Fetch: a concurrent worker's fetch may evict the page the
+  // moment the pool latch drops, so read the slot under it.
+  int64_t value = 0;
+  ARIESRH_RETURN_IF_ERROR(pool_->WithPage(PageOf(ob), [&](Page* page) -> Lsn {
+    value = page->Get(SlotOf(ob));
+    return kInvalidLsn;  // not modified
+  }));
+  return value;
 }
 
 Status TxnManager::Set(TxnId txn, ObjectId ob, int64_t value) {
@@ -75,14 +89,30 @@ Status TxnManager::DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind,
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
   ARIESRH_RETURN_IF_ERROR(locks_->Acquire(txn, ob, lock_mode));
 
-  ARIESRH_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(PageOf(ob)));
+  // The latch spans read-chain-head .. adjust-scopes so a concurrent
+  // delegation involving this transaction cannot splice the backward chain
+  // or move scopes mid-update. Lock order: latch, then pool latch (WithPage),
+  // then the log.
+  std::lock_guard latch(tx->latch);
   const uint32_t slot = SlotOf(ob);
-  const int64_t before = page->Get(slot);
   const int64_t after = value_or_delta;  // kSet: new value; kAdd: delta
-
-  LogRecord rec = LogRecord::MakeUpdate(txn, tx->last_lsn, ob, kind, before,
-                                        after);
-  const Lsn lsn = log_->Append(std::move(rec));
+  Lsn lsn = kInvalidLsn;
+  ARIESRH_RETURN_IF_ERROR(pool_->WithPage(PageOf(ob), [&](Page* page) -> Lsn {
+    // Before-image read, log append, and in-place application are one
+    // critical section under the pool latch: concurrent updates to other
+    // objects on the same page serialize here, and the page cannot be
+    // evicted between the read and the write.
+    const int64_t before = page->Get(slot);
+    lsn = log_->Append(
+        LogRecord::MakeUpdate(txn, tx->last_lsn, ob, kind, before, after));
+    if (kind == UpdateKind::kSet) {
+      page->Set(slot, after);
+    } else {
+      page->Add(slot, after);
+    }
+    page->set_page_lsn(lsn);
+    return lsn;  // marks the page dirty with this record's LSN
+  }));
   tx->last_lsn = lsn;
 
   // ADJUST SCOPES (Section 3.5, update step 1). Conventional DBSs already
@@ -96,16 +126,21 @@ Status TxnManager::DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind,
   } else {
     tx->ob_list.try_emplace(ob);
   }
+  return Status::OK();
+}
 
-  // Apply in place (the page pointer from Fetch above is still valid: no
-  // intervening pool operation).
-  if (kind == UpdateKind::kSet) {
-    page->Set(slot, after);
-  } else {
-    page->Add(slot, after);
+Status TxnManager::CheckDelegationParties(const Transaction& tor,
+                                          const Transaction& tee) const {
+  for (const Transaction* tx : {&tor, &tee}) {
+    if (tx->state != TxnState::kActive) {
+      return Status::IllegalState("transaction " + std::to_string(tx->id) +
+                                  " is " + TxnStateName(tx->state));
+    }
+    if (tx->terminating) {
+      return Status::IllegalState("transaction " + std::to_string(tx->id) +
+                                  " is committing or aborting");
+    }
   }
-  page->set_page_lsn(lsn);
-  pool_->MarkDirty(PageOf(ob), lsn);
   return Status::OK();
 }
 
@@ -135,6 +170,12 @@ Status TxnManager::Delegate(TxnId from, TxnId to,
   }
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tee, FindActive(to));
+
+  // Both parties' latches, deadlock-free; every precondition re-validates
+  // underneath them (the FindActive answers above could be stale the moment
+  // they were given).
+  std::scoped_lock latches(tor->latch, tee->latch);
+  ARIESRH_RETURN_IF_ERROR(CheckDelegationParties(*tor, *tee));
 
   // WELL-FORMED? (Section 3.5, delegate step 1): the delegator must be the
   // responsible transaction for every delegated object.
@@ -214,6 +255,9 @@ Status TxnManager::DelegateOperations(TxnId from, TxnId to, ObjectId ob,
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tee, FindActive(to));
 
+  std::scoped_lock latches(tor->latch, tee->latch);
+  ARIESRH_RETURN_IF_ERROR(CheckDelegationParties(*tor, *tee));
+
   auto it = tor->ob_list.find(ob);
   if (it == tor->ob_list.end()) {
     return Status::InvalidArgument("delegator is not responsible for object " +
@@ -264,9 +308,14 @@ Status TxnManager::DelegateOperations(TxnId from, TxnId to, ObjectId ob,
 Status TxnManager::DelegateAll(TxnId from, TxnId to) {
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
   std::vector<ObjectId> objects;
-  objects.reserve(tor->ob_list.size());
-  for (const auto& [ob, entry] : tor->ob_list) objects.push_back(ob);
+  {
+    std::lock_guard latch(tor->latch);
+    objects.reserve(tor->ob_list.size());
+    for (const auto& [ob, entry] : tor->ob_list) objects.push_back(ob);
+  }
   if (objects.empty()) return Status::OK();
+  // Delegate re-validates responsibility under both latches, so the window
+  // between this snapshot and the transfer is benign.
   return Delegate(from, to, objects);
 }
 
@@ -280,32 +329,38 @@ Status TxnManager::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
 Status TxnManager::FormDependency(DependencyType type, TxnId dependent,
                                   TxnId on) {
   ARIESRH_RETURN_IF_ERROR(FindActive(dependent).status());
-  auto it = txns_.find(on);
-  if (it == txns_.end()) {
+  const Transaction* target = Find(on);
+  if (target == nullptr) {
     return Status::NotFound("dependency target does not exist");
   }
   // Forming a dependency on an already-terminated transaction resolves
   // immediately.
-  if (it->second.state == TxnState::kCommitted) {
+  const TxnState on_state = target->state;
+  if (on_state == TxnState::kCommitted) {
     return Status::OK();
   }
-  if (it->second.state == TxnState::kAborted) {
+  if (on_state == TxnState::kAborted) {
     if (type == DependencyType::kStrongCommit ||
         type == DependencyType::kAbort) {
       return Abort(dependent);
     }
     return Status::OK();
   }
+  std::lock_guard deps_lock(deps_mu_);
   return deps_.Add(type, dependent, on);
 }
 
 Result<Lsn> TxnManager::Savepoint(TxnId txn) {
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  std::lock_guard latch(tx->latch);
   return tx->last_lsn;
 }
 
 Status TxnManager::RollbackTo(TxnId txn, Lsn savepoint) {
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  // The latch spans the whole rollback: scopes and the chain head are in
+  // flux, so delegations and snapshots must wait it out.
+  std::lock_guard latch(tx->latch);
   if (savepoint == kInvalidLsn || savepoint < tx->first_lsn) {
     return Status::InvalidArgument("savepoint predates the transaction");
   }
@@ -389,10 +444,15 @@ Status TxnManager::RollbackTo(TxnId txn, Lsn savepoint) {
 Status TxnManager::Commit(TxnId txn) {
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
 
-  for (const auto& [on, type] : deps_.CommitPrerequisites(txn)) {
-    auto it = txns_.find(on);
+  std::vector<std::pair<TxnId, DependencyType>> prerequisites;
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    prerequisites = deps_.CommitPrerequisites(txn);
+  }
+  for (const auto& [on, type] : prerequisites) {
+    const Transaction* target = Find(on);
     const TxnState on_state =
-        it == txns_.end() ? TxnState::kCommitted : it->second.state;
+        target == nullptr ? TxnState::kCommitted : TxnState(target->state);
     if (on_state == TxnState::kActive) {
       return Status::Busy("commit dependency on active transaction " +
                           std::to_string(on));
@@ -407,21 +467,40 @@ Status TxnManager::Commit(TxnId txn) {
   }
 
   // COMMIT OPERATIONS / WRITE COMMIT RECORD / FLUSH LOG (Section 3.5).
-  // Under group commit (force_commits = false) the flush is deferred: the
-  // record rides out with the next forced flush.
+  // With neither forcing nor group commit the flush is deferred entirely:
+  // the record rides out with the next forced flush.
   obs::ScopedLatencyTimer timer(commit_ns_);
-  const Lsn commit_lsn =
-      log_->Append(LogRecord::MakeCommit(txn, tx->last_lsn));
-  tx->last_lsn = commit_lsn;
-  if (options_.force_commits) {
+  Lsn commit_lsn = kInvalidLsn;
+  {
+    std::lock_guard latch(tx->latch);
+    if (tx->terminating) {
+      return Status::IllegalState("transaction " + std::to_string(txn) +
+                                  " is committing or aborting");
+    }
+    tx->terminating = true;  // from here no delegation may touch the chain
+    commit_lsn = log_->Append(LogRecord::MakeCommit(txn, tx->last_lsn));
+    tx->last_lsn = commit_lsn;
+  }
+  // The durability wait happens OUTSIDE the latch: under group commit this
+  // parks until the flusher's batched force covers the record, and nothing
+  // about this transaction may block checkpoints or other sessions
+  // meanwhile (`terminating` already fences delegation).
+  if (options_.group_commit) {
+    ARIESRH_RETURN_IF_ERROR(log_->FlushWait(commit_lsn));
+  } else if (options_.force_commits) {
     ARIESRH_RETURN_IF_ERROR(log_->Flush(commit_lsn));
   }
-  tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, tx->last_lsn));
-
-  tx->state = TxnState::kCommitted;
-  tx->ob_list.clear();
+  {
+    std::lock_guard latch(tx->latch);
+    tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, tx->last_lsn));
+    tx->state = TxnState::kCommitted;
+    tx->ob_list.clear();
+  }
   locks_->ReleaseAll(txn);
-  deps_.RemoveTxn(txn);
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    deps_.RemoveTxn(txn);
+  }
   ++stats_->txns_committed;
   obs::Emit(stats_->trace(), obs::TraceEventType::kTxnCommit, txn, commit_lsn);
   return Status::OK();
@@ -430,24 +509,41 @@ Status TxnManager::Commit(TxnId txn) {
 Status TxnManager::Abort(TxnId txn) {
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
 
-  // ABORT record marks rollback-in-progress, then undo, then END.
-  tx->last_lsn = log_->Append(LogRecord::MakeAbort(txn, tx->last_lsn));
-  ARIESRH_RETURN_IF_ERROR(RollBack(tx));
-  tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, tx->last_lsn));
-
-  tx->state = TxnState::kAborted;
-  tx->ob_list.clear();
+  {
+    std::lock_guard latch(tx->latch);
+    if (tx->terminating) {
+      return Status::IllegalState("transaction " + std::to_string(txn) +
+                                  " is committing or aborting");
+    }
+    tx->terminating = true;
+    // ABORT record marks rollback-in-progress, then undo, then END — all
+    // under the latch: the chain head and scopes are in flux throughout.
+    tx->last_lsn = log_->Append(LogRecord::MakeAbort(txn, tx->last_lsn));
+    ARIESRH_RETURN_IF_ERROR(RollBack(tx));
+    tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, tx->last_lsn));
+    tx->state = TxnState::kAborted;
+    tx->ob_list.clear();
+  }
   locks_->ReleaseAll(txn);
   ++stats_->txns_aborted;
   obs::Emit(stats_->trace(), obs::TraceEventType::kTxnAbort, txn,
             tx->last_lsn);
   // Capture who must abort with us before the graph forgets this txn.
-  const std::vector<TxnId> dependents = deps_.AbortDependents(txn);
-  deps_.RemoveTxn(txn);
+  std::vector<TxnId> dependents;
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    dependents = deps_.AbortDependents(txn);
+    deps_.RemoveTxn(txn);
+  }
   for (TxnId dependent : dependents) {
-    auto it = txns_.find(dependent);
-    if (it == txns_.end() || it->second.state != TxnState::kActive) continue;
-    ARIESRH_RETURN_IF_ERROR(Abort(dependent));
+    const Transaction* dep = Find(dependent);
+    if (dep == nullptr || dep->state != TxnState::kActive) continue;
+    const Status status = Abort(dependent);
+    // A cascade target that a concurrent session is already terminating is
+    // not our problem to finish.
+    if (!status.ok() && status.code() != StatusCode::kIllegalState) {
+      return status;
+    }
   }
   return Status::OK();
 }
@@ -487,8 +583,10 @@ Status TxnManager::RollBack(Transaction* tx) {
 
 Result<TxnId> TxnManager::ResponsibleTxn(TxnId invoker, ObjectId ob,
                                          Lsn lsn) const {
+  std::shared_lock table_lock(table_mu_);
   for (const auto& [id, tx] : txns_) {
     if (tx.state != TxnState::kActive) continue;
+    std::lock_guard latch(tx.latch);
     auto entry = tx.ob_list.find(ob);
     if (entry == tx.ob_list.end()) continue;
     for (const Scope& scope : entry->second.scopes) {
@@ -498,7 +596,18 @@ Result<TxnId> TxnManager::ResponsibleTxn(TxnId invoker, ObjectId ob,
   return Status::NotFound("no live transaction responsible for that update");
 }
 
+std::map<TxnId, Transaction> TxnManager::SnapshotTransactions() const {
+  std::map<TxnId, Transaction> snapshot;
+  std::shared_lock table_lock(table_mu_);
+  for (const auto& [id, tx] : txns_) {
+    std::lock_guard latch(tx.latch);
+    snapshot.emplace(id, tx);  // Transaction's copy is a plain field copy
+  }
+  return snapshot;
+}
+
 void TxnManager::ReapTerminated() {
+  std::unique_lock table_lock(table_mu_);
   for (auto it = txns_.begin(); it != txns_.end();) {
     it = it->second.state == TxnState::kActive ? std::next(it)
                                                : txns_.erase(it);

@@ -15,12 +15,35 @@
 // abort uses conventional backward-chain undo — the engine is then plain
 // ARIES, which is what makes the paper's "no delegation, no overhead" claim
 // honestly measurable.
+//
+// Thread safety: safe under concurrent callers, with the session contract a
+// real engine's connection layer provides — all calls on behalf of ONE
+// transaction come from one session at a time. Different transactions may be
+// driven concurrently (the worker-pool scheduler does exactly that):
+//   - the transaction table is guarded by a shared mutex; std::map node
+//     stability keeps Transaction* valid across unrelated inserts,
+//   - each control block carries a latch for the fields cross-transaction
+//     observers touch (ob_list scope moves during delegation, last_lsn chain
+//     splices, checkpoint snapshots, ResponsibleTxn sweeps),
+//   - delegation locks both parties' latches deadlock-free (std::scoped_lock)
+//     and re-validates state underneath them, so it cannot race a commit,
+//   - Commit parks in LogManager::FlushWait *outside* the latch (group
+//     commit), flagging the block `terminating` first so no delegation can
+//     splice into the chain behind the COMMIT record.
+// ReapTerminated is the exception: it invalidates pointers and requires all
+// sessions quiesced (it is an administrative sweep, not a data-path call).
+// Lock order: transaction latches (both-at-once via scoped_lock), then the
+// buffer-pool latch, then log-manager internals; lock-manager shards are
+// leaves.
 
 #ifndef ARIESRH_TXN_TXN_MANAGER_H_
 #define ARIESRH_TXN_TXN_MANAGER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/options.h"
@@ -37,7 +60,8 @@
 
 namespace ariesrh {
 
-/// Volatile; a crash discards it entirely. Not thread-safe.
+/// Volatile; a crash discards it entirely. See the file comment for the
+/// concurrency contract.
 class TxnManager {
  public:
   TxnManager(const Options& options, LogManager* log, BufferPool* pool,
@@ -108,7 +132,11 @@ class TxnManager {
 
   /// Commits: checks commit dependencies (kBusy if a prerequisite has not
   /// terminated, kAborted via cascade if a strong prerequisite aborted),
-  /// writes and forces the COMMIT record, writes END, releases locks.
+  /// writes the COMMIT record, makes it durable (direct force, or a parked
+  /// group-commit wait when Options::group_commit is set), writes END,
+  /// releases locks. The WAL rule holds in every mode: Commit returns OK
+  /// only after the commit record is on stable storage (unless forcing is
+  /// off entirely, the deliberate fast-and-loose configuration).
   Status Commit(TxnId txn);
 
   /// Aborts: rolls back every update the transaction is responsible for
@@ -116,7 +144,8 @@ class TxnManager {
   /// END records, releases locks, then cascades to abort-dependents.
   Status Abort(TxnId txn);
 
-  /// Looks up a live or terminated-this-session transaction.
+  /// Looks up a live or terminated-this-session transaction. The pointer
+  /// stays valid until ReapTerminated (std::map node stability).
   const Transaction* Find(TxnId txn) const;
 
   /// The transaction currently responsible for `invoker`'s update to `ob`
@@ -124,15 +153,26 @@ class TxnManager {
   /// NotFound if no live transaction's scopes cover it.
   Result<TxnId> ResponsibleTxn(TxnId invoker, ObjectId ob, Lsn lsn) const;
 
-  /// All live transactions (introspection for checkpoints and tests).
+  /// All live transactions (introspection for single-threaded tests; use
+  /// SnapshotTransactions under concurrency).
   const std::map<TxnId, Transaction>& transactions() const { return txns_; }
 
+  /// Consistent copy of the transaction table, each control block copied
+  /// under its latch — what checkpoints and log archiving iterate while
+  /// workers keep running.
+  std::map<TxnId, Transaction> SnapshotTransactions() const;
+
   /// Seeds the id counter (recovery hands back max-seen + 1).
-  void SetNextTxnId(TxnId next) { next_txn_id_ = next; }
-  TxnId next_txn_id() const { return next_txn_id_; }
+  void SetNextTxnId(TxnId next) {
+    next_txn_id_.store(next, std::memory_order_relaxed);
+  }
+  TxnId next_txn_id() const {
+    return next_txn_id_.load(std::memory_order_relaxed);
+  }
 
   /// Drops terminated transactions' control blocks (they are kept around
-  /// briefly for introspection).
+  /// briefly for introspection). Invalidates pointers: requires all
+  /// sessions quiesced.
   void ReapTerminated();
 
  private:
@@ -143,6 +183,10 @@ class TxnManager {
   Status DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind, LockMode lock_mode,
                   int64_t value_or_delta);
   Status RollBack(Transaction* tx);
+  /// The delegation preconditions that must hold *under both latches*:
+  /// both parties still active and neither mid-commit/mid-abort.
+  Status CheckDelegationParties(const Transaction& tor,
+                                const Transaction& tee) const;
 
   const Options& options_;
   LogManager* log_;
@@ -150,9 +194,18 @@ class TxnManager {
   LockManager* locks_;
   Stats* stats_;
   obs::Histogram* commit_ns_ = nullptr;  ///< null when Stats is unattached
+
+  /// Guards deps_ (the graph itself is not thread-safe). Leaf: never held
+  /// across log, pool, or latch operations.
+  mutable std::mutex deps_mu_;
   DependencyGraph deps_;
+
+  /// Guards the table's *shape* (insert/erase/find). Field access within a
+  /// found control block is governed by its own latch + the session
+  /// contract, so readers hold this shared and briefly.
+  mutable std::shared_mutex table_mu_;
   std::map<TxnId, Transaction> txns_;
-  TxnId next_txn_id_ = 1;
+  std::atomic<TxnId> next_txn_id_{1};
 };
 
 }  // namespace ariesrh

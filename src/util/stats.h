@@ -40,6 +40,7 @@ struct Observability;
   X(log, log_appends, "appends")           /* records appended */       \
   X(log, log_bytes_appended, "bytes")                                   \
   X(log, log_flushes, "flushes")           /* forced flushes */         \
+  X(log, log_group_forces, "group_forces") /* flusher-thread forces */  \
   X(log, log_seq_reads, "seq_reads")       /* in-order record reads */  \
   X(log, log_random_reads, "random_reads") /* out-of-order (seek) */    \
   X(log, log_rewrites, "rewrites")         /* in-place (baselines) */   \

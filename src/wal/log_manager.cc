@@ -1,5 +1,6 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <mutex>
@@ -9,6 +10,18 @@
 
 namespace ariesrh {
 
+namespace {
+
+// Batch sizes, not latencies: small linear-ish bounds so the interesting
+// range (1..64 commits per force) resolves exactly.
+const std::vector<uint64_t>& BatchSizeBounds() {
+  static const std::vector<uint64_t> bounds = {1,  2,  3,  4,  6,  8,
+                                               12, 16, 24, 32, 48, 64};
+  return bounds;
+}
+
+}  // namespace
+
 LogManager::LogManager(SimulatedDisk* disk, Stats* stats)
     : disk_(disk),
       stats_(stats),
@@ -16,13 +29,18 @@ LogManager::LogManager(SimulatedDisk* disk, Stats* stats)
       flushed_lsn_(disk->stable_end_lsn()) {
   if (obs::MetricsRegistry* registry = stats->registry()) {
     flush_ns_ = registry->GetHistogram("ariesrh_log_flush_ns");
+    batch_size_ = registry->GetHistogram("ariesrh_group_commit_batch",
+                                         BatchSizeBounds());
+    queue_depth_ = registry->GetGauge("ariesrh_log_flush_queue_depth");
   }
 }
+
+LogManager::~LogManager() { StopGroupCommit(); }
 
 Lsn LogManager::Append(LogRecord rec) {
   // Reserve the LSN lock-free so serialization — the expensive part — the
   // (relaxed-atomic) byte accounting, and the trace emit all run outside
-  // the lock. Concurrent undo workers appending CLRs then contend only on
+  // the lock. Concurrent workers appending records then contend only on
   // the slot insertion below.
   rec.lsn = next_lsn_.fetch_add(1, std::memory_order_acq_rel);
   TailEntry entry;
@@ -45,32 +63,130 @@ Lsn LogManager::Append(LogRecord rec) {
 }
 
 Status LogManager::Flush(Lsn lsn) {
-  std::unique_lock lock(mu_);
-  const Lsn flushed = flushed_lsn_.load(std::memory_order_relaxed);
-  if (lsn == kInvalidLsn || lsn <= flushed) return Status::OK();
-  assert(lsn < next_lsn_.load(std::memory_order_relaxed) &&
-         "flush beyond end of log");
+  // One force at a time: force_mu_ is the "device channel". A caller whose
+  // LSN was covered by the force it queued behind returns immediately.
+  std::unique_lock force_lock(force_mu_);
   obs::ScopedLatencyTimer timer(flush_ns_);
   std::vector<std::string> batch;
-  // Stop at the first unfilled slot: a concurrent appender still owns it
-  // and the durable log must stay a contiguous prefix.
-  Lsn durable = flushed;
-  while (!tail_.empty() && tail_.front().filled &&
-         tail_.front().record.lsn <= lsn) {
-    durable = tail_.front().record.lsn;
-    batch.push_back(std::move(tail_.front().image));
-    tail_.pop_front();
+  uint64_t stall_ns = 0;
+  {
+    std::unique_lock lock(mu_);
+    const Lsn flushed = flushed_lsn_.load(std::memory_order_relaxed);
+    // Clamp instead of asserting: a group-commit request can race with
+    // DiscardTail, leaving a stale target beyond the (new) end of log.
+    lsn = std::min(lsn, end_lsn());
+    if (lsn == kInvalidLsn || lsn <= flushed) return Status::OK();
+    // Stop at the first unfilled slot: a concurrent appender still owns it
+    // and the durable log must stay a contiguous prefix.
+    Lsn durable = flushed;
+    while (!tail_.empty() && tail_.front().filled &&
+           tail_.front().record.lsn <= lsn) {
+      durable = tail_.front().record.lsn;
+      batch.push_back(std::move(tail_.front().image));
+      tail_.pop_front();
+    }
+    if (!batch.empty()) {
+      disk_->AppendLogRecords(batch, &stall_ns);
+      flushed_lsn_.store(durable, std::memory_order_release);
+      obs::Emit(stats_->trace(), obs::TraceEventType::kLogFlush, durable,
+                batch.size());
+    }
   }
-  if (!batch.empty()) {
-    disk_->AppendLogRecords(batch);
-    flushed_lsn_.store(durable, std::memory_order_release);
-    obs::Emit(stats_->trace(), obs::TraceEventType::kLogFlush, durable,
-              batch.size());
+  // The simulated force stall is the device being busy: pay it holding only
+  // the force mutex, so concurrent appenders (and readers) keep running —
+  // exactly the overlap group commit exploits.
+  if (stall_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(stall_ns));
   }
   return Status::OK();
 }
 
 Status LogManager::FlushAll() { return Flush(end_lsn()); }
+
+Status LogManager::FlushWait(Lsn lsn) {
+  if (!flusher_running_.load(std::memory_order_acquire)) {
+    return Flush(lsn);
+  }
+  std::unique_lock lock(flush_mu_);
+  if (lsn <= acked_lsn_) return flusher_status_;
+  const uint64_t generation = tail_generation_;
+  requested_lsn_ = std::max(requested_lsn_, lsn);
+  ++pending_requests_;
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
+  flush_cv_.notify_one();
+  acked_cv_.wait(lock, [&] {
+    return acked_lsn_ >= lsn || stop_flusher_ ||
+           tail_generation_ != generation || !flusher_status_.ok();
+  });
+  if (queue_depth_ != nullptr) queue_depth_->Add(-1);
+  if (!flusher_status_.ok()) return flusher_status_;
+  if (acked_lsn_ >= lsn) return Status::OK();
+  if (tail_generation_ != generation) {
+    return Status::IllegalState(
+        "log tail discarded before the commit record became durable");
+  }
+  return Status::IllegalState("log flusher stopped during commit flush");
+}
+
+void LogManager::StartGroupCommit(uint64_t window_us) {
+  std::unique_lock lock(flush_mu_);
+  if (flusher_running_.load(std::memory_order_acquire)) return;
+  stop_flusher_ = false;
+  flusher_status_ = Status::OK();
+  acked_lsn_ = flushed_lsn();
+  requested_lsn_ = acked_lsn_;
+  pending_requests_ = 0;
+  flusher_running_.store(true, std::memory_order_release);
+  flusher_ = std::thread([this, window_us] { FlusherLoop(window_us); });
+}
+
+void LogManager::StopGroupCommit() {
+  {
+    std::unique_lock lock(flush_mu_);
+    if (!flusher_running_.load(std::memory_order_acquire)) return;
+    stop_flusher_ = true;
+    flush_cv_.notify_all();
+    acked_cv_.notify_all();
+  }
+  flusher_.join();
+  flusher_running_.store(false, std::memory_order_release);
+}
+
+void LogManager::FlusherLoop(uint64_t window_us) {
+  std::unique_lock lock(flush_mu_);
+  while (true) {
+    flush_cv_.wait(lock, [&] {
+      return stop_flusher_ || requested_lsn_ > acked_lsn_;
+    });
+    if (stop_flusher_) break;
+    if (window_us > 0) {
+      // Coalescing window: give concurrent committers a beat to pile on.
+      // Requests arriving during the force itself batch into the next one
+      // regardless, so the window only matters for sparse commit traffic.
+      flush_cv_.wait_for(lock, std::chrono::microseconds(window_us),
+                         [&] { return stop_flusher_; });
+      if (stop_flusher_) break;
+    }
+    const Lsn target = requested_lsn_;
+    const uint64_t batch = pending_requests_;
+    pending_requests_ = 0;
+    lock.unlock();
+    const Status status = Flush(target);  // one device force for the batch
+    lock.lock();
+    ++stats_->log_group_forces;
+    if (batch_size_ != nullptr && batch > 0) batch_size_->Observe(batch);
+    if (status.ok()) {
+      // DiscardTail may have truncated underneath the force; never ack past
+      // what is actually durable.
+      acked_lsn_ = std::max(acked_lsn_, std::min(target, flushed_lsn()));
+    } else {
+      flusher_status_ = status;  // surfaced to every parked committer
+    }
+    acked_cv_.notify_all();
+    if (!flusher_status_.ok()) break;
+  }
+  flusher_running_.store(false, std::memory_order_release);
+}
 
 Result<LogRecord> LogManager::Read(Lsn lsn) const {
   std::string image;
@@ -84,11 +200,12 @@ Result<LogRecord> LogManager::Read(Lsn lsn) const {
     }
     if (lsn > flushed) {
       // Volatile tail read: no stable I/O. A reserved-but-unfilled slot is
-      // still owned by a concurrent appender and reads as absent.
+      // still owned by a concurrent appender: report kBusy so the caller
+      // retries once the appender has published it — never a torn record.
       const size_t idx = static_cast<size_t>(lsn - flushed - 1);
       if (idx >= tail_.size() || !tail_[idx].filled) {
-        return Status::NotFound("LSN " + std::to_string(lsn) +
-                                " is still being appended");
+        return Status::Busy("LSN " + std::to_string(lsn) +
+                            " is still being appended");
       }
       assert(tail_[idx].record.lsn == lsn);
       return tail_[idx].record;
@@ -124,10 +241,21 @@ Status LogManager::Rewrite(Lsn lsn, LogRecord rec) {
 }
 
 void LogManager::DiscardTail() {
-  std::unique_lock lock(mu_);
-  tail_.clear();
-  next_lsn_.store(flushed_lsn_.load(std::memory_order_relaxed) + 1,
-                  std::memory_order_release);
+  // Serialize after any in-flight force: whatever that force made durable
+  // stays durable, everything still volatile evaporates.
+  std::unique_lock force_lock(force_mu_);
+  {
+    std::unique_lock lock(mu_);
+    tail_.clear();
+    next_lsn_.store(flushed_lsn_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  }
+  // Wake committers parked on records that just ceased to exist.
+  std::unique_lock lock(flush_mu_);
+  ++tail_generation_;
+  requested_lsn_ = std::min(requested_lsn_, flushed_lsn());
+  acked_lsn_ = std::max(acked_lsn_, flushed_lsn());
+  acked_cv_.notify_all();
 }
 
 }  // namespace ariesrh

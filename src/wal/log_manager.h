@@ -6,19 +6,35 @@
 // appending (and flushing) records. RewriteRecord exists solely for the
 // history-rewriting baselines of Section 3.2 and is never called by RH.
 //
-// Thread safety: normal processing is single-threaded, but parallel restart
-// recovery (recovery/parallel.h) reads durable records from redo workers and
-// appends CLRs from undo workers concurrently. Append/Flush/Rewrite/
-// DiscardTail are exclusive; Read takes a shared lock so any number of redo
-// workers can read simultaneously. end_lsn()/flushed_lsn() are lock-free.
+// Thread safety: every operation is safe under concurrent callers. Forward
+// processing runs transactions on a worker pool (workload/scheduler.h) and
+// parallel restart recovery (recovery/parallel.h) reads durable records from
+// redo workers while undo workers append CLRs. Append reserves its LSN
+// lock-free and serializes outside the tail lock; Read takes a shared lock so
+// any number of readers proceed simultaneously; end_lsn()/flushed_lsn() are
+// lock-free. Physical forces serialize on a dedicated force mutex, ordered
+// before the tail lock, and the simulated device stall of a force is paid
+// outside the tail lock so appenders keep running while the device is busy.
+//
+// Group commit: StartGroupCommit spawns a dedicated flusher thread that owns
+// all commit-driven forces. A committer appends its COMMIT record, calls
+// FlushWait, and parks; the flusher coalesces every pending request into one
+// batched force (waiting up to the configured window for stragglers), then
+// wakes the whole batch. N committers therefore pay ~1 device force instead
+// of N, and a commit is still durable before FlushWait returns — the WAL
+// rule and the durability contract are unchanged, only the force count
+// drops. See docs/GROUP_COMMIT.md for the protocol walkthrough.
 
 #ifndef ARIESRH_WAL_LOG_MANAGER_H_
 #define ARIESRH_WAL_LOG_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -36,20 +52,46 @@ class LogManager {
   /// `stats` must outlive the manager.
   LogManager(SimulatedDisk* disk, Stats* stats);
 
+  /// Stops the group-commit flusher, if running.
+  ~LogManager();
+
   /// Appends a record to the volatile tail, assigning and returning its LSN.
-  /// Safe to call from concurrent recovery workers.
+  /// Safe to call from concurrent workers.
   Lsn Append(LogRecord rec);
 
   /// Makes the log durable up to and including `lsn` (no-op if already
-  /// durable). Implements both commit forcing and the WAL rule.
+  /// durable). Implements both commit forcing and the WAL rule. Concurrent
+  /// forces serialize; a caller whose LSN was covered by another thread's
+  /// force returns without touching the device.
   Status Flush(Lsn lsn);
 
   /// Flushes the entire tail.
   Status FlushAll();
 
+  /// Group-commit flush: with the flusher running, enqueues a request for
+  /// `lsn` and parks until a batched force covers it; without a flusher this
+  /// degrades to a direct Flush. Returns only once the record is durable
+  /// (or the tail was discarded / the flusher stopped underneath the wait,
+  /// which reports IllegalState — the crash path).
+  Status FlushWait(Lsn lsn);
+
+  /// Spawns the dedicated flusher thread (idempotent). `window_us` is the
+  /// coalescing window: after waking for a request the flusher waits up to
+  /// this long for more committers before forcing; 0 forces immediately.
+  void StartGroupCommit(uint64_t window_us);
+
+  /// Stops and joins the flusher thread, waking any parked committers with
+  /// IllegalState (idempotent; called by the destructor).
+  void StopGroupCommit();
+
+  bool group_commit_running() const {
+    return flusher_running_.load(std::memory_order_acquire);
+  }
+
   /// Reads a record by LSN, from the tail if not yet durable. Concurrent
   /// readers proceed in parallel; record deserialization happens outside
-  /// the lock.
+  /// the lock. Reading a tail slot whose concurrent appender has reserved
+  /// but not yet filled it returns kBusy (retry), never a torn record.
   Result<LogRecord> Read(Lsn lsn) const;
 
   /// Overwrites an existing record in place (baselines only). Durable
@@ -68,6 +110,8 @@ class LogManager {
   }
 
   /// Crash: discards the volatile tail. The durable prefix is untouched.
+  /// Safe against an in-flight Flush (serializes after it) and wakes any
+  /// parked FlushWait committers whose records were discarded.
   void DiscardTail();
 
  private:
@@ -77,13 +121,35 @@ class LogManager {
     bool filled = false;  // false while a concurrent appender owns the slot
   };
 
+  void FlusherLoop(uint64_t window_us);
+
   SimulatedDisk* disk_;
   Stats* stats_;
-  obs::Histogram* flush_ns_ = nullptr;  ///< null when Stats is unattached
-  mutable std::shared_mutex mu_;       ///< guards tail_ and the disk's log
+  obs::Histogram* flush_ns_ = nullptr;   ///< null when Stats is unattached
+  obs::Histogram* batch_size_ = nullptr; ///< group-commit batch sizes
+  obs::Gauge* queue_depth_ = nullptr;    ///< committers parked in FlushWait
+
+  /// Serializes physical forces (and DiscardTail). Ordered before mu_; the
+  /// simulated device stall is paid holding only this, so appenders and
+  /// readers proceed while the "device" is busy.
+  std::mutex force_mu_;
+  mutable std::shared_mutex mu_;  ///< guards tail_ and the disk's log
   std::atomic<Lsn> next_lsn_;
   std::atomic<Lsn> flushed_lsn_;
   std::deque<TailEntry> tail_;  // records (flushed_lsn_, next_lsn_)
+
+  // --- group-commit flusher state (guarded by flush_mu_) ---
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;  ///< wakes the flusher
+  std::condition_variable acked_cv_;  ///< wakes parked committers
+  Lsn requested_lsn_ = 0;             ///< highest LSN any committer wants
+  Lsn acked_lsn_ = 0;                 ///< highest LSN a batched force covered
+  uint64_t pending_requests_ = 0;     ///< requests since the last force
+  uint64_t tail_generation_ = 0;      ///< bumped by DiscardTail
+  bool stop_flusher_ = false;
+  Status flusher_status_ = Status::OK();
+  std::atomic<bool> flusher_running_{false};
+  std::thread flusher_;
 };
 
 }  // namespace ariesrh

@@ -1,24 +1,33 @@
-// Deterministic interleaved execution of transaction programs.
+// Interleaved execution of transaction programs — deterministic or truly
+// concurrent.
 //
-// The engine is a single-threaded simulation, but the applications the
-// paper targets — "reactive (endless), open-ended (long-lived), and
-// collaborative (interactive) activities" — are concurrent. StepScheduler
-// provides that concurrency deterministically: each *program* is a sequence
-// of steps against a Database; the scheduler interleaves steps from all
-// programs in a seeded pseudo-random order. A step returning kBusy (lock
-// conflict, unmet commit dependency) is retried later; a program whose
-// transaction keeps losing conflicts is aborted and restarted from its
-// first step — the classic optimistic retry loop, here exercised
-// systematically and reproducibly (same seed, same interleaving).
+// The applications the paper targets — "reactive (endless), open-ended
+// (long-lived), and collaborative (interactive) activities" — are
+// concurrent. StepScheduler provides that concurrency two ways. With
+// worker_threads == 1 (the default) each *program* — a sequence of steps
+// against a Database — is interleaved step-by-step in a seeded
+// pseudo-random order: fully deterministic, same seed, same interleaving.
+// With worker_threads > 1 the programs run on a pool of OS threads, each
+// worker claiming programs and driving one to completion at a time against
+// the (thread-safe) engine — real concurrent forward processing, the mode
+// group commit exists for.
+//
+// Either way, a step returning kBusy (lock conflict, unmet commit
+// dependency) is retried later; a program whose transaction keeps losing
+// conflicts is aborted and restarted from its first step — the classic
+// optimistic retry loop, exercised systematically.
 
 #ifndef ARIESRH_WORKLOAD_SCHEDULER_H_
 #define ARIESRH_WORKLOAD_SCHEDULER_H_
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/database.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 
 namespace ariesrh::workload {
@@ -56,6 +65,11 @@ class StepScheduler {
     int busy_retries_before_restart = 32;
     /// Restarts before the program is declared failed.
     int max_restarts = 16;
+    /// Worker threads driving programs. 1 keeps the seeded deterministic
+    /// step interleaving; N > 1 runs programs on N concurrent OS threads
+    /// (each program entirely on one worker, so the per-transaction
+    /// session contract holds).
+    size_t worker_threads = 1;
   };
 
   StepScheduler(Database* db, SchedulerOptions options)
@@ -63,20 +77,25 @@ class StepScheduler {
   explicit StepScheduler(Database* db)
       : StepScheduler(db, SchedulerOptions{}) {}
 
-  /// Registers a program; returns its index.
+  /// Registers a program; returns its index. Not concurrent with Run().
   size_t AddProgram(TxnProgram program);
 
-  /// Interleaves all programs to completion. Returns non-OK only on engine
-  /// errors; per-program failures are reported via outcome().
+  /// Runs all programs to completion. Returns non-OK only on engine
+  /// errors (in the threaded mode, the first error any worker hit);
+  /// per-program failures are reported via outcome().
   Status Run();
 
   ProgramOutcome outcome(size_t index) const {
     return programs_[index].outcome;
   }
   /// Total transaction restarts across all programs (conflict pressure).
-  uint64_t restarts() const { return restarts_; }
+  uint64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
   /// Total kBusy step results observed.
-  uint64_t busy_events() const { return busy_events_; }
+  uint64_t busy_events() const {
+    return busy_events_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ProgramState {
@@ -87,17 +106,29 @@ class StepScheduler {
     int restarts = 0;
     bool done = false;
     ProgramOutcome outcome = ProgramOutcome::kFailed;
+    /// Per-worker commit-latency histogram (threaded mode), set by the
+    /// claiming worker; StepProgram observes the final Commit into it.
+    obs::Histogram* commit_ns = nullptr;
   };
 
+  Status RunSerial();
+  Status RunThreaded();
+  void WorkerLoop(size_t worker_index);
   Status StepProgram(ProgramState* state);
   Status RestartProgram(ProgramState* state);
 
   Database* db_;
   SchedulerOptions options_;
-  Random rng_;
+  Random rng_;  ///< serial mode only
   std::vector<ProgramState> programs_;
-  uint64_t restarts_ = 0;
-  uint64_t busy_events_ = 0;
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<uint64_t> busy_events_{0};
+
+  // --- threaded mode ---
+  std::atomic<size_t> next_program_{0};  ///< claim ticket
+  std::atomic<bool> stop_{false};        ///< raised on the first engine error
+  std::mutex error_mu_;
+  Status first_error_;  ///< guarded by error_mu_
 };
 
 }  // namespace ariesrh::workload

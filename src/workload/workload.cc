@@ -96,14 +96,18 @@ Status WorkloadDriver::StepDelegate() {
     for (const auto& [ob, entry] : tx->ob_list) {
       for (const Scope& scope : entry.scopes) {
         if (scope.invoker != from.id) continue;
+        // Copy out of the node before delegating: handing over the object's
+        // last covered update erases this very ob_list entry.
+        const ObjectId target = ob;
         const Lsn lsn = scope.last;
         Status status =
-            db_->DelegateOperations(from.id, to.id, ob, lsn, lsn);
+            db_->Delegate(from.id, to.id,
+                          DelegationSpec::Operations(target, lsn, lsn));
         if (status.code() == StatusCode::kNotSupported) {
           break;  // non-RH mode: fall through to whole-object delegation
         }
         if (status.ok()) {
-          oracle_.DelegateRange(from.id, to.id, ob, lsn, lsn);
+          oracle_.DelegateRange(from.id, to.id, target, lsn, lsn);
           ++delegations_;
         }
         return Status::OK();
@@ -117,7 +121,7 @@ Status WorkloadDriver::StepDelegate() {
   }
   if (objects.empty()) objects.push_back(tx->ob_list.begin()->first);
 
-  Status status = db_->Delegate(from.id, to.id, objects);
+  Status status = db_->Delegate(from.id, to.id, DelegationSpec::Objects(objects));
   if (status.IsIllegalState() || status.code() == StatusCode::kNotSupported) {
     return Status::OK();  // baseline restriction (e.g. after rollback)
   }

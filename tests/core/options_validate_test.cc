@@ -82,5 +82,24 @@ TEST(OptionsValidateTest, OpenValidatesBeforeTouchingTheImage) {
   std::remove(path.c_str());
 }
 
+TEST(OptionsValidateTest, GroupCommitRequiresForceCommits) {
+  // Group commit exists to make forced commits cheap; combining it with
+  // lazy durability (no forces at all) is a contradiction, not a layering.
+  Options options;
+  options.group_commit = true;
+  options.force_commits = false;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.force_commits = true;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTest, GroupCommitWindowRequiresGroupCommit) {
+  Options options;
+  options.group_commit_window_us = 100;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.group_commit = true;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
 }  // namespace
 }  // namespace ariesrh

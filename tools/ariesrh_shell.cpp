@@ -13,6 +13,7 @@
 //   txns               list live transactions with their Ob_Lists
 //   stats              engine counters
 //   metrics            Prometheus-style metrics exposition
+//   bench              group-commit digest: batches, batch size, p99 commit
 //   trace [n]          last n engine trace events (default 32)
 //   save               persist stable state to the session file
 //   help               command summary
@@ -45,8 +46,8 @@ void PrintHelp() {
       "  expect <ob> <v> | expect-error <cmd...>\n"
       "shell builtins:\n"
       "  log [from [to]] | history <ob> | txns | stats | metrics |"
-      " trace [n] |\n"
-      "  save | help | quit\n");
+      " bench |\n"
+      "  trace [n] | save | help | quit\n");
 }
 
 bool HandleBuiltin(const std::string& line, Database* db,
@@ -101,6 +102,35 @@ bool HandleBuiltin(const std::string& line, Database* db,
   }
   if (cmd == "metrics") {
     std::printf("%s", db->metrics()->Expose().c_str());
+    return true;
+  }
+  if (cmd == "bench") {
+    // Group-commit digest straight from the metrics registry: how many
+    // batched forces ran, how many commits each amortized, and what commit
+    // latency looks like at the tail. All zeros simply means the session
+    // has not committed under group commit yet.
+    const obs::Histogram* batch =
+        db->metrics()->FindHistogram("ariesrh_group_commit_batch");
+    const obs::Histogram* commit_ns =
+        db->metrics()->FindHistogram("ariesrh_txn_commit_ns");
+    std::printf("group commit: %s\n",
+                db->options().group_commit ? "on" : "off");
+    if (batch != nullptr && batch->Count() > 0) {
+      const obs::Histogram::Snapshot s = batch->GetSnapshot();
+      std::printf("  batched forces   %llu\n", (unsigned long long)s.count);
+      std::printf("  commits covered  %llu\n", (unsigned long long)s.sum);
+      std::printf("  mean batch size  %.2f\n", s.Mean());
+    } else {
+      std::printf("  batched forces   0\n");
+    }
+    if (commit_ns != nullptr && commit_ns->Count() > 0) {
+      const obs::Histogram::Snapshot s = commit_ns->GetSnapshot();
+      std::printf("  commits          %llu\n", (unsigned long long)s.count);
+      std::printf("  commit p50       %llu ns\n",
+                  (unsigned long long)s.P50());
+      std::printf("  commit p99       %llu ns\n",
+                  (unsigned long long)s.P99());
+    }
     return true;
   }
   if (cmd == "trace") {
