@@ -1,5 +1,9 @@
 #include "core/database.h"
 
+#include <algorithm>
+
+#include "core/checkpoint_daemon.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "recovery/checkpoint.h"
 #include "wal/log_record.h"
@@ -8,6 +12,7 @@ namespace ariesrh {
 
 Database::Database(Options options) : options_(options) {
   stats_.AttachObservability(&obs_);
+  checkpoint_ns_ = obs_.registry.GetHistogram("ariesrh_checkpoint_ns");
   disk_ = std::make_unique<SimulatedDisk>(&stats_);
   disk_->set_log_random_read_stall_ns(options_.sim_log_random_read_ns);
   disk_->set_log_force_stall_ns(options_.sim_log_force_ns);
@@ -33,6 +38,23 @@ void Database::BuildVolatileComponents() {
   if (options_.group_commit) {
     log_->StartGroupCommit(options_.group_commit_window_us);
   }
+  // So is the checkpoint daemon — but it only starts once the database is
+  // usable: mid-recovery (crashed_ still set) its checkpoints would bounce
+  // off EnsureUsable, so Recover() starts it after restart completes.
+  if (options_.checkpoint_interval_records > 0 ||
+      options_.checkpoint_interval_ms > 0) {
+    daemon_ = std::make_unique<CheckpointDaemon>(
+        this, options_.checkpoint_interval_records,
+        options_.checkpoint_interval_ms, options_.auto_archive);
+    if (!crashed_) daemon_->Start();
+  }
+}
+
+void Database::UpdateLogLiveGauge() {
+  const Lsn end = log_->end_lsn();
+  const Lsn first = disk_->first_retained_lsn();
+  obs_.registry.GetGauge("ariesrh_log_live_records")
+      ->Set(end >= first ? static_cast<int64_t>(end - first + 1) : 0);
 }
 
 Status Database::EnsureUsable() const {
@@ -123,15 +145,24 @@ Status Database::Sync() {
 
 Status Database::Checkpoint() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  std::lock_guard admin(admin_mu_);
+  obs::ScopedLatencyTimer timer(checkpoint_ns_);
 
   LogRecord begin;
   begin.type = LogRecordType::kCkptBegin;
-  log_->Append(std::move(begin));
+  // The CKPT_BEGIN LSN is this checkpoint's identity: it anchors the fuzzy
+  // window [begin_lsn, end_lsn] that recovery's analysis re-scans, so it
+  // must ride in the CKPT_END payload rather than be discarded.
+  const Lsn begin_lsn = log_->Append(std::move(begin));
+  if (ckpt_hooks_.after_begin) ckpt_hooks_.after_begin();
 
   CheckpointData data;
+  data.ckpt_begin_lsn = begin_lsn;
   data.next_txn_id = txn_manager_->next_txn_id();
-  // A latched snapshot, not the live table: workers keep running while the
-  // fuzzy checkpoint serializes its view.
+  // A fenced, latched snapshot, not the live table: workers keep running
+  // while the fuzzy checkpoint serializes its view. Whatever they append
+  // between begin_lsn and the CKPT_END append is the window analysis
+  // reconciles against this snapshot.
   for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
     if (tx.state != TxnState::kActive) continue;
     CheckpointData::TxnSnapshot snap;
@@ -142,6 +173,7 @@ Status Database::Checkpoint() {
     data.active_txns.push_back(std::move(snap));
   }
   data.dirty_pages = pool_->DirtyPageTable();
+  if (ckpt_hooks_.after_snapshot) ckpt_hooks_.after_snapshot();
 
   LogRecord end;
   end.type = LogRecordType::kCkptEnd;
@@ -149,6 +181,8 @@ Status Database::Checkpoint() {
   const Lsn end_lsn = log_->Append(std::move(end));
   ARIESRH_RETURN_IF_ERROR(log_->Flush(end_lsn));
   disk_->SetMasterRecord(end_lsn);
+  ++stats_.checkpoints_taken;
+  UpdateLogLiveGauge();
   obs::Emit(&obs_.trace, obs::TraceEventType::kCheckpoint, end_lsn,
             data.active_txns.size(), data.dirty_pages.size());
   return Status::OK();
@@ -185,8 +219,19 @@ Result<Database::BackupImage> Database::Backup() {
   backup.pages = disk_->ClonePages();
   backup.master_record = disk_->master_record();
   backup.backup_end_lsn = log_->flushed_lsn();
-  ARIESRH_ASSIGN_OR_RETURN(backup.ckpt_record,
-                           disk_->ReadLogRecord(backup.master_record));
+  // The replay window: everything the backup's checkpoint makes recovery
+  // read again. Analysis anchors at CKPT_BEGIN and redo at the checkpoint's
+  // redo point; the backup must carry the log from the earlier of the two,
+  // or a standby seeded mid-stream could never be recovered.
+  ARIESRH_ASSIGN_OR_RETURN(LogRecord end_rec, log_->Read(backup.master_record));
+  ARIESRH_ASSIGN_OR_RETURN(CheckpointData ckpt,
+                           CheckpointData::Deserialize(end_rec.ckpt_payload));
+  backup.window_start = std::min(ckpt.RedoStart(backup.master_record),
+                                 ckpt.AnalysisStart(backup.master_record));
+  for (Lsn lsn = backup.window_start; lsn <= backup.master_record; ++lsn) {
+    ARIESRH_ASSIGN_OR_RETURN(std::string record, disk_->ReadLogRecord(lsn));
+    backup.log_window.push_back(std::move(record));
+  }
   return backup;
 }
 
@@ -213,13 +258,14 @@ Status Database::RestoreFromBackup(const BackupImage& backup) {
   return Status::OK();
 }
 
-Result<uint64_t> Database::ArchiveLog() {
+Result<uint64_t> Database::ArchiveLog(Lsn retain_from) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
   if (options_.delegation_mode != DelegationMode::kRH &&
       options_.delegation_mode != DelegationMode::kDisabled) {
     return Status::NotSupported(
         "log archiving requires checkpoint-based recovery (kRH/kDisabled)");
   }
+  std::lock_guard admin(admin_mu_);
   const Lsn master = disk_->master_record();
   if (master == 0 || master > log_->flushed_lsn()) {
     return Status::IllegalState("take a checkpoint before archiving");
@@ -232,8 +278,13 @@ Result<uint64_t> Database::ArchiveLog() {
                            CheckpointData::Deserialize(rec.ckpt_payload));
 
   // Everything recovery could ever need again must stay: the checkpoint
-  // itself, its redo point, every live transaction's chain, and every
-  // update covered by a live scope (delegated responsibility pins history).
+  // from its CKPT_BEGIN on (analysis re-scans the fuzzy window), its redo
+  // point, every live transaction's chain, every update covered by a live
+  // scope (delegated responsibility pins history), and the caller's
+  // explicit pin (e.g. a standby's unshipped suffix). RedoStart covers the
+  // CKPT_BEGIN anchor by construction. The transaction walk uses the
+  // fenced snapshot, so no delegation mid-transfer can hide a scope from
+  // this bound.
   Lsn safe = std::min(master, ckpt.RedoStart(master));
   for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
     if (tx.state != TxnState::kActive) continue;
@@ -244,10 +295,17 @@ Result<uint64_t> Database::ArchiveLog() {
       }
     }
   }
-  return disk_->ArchiveLogPrefix(safe);
+  if (retain_from != kInvalidLsn) safe = std::min(safe, retain_from);
+  const uint64_t archived = disk_->ArchiveLogPrefix(safe);
+  stats_.archived_records += archived;
+  UpdateLogLiveGauge();
+  return archived;
 }
 
 void Database::SimulateCrash() {
+  // The daemon goes first — its thread drives the components about to be
+  // discarded, so it must be joined before any of them is reset.
+  daemon_.reset();
   // Everything volatile disappears; the simulated disk survives — and so
   // does the observability bundle, by design: the trace is how a crash is
   // observed after the fact.
@@ -279,6 +337,7 @@ Result<RecoveryManager::Outcome> Database::Recover() {
     ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
     ARIESRH_RETURN_IF_ERROR(Checkpoint());
   }
+  if (daemon_ != nullptr) daemon_->Start();
   return outcome;
 }
 

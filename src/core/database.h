@@ -18,7 +18,9 @@
 #ifndef ARIESRH_CORE_DATABASE_H_
 #define ARIESRH_CORE_DATABASE_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/options.h"
@@ -35,6 +37,8 @@
 #include "wal/log_manager.h"
 
 namespace ariesrh {
+
+class CheckpointDaemon;
 
 class Database {
  public:
@@ -79,8 +83,12 @@ class Database {
   /// previously acknowledged commits.
   Status Sync();
 
-  /// Takes a fuzzy checkpoint (CKPT_BEGIN, table snapshot in CKPT_END,
-  /// force, master-record update).
+  /// Takes a fuzzy checkpoint: CKPT_BEGIN, a fenced table snapshot carried
+  /// (with its CKPT_BEGIN LSN) in CKPT_END's payload, a log force, and the
+  /// master-record update. Safe concurrently with running workers — the
+  /// records they append inside the BEGIN..END window are reconciled by
+  /// recovery's window re-scan — and serialized against other checkpoint /
+  /// archive admin operations (e.g. the background daemon's).
   Status Checkpoint();
 
   /// Persists the stable state (pages + durable log + master record) to a
@@ -101,10 +109,16 @@ class Database {
     std::unordered_map<PageId, std::string> pages;
     Lsn master_record = 0;
     Lsn backup_end_lsn = 0;  ///< log was durable through here at backup time
-    /// Serialized image of the CKPT_END record at `master_record`, so a
-    /// standby seeded from this backup can start its log mid-stream and
-    /// still recover from the checkpoint (replication/log_shipping.h).
-    std::string ckpt_record;
+    /// Serialized images of the log records the backup's checkpoint replays
+    /// from: [window_start .. master_record], where window_start is the
+    /// earlier of the checkpoint's redo point and its CKPT_BEGIN (the
+    /// analysis anchor). A standby seeded from this backup installs them so
+    /// its mid-stream log covers the whole fuzzy window
+    /// (replication/log_shipping.h) — a backup without the window could not
+    /// be recovered, exactly as a base backup in classical ARIES must
+    /// include the log from the begin-checkpoint record on.
+    Lsn window_start = 0;
+    std::vector<std::string> log_window;
   };
 
   /// Takes a backup: flushes all dirty pages, checkpoints, and snapshots
@@ -123,14 +137,20 @@ class Database {
   Status RestoreFromBackup(const BackupImage& backup);
 
   /// Archives the no-longer-needed log prefix: everything before
-  /// min(last checkpoint, its redo point, the oldest live transaction's
-  /// BEGIN, and the oldest LSN covered by any live scope). Delegation can
-  /// pin old history: a scope received from a long-gone delegator keeps its
-  /// update records alive until the delegatee resolves. Returns the number
-  /// of records archived. Requires a checkpoint; only supported for kRH and
-  /// kDisabled (the rewriting baselines recover from the log head and can
-  /// never archive — one more cost of mutating history).
-  Result<uint64_t> ArchiveLog();
+  /// min(last checkpoint's CKPT_BEGIN, its redo point, the oldest live
+  /// transaction's BEGIN, and the oldest LSN covered by any live scope).
+  /// Delegation can pin old history: a scope received from a long-gone
+  /// delegator keeps its update records alive until the delegatee resolves.
+  /// The live-transaction walk runs on the fenced table snapshot, so a
+  /// delegation racing the archive can never leave a scope observed in
+  /// neither party's Ob_List. `retain_from` (optional) additionally pins
+  /// every record at or after it — e.g. a standby's
+  /// StandbyReplica::RetentionPin(), so ship-once replication survives
+  /// continuous archiving. Returns the number of records archived.
+  /// Requires a checkpoint; only supported for kRH and kDisabled (the
+  /// rewriting baselines recover from the log head and can never archive —
+  /// one more cost of mutating history).
+  Result<uint64_t> ArchiveLog(Lsn retain_from = kInvalidLsn);
 
   // --- crash / recovery harness ---
 
@@ -174,9 +194,30 @@ class Database {
   LockManager* lock_manager() { return locks_.get(); }
   SimulatedDisk* disk() { return disk_.get(); }
 
+  /// The background checkpoint/log-retention daemon; nullptr unless an
+  /// Options checkpoint interval enables it (and after SimulateCrash, until
+  /// Recover rebuilds it).
+  CheckpointDaemon* checkpoint_daemon() { return daemon_.get(); }
+
+  /// Test-only interception points inside the fuzzy-checkpoint window, so
+  /// tests can deterministically place records relative to the snapshot.
+  struct CheckpointTestHooks {
+    /// After the CKPT_BEGIN append, before the table snapshot.
+    std::function<void()> after_begin;
+    /// After the table snapshot, before the CKPT_END append.
+    std::function<void()> after_snapshot;
+  };
+  /// Install before any concurrent Checkpoint() call; not synchronized.
+  void set_checkpoint_test_hooks(CheckpointTestHooks hooks) {
+    ckpt_hooks_ = std::move(hooks);
+  }
+
  private:
   Status EnsureUsable() const;
   void BuildVolatileComponents();
+  /// Refreshes the ariesrh_log_live_records gauge (end of log minus
+  /// archived prefix).
+  void UpdateLogLiveGauge();
 
   Options options_;
   /// Options::Validate() verdict from construction. When not OK, every
@@ -190,6 +231,16 @@ class Database {
   std::unique_ptr<LockManager> locks_;
   std::unique_ptr<TxnManager> txn_manager_;
   bool crashed_ = false;
+
+  /// Serializes checkpoint/archive admin operations (daemon vs. shell vs.
+  /// tests): interleaved CKPT_BEGIN/CKPT_END pairs would cross-link their
+  /// fuzzy windows, and archive must not race the master-record update.
+  std::mutex admin_mu_;
+  obs::Histogram* checkpoint_ns_ = nullptr;
+  CheckpointTestHooks ckpt_hooks_;
+  /// Declared last: destroyed first, so the daemon thread is joined before
+  /// any component it drives goes away.
+  std::unique_ptr<CheckpointDaemon> daemon_;
 };
 
 }  // namespace ariesrh

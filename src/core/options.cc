@@ -55,6 +55,20 @@ Status Options::Validate() const {
         "undo_strategy full-scan only applies to delegation_mode rh; the "
         "rewriting baselines always use conventional chain undo");
   }
+  const bool checkpoint_daemon =
+      checkpoint_interval_records > 0 || checkpoint_interval_ms > 0;
+  if (checkpoint_daemon && delegation_mode != DelegationMode::kRH &&
+      delegation_mode != DelegationMode::kDisabled) {
+    return Status::InvalidArgument(
+        "the checkpoint daemon requires checkpoint-based recovery "
+        "(delegation_mode rh or disabled); the rewriting baselines recover "
+        "from the log head");
+  }
+  if (auto_archive && !checkpoint_daemon) {
+    return Status::InvalidArgument(
+        "auto_archive rides on the checkpoint daemon; set "
+        "checkpoint_interval_records or checkpoint_interval_ms");
+  }
   return Status::OK();
 }
 

@@ -105,6 +105,23 @@ struct Options {
   /// head.
   bool checkpoint_after_recovery = false;
 
+  /// Background checkpoint daemon: when either interval is non-zero the
+  /// Database owns a thread that takes fuzzy checkpoints concurrently with
+  /// the workload — after this many log records have been appended since
+  /// the last checkpoint (0 = no record-count trigger)...
+  uint64_t checkpoint_interval_records = 0;
+  /// ...or after this many milliseconds have elapsed since the last one
+  /// (0 = no timer trigger). Both triggers may be combined; whichever fires
+  /// first wins. Requires a checkpoint-consuming delegation mode (kRH or
+  /// kDisabled — the rewriting baselines recover from the log head and
+  /// would take checkpoints nothing ever reads).
+  uint64_t checkpoint_interval_ms = 0;
+
+  /// After each daemon checkpoint, archive the no-longer-needed log prefix
+  /// (Database::ArchiveLog) automatically — continuous log retention.
+  /// Requires the checkpoint daemon (an interval above must be set).
+  bool auto_archive = false;
+
   /// Backward-pass implementation for kRH (ablation; see UndoStrategy).
   UndoStrategy undo_strategy = UndoStrategy::kScopeClusters;
 

@@ -19,7 +19,14 @@ TxnAnalysis& Touch(ForwardPassResult* result, TxnId txn, Lsn lsn) {
     info.id = txn;
     info.first_lsn = lsn;
   }
-  info.last_lsn = lsn;
+  // Monotone, not unconditional: the scan may revisit the fuzzy-checkpoint
+  // window, where a record's LSN can lie *behind* the chain head the
+  // snapshot seeded — regressing last_lsn would corrupt the backward-chain
+  // head END records and undo start from. (kInvalidLsn is the all-ones
+  // sentinel, so it must be tested explicitly, not folded into max().)
+  if (info.last_lsn == kInvalidLsn || lsn > info.last_lsn) {
+    info.last_lsn = lsn;
+  }
   result->max_txn_id = std::max(result->max_txn_id, txn);
   return info;
 }
@@ -89,8 +96,23 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
 
   Lsn analysis_from = kFirstLsn;
   Lsn redo_from = kFirstLsn;
+  // Per-transaction chain heads as the fuzzy snapshot saw them. A window
+  // record (CKPT_BEGIN..CKPT_END) is already reflected in the snapshot's
+  // tables iff the snapshot copied its transaction *after* the record was
+  // appended — i.e. the snapshot's last_lsn for that transaction is at or
+  // past the record. Re-applying only the unreflected records makes the
+  // window re-scan idempotent.
+  std::unordered_map<TxnId, Lsn> snap_last;
+  const auto reflected = [&snap_last](TxnId txn, Lsn lsn) {
+    const auto it = snap_last.find(txn);
+    return it != snap_last.end() && it->second != kInvalidLsn &&
+           it->second >= lsn;
+  };
   if (ckpt != nullptr) {
-    analysis_from = ckpt_end_lsn + 1;
+    // Anchor at CKPT_BEGIN: everything appended concurrently with the fuzzy
+    // snapshot gets re-scanned and reconciled. Legacy (v1) checkpoints fall
+    // back to just past CKPT_END.
+    analysis_from = ckpt->AnalysisStart(ckpt_end_lsn);
     redo_from = ckpt->RedoStart(ckpt_end_lsn);
     result.max_txn_id =
         ckpt->next_txn_id > 0 ? ckpt->next_txn_id - 1 : 0;
@@ -100,6 +122,7 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
       info.first_lsn = snap.first_lsn;
       info.last_lsn = snap.last_lsn;
       info.ob_list = snap.ob_list;
+      snap_last[snap.id] = snap.last_lsn;
       result.max_txn_id = std::max(result.max_txn_id, snap.id);
     }
   }
@@ -142,7 +165,10 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         }
         if (analyze) {
           TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
-          if (mode == DelegationMode::kRH) {
+          // A window update the snapshot already reflects must not re-adjust
+          // scopes: the seeded Ob_List accounts for it (and possibly for a
+          // later delegation that moved it away).
+          if (mode == DelegationMode::kRH && !reflected(rec.txn_id, lsn)) {
             // ADJUST SCOPES, as in normal processing (Section 3.6.1).
             ObjectEntry& entry = info.ob_list[rec.object];
             entry.ExtendOrOpen(rec.txn_id, lsn);
@@ -171,6 +197,10 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         if (analyze) Touch(&result, rec.txn_id, lsn);
         break;
       case LogRecordType::kCommit:
+        // Termination flags apply unconditionally, never via the reflected
+        // check: the snapshot records only *active* transactions, so it can
+        // never testify that a commit was observed — skipping a window
+        // COMMIT would wrongly undo a committed transaction on restart.
         if (analyze) {
           TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
           info.committed = true;
@@ -193,7 +223,17 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         if (analyze) {
           Touch(&result, rec.tor, lsn);
           Touch(&result, rec.tee, lsn);
-          if (mode == DelegationMode::kRH) {
+          // TxnManager's checkpoint fence makes each delegation atomic with
+          // respect to the fuzzy snapshot: the snapshot saw either both
+          // parties post-delegation or neither. So one party reflecting the
+          // record means the transfer is already in the seeded Ob_Lists and
+          // replaying it would move scopes a second time (e.g. stealing a
+          // scope the delegator re-opened after the transfer). Either party
+          // may have terminated before the snapshot (absent from it), hence
+          // the check consults both.
+          const bool in_snapshot =
+              reflected(rec.tor, lsn) || reflected(rec.tee, lsn);
+          if (mode == DelegationMode::kRH && !in_snapshot) {
             TransferScopes(&result, rec, stats);
           } else if (mode == DelegationMode::kLazyRewrite) {
             // Physically rewrite history now (deferred Figure 1): surgery
@@ -219,8 +259,9 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         break;
       case LogRecordType::kCkptBegin:
       case LogRecordType::kCkptEnd:
-        // A completed checkpoint after `ckpt` would have moved the master
-        // record; seeing one here means it was superseded or torn. Skip.
+        // The anchor checkpoint's own BEGIN/END bracket the re-scanned
+        // window and carry no table deltas. Any *other* checkpoint seen
+        // here was superseded (master points elsewhere) or torn. Skip.
         break;
     }
   }

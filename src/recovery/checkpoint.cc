@@ -6,16 +6,32 @@
 
 namespace ariesrh {
 
+namespace {
+
+// v2 payloads open with a marker byte no v1 payload can start with (v1
+// leads with varint next_txn_id >= 1) followed by the format version.
+constexpr uint8_t kVersionMarker = 0x00;
+constexpr uint8_t kFormatVersion = 2;
+
+}  // namespace
+
 Lsn CheckpointData::RedoStart(Lsn ckpt_end_lsn) const {
-  Lsn start = ckpt_end_lsn + 1;
+  Lsn start = ckpt_begin_lsn != 0 ? ckpt_begin_lsn : ckpt_end_lsn + 1;
   for (const auto& [page, rec_lsn] : dirty_pages) {
     start = std::min(start, rec_lsn);
   }
   return start;
 }
 
+Lsn CheckpointData::AnalysisStart(Lsn ckpt_end_lsn) const {
+  return ckpt_begin_lsn != 0 ? ckpt_begin_lsn : ckpt_end_lsn + 1;
+}
+
 std::string CheckpointData::Serialize() const {
   std::string out;
+  PutFixed8(&out, kVersionMarker);
+  PutFixed8(&out, kFormatVersion);
+  PutVarint64(&out, ckpt_begin_lsn);
   PutVarint64(&out, next_txn_id);
 
   PutVarint64(&out, active_txns.size());
@@ -51,6 +67,18 @@ std::string CheckpointData::Serialize() const {
 Result<CheckpointData> CheckpointData::Deserialize(const std::string& payload) {
   Decoder dec(payload);
   CheckpointData data;
+  if (!payload.empty() &&
+      static_cast<uint8_t>(payload[0]) == kVersionMarker) {
+    uint8_t marker = 0, version = 0;
+    ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&marker));
+    ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&version));
+    if (version != kFormatVersion) {
+      return Status::Corruption("unknown checkpoint payload version " +
+                                std::to_string(version));
+    }
+    ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&data.ckpt_begin_lsn));
+  }
+  // else: legacy v1 payload — ckpt_begin_lsn stays 0 (anchor unknown).
   ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&data.next_txn_id));
 
   uint64_t txn_count = 0;

@@ -5,6 +5,14 @@
 // checkpoint snapshots the transaction table (including Ob_Lists with their
 // scopes — the delegation state) and the dirty page table, so recovery's
 // forward pass can start at the checkpoint instead of the log head.
+//
+// The checkpoint is *fuzzy*: workers keep appending between the CKPT_BEGIN
+// record and the CKPT_END record that carries the snapshot. Everything that
+// lands inside that window is in the log but may or may not be reflected in
+// the snapshot, so CKPT_END records the LSN of its own CKPT_BEGIN and
+// analysis re-scans the window, reconciling each record against the
+// snapshot (see AnalysisStart / the window rules in recovery/analysis.cc
+// and docs/CHECKPOINT.md).
 
 #ifndef ARIESRH_RECOVERY_CHECKPOINT_H_
 #define ARIESRH_RECOVERY_CHECKPOINT_H_
@@ -30,16 +38,35 @@ struct CheckpointData {
 
   /// Next transaction id to hand out after recovery.
   TxnId next_txn_id = 1;
+  /// LSN of this checkpoint's CKPT_BEGIN record — the fuzzy window's lower
+  /// bound and analysis's scan anchor. 0 means the payload predates the
+  /// anchor (a legacy v1 checkpoint): the window extent is unknown, so
+  /// recovery conservatively anchors just past CKPT_END, exactly as the old
+  /// code did.
+  Lsn ckpt_begin_lsn = 0;
   /// Every transaction active at checkpoint time.
   std::vector<TxnSnapshot> active_txns;
   /// Dirty page table: page -> recovery LSN (first update that dirtied it).
   std::map<PageId, Lsn> dirty_pages;
 
   /// Smallest LSN redo must start from given this checkpoint: the minimum
-  /// dirty-page recovery LSN, or just past the checkpoint if nothing was
-  /// dirty.
+  /// over the dirty-page recovery LSNs and the CKPT_BEGIN anchor. The
+  /// anchor matters because a window update may dirty a page *after* the
+  /// fuzzy dirty-page-table snapshot — that page is absent from
+  /// `dirty_pages`, so only scanning from CKPT_BEGIN re-applies it
+  /// (page-LSN checks keep any overlap idempotent). Falls back to just past
+  /// CKPT_END for legacy payloads with no dirty pages.
   Lsn RedoStart(Lsn ckpt_end_lsn) const;
 
+  /// First LSN the analysis scan must process: CKPT_BEGIN when known (the
+  /// fuzzy window must be reconciled against the snapshot), else just past
+  /// CKPT_END (legacy checkpoints were only taken quiesced).
+  Lsn AnalysisStart(Lsn ckpt_end_lsn) const;
+
+  /// Serializes in the v2 format: a leading 0x00 marker byte plus a version
+  /// byte, then the fields. The marker is unambiguous because a v1 payload
+  /// starts with varint-encoded next_txn_id >= 1, whose first byte is never
+  /// 0x00. Deserialize accepts both formats.
   std::string Serialize() const;
   static Result<CheckpointData> Deserialize(const std::string& payload);
 };

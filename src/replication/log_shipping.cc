@@ -15,17 +15,21 @@ Status StandbyReplica::SeedFromBackup(const Database::BackupImage& backup) {
   if (shipped_through_ != 0) {
     return Status::IllegalState("seed before the first sync");
   }
-  if (backup.ckpt_record.empty() || backup.master_record == 0) {
-    return Status::InvalidArgument("backup image lacks a checkpoint record");
+  if (backup.log_window.empty() || backup.master_record == 0 ||
+      backup.window_start == 0) {
+    return Status::InvalidArgument(
+        "backup image lacks the checkpoint's log window");
   }
   ARIESRH_RETURN_IF_ERROR(db_->RestoreFromBackup(backup));
   // Pages reflect the log through the backup point. The standby's log
-  // starts mid-stream: it holds just the backup's CKPT_END record (the
-  // anchor promotion recovers from), positioned at its original LSN, and
-  // shipping resumes after the backup point.
+  // starts mid-stream: it holds the backup checkpoint's replay window
+  // [window_start .. master_record] — CKPT_BEGIN through CKPT_END plus any
+  // earlier redo-point records — positioned at its original LSNs, so
+  // promotion's begin-anchored analysis and redo find every record they
+  // scan. Shipping resumes after the backup point.
   ARIESRH_RETURN_IF_ERROR(
-      db_->disk()->SetLogBase(backup.master_record - 1));
-  db_->disk()->AppendLogRecords({backup.ckpt_record});
+      db_->disk()->SetLogBase(backup.window_start - 1));
+  db_->disk()->AppendLogRecords(backup.log_window);
   // Resume shipping right after the checkpoint; anything between it and the
   // backup end is re-shipped and re-applied idempotently (page LSN checks).
   shipped_through_ = backup.master_record;
@@ -49,11 +53,15 @@ Status StandbyReplica::SyncFrom(const Database& primary) {
     db_->disk()->AppendLogRecords(batch);
     shipped_through_ = durable;
   }
-  // The master record travels once the checkpoint it names is shipped.
-  if (source->master_record() != 0 &&
-      source->master_record() <= shipped_through_) {
-    db_->disk()->SetMasterRecord(source->master_record());
-  }
+  // The primary's master record deliberately does NOT travel. A checkpoint
+  // promises "pages the dirty-page snapshot calls clean already reflect
+  // everything before RedoStart" — a promise about the *primary's* pages.
+  // This standby's pages reflect at most its seed backup (nothing at all if
+  // log-only), so anchoring promotion at a later shipped checkpoint would
+  // make redo skip updates these pages never received. Only the seed
+  // backup's own checkpoint (installed by SeedFromBackup, whose pages we
+  // did restore) is a sound anchor; otherwise promotion replays from the
+  // log head, which is always correct.
   return Status::OK();
 }
 

@@ -34,13 +34,23 @@ class StandbyReplica {
   /// promotion replays only the log after the backup point.
   Status SeedFromBackup(const Database::BackupImage& backup);
 
-  /// Ships every durable record the standby has not seen yet, plus the
-  /// primary's master record when it is covered. Ship-once: records are
-  /// never re-read. Safe to call as often as desired.
+  /// Ships every durable record the standby has not seen yet. Ship-once:
+  /// records are never re-read. Safe to call as often as desired. The
+  /// primary's master record is never shipped — its checkpoint's redo
+  /// point speaks about the primary's pages, not this standby's (see the
+  /// note in SyncFrom); promotion anchors at the seed backup's checkpoint
+  /// or, for a log-only standby, replays from the log head.
   Status SyncFrom(const Database& primary);
 
   /// LSN through which the standby holds the primary's log.
   Lsn shipped_through() const { return shipped_through_; }
+
+  /// The oldest primary LSN this standby still needs shipped: pass it to
+  /// Database::ArchiveLog(retain_from) on the primary so continuous
+  /// archiving (the checkpoint daemon's auto_archive) never discards the
+  /// unshipped suffix out from under ship-once replication. Without the
+  /// pin, an archive racing ahead of shipping forces a reseed from backup.
+  Lsn RetentionPin() const { return shipped_through_ + 1; }
 
   /// Promotes the standby: runs restart recovery over the shipped log and
   /// returns the now-usable database. The replica object is consumed.

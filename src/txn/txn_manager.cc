@@ -171,6 +171,12 @@ Status TxnManager::Delegate(TxnId from, TxnId to,
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tee, FindActive(to));
 
+  // The fence makes the two-party transfer atomic w.r.t. a concurrent
+  // fuzzy-checkpoint snapshot: the snapshot must not copy the delegator
+  // pre-transfer and the delegatee post-transfer (or vice versa) — recovery
+  // and log archiving would then see a scope in neither or both Ob_Lists.
+  std::shared_lock fence(ckpt_fence_);
+
   // Both parties' latches, deadlock-free; every precondition re-validates
   // underneath them (the FindActive answers above could be stale the moment
   // they were given).
@@ -254,6 +260,9 @@ Status TxnManager::DelegateOperations(TxnId from, TxnId to, ObjectId ob,
   }
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tee, FindActive(to));
+
+  // Same snapshot-atomicity fence as the object-list path above.
+  std::shared_lock fence(ckpt_fence_);
 
   std::scoped_lock latches(tor->latch, tee->latch);
   ARIESRH_RETURN_IF_ERROR(CheckDelegationParties(*tor, *tee));
@@ -598,6 +607,11 @@ Result<TxnId> TxnManager::ResponsibleTxn(TxnId invoker, ObjectId ob,
 
 std::map<TxnId, Transaction> TxnManager::SnapshotTransactions() const {
   std::map<TxnId, Transaction> snapshot;
+  // Exclusive fence: no delegation's two-party transfer may straddle the
+  // table copy (single-transaction record/scope changes may — the fuzzy
+  // window re-scan reconciles those per record). Lock order: fence, then
+  // table_mu_, then per-transaction latches.
+  std::unique_lock fence(ckpt_fence_);
   std::shared_lock table_lock(table_mu_);
   for (const auto& [id, tx] : txns_) {
     std::lock_guard latch(tx.latch);

@@ -32,9 +32,10 @@
 //     splice into the chain behind the COMMIT record.
 // ReapTerminated is the exception: it invalidates pointers and requires all
 // sessions quiesced (it is an administrative sweep, not a data-path call).
-// Lock order: transaction latches (both-at-once via scoped_lock), then the
-// buffer-pool latch, then log-manager internals; lock-manager shards are
-// leaves.
+// Lock order: the checkpoint fence (delegations shared, snapshots
+// exclusive), then transaction latches (both-at-once via scoped_lock), then
+// the buffer-pool latch, then log-manager internals; lock-manager shards
+// are leaves.
 
 #ifndef ARIESRH_TXN_TXN_MANAGER_H_
 #define ARIESRH_TXN_TXN_MANAGER_H_
@@ -159,7 +160,11 @@ class TxnManager {
 
   /// Consistent copy of the transaction table, each control block copied
   /// under its latch — what checkpoints and log archiving iterate while
-  /// workers keep running.
+  /// workers keep running. Holds the checkpoint fence exclusively for the
+  /// whole copy, so every delegation (a two-party scope move) lands either
+  /// entirely before or entirely after the snapshot — the snapshot can
+  /// never observe a scope in neither party's Ob_List, or in one party but
+  /// not yet out of the other's.
   std::map<TxnId, Transaction> SnapshotTransactions() const;
 
   /// Seeds the id counter (recovery hands back max-seen + 1).
@@ -199,6 +204,15 @@ class TxnManager {
   /// across log, pool, or latch operations.
   mutable std::mutex deps_mu_;
   DependencyGraph deps_;
+
+  /// The checkpoint fence: delegations hold it shared across their latched
+  /// two-party transfer; SnapshotTransactions holds it exclusive across the
+  /// whole table copy. Single-transaction operations do not take it — a
+  /// snapshot that straddles one of those is reconciled record-by-record by
+  /// recovery's window re-scan (each record's effect is visible iff the
+  /// snapshot's last_lsn covers it); only the *two-party* transfer needs
+  /// snapshot atomicity. Acquired before any transaction latch.
+  mutable std::shared_mutex ckpt_fence_;
 
   /// Guards the table's *shape* (insert/erase/find). Field access within a
   /// found control block is governed by its own latch + the session

@@ -67,6 +67,9 @@ struct Observability;
   X(recovery, recovery_undos, "undos")                                  \
   X(recovery, recovery_redos, "redos")                                  \
   X(recovery, recovery_passes, "passes")                                \
+  /* --- checkpoints & log retention --- */                             \
+  X(checkpoint, checkpoints_taken, "taken")                             \
+  X(checkpoint, archived_records, "archived_records")                   \
   /* --- delegation --- */                                              \
   X(delegation, delegations, "delegations")                             \
   X(delegation, scopes_transferred, "scopes_transferred")               \

@@ -1,0 +1,189 @@
+// The background checkpoint/log-retention daemon: triggers, the
+// deterministic RunOnce path, auto-archiving, and its lifecycle across the
+// crash/recover harness.
+
+#include "core/checkpoint_daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/database.h"
+
+namespace ariesrh {
+namespace {
+
+// Effectively "never fires on its own": RunOnce stays the only trigger.
+constexpr uint64_t kNeverRecords = 1ull << 40;
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+void CommitWork(Database* db, int txns, ObjectId ob = 7) {
+  for (int i = 0; i < txns; ++i) {
+    TxnId t = *db->Begin();
+    ASSERT_TRUE(db->Add(t, ob, 1).ok());
+    ASSERT_TRUE(db->Commit(t).ok());
+  }
+}
+
+TEST(CheckpointDaemonTest, NotConfiguredByDefault) {
+  Database db;
+  EXPECT_EQ(db.checkpoint_daemon(), nullptr);
+}
+
+TEST(CheckpointDaemonTest, RecordGrowthTriggersCheckpoints) {
+  Options options;
+  options.checkpoint_interval_records = 8;
+  Database db(options);
+  ASSERT_NE(db.checkpoint_daemon(), nullptr);
+  EXPECT_TRUE(db.checkpoint_daemon()->digest().running);
+
+  CommitWork(&db, 10);  // ~30 records, several intervals past the trigger
+  ASSERT_TRUE(WaitFor([&db] {
+    return db.checkpoint_daemon()->digest().checkpoints >= 1;
+  })) << db.checkpoint_daemon()->digest().ToString();
+  EXPECT_NE(db.disk()->master_record(), 0u);
+  EXPECT_GE(db.stats().checkpoints_taken.value(), 1u);
+  // The background checkpoint is a real recovery anchor.
+  db.SimulateCrash();
+  Result<RecoveryManager::Outcome> outcome = db.Recover();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_NE(outcome->checkpoint_used, 0u);
+  EXPECT_EQ(*db.ReadCommitted(7), 10);
+}
+
+TEST(CheckpointDaemonTest, ElapsedTimeTriggersCheckpoints) {
+  Options options;
+  options.checkpoint_interval_ms = 5;
+  Database db(options);
+  CommitWork(&db, 1);
+  ASSERT_TRUE(WaitFor([&db] {
+    return db.checkpoint_daemon()->digest().checkpoints >= 1;
+  }));
+  EXPECT_NE(db.disk()->master_record(), 0u);
+}
+
+TEST(CheckpointDaemonTest, RunOnceIsDeterministic) {
+  Options options;
+  options.checkpoint_interval_records = kNeverRecords;
+  Database db(options);
+  CommitWork(&db, 3);
+  ASSERT_EQ(db.checkpoint_daemon()->digest().checkpoints, 0u);
+
+  ASSERT_TRUE(db.checkpoint_daemon()->RunOnce().ok());
+  CheckpointDaemon::Digest digest = db.checkpoint_daemon()->digest();
+  EXPECT_EQ(digest.checkpoints, 1u);
+  EXPECT_EQ(digest.last_checkpoint_lsn, db.disk()->master_record());
+  EXPECT_TRUE(digest.last_error.empty());
+  EXPECT_EQ(db.stats().checkpoints_taken.value(), 1u);
+}
+
+TEST(CheckpointDaemonTest, AutoArchiveReclaimsThePrefix) {
+  Options options;
+  options.checkpoint_interval_records = kNeverRecords;
+  options.auto_archive = true;
+  Database db(options);
+  CommitWork(&db, 10);
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  // First cycle anchors a checkpoint; the second can reclaim everything the
+  // first one made obsolete.
+  ASSERT_TRUE(db.checkpoint_daemon()->RunOnce().ok());
+  CommitWork(&db, 5);
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db.checkpoint_daemon()->RunOnce().ok());
+
+  CheckpointDaemon::Digest digest = db.checkpoint_daemon()->digest();
+  EXPECT_EQ(digest.checkpoints, 2u);
+  EXPECT_EQ(digest.archive_runs, 2u);
+  EXPECT_GT(digest.records_archived, 0u);
+  EXPECT_GT(db.disk()->first_retained_lsn(), kFirstLsn);
+  EXPECT_EQ(db.stats().archived_records.value(), digest.records_archived);
+  // Recovery from the shortened log still reproduces the state.
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(7), 15);
+}
+
+TEST(CheckpointDaemonTest, ContinuousOperationUnderLoad) {
+  Options options;
+  options.checkpoint_interval_records = 16;
+  options.auto_archive = true;
+  Database db(options);
+  // The trigger is log growth since the last checkpoint, so the load must
+  // outlast the daemon's first cycle: keep committing until it has
+  // demonstrably cycled twice and reclaimed something.
+  int committed = 0;
+  const bool cycled = WaitFor([&] {
+    CommitWork(&db, 5);
+    committed += 5;
+    EXPECT_TRUE(db.buffer_pool()->FlushAll().ok());
+    const CheckpointDaemon::Digest d = db.checkpoint_daemon()->digest();
+    return d.checkpoints >= 2 && d.records_archived > 0;
+  });
+  ASSERT_TRUE(cycled) << db.checkpoint_daemon()->digest().ToString();
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(7), committed);
+}
+
+TEST(CheckpointDaemonTest, CrashStopsAndRecoverRestartsTheDaemon) {
+  Options options;
+  options.checkpoint_interval_records = 8;
+  Database db(options);
+  CommitWork(&db, 5);
+
+  db.SimulateCrash();
+  // The daemon is volatile state: gone with the crash, no background
+  // checkpoints against a crashed engine.
+  EXPECT_EQ(db.checkpoint_daemon(), nullptr);
+  ASSERT_TRUE(db.Recover().ok());
+  ASSERT_NE(db.checkpoint_daemon(), nullptr);
+  EXPECT_TRUE(db.checkpoint_daemon()->digest().running);
+
+  CommitWork(&db, 10);
+  ASSERT_TRUE(WaitFor([&db] {
+    return db.checkpoint_daemon()->digest().checkpoints >= 1;
+  }));
+}
+
+TEST(CheckpointDaemonTest, StopIsIdempotent) {
+  Options options;
+  options.checkpoint_interval_ms = 2;
+  Database db(options);
+  CommitWork(&db, 2);
+  db.checkpoint_daemon()->Stop();
+  db.checkpoint_daemon()->Stop();
+  EXPECT_FALSE(db.checkpoint_daemon()->digest().running);
+  const uint64_t settled = db.checkpoint_daemon()->digest().checkpoints;
+  CommitWork(&db, 5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(db.checkpoint_daemon()->digest().checkpoints, settled);
+  // A stopped daemon can be started again.
+  db.checkpoint_daemon()->Start();
+  EXPECT_TRUE(db.checkpoint_daemon()->digest().running);
+}
+
+TEST(CheckpointDaemonTest, DigestToStringIsReadable) {
+  Options options;
+  options.checkpoint_interval_records = kNeverRecords;
+  options.auto_archive = true;
+  Database db(options);
+  CommitWork(&db, 2);
+  ASSERT_TRUE(db.checkpoint_daemon()->RunOnce().ok());
+  const std::string digest = db.checkpoint_daemon()->digest().ToString();
+  EXPECT_NE(digest.find("checkpoint"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("archive"), std::string::npos) << digest;
+}
+
+}  // namespace
+}  // namespace ariesrh

@@ -101,5 +101,33 @@ TEST(OptionsValidateTest, GroupCommitWindowRequiresGroupCommit) {
   EXPECT_TRUE(options.Validate().ok());
 }
 
+TEST(OptionsValidateTest, CheckpointDaemonRequiresCheckpointableMode) {
+  // The daemon takes checkpoints, and checkpoints only drive recovery under
+  // kRH/kDisabled; the rewriting baselines recover from the log head.
+  for (DelegationMode mode :
+       {DelegationMode::kEager, DelegationMode::kLazyRewrite}) {
+    Options options;
+    options.delegation_mode = mode;
+    options.checkpoint_interval_records = 100;
+    EXPECT_TRUE(options.Validate().IsInvalidArgument())
+        << DelegationModeName(mode);
+  }
+  Options rh;
+  rh.checkpoint_interval_records = 100;
+  EXPECT_TRUE(rh.Validate().ok());
+  Options disabled;
+  disabled.delegation_mode = DelegationMode::kDisabled;
+  disabled.checkpoint_interval_ms = 10;
+  EXPECT_TRUE(disabled.Validate().ok());
+}
+
+TEST(OptionsValidateTest, AutoArchiveRequiresTheDaemon) {
+  Options options;
+  options.auto_archive = true;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.checkpoint_interval_ms = 50;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
 }  // namespace
 }  // namespace ariesrh

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "core/database.h"
 
 namespace ariesrh {
@@ -144,6 +147,69 @@ TEST_F(ArchiveTest, ArchiveIsIdempotent) {
   Result<uint64_t> second = db_.ArchiveLog();
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(*second, 0u);
+}
+
+TEST_F(ArchiveTest, DelegationRacingArchiveNeverDropsTheScope) {
+  // The race this PR fixes: ArchiveLog walks the transaction snapshot to
+  // find the oldest LSN any live scope covers. A delegation is a two-party
+  // transfer; without the checkpoint fence the snapshot could catch the
+  // scope after it left the delegator but before it reached the delegatee —
+  // in neither Ob_List — and the archiver would reclaim records the
+  // delegatee still needs for undo. Here one thread ping-pongs a scope
+  // between two transactions while the main thread checkpoints and
+  // archives continuously; the pinned update must never be reclaimed.
+  TxnId a = *db_.Begin();
+  TxnId b = *db_.Begin();
+  ASSERT_TRUE(db_.Add(a, 1, 42).ok());
+  const Lsn update_lsn = db_.txn_manager()->Find(a)->last_lsn;
+  CommittedNoise(10);
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread mover([this, a, b, &stop, &failures] {
+    TxnId from = a, to = b;
+    while (!stop.load()) {
+      if (!db_.Delegate(from, to, {1}).ok()) {
+        ++failures;
+        return;
+      }
+      std::swap(from, to);
+    }
+  });
+  for (int round = 0; round < 25; ++round) {
+    ASSERT_TRUE(db_.Checkpoint().ok());
+    Result<uint64_t> archived = db_.ArchiveLog();
+    ASSERT_TRUE(archived.ok()) << archived.status().ToString();
+    ASSERT_LE(db_.disk()->first_retained_lsn(), update_lsn)
+        << "round " << round << ": archive dropped a live scope's records";
+  }
+  stop.store(true);
+  mover.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Both parties die in the crash; whoever holds the scope is a loser and
+  // undo must still find the pinned record.
+  db_.SimulateCrash();
+  ASSERT_TRUE(db_.Recover().ok());
+  EXPECT_EQ(*db_.ReadCommitted(1), 0);
+  EXPECT_EQ(*db_.ReadCommitted(7), 10);
+}
+
+TEST_F(ArchiveTest, RetainFromPinsTheSuffix) {
+  CommittedNoise(10);
+  const Lsn pin = db_.log_manager()->end_lsn();
+  CommittedNoise(10);
+  ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+
+  ASSERT_TRUE(db_.ArchiveLog(pin).ok());
+  EXPECT_EQ(db_.disk()->first_retained_lsn(), pin);
+  // Dropping the pin lets the next run reclaim up to the checkpoint.
+  Result<uint64_t> more = db_.ArchiveLog();
+  ASSERT_TRUE(more.ok());
+  EXPECT_GT(*more, 0u);
+  EXPECT_GT(db_.disk()->first_retained_lsn(), pin);
 }
 
 TEST_F(ArchiveTest, WorkAndArchivingInterleave) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/database.h"
+#include "wal/log_record.h"
 
 namespace ariesrh {
 namespace {
@@ -56,6 +57,52 @@ TEST(CheckpointDataTest, TruncatedPayloadRejected) {
         CheckpointData::Deserialize(payload.substr(0, keep)).ok())
         << "kept " << keep;
   }
+}
+
+TEST(CheckpointDataTest, RoundTripPreservesBeginLsn) {
+  CheckpointData data;
+  data.ckpt_begin_lsn = 77;
+  data.next_txn_id = 9;
+  Result<CheckpointData> back = CheckpointData::Deserialize(data.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ckpt_begin_lsn, 77u);
+  EXPECT_EQ(back->AnalysisStart(100), 77u);
+  EXPECT_EQ(back->RedoStart(100), 77u);  // begin-anchored, no dirty pages
+  data.dirty_pages = {{0, 50}};
+  EXPECT_EQ(data.RedoStart(100), 50u);  // dirty pages can pull it earlier
+}
+
+TEST(CheckpointDataTest, LegacyPayloadWithoutBeginLsnDecodes) {
+  // A v1 payload is exactly a v2 payload minus the marker byte, the version
+  // byte, and the (one-byte, when zero) begin-LSN varint.
+  CheckpointData data;
+  data.next_txn_id = 17;  // >= 1, so the v1 payload cannot start with 0x00
+  CheckpointData::TxnSnapshot snap;
+  snap.id = 3;
+  snap.first_lsn = 10;
+  snap.last_lsn = 42;
+  data.active_txns.push_back(snap);
+  data.dirty_pages = {{2, 30}};
+  const std::string v1 = data.Serialize().substr(3);
+
+  Result<CheckpointData> back = CheckpointData::Deserialize(v1);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ckpt_begin_lsn, 0u);  // legacy: no begin anchor
+  EXPECT_EQ(back->next_txn_id, 17u);
+  ASSERT_EQ(back->active_txns.size(), 1u);
+  EXPECT_EQ(back->active_txns[0].id, 3u);
+  EXPECT_EQ(back->dirty_pages, data.dirty_pages);
+  // Legacy checkpoints keep the old (window-blind) anchors.
+  EXPECT_EQ(back->AnalysisStart(100), 101u);
+  EXPECT_EQ(back->RedoStart(100), 30u);
+}
+
+TEST(CheckpointDataTest, UnknownFormatVersionRejected) {
+  CheckpointData data;
+  data.ckpt_begin_lsn = 5;
+  std::string payload = data.Serialize();
+  payload[1] = 0x03;  // future format version
+  EXPECT_TRUE(CheckpointData::Deserialize(payload).status().IsCorruption());
 }
 
 TEST(CheckpointDataTest, RedoStartIsMinDirtyRecLsn) {
@@ -165,6 +212,234 @@ TEST(CheckpointTest, RepeatedCheckpointsUseLatest) {
   for (int round = 0; round < 3; ++round) {
     EXPECT_EQ(*db.ReadCommitted(round), round + 1);
   }
+}
+
+TEST(CheckpointTest, CkptEndCarriesItsBeginLsn) {
+  Database db;
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 11).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  ASSERT_TRUE(db.Checkpoint().ok());
+  const Lsn master = db.disk()->master_record();
+  Result<LogRecord> end_rec = db.log_manager()->Read(master);
+  ASSERT_TRUE(end_rec.ok());
+  Result<CheckpointData> data =
+      CheckpointData::Deserialize(end_rec->ckpt_payload);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  // Quiescent checkpoint: CKPT_BEGIN immediately precedes CKPT_END.
+  EXPECT_EQ(data->ckpt_begin_lsn, master - 1);
+  EXPECT_EQ(data->AnalysisStart(master), master - 1);
+}
+
+// The fuzzy window, made deterministic: the checkpoint test hooks run work
+// between CKPT_BEGIN, the table snapshot, and CKPT_END, pinning exactly the
+// interleavings the begin-anchored analysis must reconcile.
+
+TEST(CheckpointWindowTest, CommitInsideWindowSurvives) {
+  // The protocol bug this PR fixes: a transaction that commits after the
+  // fuzzy snapshot but before CKPT_END was seeded as active (the snapshot
+  // says so) while its COMMIT record fell outside the old end-anchored scan
+  // — so recovery wrongly undid a committed transaction.
+  Database db;
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 11).ok());
+  Database::CheckpointTestHooks hooks;
+  hooks.after_snapshot = [&db, t] { ASSERT_TRUE(db.Commit(t).ok()); };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+
+  db.SimulateCrash();
+  Result<RecoveryManager::Outcome> outcome = db.Recover();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->losers, 0u);
+  EXPECT_EQ(*db.ReadCommitted(1), 11);
+}
+
+TEST(CheckpointWindowTest, AbortInsideWindowStaysAborted) {
+  Database db;
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 11).ok());
+  Database::CheckpointTestHooks hooks;
+  hooks.after_snapshot = [&db, t] { ASSERT_TRUE(db.Abort(t).ok()); };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+
+  db.SimulateCrash();
+  Result<RecoveryManager::Outcome> outcome = db.Recover();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->losers, 0u);  // resolved before the crash
+  EXPECT_EQ(*db.ReadCommitted(1), 0);
+}
+
+TEST(CheckpointWindowTest, UpdateInsideWindowBySnapshottedLoserIsUndone) {
+  // A snapshotted transaction writes a fresh object inside the window,
+  // after the snapshot: the scope exists in neither the snapshot nor the
+  // old end-anchored scan. The window re-scan must extend the transaction's
+  // Ob_List or undo misses the update entirely.
+  Database db;
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 11).ok());
+  Database::CheckpointTestHooks hooks;
+  hooks.after_snapshot = [&db, t] { ASSERT_TRUE(db.Set(t, 2, 22).ok()); };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+
+  db.SimulateCrash();
+  Result<RecoveryManager::Outcome> outcome = db.Recover();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->losers, 1u);
+  EXPECT_EQ(*db.ReadCommitted(1), 0);
+  EXPECT_EQ(*db.ReadCommitted(2), 0);  // the window update is rolled back
+}
+
+TEST(CheckpointWindowTest, UpdateInsideWindowThenCommitSurvives) {
+  Database db;
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 11).ok());
+  Database::CheckpointTestHooks hooks;
+  hooks.after_snapshot = [&db, t] { ASSERT_TRUE(db.Set(t, 2, 22).ok()); };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+  ASSERT_TRUE(db.Commit(t).ok());
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(1), 11);
+  EXPECT_EQ(*db.ReadCommitted(2), 22);
+}
+
+TEST(CheckpointWindowTest, BeginInsideWindowIsRecovered) {
+  // A transaction born inside the window is invisible to the snapshot (and
+  // to next_txn_id in it); the re-scan must discover it and recovery must
+  // not hand its id out again.
+  Database db;
+  TxnId inside = 0;
+  Database::CheckpointTestHooks hooks;
+  hooks.after_snapshot = [&db, &inside] {
+    inside = *db.Begin();
+    ASSERT_TRUE(db.Set(inside, 3, 33).ok());
+  };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+
+  db.SimulateCrash();
+  Result<RecoveryManager::Outcome> outcome = db.Recover();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->losers, 1u);
+  EXPECT_EQ(*db.ReadCommitted(3), 0);
+  EXPECT_GT(*db.Begin(), inside);
+}
+
+TEST(CheckpointWindowTest, DelegateAfterSnapshotIsReplayed) {
+  // The delegation landed after the table snapshot: the snapshot still
+  // shows the invoker holding the scope, so the window re-scan must replay
+  // the transfer — otherwise the delegatee's commit means nothing and the
+  // update is undone with the aborting invoker.
+  Database db;
+  TxnId t0 = *db.Begin();
+  TxnId t1 = *db.Begin();
+  ASSERT_TRUE(db.Set(t0, 5, 42).ok());
+  Database::CheckpointTestHooks hooks;
+  hooks.after_snapshot = [&db, t0, t1] {
+    ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+  };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+  ASSERT_TRUE(db.Commit(t1).ok());
+  ASSERT_TRUE(db.Abort(t0).ok());
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(5), 42);
+}
+
+TEST(CheckpointWindowTest, DelegateBeforeSnapshotIsNotReplayedTwice) {
+  // The delegation landed before the table snapshot: the snapshot already
+  // shows the delegatee holding the scope. Re-scanning the window sees the
+  // DELEGATE record again; reconciliation must recognize it as reflected
+  // and leave the (already-correct) Ob_Lists alone.
+  Database db;
+  TxnId t0 = *db.Begin();
+  TxnId t1 = *db.Begin();
+  ASSERT_TRUE(db.Set(t0, 5, 42).ok());
+  Database::CheckpointTestHooks hooks;
+  hooks.after_begin = [&db, t0, t1] {
+    ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+  };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+  ASSERT_TRUE(db.Commit(t1).ok());
+  ASSERT_TRUE(db.Abort(t0).ok());
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(5), 42);
+
+  // And the loser flavor: delegatee dies with the scope.
+  Database db2;
+  TxnId s0 = *db2.Begin();
+  TxnId s1 = *db2.Begin();
+  ASSERT_TRUE(db2.Set(s0, 5, 42).ok());
+  Database::CheckpointTestHooks hooks2;
+  hooks2.after_begin = [&db2, s0, s1] {
+    ASSERT_TRUE(db2.Delegate(s0, s1, {5}).ok());
+  };
+  db2.set_checkpoint_test_hooks(hooks2);
+  ASSERT_TRUE(db2.Checkpoint().ok());
+  db2.set_checkpoint_test_hooks({});
+  ASSERT_TRUE(db2.Commit(s0).ok());
+
+  db2.SimulateCrash();  // s1 is the loser; the delegated update dies
+  ASSERT_TRUE(db2.Recover().ok());
+  EXPECT_EQ(*db2.ReadCommitted(5), 0);
+}
+
+TEST(CheckpointWindowTest, CrashBeforeCkptEndIgnoresTheHalfCheckpoint) {
+  // If the crash lands inside the window, CKPT_END never became the master
+  // record: recovery must fall back to the previous checkpoint and simply
+  // read the window records as ordinary log. Modeled by replaying the log
+  // prefix that stops one record short of CKPT_END into a fresh instance.
+  Database db;
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, 1, 11).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  ASSERT_TRUE(db.Checkpoint().ok());
+  const Lsn first_master = db.disk()->master_record();
+
+  TxnId t2 = *db.Begin();
+  ASSERT_TRUE(db.Set(t2, 2, 22).ok());
+  Database::CheckpointTestHooks hooks;
+  hooks.after_snapshot = [&db, t2] { ASSERT_TRUE(db.Set(t2, 3, 33).ok()); };
+  db.set_checkpoint_test_hooks(hooks);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  db.set_checkpoint_test_hooks({});
+  const Lsn second_master = db.disk()->master_record();
+  ASSERT_TRUE(db.Sync().ok());
+
+  Database crashed;
+  crashed.SimulateCrash();
+  std::vector<std::string> prefix;
+  for (Lsn lsn = kFirstLsn; lsn < second_master; ++lsn) {
+    Result<std::string> rec = db.disk()->ReadLogRecord(lsn);
+    ASSERT_TRUE(rec.ok()) << "LSN " << lsn;
+    prefix.push_back(std::move(*rec));
+  }
+  crashed.disk()->AppendLogRecords(prefix);
+  crashed.disk()->SetMasterRecord(first_master);
+
+  Result<RecoveryManager::Outcome> outcome = crashed.Recover();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->checkpoint_used, first_master);
+  EXPECT_EQ(*crashed.ReadCommitted(1), 11);
+  EXPECT_EQ(*crashed.ReadCommitted(2), 0);  // t2 was in flight
+  EXPECT_EQ(*crashed.ReadCommitted(3), 0);
 }
 
 }  // namespace

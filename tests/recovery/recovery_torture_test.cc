@@ -4,11 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/database.h"
 #include "core/oracle.h"
+#include "recovery/checkpoint.h"
 #include "util/random.h"
+#include "wal/log_record.h"
 
 namespace ariesrh {
 namespace {
@@ -180,6 +186,151 @@ TEST_P(RecoveryTortureTest, WithPeriodicCheckpoints) {
     }
   }
   driver.CrashAndCheck();
+}
+
+// --- the concurrent fuzzy-window crash matrix ---
+//
+// Four workers drive delegating transactions while a checkpoint thread is
+// parked (via the test hooks) inside its fuzzy window, so the window
+// [CKPT_BEGIN .. CKPT_END] fills with concurrent BEGIN/UPDATE/DELEGATE/
+// COMMIT/ABORT records. Then, for every crash point in (and just after)
+// the window, recovery from the fuzzy checkpoint must produce exactly the
+// state that recovery from the log head produces on the same prefix — the
+// log head replays the serial history with no snapshot to reconcile, so it
+// is the ground truth the begin-anchored analysis is checked against.
+
+constexpr int kWindowWorkers = 4;
+constexpr ObjectId kWindowObjectsPerWorker = 4;
+
+// Recovers a fresh instance from the first `crash_lsn` records of `source`
+// with the given master record, and returns every object's committed value.
+std::optional<std::vector<int64_t>> RecoverPrefix(Database* source,
+                                                  Lsn crash_lsn, Lsn master) {
+  Database copy;
+  copy.SimulateCrash();
+  std::vector<std::string> prefix;
+  for (Lsn lsn = kFirstLsn; lsn <= crash_lsn; ++lsn) {
+    Result<std::string> rec = source->disk()->ReadLogRecord(lsn);
+    if (!rec.ok()) {
+      ADD_FAILURE() << "read LSN " << lsn << ": " << rec.status().ToString();
+      return std::nullopt;
+    }
+    prefix.push_back(std::move(*rec));
+  }
+  copy.disk()->AppendLogRecords(prefix);
+  if (master != 0) copy.disk()->SetMasterRecord(master);
+  Result<RecoveryManager::Outcome> outcome = copy.Recover();
+  if (!outcome.ok()) {
+    ADD_FAILURE() << "recover(crash=" << crash_lsn << ", master=" << master
+                  << "): " << outcome.status().ToString();
+    return std::nullopt;
+  }
+  if (master != 0 && outcome->checkpoint_used != master) {
+    ADD_FAILURE() << "expected checkpoint @" << master << ", used @"
+                  << outcome->checkpoint_used;
+    return std::nullopt;
+  }
+  std::vector<int64_t> values;
+  for (ObjectId ob = 0; ob < kWindowWorkers * kWindowObjectsPerWorker; ++ob) {
+    values.push_back(*copy.ReadCommitted(ob));
+  }
+  return values;
+}
+
+TEST(ConcurrentCheckpointWindowTest, CrashAtEveryWindowLsnMatchesLogHead) {
+  Database db;
+  // A quiescent baseline checkpoint, so crashes that land before the
+  // concurrent CKPT_END still recover through a checkpoint.
+  TxnId seed = *db.Begin();
+  ASSERT_TRUE(db.Set(seed, 0, 1).ok());
+  ASSERT_TRUE(db.Commit(seed).ok());
+  ASSERT_TRUE(db.Checkpoint().ok());
+  const Lsn first_master = db.disk()->master_record();
+
+  std::atomic<bool> window_open{false};
+  std::atomic<bool> workers_done{false};
+  std::atomic<int> failures{0};
+  // Parks the checkpoint thread until the workers have pushed `n` more
+  // records into the window (or finished, so the test can never hang).
+  auto wait_for_growth = [&db, &workers_done](uint64_t n) {
+    const Lsn target = db.log_manager()->end_lsn() + n;
+    while (db.log_manager()->end_lsn() < target && !workers_done.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+  Database::CheckpointTestHooks hooks;
+  hooks.after_begin = [&] {
+    window_open.store(true);
+    wait_for_growth(16);
+  };
+  hooks.after_snapshot = [&] { wait_for_growth(16); };
+  db.set_checkpoint_test_hooks(hooks);
+
+  Status ckpt_status;
+  std::thread checkpointer([&db, &ckpt_status] {
+    ckpt_status = db.Checkpoint();
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWindowWorkers; ++w) {
+    workers.emplace_back([&db, &window_open, &failures, w] {
+      // Workers start only once CKPT_BEGIN is in the log, so their whole
+      // history lands inside or after the fuzzy window.
+      while (!window_open.load()) std::this_thread::yield();
+      const ObjectId base =
+          static_cast<ObjectId>(w) * kWindowObjectsPerWorker;
+      for (int round = 0; round < 10; ++round) {
+        Result<TxnId> a = db.Begin();
+        Result<TxnId> b = db.Begin();
+        if (!a.ok() || !b.ok()) {
+          ++failures;
+          return;
+        }
+        bool ok = db.Add(*a, base, 1).ok() &&
+                  db.Add(*a, base + 1 + (round % 3), 1).ok() &&
+                  db.Delegate(*a, *b, {base}).ok() && db.Commit(*a).ok();
+        // The delegatee sometimes aborts: CLRs and compensated-set inserts
+        // cross the window too.
+        ok = ok && (round % 3 == 2 ? db.Abort(*b) : db.Commit(*b)).ok();
+        if (!ok) ++failures;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  workers_done.store(true);
+  checkpointer.join();
+  db.set_checkpoint_test_hooks({});
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_TRUE(ckpt_status.ok()) << ckpt_status.ToString();
+  ASSERT_TRUE(db.Sync().ok());
+
+  const Lsn ckpt_end = db.disk()->master_record();
+  ASSERT_NE(ckpt_end, first_master);
+  Result<LogRecord> end_rec = db.log_manager()->Read(ckpt_end);
+  ASSERT_TRUE(end_rec.ok());
+  Result<CheckpointData> ckpt =
+      CheckpointData::Deserialize(end_rec->ckpt_payload);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  const Lsn ckpt_begin = ckpt->ckpt_begin_lsn;
+  ASSERT_NE(ckpt_begin, 0u);
+  // The window must actually contain concurrent records, or this test
+  // proves nothing about reconciliation.
+  ASSERT_GT(ckpt_end - ckpt_begin, 16u);
+
+  const Lsn log_end = db.disk()->stable_end_lsn();
+  const Lsn last_crash = std::min(log_end, ckpt_end + 12);
+  for (Lsn crash = ckpt_begin; crash <= last_crash; ++crash) {
+    // Before CKPT_END is durable the concurrent checkpoint never existed;
+    // from it on, recovery anchors at its CKPT_BEGIN and reconciles.
+    const Lsn master = crash >= ckpt_end ? ckpt_end : first_master;
+    std::optional<std::vector<int64_t>> with_ckpt =
+        RecoverPrefix(&db, crash, master);
+    std::optional<std::vector<int64_t>> from_head =
+        RecoverPrefix(&db, crash, /*master=*/0);
+    ASSERT_TRUE(with_ckpt.has_value() && from_head.has_value())
+        << "crash at LSN " << crash;
+    ASSERT_EQ(*with_ckpt, *from_head) << "crash at LSN " << crash;
+  }
 }
 
 }  // namespace

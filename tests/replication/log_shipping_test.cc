@@ -128,6 +128,50 @@ TEST(StandbyReplicaTest, ArchivedPrimaryRequiresReseed) {
   EXPECT_TRUE(standby.SyncFrom(primary).IsIllegalState());
 }
 
+TEST(StandbyReplicaTest, RetentionPinSurvivesContinuousArchiving) {
+  // Continuous archiving (what the checkpoint daemon automates) stays
+  // compatible with ship-once replication as long as each archive run is
+  // pinned at the standby's RetentionPin.
+  Database primary;
+  StandbyReplica standby{Options{}};
+  for (int round = 0; round < 5; ++round) {
+    TxnId t = *primary.Begin();
+    ASSERT_TRUE(primary.Add(t, 1, 1).ok());
+    ASSERT_TRUE(primary.Commit(t).ok());
+    ASSERT_TRUE(primary.buffer_pool()->FlushAll().ok());
+    ASSERT_TRUE(primary.Checkpoint().ok());
+    ASSERT_TRUE(primary.ArchiveLog(standby.RetentionPin()).ok());
+    ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  }
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(*(*promoted)->ReadCommitted(1), 5);
+}
+
+TEST(StandbyReplicaTest, ArchivingPastTheStandbyForcesReseed) {
+  // The counterpart: an unpinned archive run on the primary reclaims
+  // records the standby has not shipped yet, and the next sync must refuse
+  // rather than silently skip them.
+  Database primary;
+  StandbyReplica standby{Options{}};
+  TxnId t = *primary.Begin();
+  ASSERT_TRUE(primary.Add(t, 1, 1).ok());
+  ASSERT_TRUE(primary.Commit(t).ok());
+  ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    TxnId more = *primary.Begin();
+    ASSERT_TRUE(primary.Add(more, 1, 1).ok());
+    ASSERT_TRUE(primary.Commit(more).ok());
+  }
+  ASSERT_TRUE(primary.buffer_pool()->FlushAll().ok());
+  ASSERT_TRUE(primary.Checkpoint().ok());
+  ASSERT_TRUE(primary.ArchiveLog().ok());  // no pin
+  ASSERT_GT(primary.disk()->first_retained_lsn(), standby.shipped_through() + 1);
+  EXPECT_TRUE(standby.SyncFrom(primary).IsIllegalState());
+}
+
 TEST(StandbyReplicaTest, RandomWorkloadPromotionMatchesOracle) {
   Database primary;
   workload::WorkloadOptions options;

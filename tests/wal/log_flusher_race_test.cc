@@ -115,7 +115,13 @@ TEST(LogFlusherRaceTest, TailReadsAreNeverTorn) {
   // complete record or an explicit Busy/NotFound; a torn record would show
   // up as a type/txn-id outside the writers' fixed vocabulary.
   std::thread reader([&] {
-    while (!done.load(std::memory_order_acquire)) {
+    // Runs until the writers finish AND at least one clean read landed: on
+    // a loaded single-core host the reader may get no timeslice while the
+    // writers run, and the assertion below needs one real read. After the
+    // writers join, every slot is published, so the final read must succeed
+    // and the loop exits.
+    while (!done.load(std::memory_order_acquire) ||
+           clean_reads.load(std::memory_order_relaxed) == 0) {
       const Lsn lsn = log.end_lsn();
       if (lsn == kInvalidLsn || lsn == 0) continue;
       Result<LogRecord> rec = log.Read(lsn);

@@ -5,6 +5,9 @@
 //   $ ./ariesrh_shell                 # in-memory session
 //   $ ./ariesrh_shell mydb.ariesrh    # persistent: loaded if present,
 //                                     # saved on 'save' and on exit
+//   $ ./ariesrh_shell --checkpoint-every 64 --auto-archive
+//                                     # background checkpoint daemon on:
+//                                     # 'checkpoint'/'archive' show its digest
 //
 // Accepts every ScriptRunner command (begin/set/add/delegate/commit/...)
 // plus shell builtins:
@@ -14,19 +17,24 @@
 //   stats              engine counters
 //   metrics            Prometheus-style metrics exposition
 //   bench              group-commit digest: batches, batch size, p99 commit
+//   checkpoint         take a checkpoint, print the daemon/retention digest
+//   archive            archive the log prefix, print the same digest
 //   trace [n]          last n engine trace events (default 32)
 //   save               persist stable state to the session file
 //   help               command summary
 //   quit / exit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include "core/checkpoint_daemon.h"
 #include "core/database.h"
 #include "etm/script.h"
+#include "obs/metrics.h"
 #include "wal/log_dump.h"
 
 using namespace ariesrh;
@@ -47,7 +55,7 @@ void PrintHelp() {
       "shell builtins:\n"
       "  log [from [to]] | history <ob> | txns | stats | metrics |"
       " bench |\n"
-      "  trace [n] | save | help | quit\n");
+      "  checkpoint | archive | trace [n] | save | help | quit\n");
 }
 
 bool HandleBuiltin(const std::string& line, Database* db,
@@ -133,6 +141,42 @@ bool HandleBuiltin(const std::string& line, Database* db,
     }
     return true;
   }
+  if (cmd == "checkpoint" || cmd == "archive") {
+    // Intercepted before the script runner so the shell can show what
+    // checkpointing/archiving actually did: the retention digest plus the
+    // background daemon's tally when one is configured.
+    if (cmd == "checkpoint") {
+      Status status = db->Checkpoint();
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return true;
+      }
+    } else {
+      Result<uint64_t> archived = db->ArchiveLog();
+      if (!archived.ok()) {
+        std::printf("error: %s\n", archived.status().ToString().c_str());
+        return true;
+      }
+      std::printf("archived %llu records\n", (unsigned long long)*archived);
+    }
+    std::printf("master record     @%llu\n",
+                (unsigned long long)db->disk()->master_record());
+    std::printf("retained from     @%llu\n",
+                (unsigned long long)db->disk()->first_retained_lsn());
+    const obs::Gauge* live =
+        db->metrics()->FindGauge("ariesrh_log_live_records");
+    if (live != nullptr) {
+      std::printf("live log records  %lld\n", (long long)live->Value());
+    }
+    std::printf("archived (total)  %llu\n",
+                (unsigned long long)db->stats().archived_records.value());
+    if (CheckpointDaemon* daemon = db->checkpoint_daemon()) {
+      std::printf("%s\n", daemon->digest().ToString().c_str());
+    } else {
+      std::printf("checkpoint daemon: not configured\n");
+    }
+    return true;
+  }
   if (cmd == "trace") {
     size_t n = 32;
     if (!(stream >> n)) n = 32;  // failed extraction zeroes n
@@ -166,10 +210,27 @@ bool HandleBuiltin(const std::string& line, Database* db,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string save_path = argc > 1 ? argv[1] : "";
+  Options options;
+  std::string save_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--checkpoint-every" && i + 1 < argc) {
+      options.checkpoint_interval_records =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--auto-archive") {
+      options.auto_archive = true;
+    } else {
+      save_path = arg;
+    }
+  }
+  if (Status valid = options.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 1;
+  }
   std::unique_ptr<Database> db;
   if (!save_path.empty()) {
-    Result<std::unique_ptr<Database>> opened = Database::Open({}, save_path);
+    Result<std::unique_ptr<Database>> opened =
+        Database::Open(options, save_path);
     if (opened.ok()) {
       db = std::move(*opened);
       Result<RecoveryManager::Outcome> outcome = db->Recover();
@@ -181,11 +242,11 @@ int main(int argc, char** argv) {
       std::printf("opened %s\n%s\n", save_path.c_str(),
                   outcome->ToString().c_str());
     } else {
-      db = std::make_unique<Database>();
+      db = std::make_unique<Database>(options);
       std::printf("new database (will save to %s)\n", save_path.c_str());
     }
   } else {
-    db = std::make_unique<Database>();
+    db = std::make_unique<Database>(options);
     std::printf("in-memory database; 'help' lists commands\n");
   }
 
