@@ -9,7 +9,16 @@
 // (committed transactions per flusher force) makes the coalescing visible
 // right next to the throughput numbers.
 
+// The sharded rows (BM_ShardedThroughput, `--shards={1,2,4}`) measure the
+// other durability lever: a single log serializes device forces behind its
+// force mutex, so with group commit disabled each commit's force queues
+// behind every other committer's. Sharding splits the engine into N
+// single-shard pipelines whose logs force independently — commit stalls
+// overlap across shards, and throughput scales toward Nx on a workload of
+// shard-local transactions.
+
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "workload/scheduler.h"
@@ -119,7 +128,92 @@ BENCHMARK(BM_ForwardThroughputDaemon)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Sharded forward throughput: per-commit forces (no group commit) against
+// 1/2/4 shards. Every program stays on one shard — the facade routes each
+// transaction to a single engine and the coordinator is never involved, so
+// the delta between shard counts is purely the per-shard log channels.
+void BM_ShardedThroughput(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  constexpr size_t kWorkers = 4;
+  uint64_t committed = 0;
+  uint64_t forces = 0;
+  uint64_t restarts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Options options;
+    options.num_shards = shards;
+    options.force_commits = true;
+    options.group_commit = false;  // each commit pays its own device force
+    options.sim_log_force_ns = kForceStallNs;
+    Database db(options);
+    const Stats before = db.stats();
+
+    workload::StepScheduler::SchedulerOptions sched_options;
+    sched_options.worker_threads = kWorkers;
+    workload::StepScheduler scheduler(&db, sched_options);
+    // Program p lives on shard p % shards: walk the id space for objects
+    // that hash there, disjoint across programs.
+    ObjectId cursor = 1;
+    for (int p = 0; p < kPrograms; ++p) {
+      const size_t home = static_cast<size_t>(p) % shards;
+      workload::TxnProgram program;
+      program.name = "p" + std::to_string(p);
+      for (int u = 0; u < kUpdatesPerTxn; ++u) {
+        while (db.ShardOf(cursor) != home) ++cursor;
+        const ObjectId ob = cursor++;
+        program.Then([ob](Database* target, TxnId txn) {
+          return target->Add(txn, ob, 1);
+        });
+      }
+      scheduler.AddProgram(std::move(program));
+    }
+    state.ResumeTiming();
+
+    Check(scheduler.Run(), "scheduler.Run");
+
+    state.PauseTiming();
+    const Stats delta = db.stats().Delta(before);
+    committed += delta.txns_committed;
+    forces += delta.log_flushes;
+    restarts += scheduler.restarts();
+    state.ResumeTiming();
+  }
+  state.counters["committed"] = static_cast<double>(committed);
+  state.counters["txns_per_s"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+  state.counters["forces"] = static_cast<double>(forces);
+  state.counters["restarts"] = static_cast<double>(restarts);
+}
+
 }  // namespace
+
+// Registers the sharded rows for the requested shard counts; called from
+// main so a `--shards=N` run registers exactly that row.
+void RegisterShardedThroughput(const std::vector<int64_t>& shard_counts) {
+  auto* bench =
+      benchmark::RegisterBenchmark("BM_ShardedThroughput", BM_ShardedThroughput);
+  for (int64_t s : shard_counts) bench->Arg(s);
+  bench->UseRealTime()->Unit(benchmark::kMillisecond);
+}
+
 }  // namespace ariesrh
 
-ARIESRH_BENCH_MAIN("forward_throughput")
+// Custom main: strips the bench-specific `--shards=N` flag (google-benchmark
+// would reject it) before handing the rest to the shared harness. Without
+// the flag the sharded rows sweep {1, 2, 4}.
+int main(int argc, char** argv) {
+  std::vector<int64_t> shard_counts = {1, 2, 4};
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      shard_counts = {std::stoll(arg.substr(arg.find('=') + 1))};
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  ariesrh::RegisterShardedThroughput(shard_counts);
+  int args_count = static_cast<int>(args.size());
+  return ariesrh::bench::BenchMain("forward_throughput", args_count,
+                                   args.data());
+}

@@ -1,0 +1,137 @@
+// Cross-shard coordinator: a tiny stable decision log plus the recovery-time
+// resolution built from it.
+//
+// With num_shards > 1 each shard is a full engine with its own WAL, so a
+// transaction (or a delegation) spanning shards has no single log whose one
+// record can decide its fate. The coordinator supplies that single point:
+// every cross-shard protocol round gets a fresh coordinator sequence number
+// (csn), the participating shard logs carry csn-stamped PREPARE / DELEGATE
+// records, and the round's commit point is the coordinator forcing a COMMIT
+// record for that csn (presumed abort: no durable COMMIT means the round
+// never happened). At restart, Resolution::FromRecords distills the durable
+// coordinator records into the committed-csn set each shard's recovery
+// consults to resolve in-doubt transactions and void orphaned delegation
+// legs. See docs/SHARDING.md for the full protocol.
+//
+// Thread safety: Append/Force/read accessors are safe under concurrent
+// callers (one mutex — this log sees a handful of records per cross-shard
+// round, never the per-update firehose the shard WALs absorb).
+
+#ifndef ARIESRH_COORD_COORDINATOR_LOG_H_
+#define ARIESRH_COORD_COORDINATOR_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ariesrh::coord {
+
+/// The decision a coordinator record carries for its csn.
+enum class CoordRecordType : uint8_t {
+  kPrepare = 1,  ///< round opened (bookkeeping; never forced on its own)
+  kCommit = 2,   ///< the round's commit point once durable
+  kAbort = 3,    ///< round explicitly abandoned (bookkeeping; presumed abort
+                 ///< makes this advisory — its absence means the same thing)
+};
+
+/// What kind of cross-shard round the csn names.
+enum class CoordRoundKind : uint8_t {
+  kCommitTxn = 1,  ///< 2PC commit of one multi-shard transaction
+  kDelegate = 2,   ///< two-party cross-shard responsibility transfer
+};
+
+const char* CoordRecordTypeName(CoordRecordType type);
+
+/// One coordinator record. Self-describing so the decision log replays
+/// without out-of-band state.
+struct CoordRecord {
+  uint64_t csn = 0;
+  CoordRecordType type = CoordRecordType::kPrepare;
+  CoordRoundKind kind = CoordRoundKind::kCommitTxn;
+  TxnId txn = kInvalidTxn;   ///< committing txn, or the delegator
+  TxnId txn2 = kInvalidTxn;  ///< the delegatee (kDelegate rounds only)
+  std::vector<uint32_t> shards;  ///< participating shard indices
+
+  /// Stable byte image with a trailing masked CRC-32C, mirroring the WAL
+  /// record format so torn coordinator tails truncate the same way.
+  std::string Serialize() const;
+  static Result<CoordRecord> Deserialize(const std::string& image);
+
+  std::string ToString() const;
+};
+
+/// The in-doubt verdicts recovery derives from the durable coordinator
+/// records: a csn is committed iff a COMMIT record for it survived.
+struct Resolution {
+  std::unordered_set<uint64_t> committed;
+  uint64_t max_csn = 0;  ///< highest csn seen in any record (0 = none)
+
+  static Resolution FromRecords(const std::vector<CoordRecord>& records);
+
+  bool IsCommitted(uint64_t csn) const { return committed.contains(csn); }
+};
+
+/// The coordinator's stable decision log. Same volatile-tail / durable-prefix
+/// split as the shard WALs: Append buffers, Force makes the whole tail
+/// durable (paying the configured device stall), SimulateCrash discards the
+/// tail. The log is append-only and never pruned — cross-shard rounds are
+/// rare and the records are a few dozen bytes, so retention is a non-issue
+/// at this scale (documented trade-off in docs/SHARDING.md).
+class CoordinatorLog {
+ public:
+  /// `registry` may be null (no metrics). `force_stall_ns` models the device
+  /// latency of a coordinator force, typically Options::sim_log_force_ns.
+  explicit CoordinatorLog(obs::MetricsRegistry* registry = nullptr,
+                          uint64_t force_stall_ns = 0);
+
+  /// Draws the next coordinator sequence number (never 0).
+  uint64_t NextCsn() { return next_csn_.fetch_add(1); }
+
+  /// Re-seeds the csn counter after recovery so restarted engines never
+  /// reuse a csn that appears in the durable log.
+  void SeedCsn(uint64_t next) { next_csn_.store(next == 0 ? 1 : next); }
+
+  /// Appends to the volatile tail (not yet durable).
+  void Append(const CoordRecord& record);
+
+  /// Makes every appended record durable. A COMMIT record's Force is the
+  /// commit point of its round.
+  Status Force();
+
+  /// Crash: discards the volatile tail; the durable prefix survives.
+  void SimulateCrash();
+
+  /// Durable records, in append order (recovery input).
+  std::vector<CoordRecord> StableRecords() const;
+
+  /// Serialized durable images from index `from` (replication shipping).
+  std::vector<std::string> StableImagesFrom(size_t from) const;
+
+  /// Replays shipped images onto the durable prefix (standby side).
+  Status AppendStableImages(const std::vector<std::string>& images);
+
+  size_t stable_size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> stable_;    ///< durable serialized images
+  std::vector<CoordRecord> volatile_;  ///< appended, not yet forced
+  std::atomic<uint64_t> next_csn_{1};
+  uint64_t force_stall_ns_ = 0;
+
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* forces_ = nullptr;
+  obs::Counter* commits_ = nullptr;
+  obs::Counter* aborts_ = nullptr;
+};
+
+}  // namespace ariesrh::coord
+
+#endif  // ARIESRH_COORD_COORDINATOR_LOG_H_

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "core/database.h"
+#include "core/engine_shard.h"
 
 namespace ariesrh {
 
@@ -18,7 +18,7 @@ std::string CheckpointDaemon::Digest::ToString() const {
   return out.str();
 }
 
-CheckpointDaemon::CheckpointDaemon(Database* db, uint64_t interval_records,
+CheckpointDaemon::CheckpointDaemon(EngineShard* db, uint64_t interval_records,
                                    uint64_t interval_ms, bool auto_archive)
     : db_(db),
       interval_records_(interval_records),

@@ -1,10 +1,11 @@
 // Background checkpoint & log-retention daemon.
 //
-// A Database-owned thread that takes fuzzy checkpoints concurrently with
-// the worker pool and the group-commit flusher, triggered by log growth
+// An EngineShard-owned thread (one per shard in a sharded engine) that
+// takes fuzzy checkpoints concurrently with the worker pool and the
+// group-commit flusher, triggered by log growth
 // (Options::checkpoint_interval_records) and/or wall-clock time
 // (Options::checkpoint_interval_ms), and — with Options::auto_archive —
-// follows each checkpoint with Database::ArchiveLog(), keeping the live
+// follows each checkpoint with EngineShard::ArchiveLog(), keeping the live
 // log prefix bounded without any administrative intervention. The fuzzy
 // window the daemon's checkpoints open under live traffic is exactly what
 // the CKPT_BEGIN-anchored analysis re-scan reconciles (docs/CHECKPOINT.md).
@@ -27,7 +28,7 @@
 
 namespace ariesrh {
 
-class Database;
+class EngineShard;
 
 class CheckpointDaemon {
  public:
@@ -45,7 +46,7 @@ class CheckpointDaemon {
   };
 
   /// Does not start the thread; call Start(). `db` must outlive the daemon.
-  CheckpointDaemon(Database* db, uint64_t interval_records,
+  CheckpointDaemon(EngineShard* db, uint64_t interval_records,
                    uint64_t interval_ms, bool auto_archive);
   ~CheckpointDaemon();
 
@@ -70,7 +71,7 @@ class CheckpointDaemon {
   /// Log-growth / elapsed-time trigger check. Caller holds mu_.
   bool TriggerFired() const;
 
-  Database* const db_;
+  EngineShard* const db_;
   const uint64_t interval_records_;
   const uint64_t interval_ms_;
   const bool auto_archive_;

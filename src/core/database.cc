@@ -1,60 +1,41 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "core/checkpoint_daemon.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "recovery/checkpoint.h"
 #include "wal/log_record.h"
 
 namespace ariesrh {
 
 Database::Database(Options options) : options_(options) {
   stats_.AttachObservability(&obs_);
-  checkpoint_ns_ = obs_.registry.GetHistogram("ariesrh_checkpoint_ns");
-  disk_ = std::make_unique<SimulatedDisk>(&stats_);
-  disk_->set_log_random_read_stall_ns(options_.sim_log_random_read_ns);
-  disk_->set_log_force_stall_ns(options_.sim_log_force_ns);
   init_status_ = options_.Validate();
-  // An invalid configuration leaves the database inert: no volatile
-  // components are built and every operation reports init_status_.
-  if (init_status_.ok()) BuildVolatileComponents();
+  // An invalid configuration leaves the database inert: no shards are
+  // built and every operation reports init_status_.
+  if (!init_status_.ok()) return;
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<EngineShard>(options_, &obs_, i,
+                                                    options_.num_shards));
+  }
+  if (shards_.size() > 1) {
+    coord_ = std::make_unique<coord::CoordinatorLog>(&obs_.registry,
+                                                     options_.sim_log_force_ns);
+  }
 }
 
 Database::~Database() = default;
 
-void Database::BuildVolatileComponents() {
-  log_ = std::make_unique<LogManager>(disk_.get(), &stats_);
-  pool_ = std::make_unique<BufferPool>(
-      disk_.get(), options_.buffer_pool_pages,
-      [this](Lsn lsn) { return log_->Flush(lsn); }, &stats_);
-  locks_ = std::make_unique<LockManager>(&stats_);
-  txn_manager_ = std::make_unique<TxnManager>(options_, log_.get(),
-                                              pool_.get(), locks_.get(),
-                                              &stats_);
-  // The flusher is volatile like everything else here: SimulateCrash tears
-  // it down with the log manager and Recover() builds a fresh one.
-  if (options_.group_commit) {
-    log_->StartGroupCommit(options_.group_commit_window_us);
-  }
-  // So is the checkpoint daemon — but it only starts once the database is
-  // usable: mid-recovery (crashed_ still set) its checkpoints would bounce
-  // off EnsureUsable, so Recover() starts it after restart completes.
-  if (options_.checkpoint_interval_records > 0 ||
-      options_.checkpoint_interval_ms > 0) {
-    daemon_ = std::make_unique<CheckpointDaemon>(
-        this, options_.checkpoint_interval_records,
-        options_.checkpoint_interval_ms, options_.auto_archive);
-    if (!crashed_) daemon_->Start();
-  }
-}
-
-void Database::UpdateLogLiveGauge() {
-  const Lsn end = log_->end_lsn();
-  const Lsn first = disk_->first_retained_lsn();
-  obs_.registry.GetGauge("ariesrh_log_live_records")
-      ->Set(end >= first ? static_cast<int64_t>(end - first + 1) : 0);
+size_t Database::ShardOf(ObjectId ob) const {
+  if (shards_.size() <= 1) return 0;
+  // Fibonacci-hash the id so adjacent objects spread across shards.
+  uint64_t h = static_cast<uint64_t>(ob) * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h % shards_.size());
 }
 
 Status Database::EnsureUsable() const {
@@ -62,147 +43,468 @@ Status Database::EnsureUsable() const {
   if (crashed_) {
     return Status::IllegalState("database crashed; call Recover() first");
   }
+  if (poisoned_) {
+    return Status::IllegalState(
+        "cross-shard protocol stopped mid-flight; call SimulateCrash() and "
+        "Recover()");
+  }
   return Status::OK();
+}
+
+Result<std::shared_ptr<Database::TxnRoute>> Database::FindRoute(TxnId txn) {
+  std::lock_guard lock(routes_mu_);
+  auto it = routes_.find(txn);
+  if (it == routes_.end()) {
+    return Status::NotFound("transaction " + std::to_string(txn) +
+                            " does not exist");
+  }
+  return it->second;
+}
+
+TxnState Database::RouteOutcomeOf(TxnId txn) const {
+  std::lock_guard lock(routes_mu_);
+  auto it = routes_.find(txn);
+  if (it == routes_.end()) return TxnState::kCommitted;
+  return it->second->outcome.load(std::memory_order_relaxed);
+}
+
+Status Database::CheckRouteActive(const TxnRoute& route, TxnId txn) {
+  const TxnState outcome = route.outcome.load(std::memory_order_relaxed);
+  if (outcome != TxnState::kActive) {
+    return Status::NotFound("transaction " + std::to_string(txn) +
+                            " is not active (" + TxnStateName(outcome) + ")");
+  }
+  return Status::OK();
+}
+
+Status Database::EnlistLocked(TxnRoute* route, TxnId txn, size_t shard) {
+  if (route->shards.contains(shard)) return Status::OK();
+  ARIESRH_RETURN_IF_ERROR(
+      shards_[shard]->txn_manager()->BeginWithId(txn).status());
+  route->shards.insert(shard);
+  return Status::OK();
+}
+
+Status Database::ProtocolPoint(const std::string& point) {
+  if (!protocol_hook_) return Status::OK();
+  return protocol_hook_(point);
+}
+
+Status Database::PoisonOnError(Status status) {
+  if (!status.ok()) poisoned_ = true;
+  return status;
 }
 
 Result<TxnId> Database::Begin() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Begin();
+  if (shards_.size() == 1) return shards_[0]->Begin();
+  // The facade owns the id space; shards learn about the transaction only
+  // when it first touches them (EnlistLocked).
+  const TxnId txn = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(routes_mu_);
+  routes_.emplace(txn, std::make_shared<TxnRoute>());
+  return txn;
 }
 
 Result<int64_t> Database::Read(TxnId txn, ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Read(txn, ob);
+  if (shards_.size() == 1) return shards_[0]->Read(txn, ob);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  const size_t s = ShardOf(ob);
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  return shards_[s]->txn_manager()->Read(txn, ob);
 }
 
 Status Database::Set(TxnId txn, ObjectId ob, int64_t value) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Set(txn, ob, value);
+  if (shards_.size() == 1) return shards_[0]->Set(txn, ob, value);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  const size_t s = ShardOf(ob);
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  return shards_[s]->txn_manager()->Set(txn, ob, value);
 }
 
 Status Database::Add(TxnId txn, ObjectId ob, int64_t delta) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Add(txn, ob, delta);
+  if (shards_.size() == 1) return shards_[0]->Add(txn, ob, delta);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  const size_t s = ShardOf(ob);
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  return shards_[s]->txn_manager()->Add(txn, ob, delta);
 }
 
 Status Database::Delegate(TxnId from, TxnId to, const DelegationSpec& spec) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Delegate(from, to, spec);
+  if (shards_.size() == 1) return shards_[0]->Delegate(from, to, spec);
+  if (from == to) {
+    return Status::InvalidArgument("cannot delegate to self");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> from_route,
+                           FindRoute(from));
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> to_route, FindRoute(to));
+  // Both parties' facade operations stay blocked for the whole transfer —
+  // neither may commit or abort while legs are mid-flight.
+  std::scoped_lock lock(from_route->mu, to_route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*from_route, from));
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*to_route, to));
+
+  // Expand the spec into per-shard object lists.
+  std::map<size_t, std::vector<ObjectId>> by_shard;
+  switch (spec.granularity) {
+    case DelegationSpec::Granularity::kOperationRange: {
+      // One object, one shard: operation-granularity transfers are always
+      // shard-local.
+      const size_t s = ShardOf(spec.object);
+      if (!from_route->shards.contains(s)) {
+        return Status::InvalidArgument(
+            "delegator has no updates on the object's shard");
+      }
+      ARIESRH_RETURN_IF_ERROR(EnlistLocked(to_route.get(), to, s));
+      return shards_[s]->txn_manager()->Delegate(from, to, spec);
+    }
+    case DelegationSpec::Granularity::kAllObjects:
+      for (size_t s : from_route->shards) {
+        std::vector<ObjectId> objects =
+            shards_[s]->txn_manager()->ObjectsOf(from);
+        if (!objects.empty()) by_shard.emplace(s, std::move(objects));
+      }
+      // Nothing to transfer delegates vacuously, like DelegateAll.
+      if (by_shard.empty()) return Status::OK();
+      break;
+    case DelegationSpec::Granularity::kObjectList:
+      for (ObjectId ob : spec.objects) {
+        const size_t s = ShardOf(ob);
+        if (!from_route->shards.contains(s)) {
+          return Status::InvalidArgument(
+              "delegator is not responsible for object " + std::to_string(ob));
+        }
+        by_shard[s].push_back(ob);
+      }
+      if (by_shard.empty()) {
+        return Status::InvalidArgument("empty delegation object list");
+      }
+      break;
+  }
+
+  if (by_shard.size() == 1) {
+    // Shard-local: one plain (csn = 0) DELEGATE record, no coordinator.
+    const auto& [s, objects] = *by_shard.begin();
+    ARIESRH_RETURN_IF_ERROR(EnlistLocked(to_route.get(), to, s));
+    return shards_[s]->txn_manager()->Delegate(
+        from, to, DelegationSpec::Objects(objects));
+  }
+  return CrossShardDelegate(from, to, to_route.get(), by_shard);
 }
 
-Status Database::Delegate(TxnId from, TxnId to,
-                          const std::vector<ObjectId>& objects) {
-  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Delegate(from, to, objects);
-}
+Status Database::CrossShardDelegate(
+    TxnId from, TxnId to, TxnRoute* to_route,
+    const std::map<size_t, std::vector<ObjectId>>& by_shard) {
+  // The delegatee must exist on every involved shard to receive scopes.
+  std::vector<size_t> parts;
+  parts.reserve(by_shard.size());
+  for (const auto& [s, objects] : by_shard) {
+    ARIESRH_RETURN_IF_ERROR(EnlistLocked(to_route, to, s));
+    parts.push_back(s);
+  }
 
-Status Database::DelegateAll(TxnId from, TxnId to) {
-  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->DelegateAll(from, to);
-}
+  // Guard every shard (checkpoint fence + both parties' latches, held
+  // across the whole protocol) and pre-validate everywhere before touching
+  // anything: a refusal on shard k must not strand legs applied on shards
+  // before it.
+  std::vector<TxnManager::DelegationGuard> guards;
+  guards.reserve(parts.size());
+  for (size_t s : parts) {
+    ARIESRH_ASSIGN_OR_RETURN(TxnManager::DelegationGuard guard,
+                             shards_[s]->txn_manager()->GuardDelegation(from,
+                                                                        to));
+    guards.push_back(std::move(guard));
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    ARIESRH_RETURN_IF_ERROR(shards_[parts[i]]->txn_manager()->CheckDelegatable(
+        guards[i], by_shard.at(parts[i])));
+  }
 
-Status Database::DelegateOperations(TxnId from, TxnId to, ObjectId ob,
-                                    Lsn first, Lsn last) {
-  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->DelegateOperations(from, to, ob, first, last);
+  const uint64_t csn = coord_->NextCsn();
+  coord::CoordRecord open;
+  open.csn = csn;
+  open.type = coord::CoordRecordType::kPrepare;
+  open.kind = coord::CoordRoundKind::kDelegate;
+  open.txn = from;
+  open.txn2 = to;
+  for (size_t s : parts) open.shards.push_back(static_cast<uint32_t>(s));
+
+  // Nothing is mutated yet, so a stop here is a clean refusal.
+  ARIESRH_RETURN_IF_ERROR(ProtocolPoint("xdel:before-coord-prepare"));
+  coord_->Append(open);
+
+  // Apply the legs. Each ApplyCrossShardDelegation forces its shard's log:
+  // every csn-stamped DELEGATE must be durable before the coordinator may
+  // reach its commit point, or a committed csn could reference a lost leg.
+  // From the first application on, any stop leaves volatile state
+  // half-transferred — poison until SimulateCrash()+Recover() (recovery
+  // voids the undecided csn on every shard, restoring atomicity).
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const size_t s = parts[i];
+    ARIESRH_RETURN_IF_ERROR(PoisonOnError(
+        ProtocolPoint("xdel:before-apply:" + std::to_string(s))));
+    ARIESRH_RETURN_IF_ERROR(
+        PoisonOnError(shards_[s]->txn_manager()->ApplyCrossShardDelegation(
+            guards[i], by_shard.at(s), csn)));
+  }
+
+  ARIESRH_RETURN_IF_ERROR(PoisonOnError(ProtocolPoint("xdel:before-decision")));
+  coord::CoordRecord decision = open;
+  decision.type = coord::CoordRecordType::kCommit;
+  coord_->Append(decision);
+  // The forced coordinator COMMIT is the transfer's commit point: before
+  // it, recovery voids every leg (presumed abort); after it, recovery
+  // applies them all.
+  ARIESRH_RETURN_IF_ERROR(PoisonOnError(coord_->Force()));
+  ARIESRH_RETURN_IF_ERROR(PoisonOnError(ProtocolPoint("xdel:after-decision")));
+  return Status::OK();
 }
 
 Status Database::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Permit(owner, grantee, ob);
+  if (shards_.size() == 1) return shards_[0]->Permit(owner, grantee, ob);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> owner_route,
+                           FindRoute(owner));
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> grantee_route,
+                           FindRoute(grantee));
+  std::scoped_lock lock(owner_route->mu, grantee_route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*owner_route, owner));
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*grantee_route, grantee));
+  const size_t s = ShardOf(ob);
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(owner_route.get(), owner, s));
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(grantee_route.get(), grantee, s));
+  return shards_[s]->txn_manager()->Permit(owner, grantee, ob);
 }
 
 Status Database::FormDependency(DependencyType type, TxnId dependent,
                                 TxnId on) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->FormDependency(type, dependent, on);
+  if (shards_.size() == 1) return shards_[0]->FormDependency(type, dependent, on);
+  // Dependencies may span shards, so the facade keeps the one graph —
+  // mirroring TxnManager::FormDependency's immediate-resolution rules.
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route,
+                           FindRoute(dependent));
+  {
+    std::lock_guard lock(route->mu);
+    ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, dependent));
+    bool target_exists = false;
+    {
+      std::lock_guard routes_lock(routes_mu_);
+      target_exists = routes_.contains(on);
+    }
+    if (!target_exists) {
+      return Status::NotFound("dependency target does not exist");
+    }
+    const TxnState on_state = RouteOutcomeOf(on);
+    if (on_state == TxnState::kCommitted) return Status::OK();
+    if (on_state != TxnState::kAborted) {
+      std::lock_guard deps_lock(deps_mu_);
+      return deps_.Add(type, dependent, on);
+    }
+    if (type == DependencyType::kCommit) return Status::OK();
+  }
+  // Forming a strong-commit/abort dependency on an already-aborted target
+  // resolves immediately: the dependent aborts (outside route->mu — Abort
+  // re-locks it).
+  return Abort(dependent);
 }
 
 Result<Lsn> Database::Savepoint(TxnId txn) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Savepoint(txn);
+  if (shards_.size() == 1) return shards_[0]->Savepoint(txn);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  if (route->shards.size() != 1) {
+    return Status::NotSupported(
+        "savepoints require a transaction confined to one shard");
+  }
+  return shards_[*route->shards.begin()]->txn_manager()->Savepoint(txn);
 }
 
 Status Database::RollbackTo(TxnId txn, Lsn savepoint) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->RollbackTo(txn, savepoint);
+  if (shards_.size() == 1) return shards_[0]->RollbackTo(txn, savepoint);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  if (route->shards.size() != 1) {
+    return Status::NotSupported(
+        "savepoints require a transaction confined to one shard");
+  }
+  return shards_[*route->shards.begin()]->txn_manager()->RollbackTo(txn,
+                                                                    savepoint);
 }
 
 Status Database::Commit(TxnId txn) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Commit(txn);
+  if (shards_.size() == 1) return shards_[0]->Commit(txn);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::unique_lock lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+
+  // Facade dependency gate, mirroring TxnManager::Commit.
+  std::vector<std::pair<TxnId, DependencyType>> prerequisites;
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    prerequisites = deps_.CommitPrerequisites(txn);
+  }
+  for (const auto& [on, type] : prerequisites) {
+    const TxnState on_state = RouteOutcomeOf(on);
+    if (on_state == TxnState::kActive) {
+      return Status::Busy("commit dependency on active transaction " +
+                          std::to_string(on));
+    }
+    if (on_state == TxnState::kAborted &&
+        type == DependencyType::kStrongCommit) {
+      lock.unlock();
+      ARIESRH_RETURN_IF_ERROR(Abort(txn));
+      return Status::Aborted("strong-commit prerequisite " +
+                             std::to_string(on) + " aborted");
+    }
+  }
+
+  if (route->shards.empty()) {
+    // Touched nothing: commits vacuously, no log traffic anywhere.
+    route->outcome.store(TxnState::kCommitted, std::memory_order_relaxed);
+  } else if (route->shards.size() == 1) {
+    // Single-shard: the shard's ordinary commit is the commit point.
+    ARIESRH_RETURN_IF_ERROR(
+        shards_[*route->shards.begin()]->txn_manager()->Commit(txn));
+    route->outcome.store(TxnState::kCommitted, std::memory_order_relaxed);
+  } else {
+    const std::vector<size_t> parts(route->shards.begin(),
+                                    route->shards.end());
+    ARIESRH_RETURN_IF_ERROR(TwoPhaseCommit(txn, parts));
+    route->outcome.store(TxnState::kCommitted, std::memory_order_relaxed);
+  }
+  std::lock_guard deps_lock(deps_mu_);
+  deps_.RemoveTxn(txn);
+  return Status::OK();
+}
+
+Status Database::TwoPhaseCommit(TxnId txn, const std::vector<size_t>& parts) {
+  const uint64_t csn = coord_->NextCsn();
+  coord::CoordRecord open;
+  open.csn = csn;
+  open.type = coord::CoordRecordType::kPrepare;
+  open.kind = coord::CoordRoundKind::kCommitTxn;
+  open.txn = txn;
+  for (size_t s : parts) open.shards.push_back(static_cast<uint32_t>(s));
+  // Unforced bookkeeping: losing this record costs nothing (presumed
+  // abort); only the COMMIT's force below decides anything.
+  coord_->Append(open);
+
+  // Phase 1: every shard force-logs its csn-stamped PREPARE vote. From the
+  // first vote on, a stop leaves the transaction prepared somewhere —
+  // poison; restart resolves it from the coordinator log (here: no durable
+  // COMMIT, so presumed abort).
+  for (size_t s : parts) {
+    ARIESRH_RETURN_IF_ERROR(PoisonOnError(
+        ProtocolPoint("2pc:before-prepare:" + std::to_string(s))));
+    ARIESRH_RETURN_IF_ERROR(
+        PoisonOnError(shards_[s]->txn_manager()->Prepare(txn, csn)));
+  }
+
+  ARIESRH_RETURN_IF_ERROR(PoisonOnError(ProtocolPoint("2pc:before-decision")));
+  coord::CoordRecord decision = open;
+  decision.type = coord::CoordRecordType::kCommit;
+  coord_->Append(decision);
+  // The commit point: once this force returns, the transaction is durably
+  // committed even if every shard's own COMMIT record is still volatile.
+  ARIESRH_RETURN_IF_ERROR(PoisonOnError(coord_->Force()));
+  ARIESRH_RETURN_IF_ERROR(PoisonOnError(ProtocolPoint("2pc:after-decision")));
+
+  // Phase 2: deliberately lazy — the shard COMMIT/END records ride out with
+  // future forces; a crash first is resolved in-doubt-committed at restart.
+  for (size_t s : parts) {
+    ARIESRH_RETURN_IF_ERROR(PoisonOnError(
+        ProtocolPoint("2pc:before-finish:" + std::to_string(s))));
+    ARIESRH_RETURN_IF_ERROR(
+        PoisonOnError(shards_[s]->txn_manager()->FinishCommit(txn)));
+  }
+  return Status::OK();
 }
 
 Status Database::Abort(TxnId txn) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return txn_manager_->Abort(txn);
+  if (shards_.size() == 1) return shards_[0]->Abort(txn);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  {
+    std::lock_guard lock(route->mu);
+    ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+    for (size_t s : route->shards) {
+      ARIESRH_RETURN_IF_ERROR(shards_[s]->txn_manager()->Abort(txn));
+    }
+    route->outcome.store(TxnState::kAborted, std::memory_order_relaxed);
+  }
+  // Capture who must abort with us before the graph forgets this txn.
+  std::vector<TxnId> dependents;
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    dependents = deps_.AbortDependents(txn);
+    deps_.RemoveTxn(txn);
+  }
+  for (TxnId dependent : dependents) {
+    if (RouteOutcomeOf(dependent) != TxnState::kActive) continue;
+    const Status status = Abort(dependent);
+    // A cascade target that a concurrent session is already terminating is
+    // not our problem to finish.
+    if (!status.ok() && status.code() != StatusCode::kIllegalState &&
+        status.code() != StatusCode::kNotFound) {
+      return status;
+    }
+  }
+  return Status::OK();
 }
 
 Status Database::Sync() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  return log_->FlushAll();
+  for (auto& shard : shards_) {
+    ARIESRH_RETURN_IF_ERROR(shard->Sync());
+  }
+  if (coord_ != nullptr) {
+    ARIESRH_RETURN_IF_ERROR(coord_->Force());
+  }
+  return Status::OK();
 }
 
 Status Database::Checkpoint() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  std::lock_guard admin(admin_mu_);
-  obs::ScopedLatencyTimer timer(checkpoint_ns_);
-
-  LogRecord begin;
-  begin.type = LogRecordType::kCkptBegin;
-  // The CKPT_BEGIN LSN is this checkpoint's identity: it anchors the fuzzy
-  // window [begin_lsn, end_lsn] that recovery's analysis re-scans, so it
-  // must ride in the CKPT_END payload rather than be discarded.
-  const Lsn begin_lsn = log_->Append(std::move(begin));
-  if (ckpt_hooks_.after_begin) ckpt_hooks_.after_begin();
-
-  CheckpointData data;
-  data.ckpt_begin_lsn = begin_lsn;
-  data.next_txn_id = txn_manager_->next_txn_id();
-  // A fenced, latched snapshot, not the live table: workers keep running
-  // while the fuzzy checkpoint serializes its view. Whatever they append
-  // between begin_lsn and the CKPT_END append is the window analysis
-  // reconciles against this snapshot.
-  for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
-    if (tx.state != TxnState::kActive) continue;
-    CheckpointData::TxnSnapshot snap;
-    snap.id = id;
-    snap.first_lsn = tx.first_lsn;
-    snap.last_lsn = tx.last_lsn;
-    snap.ob_list = tx.ob_list;
-    data.active_txns.push_back(std::move(snap));
+  for (auto& shard : shards_) {
+    ARIESRH_RETURN_IF_ERROR(shard->Checkpoint());
   }
-  data.dirty_pages = pool_->DirtyPageTable();
-  if (ckpt_hooks_.after_snapshot) ckpt_hooks_.after_snapshot();
-
-  LogRecord end;
-  end.type = LogRecordType::kCkptEnd;
-  end.ckpt_payload = data.Serialize();
-  const Lsn end_lsn = log_->Append(std::move(end));
-  ARIESRH_RETURN_IF_ERROR(log_->Flush(end_lsn));
-  disk_->SetMasterRecord(end_lsn);
-  ++stats_.checkpoints_taken;
-  UpdateLogLiveGauge();
-  obs::Emit(&obs_.trace, obs::TraceEventType::kCheckpoint, end_lsn,
-            data.active_txns.size(), data.dirty_pages.size());
   return Status::OK();
 }
 
 Status Database::SaveTo(const std::string& path) {
-  // Persist exactly the stable state; a crashed database can be saved too
-  // (that is precisely what its disk holds).
-  return disk_->SaveTo(path);
+  if (shards_.size() > 1) {
+    return Status::NotSupported(
+        "SaveTo/Open persistence covers single-shard engines only");
+  }
+  ARIESRH_RETURN_IF_ERROR(init_status_);
+  return shards_[0]->SaveTo(path);
 }
 
 Result<std::unique_ptr<Database>> Database::Open(Options options,
                                                  const std::string& path) {
   ARIESRH_RETURN_IF_ERROR(options.Validate());
+  if (options.num_shards > 1) {
+    return Status::NotSupported(
+        "SaveTo/Open persistence covers single-shard engines only");
+  }
   auto db = std::unique_ptr<Database>(new Database(options));
-  ARIESRH_ASSIGN_OR_RETURN(*db->disk_,
-                           SimulatedDisk::LoadFrom(path, &db->stats_));
-  // The stall knobs are open-time properties, not part of the image.
-  db->disk_->set_log_random_read_stall_ns(options.sim_log_random_read_ns);
-  db->disk_->set_log_force_stall_ns(options.sim_log_force_ns);
+  ARIESRH_RETURN_IF_ERROR(db->shards_[0]->LoadDiskFrom(path));
   // Opening a stable image is indistinguishable from restarting after a
   // crash: volatile state must be rebuilt by Recover().
   db->SimulateCrash();
@@ -211,110 +513,49 @@ Result<std::unique_ptr<Database>> Database::Open(Options options,
 
 Result<Database::BackupImage> Database::Backup() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  // Sharp backup: every logged update reaches the stable pages first, and a
-  // checkpoint records the tables/redo point the restore will start from.
-  ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
-  ARIESRH_RETURN_IF_ERROR(Checkpoint());
-  BackupImage backup;
-  backup.pages = disk_->ClonePages();
-  backup.master_record = disk_->master_record();
-  backup.backup_end_lsn = log_->flushed_lsn();
-  // The replay window: everything the backup's checkpoint makes recovery
-  // read again. Analysis anchors at CKPT_BEGIN and redo at the checkpoint's
-  // redo point; the backup must carry the log from the earlier of the two,
-  // or a standby seeded mid-stream could never be recovered.
-  ARIESRH_ASSIGN_OR_RETURN(LogRecord end_rec, log_->Read(backup.master_record));
-  ARIESRH_ASSIGN_OR_RETURN(CheckpointData ckpt,
-                           CheckpointData::Deserialize(end_rec.ckpt_payload));
-  backup.window_start = std::min(ckpt.RedoStart(backup.master_record),
-                                 ckpt.AnalysisStart(backup.master_record));
-  for (Lsn lsn = backup.window_start; lsn <= backup.master_record; ++lsn) {
-    ARIESRH_ASSIGN_OR_RETURN(std::string record, disk_->ReadLogRecord(lsn));
-    backup.log_window.push_back(std::move(record));
+  if (shards_.size() > 1) {
+    return Status::NotSupported(
+        "backup/restore covers single-shard engines only");
   }
-  return backup;
+  return shards_[0]->Backup();
 }
 
 void Database::SimulateMediaFailure() {
-  disk_->ClearPages();
+  for (auto& shard : shards_) shard->disk()->ClearPages();
   SimulateCrash();
 }
 
 Status Database::RestoreFromBackup(const BackupImage& backup) {
-  if (!crashed_) {
-    return Status::IllegalState(
-        "restore only applies after a (media) failure");
+  ARIESRH_RETURN_IF_ERROR(init_status_);
+  if (shards_.size() > 1) {
+    return Status::NotSupported(
+        "backup/restore covers single-shard engines only");
   }
-  if (backup.master_record == 0) {
-    return Status::InvalidArgument("backup image has no checkpoint");
-  }
-  // Rolling the backup forward requires the log from its checkpoint on.
-  if (disk_->first_retained_lsn() > backup.master_record) {
-    return Status::IllegalState(
-        "log needed to roll the backup forward was archived");
-  }
-  disk_->RestorePages(backup.pages);
-  disk_->SetMasterRecord(backup.master_record);
-  return Status::OK();
+  return shards_[0]->RestoreFromBackup(backup);
 }
 
 Result<uint64_t> Database::ArchiveLog(Lsn retain_from) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  if (options_.delegation_mode != DelegationMode::kRH &&
-      options_.delegation_mode != DelegationMode::kDisabled) {
-    return Status::NotSupported(
-        "log archiving requires checkpoint-based recovery (kRH/kDisabled)");
+  uint64_t archived = 0;
+  for (auto& shard : shards_) {
+    ARIESRH_ASSIGN_OR_RETURN(uint64_t n, shard->ArchiveLog(retain_from));
+    archived += n;
   }
-  std::lock_guard admin(admin_mu_);
-  const Lsn master = disk_->master_record();
-  if (master == 0 || master > log_->flushed_lsn()) {
-    return Status::IllegalState("take a checkpoint before archiving");
-  }
-  ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(master));
-  if (rec.type != LogRecordType::kCkptEnd) {
-    return Status::Corruption("master record does not point at CKPT_END");
-  }
-  ARIESRH_ASSIGN_OR_RETURN(CheckpointData ckpt,
-                           CheckpointData::Deserialize(rec.ckpt_payload));
-
-  // Everything recovery could ever need again must stay: the checkpoint
-  // from its CKPT_BEGIN on (analysis re-scans the fuzzy window), its redo
-  // point, every live transaction's chain, every update covered by a live
-  // scope (delegated responsibility pins history), and the caller's
-  // explicit pin (e.g. a standby's unshipped suffix). RedoStart covers the
-  // CKPT_BEGIN anchor by construction. The transaction walk uses the
-  // fenced snapshot, so no delegation mid-transfer can hide a scope from
-  // this bound.
-  Lsn safe = std::min(master, ckpt.RedoStart(master));
-  for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
-    if (tx.state != TxnState::kActive) continue;
-    safe = std::min(safe, tx.first_lsn);
-    for (const auto& [ob, entry] : tx.ob_list) {
-      for (const Scope& scope : entry.scopes) {
-        safe = std::min(safe, scope.first);
-      }
-    }
-  }
-  if (retain_from != kInvalidLsn) safe = std::min(safe, retain_from);
-  const uint64_t archived = disk_->ArchiveLogPrefix(safe);
-  stats_.archived_records += archived;
-  UpdateLogLiveGauge();
   return archived;
 }
 
 void Database::SimulateCrash() {
-  // The daemon goes first — its thread drives the components about to be
-  // discarded, so it must be joined before any of them is reset.
-  daemon_.reset();
-  // Everything volatile disappears; the simulated disk survives — and so
-  // does the observability bundle, by design: the trace is how a crash is
-  // observed after the fact.
-  obs::Emit(&obs_.trace, obs::TraceEventType::kCrash,
-            log_ != nullptr ? log_->flushed_lsn() : 0);
-  log_.reset();
-  pool_.reset();
-  locks_.reset();
-  txn_manager_.reset();
+  for (auto& shard : shards_) shard->SimulateCrash();
+  if (coord_ != nullptr) coord_->SimulateCrash();
+  {
+    std::lock_guard lock(routes_mu_);
+    routes_.clear();
+  }
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    deps_.Reset();
+  }
+  poisoned_ = false;  // the poisoned volatile state just died with the rest
   crashed_ = true;
 }
 
@@ -323,34 +564,77 @@ Result<RecoveryManager::Outcome> Database::Recover() {
   if (!crashed_) {
     return Status::IllegalState("Recover() without a preceding crash");
   }
-  ARIESRH_RETURN_IF_ERROR(RecoveryManager::TruncateTornTail(disk_.get()));
-  BuildVolatileComponents();
-
-  RecoveryManager recovery(options_, disk_.get(), log_.get(), pool_.get(),
-                           &stats_);
-  ARIESRH_ASSIGN_OR_RETURN(RecoveryManager::Outcome outcome,
-                           recovery.Recover());
-  txn_manager_->SetNextTxnId(outcome.next_txn_id);
-  crashed_ = false;
-
-  if (options_.checkpoint_after_recovery) {
-    ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
-    ARIESRH_RETURN_IF_ERROR(Checkpoint());
+  if (shards_.size() == 1) {
+    ARIESRH_ASSIGN_OR_RETURN(RecoveryManager::Outcome outcome,
+                             shards_[0]->Recover());
+    crashed_ = false;
+    return outcome;
   }
-  if (daemon_ != nullptr) daemon_->Start();
-  return outcome;
+
+  // Distill the coordinator's durable verdicts once; every shard's restart
+  // consults the same resolution (in-doubt commit/abort, csn-stamped
+  // DELEGATE voiding). The shards share no state, so they restart in
+  // parallel — the sharded flavor of partitioned restart.
+  const coord::Resolution resolution =
+      coord::Resolution::FromRecords(coord_->StableRecords());
+  std::vector<Status> statuses(shards_.size(), Status::OK());
+  std::vector<RecoveryManager::Outcome> outcomes(shards_.size());
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      workers.emplace_back([this, i, &resolution, &statuses, &outcomes] {
+        Result<RecoveryManager::Outcome> result =
+            shards_[i]->Recover(&resolution);
+        if (result.ok()) {
+          outcomes[i] = *result;
+        } else {
+          statuses[i] = result.status();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  for (const Status& status : statuses) {
+    ARIESRH_RETURN_IF_ERROR(status);
+  }
+
+  // Merge: counters sum, wall times take the slowest shard (they ran
+  // concurrently), the id seed takes the global max.
+  RecoveryManager::Outcome merged;
+  merged.merged_forward_pass = outcomes[0].merged_forward_pass;
+  for (const RecoveryManager::Outcome& o : outcomes) {
+    merged.next_txn_id = std::max(merged.next_txn_id, o.next_txn_id);
+    merged.winners += o.winners;
+    merged.losers += o.losers;
+    merged.checkpoint_used = std::max(merged.checkpoint_used, o.checkpoint_used);
+    merged.threads_used = std::max(merged.threads_used, o.threads_used);
+    merged.analysis_ns = std::max(merged.analysis_ns, o.analysis_ns);
+    merged.redo_ns = std::max(merged.redo_ns, o.redo_ns);
+    merged.undo_ns = std::max(merged.undo_ns, o.undo_ns);
+    merged.records_analyzed += o.records_analyzed;
+    merged.records_redone += o.records_redone;
+    merged.records_undone += o.records_undone;
+    merged.clusters_swept += o.clusters_swept;
+    merged.records_skipped += o.records_skipped;
+    merged.in_doubt_committed += o.in_doubt_committed;
+    merged.in_doubt_aborted += o.in_doubt_aborted;
+  }
+  next_txn_id_.store(merged.next_txn_id, std::memory_order_relaxed);
+  // Restarted engines must never reuse a csn the durable log already names.
+  coord_->SeedCsn(resolution.max_csn + 1);
+  poisoned_ = false;
+  crashed_ = false;
+  return merged;
 }
 
 Result<int64_t> Database::ReadCommitted(ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  // WithPage, not Fetch: the oracle read is allowed while workers run, and
-  // their fetches may evict this page the moment the pool latch drops.
-  int64_t value = 0;
-  ARIESRH_RETURN_IF_ERROR(pool_->WithPage(PageOf(ob), [&](Page* page) -> Lsn {
-    value = page->Get(SlotOf(ob));
-    return kInvalidLsn;  // not modified
-  }));
-  return value;
+  return shards_[ShardOf(ob)]->ReadCommitted(ob);
+}
+
+void Database::set_checkpoint_test_hooks(CheckpointTestHooks hooks) {
+  for (auto& shard : shards_) shard->set_checkpoint_test_hooks(hooks);
 }
 
 }  // namespace ariesrh

@@ -1,28 +1,47 @@
 // Database: the public facade over the whole engine.
 //
-// Owns the simulated stable storage plus all volatile components (log
-// manager, buffer pool, lock manager, transaction manager) and exposes the
-// transactional API, delegation, checkpoints, and the crash/recover harness
-// the tests and benchmarks drive.
+// A Database is N EngineShards behind one API (Options::num_shards). With
+// num_shards == 1 — the classic configuration — every call passes straight
+// through to the single shard and the engine behaves exactly as the
+// unsharded original. With num_shards > 1 the facade adds:
+//
+//   * routing: objects hash to shards (ShardOf); transactions get globally
+//     unique ids here and enlist lazily on each shard they touch,
+//   * a coordinator log (coord::CoordinatorLog): cross-shard rounds — the
+//     two-phase commit of a multi-shard transaction, and the atomic
+//     transfer of a cross-shard delegation — are decided by one forced
+//     coordinator COMMIT record (presumed abort),
+//   * coordinated restart: every shard recovers in parallel, consulting the
+//     coordinator's durable verdicts for in-doubt transactions and
+//     cross-shard delegation legs.
+//
+// See docs/SHARDING.md for the protocols and their failure analysis.
 //
 //   Database db(options);
 //   TxnId t1 = *db.Begin(), t2 = *db.Begin();
 //   db.Set(t1, obj, 42);
-//   db.Delegate(t1, t2, {obj});   // t2 now owns the fate of the update
+//   db.Delegate(t1, t2, DelegationSpec::Objects({obj}));
 //   db.Abort(t1);                 // does not disturb the delegated update
 //   db.Commit(t2);                // makes it durable
 //   db.SimulateCrash();
-//   db.Recover();                 // ARIES/RH restart
+//   db.Recover();                 // ARIES/RH restart (per shard)
 //   db.ReadCommitted(obj);        // == 42
 
 #ifndef ARIESRH_CORE_DATABASE_H_
 #define ARIESRH_CORE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "coord/coordinator_log.h"
+#include "core/engine_shard.h"
 #include "core/options.h"
 #include "lock/lock_manager.h"
 #include "obs/observability.h"
@@ -30,6 +49,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
 #include "txn/delegation_spec.h"
+#include "txn/dependency_graph.h"
 #include "txn/txn_manager.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -55,112 +75,97 @@ class Database {
   Status Add(TxnId txn, ObjectId ob, int64_t delta);
 
   /// The delegation entry point: transfers responsibility from `from` to
-  /// `to` per the spec (DelegationSpec::All / Objects / Operations).
+  /// `to` per the spec (DelegationSpec::All / Objects / Operations). In a
+  /// sharded engine a transfer touching one shard stays shard-local (one
+  /// DELEGATE record); one spanning shards runs the coordinator-decided
+  /// cross-shard protocol (docs/SHARDING.md) so the shards' csn-stamped
+  /// DELEGATE legs take effect all-or-nothing.
   Status Delegate(TxnId from, TxnId to, const DelegationSpec& spec);
 
-  /// Deprecated: use Delegate(from, to, DelegationSpec::Objects(objects)).
-  /// Kept as a thin wrapper so existing call sites compile (with a warning).
-  [[deprecated("use Delegate(from, to, DelegationSpec::Objects(objects))")]]
-  Status Delegate(TxnId from, TxnId to, const std::vector<ObjectId>& objects);
-  /// Deprecated: use Delegate(from, to, DelegationSpec::All()).
-  [[deprecated("use Delegate(from, to, DelegationSpec::All())")]]
-  Status DelegateAll(TxnId from, TxnId to);
-  /// Deprecated: use Delegate(from, to,
-  /// DelegationSpec::Operations(ob, first, last)).
-  [[deprecated(
-      "use Delegate(from, to, DelegationSpec::Operations(ob, first, last))")]]
-  Status DelegateOperations(TxnId from, TxnId to, ObjectId ob, Lsn first,
-                            Lsn last);
   Status Permit(TxnId owner, TxnId grantee, ObjectId ob);
   Status FormDependency(DependencyType type, TxnId dependent, TxnId on);
+
+  /// Savepoints stay shard-local: supported while the transaction has
+  /// touched at most one shard.
   Result<Lsn> Savepoint(TxnId txn);
   Status RollbackTo(TxnId txn, Lsn savepoint);
+
+  /// Commits. A transaction that touched one shard commits with that
+  /// shard's ordinary commit; a multi-shard transaction runs two-phase
+  /// commit: every shard force-logs a csn-stamped PREPARE, the coordinator
+  /// forces its COMMIT (the commit point), then the shards write their
+  /// COMMIT/END records lazily — a crash in between is resolved in-doubt
+  /// from the coordinator log at restart.
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
 
-  /// Forces the whole log to stable storage. Under group commit
-  /// (Options::force_commits = false) this is the durability point for all
-  /// previously acknowledged commits.
+  /// Forces every shard's log (and the coordinator log) to stable storage.
+  /// Under group commit (Options::force_commits = false) this is the
+  /// durability point for all previously acknowledged commits.
   Status Sync();
 
-  /// Takes a fuzzy checkpoint: CKPT_BEGIN, a fenced table snapshot carried
-  /// (with its CKPT_BEGIN LSN) in CKPT_END's payload, a log force, and the
-  /// master-record update. Safe concurrently with running workers — the
-  /// records they append inside the BEGIN..END window are reconciled by
-  /// recovery's window re-scan — and serialized against other checkpoint /
-  /// archive admin operations (e.g. the background daemon's).
+  /// Takes a fuzzy checkpoint on every shard: CKPT_BEGIN, a fenced table
+  /// snapshot carried (with its CKPT_BEGIN LSN) in CKPT_END's payload, a
+  /// log force, and the master-record update. Safe concurrently with
+  /// running workers — the records they append inside the BEGIN..END window
+  /// are reconciled by recovery's window re-scan — and serialized against
+  /// other checkpoint / archive admin operations (e.g. the background
+  /// daemons').
   Status Checkpoint();
 
   /// Persists the stable state (pages + durable log + master record) to a
   /// file. Exactly what a crash would preserve — the volatile tail and
   /// dirty pages are *not* included, by design; call FlushAll/Checkpoint
-  /// first to tighten the image. Reopen with Database::Open.
+  /// first to tighten the image. Reopen with Database::Open. Single-shard
+  /// engines only.
   Status SaveTo(const std::string& path);
 
   /// Opens a database persisted with SaveTo. The returned database is in
   /// the needs-recovery state (opening a stable image IS crash recovery);
-  /// call Recover() before use.
+  /// call Recover() before use. Single-shard engines only.
   static Result<std::unique_ptr<Database>> Open(Options options,
                                                 const std::string& path);
 
-  /// A media-recovery backup: a sharp snapshot of the stable pages plus the
-  /// log position and checkpoint it reflects.
-  struct BackupImage {
-    std::unordered_map<PageId, std::string> pages;
-    Lsn master_record = 0;
-    Lsn backup_end_lsn = 0;  ///< log was durable through here at backup time
-    /// Serialized images of the log records the backup's checkpoint replays
-    /// from: [window_start .. master_record], where window_start is the
-    /// earlier of the checkpoint's redo point and its CKPT_BEGIN (the
-    /// analysis anchor). A standby seeded from this backup installs them so
-    /// its mid-stream log covers the whole fuzzy window
-    /// (replication/log_shipping.h) — a backup without the window could not
-    /// be recovered, exactly as a base backup in classical ARIES must
-    /// include the log from the begin-checkpoint record on.
-    Lsn window_start = 0;
-    std::vector<std::string> log_window;
-  };
+  /// A media-recovery backup (see EngineShard::BackupImage).
+  using BackupImage = EngineShard::BackupImage;
 
   /// Takes a backup: flushes all dirty pages, checkpoints, and snapshots
   /// the stable pages. Restoring it plus replaying the log from its
   /// checkpoint reproduces the current state (ARIES media recovery).
+  /// Single-shard engines only.
   Result<BackupImage> Backup();
 
-  /// Models a media failure: the stable pages are destroyed (the log,
-  /// stored separately, survives) and all volatile state is lost.
-  /// RestoreFromBackup + Recover() bring the database back.
+  /// Models a media failure: every shard's stable pages are destroyed (the
+  /// logs, stored separately, survive) and all volatile state is lost.
+  /// RestoreFromBackup + Recover() bring a single-shard database back.
   void SimulateMediaFailure();
 
   /// Installs a backup's pages and master record after a media failure.
   /// Fails if the log needed to roll the backup forward has been archived.
-  /// Call Recover() afterwards to replay the log suffix.
+  /// Call Recover() afterwards to replay the log suffix. Single-shard
+  /// engines only.
   Status RestoreFromBackup(const BackupImage& backup);
 
-  /// Archives the no-longer-needed log prefix: everything before
-  /// min(last checkpoint's CKPT_BEGIN, its redo point, the oldest live
-  /// transaction's BEGIN, and the oldest LSN covered by any live scope).
-  /// Delegation can pin old history: a scope received from a long-gone
-  /// delegator keeps its update records alive until the delegatee resolves.
-  /// The live-transaction walk runs on the fenced table snapshot, so a
-  /// delegation racing the archive can never leave a scope observed in
-  /// neither party's Ob_List. `retain_from` (optional) additionally pins
-  /// every record at or after it — e.g. a standby's
-  /// StandbyReplica::RetentionPin(), so ship-once replication survives
-  /// continuous archiving. Returns the number of records archived.
-  /// Requires a checkpoint; only supported for kRH and kDisabled (the
-  /// rewriting baselines recover from the log head and can never archive —
-  /// one more cost of mutating history).
+  /// Archives the no-longer-needed log prefix on every shard (see
+  /// EngineShard::ArchiveLog for the retention bound). Returns the total
+  /// number of records archived across shards. `retain_from` pins every
+  /// record at or after it on every shard — e.g. a standby's
+  /// StandbyReplica::RetentionPin().
   Result<uint64_t> ArchiveLog(Lsn retain_from = kInvalidLsn);
 
   // --- crash / recovery harness ---
 
-  /// Models a failure: every volatile structure (buffer pool, log tail,
-  /// transaction table, lock table, dependency graph) is discarded; only
-  /// the simulated stable storage survives. Recover() must run before the
-  /// transactional API is used again.
+  /// Models a failure: every shard's volatile structures and the
+  /// coordinator log's unforced tail are discarded; only stable storage
+  /// survives. Recover() must run before the transactional API is used
+  /// again.
   void SimulateCrash();
 
-  /// ARIES/RH restart recovery (or the configured baseline's).
+  /// ARIES/RH restart recovery (or the configured baseline's). In a
+  /// sharded engine every shard recovers in parallel against the
+  /// coordinator log's durable verdicts (in-doubt commit/abort, cross-shard
+  /// delegation voiding) and the returned Outcome merges the shard
+  /// outcomes.
   Result<RecoveryManager::Outcome> Recover();
 
   /// True between SimulateCrash() and a successful Recover().
@@ -172,75 +177,154 @@ class Database {
   /// oracle access; no locks taken).
   Result<int64_t> ReadCommitted(ObjectId ob);
 
+  /// Aggregate counters across all shards (a 1-shard engine's are simply
+  /// its shard's). Per-shard values live in the metrics registry under
+  /// "ariesrh_<field>_shard<i>" (docs/OBSERVABILITY.md).
   const Stats& stats() const { return stats_; }
   Stats* mutable_stats() { return &stats_; }
 
-  /// The engine's observability bundle. Both survive SimulateCrash() —
-  /// restart metrics accumulate into the same registry, and the trace shows
-  /// the crash/recovery boundary events in sequence.
+  /// The engine's observability bundle, shared by every shard. Both survive
+  /// SimulateCrash() — restart metrics accumulate into the same registry,
+  /// and the trace shows the crash/recovery boundary events in sequence.
   obs::Observability* observability() { return &obs_; }
   obs::MetricsRegistry* metrics() { return &obs_.registry; }
   obs::EventTrace* trace() { return &obs_.trace; }
 
-  const Options& options() const { return options_; }
+  const Options& options() const {
+    return shards_.empty() ? options_ : shards_[0]->options();
+  }
 
   /// Mutable access for test knobs (fault injection, undo strategy). Do not
   /// change the delegation mode mid-run: the log would mix conventions.
-  Options* mutable_options() { return &options_; }
-
-  TxnManager* txn_manager() { return txn_manager_.get(); }
-  LogManager* log_manager() { return log_.get(); }
-  BufferPool* buffer_pool() { return pool_.get(); }
-  LockManager* lock_manager() { return locks_.get(); }
-  SimulatedDisk* disk() { return disk_.get(); }
-
-  /// The background checkpoint/log-retention daemon; nullptr unless an
-  /// Options checkpoint interval enables it (and after SimulateCrash, until
-  /// Recover rebuilds it).
-  CheckpointDaemon* checkpoint_daemon() { return daemon_.get(); }
-
-  /// Test-only interception points inside the fuzzy-checkpoint window, so
-  /// tests can deterministically place records relative to the snapshot.
-  struct CheckpointTestHooks {
-    /// After the CKPT_BEGIN append, before the table snapshot.
-    std::function<void()> after_begin;
-    /// After the table snapshot, before the CKPT_END append.
-    std::function<void()> after_snapshot;
-  };
-  /// Install before any concurrent Checkpoint() call; not synchronized.
-  void set_checkpoint_test_hooks(CheckpointTestHooks hooks) {
-    ckpt_hooks_ = std::move(hooks);
+  /// Aliases shard 0's copy so single-shard knob twiddling reaches the
+  /// engine that acts on it; with several shards, knobs for the others are
+  /// set through shard(i)->mutable_options().
+  Options* mutable_options() {
+    return shards_.empty() ? &options_ : shards_[0]->mutable_options();
   }
 
+  // --- sharding ---
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard an object routes to (stable hash of the id).
+  size_t ShardOf(ObjectId ob) const;
+
+  /// Direct access to one shard's engine (tests, benchmarks, replication).
+  EngineShard* shard(size_t index) { return shards_[index].get(); }
+
+  /// The cross-shard decision log; nullptr for a 1-shard engine.
+  coord::CoordinatorLog* coordinator_log() { return coord_.get(); }
+
+  // --- component access (shard 0 — the whole engine when unsharded) ---
+
+  TxnManager* txn_manager() {
+    return shards_.empty() ? nullptr : shards_[0]->txn_manager();
+  }
+  LogManager* log_manager() {
+    return shards_.empty() ? nullptr : shards_[0]->log_manager();
+  }
+  BufferPool* buffer_pool() {
+    return shards_.empty() ? nullptr : shards_[0]->buffer_pool();
+  }
+  LockManager* lock_manager() {
+    return shards_.empty() ? nullptr : shards_[0]->lock_manager();
+  }
+  SimulatedDisk* disk() {
+    return shards_.empty() ? nullptr : shards_[0]->disk();
+  }
+
+  /// Shard 0's background checkpoint/log-retention daemon; nullptr unless
+  /// an Options checkpoint interval enables it (and after SimulateCrash,
+  /// until Recover rebuilds it). Other shards' daemons are reachable via
+  /// shard(i)->checkpoint_daemon().
+  CheckpointDaemon* checkpoint_daemon() {
+    return shards_.empty() ? nullptr : shards_[0]->checkpoint_daemon();
+  }
+
+  // --- test hooks ---
+
+  using CheckpointTestHooks = EngineShard::CheckpointTestHooks;
+
+  /// Installs the fuzzy-checkpoint interception hooks on every shard.
+  /// Install before any concurrent Checkpoint() call; not synchronized.
+  void set_checkpoint_test_hooks(CheckpointTestHooks hooks);
+
+  /// Test-only interception inside the cross-shard protocols. Called at
+  /// named points — "2pc:before-prepare:<shard>", "2pc:before-decision",
+  /// "2pc:after-decision", "2pc:before-finish:<shard>",
+  /// "xdel:before-coord-prepare", "xdel:before-apply:<shard>",
+  /// "xdel:before-decision", "xdel:after-decision" — a returned error stops
+  /// the protocol there, modelling a crash at that point (the crash-matrix
+  /// tests then SimulateCrash + Recover). A mid-protocol stop leaves the
+  /// volatile state half-applied, so the facade poisons itself: every
+  /// subsequent call fails until SimulateCrash()+Recover().
+  using ProtocolHook = std::function<Status(const std::string& point)>;
+  void set_protocol_test_hook(ProtocolHook hook) {
+    protocol_hook_ = std::move(hook);
+  }
+
+  /// True after a cross-shard protocol stopped mid-flight (test hook or
+  /// component failure); cleared by SimulateCrash()+Recover().
+  bool poisoned() const { return poisoned_; }
+
  private:
+  /// Per-transaction routing state (num_shards > 1 only): which shards the
+  /// transaction enlisted on, and its facade-level outcome.
+  struct TxnRoute {
+    /// Serializes this transaction's facade operations — in particular a
+    /// cross-shard protocol against a concurrent commit/abort of the same
+    /// transaction from another session.
+    std::mutex mu;
+    std::set<size_t> shards;
+    std::atomic<TxnState> outcome{TxnState::kActive};
+  };
+
   Status EnsureUsable() const;
-  void BuildVolatileComponents();
-  /// Refreshes the ariesrh_log_live_records gauge (end of log minus
-  /// archived prefix).
-  void UpdateLogLiveGauge();
+  Result<std::shared_ptr<TxnRoute>> FindRoute(TxnId txn);
+  /// The facade-level outcome of a transaction; kCommitted when unknown
+  /// (terminated and forgotten), mirroring TxnManager's convention.
+  TxnState RouteOutcomeOf(TxnId txn) const;
+  static Status CheckRouteActive(const TxnRoute& route, TxnId txn);
+  /// Starts `txn` on `shard` (BeginWithId) if not already enlisted there.
+  /// Caller holds route->mu.
+  Status EnlistLocked(TxnRoute* route, TxnId txn, size_t shard);
+  /// Runs the named protocol test point; OK when no hook is installed.
+  Status ProtocolPoint(const std::string& point);
+  /// Marks the facade poisoned when `status` is an error; returns it.
+  Status PoisonOnError(Status status);
+  /// The cross-shard (multi-leg) delegation protocol. Caller holds both
+  /// route mutexes; `by_shard` maps shard index -> objects to transfer.
+  Status CrossShardDelegate(TxnId from, TxnId to, TxnRoute* to_route,
+                            const std::map<size_t, std::vector<ObjectId>>&
+                                by_shard);
+  /// Two-phase commit across `parts`. Caller holds the route mutex.
+  Status TwoPhaseCommit(TxnId txn, const std::vector<size_t>& parts);
 
   Options options_;
   /// Options::Validate() verdict from construction. When not OK, every
   /// operation (including Recover) returns it — the database is inert.
   Status init_status_ = Status::OK();
   obs::Observability obs_;  // declared before stats_: bound during its life
+  /// The aggregate Stats view: bound to the shared registry cells every
+  /// shard's own Stats feeds. The facade never increments it.
   Stats stats_;
-  std::unique_ptr<SimulatedDisk> disk_;
-  std::unique_ptr<LogManager> log_;
-  std::unique_ptr<BufferPool> pool_;
-  std::unique_ptr<LockManager> locks_;
-  std::unique_ptr<TxnManager> txn_manager_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  std::unique_ptr<coord::CoordinatorLog> coord_;  // num_shards > 1 only
   bool crashed_ = false;
+  bool poisoned_ = false;
 
-  /// Serializes checkpoint/archive admin operations (daemon vs. shell vs.
-  /// tests): interleaved CKPT_BEGIN/CKPT_END pairs would cross-link their
-  /// fuzzy windows, and archive must not race the master-record update.
-  std::mutex admin_mu_;
-  obs::Histogram* checkpoint_ns_ = nullptr;
-  CheckpointTestHooks ckpt_hooks_;
-  /// Declared last: destroyed first, so the daemon thread is joined before
-  /// any component it drives goes away.
-  std::unique_ptr<CheckpointDaemon> daemon_;
+  /// Facade-level transaction id allocation and routing (num_shards > 1).
+  std::atomic<TxnId> next_txn_id_{1};
+  mutable std::mutex routes_mu_;
+  std::unordered_map<TxnId, std::shared_ptr<TxnRoute>> routes_;
+
+  /// Facade-level dependency graph (num_shards > 1): dependencies may span
+  /// shards, so they live here, not in any one shard's TxnManager.
+  mutable std::mutex deps_mu_;
+  DependencyGraph deps_;
+
+  ProtocolHook protocol_hook_;
 };
 
 }  // namespace ariesrh

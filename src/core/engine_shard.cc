@@ -1,0 +1,348 @@
+#include "core/engine_shard.h"
+
+#include <algorithm>
+
+#include "core/checkpoint_daemon.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "recovery/checkpoint.h"
+#include "wal/log_record.h"
+
+namespace ariesrh {
+
+EngineShard::EngineShard(const Options& options, obs::Observability* obs,
+                         size_t shard_index, size_t shard_count)
+    : options_(options),
+      obs_(obs),
+      shard_index_(shard_index),
+      shard_count_(shard_count) {
+  // A 1-shard engine binds the classic unsuffixed metric names so the
+  // facade stays byte-for-byte the old single engine; real shards mirror
+  // every counter under a "_shard<i>" label as well.
+  const std::string suffix =
+      shard_count_ > 1 ? "_shard" + std::to_string(shard_index_) : "";
+  stats_.AttachObservability(obs_, suffix);
+  log_live_gauge_name_ = "ariesrh_log_live_records" + suffix;
+  checkpoint_ns_ = obs_->registry.GetHistogram("ariesrh_checkpoint_ns");
+  disk_ = std::make_unique<SimulatedDisk>(&stats_);
+  disk_->set_log_random_read_stall_ns(options_.sim_log_random_read_ns);
+  disk_->set_log_force_stall_ns(options_.sim_log_force_ns);
+  BuildVolatileComponents();
+}
+
+EngineShard::~EngineShard() = default;
+
+void EngineShard::BuildVolatileComponents() {
+  log_ = std::make_unique<LogManager>(disk_.get(), &stats_);
+  pool_ = std::make_unique<BufferPool>(
+      disk_.get(), options_.buffer_pool_pages,
+      [this](Lsn lsn) { return log_->Flush(lsn); }, &stats_);
+  locks_ = std::make_unique<LockManager>(&stats_);
+  txn_manager_ = std::make_unique<TxnManager>(options_, log_.get(),
+                                              pool_.get(), locks_.get(),
+                                              &stats_);
+  // The flusher is volatile like everything else here: SimulateCrash tears
+  // it down with the log manager and Recover() builds a fresh one.
+  if (options_.group_commit) {
+    log_->StartGroupCommit(options_.group_commit_window_us);
+  }
+  // So is the checkpoint daemon — but it only starts once the shard is
+  // usable: mid-recovery (crashed_ still set) its checkpoints would bounce
+  // off EnsureUsable, so Recover() starts it after restart completes.
+  if (options_.checkpoint_interval_records > 0 ||
+      options_.checkpoint_interval_ms > 0) {
+    daemon_ = std::make_unique<CheckpointDaemon>(
+        this, options_.checkpoint_interval_records,
+        options_.checkpoint_interval_ms, options_.auto_archive);
+    if (!crashed_) daemon_->Start();
+  }
+}
+
+void EngineShard::UpdateLogLiveGauge() {
+  const Lsn end = log_->end_lsn();
+  const Lsn first = disk_->first_retained_lsn();
+  obs_->registry.GetGauge(log_live_gauge_name_)
+      ->Set(end >= first ? static_cast<int64_t>(end - first + 1) : 0);
+}
+
+Status EngineShard::EnsureUsable() const {
+  if (crashed_) {
+    return Status::IllegalState("database crashed; call Recover() first");
+  }
+  return Status::OK();
+}
+
+Result<TxnId> EngineShard::Begin() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Begin();
+}
+
+Result<int64_t> EngineShard::Read(TxnId txn, ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Read(txn, ob);
+}
+
+Status EngineShard::Set(TxnId txn, ObjectId ob, int64_t value) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Set(txn, ob, value);
+}
+
+Status EngineShard::Add(TxnId txn, ObjectId ob, int64_t delta) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Add(txn, ob, delta);
+}
+
+Status EngineShard::Delegate(TxnId from, TxnId to, const DelegationSpec& spec) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Delegate(from, to, spec);
+}
+
+Status EngineShard::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Permit(owner, grantee, ob);
+}
+
+Status EngineShard::FormDependency(DependencyType type, TxnId dependent,
+                                   TxnId on) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->FormDependency(type, dependent, on);
+}
+
+Result<Lsn> EngineShard::Savepoint(TxnId txn) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Savepoint(txn);
+}
+
+Status EngineShard::RollbackTo(TxnId txn, Lsn savepoint) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->RollbackTo(txn, savepoint);
+}
+
+Status EngineShard::Commit(TxnId txn) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Commit(txn);
+}
+
+Status EngineShard::Abort(TxnId txn) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->Abort(txn);
+}
+
+Status EngineShard::Sync() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return log_->FlushAll();
+}
+
+Status EngineShard::Checkpoint() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  std::lock_guard admin(admin_mu_);
+  obs::ScopedLatencyTimer timer(checkpoint_ns_);
+
+  LogRecord begin;
+  begin.type = LogRecordType::kCkptBegin;
+  // The CKPT_BEGIN LSN is this checkpoint's identity: it anchors the fuzzy
+  // window [begin_lsn, end_lsn] that recovery's analysis re-scans, so it
+  // must ride in the CKPT_END payload rather than be discarded.
+  const Lsn begin_lsn = log_->Append(std::move(begin));
+  if (ckpt_hooks_.after_begin) ckpt_hooks_.after_begin();
+
+  CheckpointData data;
+  data.ckpt_begin_lsn = begin_lsn;
+  data.next_txn_id = txn_manager_->next_txn_id();
+  // A fenced, latched snapshot, not the live table: workers keep running
+  // while the fuzzy checkpoint serializes its view. Whatever they append
+  // between begin_lsn and the CKPT_END append is the window analysis
+  // reconciles against this snapshot. Prepared (in-doubt) transactions are
+  // snapshotted too — their fate is the coordinator's, not recovery's, so
+  // losing them from a checkpoint would silently presume-abort a round the
+  // coordinator may have committed.
+  for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
+    if (tx.state != TxnState::kActive && tx.state != TxnState::kPrepared) {
+      continue;
+    }
+    CheckpointData::TxnSnapshot snap;
+    snap.id = id;
+    snap.first_lsn = tx.first_lsn;
+    snap.last_lsn = tx.last_lsn;
+    snap.prepared_csn = tx.prepared_csn;
+    snap.ob_list = tx.ob_list;
+    data.active_txns.push_back(std::move(snap));
+  }
+  data.dirty_pages = pool_->DirtyPageTable();
+  if (ckpt_hooks_.after_snapshot) ckpt_hooks_.after_snapshot();
+
+  LogRecord end;
+  end.type = LogRecordType::kCkptEnd;
+  end.ckpt_payload = data.Serialize();
+  const Lsn end_lsn = log_->Append(std::move(end));
+  ARIESRH_RETURN_IF_ERROR(log_->Flush(end_lsn));
+  disk_->SetMasterRecord(end_lsn);
+  ++stats_.checkpoints_taken;
+  UpdateLogLiveGauge();
+  obs::Emit(&obs_->trace, obs::TraceEventType::kCheckpoint, end_lsn,
+            data.active_txns.size(), data.dirty_pages.size());
+  return Status::OK();
+}
+
+Status EngineShard::SaveTo(const std::string& path) {
+  // Persist exactly the stable state; a crashed shard can be saved too
+  // (that is precisely what its disk holds).
+  return disk_->SaveTo(path);
+}
+
+Status EngineShard::LoadDiskFrom(const std::string& path) {
+  ARIESRH_ASSIGN_OR_RETURN(*disk_, SimulatedDisk::LoadFrom(path, &stats_));
+  // The stall knobs are open-time properties, not part of the image.
+  disk_->set_log_random_read_stall_ns(options_.sim_log_random_read_ns);
+  disk_->set_log_force_stall_ns(options_.sim_log_force_ns);
+  return Status::OK();
+}
+
+Result<EngineShard::BackupImage> EngineShard::Backup() {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // Sharp backup: every logged update reaches the stable pages first, and a
+  // checkpoint records the tables/redo point the restore will start from.
+  ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
+  ARIESRH_RETURN_IF_ERROR(Checkpoint());
+  BackupImage backup;
+  backup.pages = disk_->ClonePages();
+  backup.master_record = disk_->master_record();
+  backup.backup_end_lsn = log_->flushed_lsn();
+  // The replay window: everything the backup's checkpoint makes recovery
+  // read again. Analysis anchors at CKPT_BEGIN and redo at the checkpoint's
+  // redo point; the backup must carry the log from the earlier of the two,
+  // or a standby seeded mid-stream could never be recovered.
+  ARIESRH_ASSIGN_OR_RETURN(LogRecord end_rec, log_->Read(backup.master_record));
+  ARIESRH_ASSIGN_OR_RETURN(CheckpointData ckpt,
+                           CheckpointData::Deserialize(end_rec.ckpt_payload));
+  backup.window_start = std::min(ckpt.RedoStart(backup.master_record),
+                                 ckpt.AnalysisStart(backup.master_record));
+  for (Lsn lsn = backup.window_start; lsn <= backup.master_record; ++lsn) {
+    ARIESRH_ASSIGN_OR_RETURN(std::string record, disk_->ReadLogRecord(lsn));
+    backup.log_window.push_back(std::move(record));
+  }
+  return backup;
+}
+
+void EngineShard::SimulateMediaFailure() {
+  disk_->ClearPages();
+  SimulateCrash();
+}
+
+Status EngineShard::RestoreFromBackup(const BackupImage& backup) {
+  if (!crashed_) {
+    return Status::IllegalState(
+        "restore only applies after a (media) failure");
+  }
+  if (backup.master_record == 0) {
+    return Status::InvalidArgument("backup image has no checkpoint");
+  }
+  // Rolling the backup forward requires the log from its checkpoint on.
+  if (disk_->first_retained_lsn() > backup.master_record) {
+    return Status::IllegalState(
+        "log needed to roll the backup forward was archived");
+  }
+  disk_->RestorePages(backup.pages);
+  disk_->SetMasterRecord(backup.master_record);
+  return Status::OK();
+}
+
+Result<uint64_t> EngineShard::ArchiveLog(Lsn retain_from) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  if (options_.delegation_mode != DelegationMode::kRH &&
+      options_.delegation_mode != DelegationMode::kDisabled) {
+    return Status::NotSupported(
+        "log archiving requires checkpoint-based recovery (kRH/kDisabled)");
+  }
+  std::lock_guard admin(admin_mu_);
+  const Lsn master = disk_->master_record();
+  if (master == 0 || master > log_->flushed_lsn()) {
+    return Status::IllegalState("take a checkpoint before archiving");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(master));
+  if (rec.type != LogRecordType::kCkptEnd) {
+    return Status::Corruption("master record does not point at CKPT_END");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(CheckpointData ckpt,
+                           CheckpointData::Deserialize(rec.ckpt_payload));
+
+  // Everything recovery could ever need again must stay: the checkpoint
+  // from its CKPT_BEGIN on (analysis re-scans the fuzzy window), its redo
+  // point, every live transaction's chain, every update covered by a live
+  // scope (delegated responsibility pins history), and the caller's
+  // explicit pin (e.g. a standby's unshipped suffix). RedoStart covers the
+  // CKPT_BEGIN anchor by construction. Prepared transactions count as live:
+  // their fate is the coordinator's, so their chains must survive restart.
+  // The transaction walk uses the fenced snapshot, so no delegation
+  // mid-transfer can hide a scope from this bound.
+  Lsn safe = std::min(master, ckpt.RedoStart(master));
+  for (const auto& [id, tx] : txn_manager_->SnapshotTransactions()) {
+    if (tx.state != TxnState::kActive && tx.state != TxnState::kPrepared) {
+      continue;
+    }
+    safe = std::min(safe, tx.first_lsn);
+    for (const auto& [ob, entry] : tx.ob_list) {
+      for (const Scope& scope : entry.scopes) {
+        safe = std::min(safe, scope.first);
+      }
+    }
+  }
+  if (retain_from != kInvalidLsn) safe = std::min(safe, retain_from);
+  const uint64_t archived = disk_->ArchiveLogPrefix(safe);
+  stats_.archived_records += archived;
+  UpdateLogLiveGauge();
+  return archived;
+}
+
+void EngineShard::SimulateCrash() {
+  // The daemon goes first — its thread drives the components about to be
+  // discarded, so it must be joined before any of them is reset.
+  daemon_.reset();
+  // Everything volatile disappears; the simulated disk survives — and so
+  // does the observability bundle, by design: the trace is how a crash is
+  // observed after the fact.
+  obs::Emit(&obs_->trace, obs::TraceEventType::kCrash,
+            log_ != nullptr ? log_->flushed_lsn() : 0);
+  log_.reset();
+  pool_.reset();
+  locks_.reset();
+  txn_manager_.reset();
+  crashed_ = true;
+}
+
+Result<RecoveryManager::Outcome> EngineShard::Recover(
+    const coord::Resolution* resolution) {
+  if (!crashed_) {
+    return Status::IllegalState("Recover() without a preceding crash");
+  }
+  ARIESRH_RETURN_IF_ERROR(RecoveryManager::TruncateTornTail(disk_.get()));
+  BuildVolatileComponents();
+
+  RecoveryManager recovery(options_, disk_.get(), log_.get(), pool_.get(),
+                           &stats_);
+  ARIESRH_ASSIGN_OR_RETURN(RecoveryManager::Outcome outcome,
+                           recovery.Recover(resolution));
+  txn_manager_->SetNextTxnId(outcome.next_txn_id);
+  crashed_ = false;
+
+  if (options_.checkpoint_after_recovery) {
+    ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
+    ARIESRH_RETURN_IF_ERROR(Checkpoint());
+  }
+  if (daemon_ != nullptr) daemon_->Start();
+  return outcome;
+}
+
+Result<int64_t> EngineShard::ReadCommitted(ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // WithPage, not Fetch: the oracle read is allowed while workers run, and
+  // their fetches may evict this page the moment the pool latch drops.
+  int64_t value = 0;
+  ARIESRH_RETURN_IF_ERROR(pool_->WithPage(PageOf(ob), [&](Page* page) -> Lsn {
+    value = page->Get(SlotOf(ob));
+    return kInvalidLsn;  // not modified
+  }));
+  return value;
+}
+
+}  // namespace ariesrh

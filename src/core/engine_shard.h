@@ -1,0 +1,202 @@
+// EngineShard: one complete engine — the unit the sharded Database facade
+// routes to.
+//
+// A shard owns its own simulated stable storage plus all volatile
+// components (log manager, buffer pool, lock manager, transaction manager,
+// checkpoint daemon) and exposes the transactional API, delegation,
+// checkpoints, and the crash/recover harness. An unsharded Database
+// (Options::num_shards == 1) is exactly one EngineShard behind a
+// pass-through facade; with num_shards > 1 each shard is a full engine and
+// the facade adds routing, the coordinator log, and the cross-shard
+// protocols (docs/SHARDING.md).
+//
+// Per-shard observability: every Stats field feeds the shared aggregate
+// counter ("ariesrh_<field>") and — when the engine is actually sharded — a
+// per-shard mirror ("ariesrh_<field>_shard<i>"); the live-log gauge is
+// likewise suffixed per shard.
+
+#ifndef ARIESRH_CORE_ENGINE_SHARD_H_
+#define ARIESRH_CORE_ENGINE_SHARD_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coord/coordinator_log.h"
+#include "core/options.h"
+#include "lock/lock_manager.h"
+#include "obs/observability.h"
+#include "recovery/recovery_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+#include "txn/delegation_spec.h"
+#include "txn/txn_manager.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh {
+
+class CheckpointDaemon;
+
+class EngineShard {
+ public:
+  /// `obs` is the engine-wide observability bundle (shared across shards;
+  /// must outlive the shard). `shard_index`/`shard_count` select the
+  /// per-shard metric labels; a 1-shard engine binds the classic unsuffixed
+  /// names. Options must already be validated — the facade owns Validate().
+  EngineShard(const Options& options, obs::Observability* obs,
+              size_t shard_index, size_t shard_count);
+  ~EngineShard();
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  // --- transactional API (see TxnManager for semantics) ---
+  Result<TxnId> Begin();
+  Result<int64_t> Read(TxnId txn, ObjectId ob);
+  Status Set(TxnId txn, ObjectId ob, int64_t value);
+  Status Add(TxnId txn, ObjectId ob, int64_t delta);
+  Status Delegate(TxnId from, TxnId to, const DelegationSpec& spec);
+  Status Permit(TxnId owner, TxnId grantee, ObjectId ob);
+  Status FormDependency(DependencyType type, TxnId dependent, TxnId on);
+  Result<Lsn> Savepoint(TxnId txn);
+  Status RollbackTo(TxnId txn, Lsn savepoint);
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  /// Forces the whole shard log to stable storage.
+  Status Sync();
+
+  /// Takes a fuzzy checkpoint (see Database::Checkpoint for the contract).
+  /// Prepared (in-doubt) transactions are part of the snapshot, carrying
+  /// their csn, so a restart that lands on this checkpoint still consults
+  /// the coordinator about them.
+  Status Checkpoint();
+
+  /// Persists the shard's stable state (pages + durable log + master
+  /// record) to a file; reopen with Database::Open.
+  Status SaveTo(const std::string& path);
+
+  /// Replaces the shard's stable storage with a persisted image and drops
+  /// into the needs-recovery state (Database::Open's loading step).
+  Status LoadDiskFrom(const std::string& path);
+
+  /// A media-recovery backup: a sharp snapshot of the stable pages plus the
+  /// log position and checkpoint it reflects.
+  struct BackupImage {
+    std::unordered_map<PageId, std::string> pages;
+    Lsn master_record = 0;
+    Lsn backup_end_lsn = 0;  ///< log was durable through here at backup time
+    /// Serialized images of the log records the backup's checkpoint replays
+    /// from: [window_start .. master_record], where window_start is the
+    /// earlier of the checkpoint's redo point and its CKPT_BEGIN (the
+    /// analysis anchor). A standby seeded from this backup installs them so
+    /// its mid-stream log covers the whole fuzzy window
+    /// (replication/log_shipping.h) — a backup without the window could not
+    /// be recovered, exactly as a base backup in classical ARIES must
+    /// include the log from the begin-checkpoint record on.
+    Lsn window_start = 0;
+    std::vector<std::string> log_window;
+  };
+
+  /// Takes a backup: flushes all dirty pages, checkpoints, and snapshots
+  /// the stable pages.
+  Result<BackupImage> Backup();
+
+  /// Models a media failure: the stable pages are destroyed (the log,
+  /// stored separately, survives) and all volatile state is lost.
+  void SimulateMediaFailure();
+
+  /// Installs a backup's pages and master record after a media failure.
+  Status RestoreFromBackup(const BackupImage& backup);
+
+  /// Archives the no-longer-needed log prefix (see Database::ArchiveLog).
+  /// Prepared transactions pin the log exactly like active ones — their
+  /// fate is undecided, so their chains must survive a restart.
+  Result<uint64_t> ArchiveLog(Lsn retain_from = kInvalidLsn);
+
+  // --- crash / recovery harness ---
+
+  /// Discards every volatile structure; only stable storage survives.
+  void SimulateCrash();
+
+  /// ARIES/RH restart recovery. `resolution` (sharded engines) carries the
+  /// coordinator's durable verdicts for in-doubt transactions and
+  /// cross-shard delegation legs; nullptr is the unsharded engine's path.
+  Result<RecoveryManager::Outcome> Recover(
+      const coord::Resolution* resolution = nullptr);
+
+  bool NeedsRecovery() const { return crashed_; }
+
+  // --- inspection ---
+
+  Result<int64_t> ReadCommitted(ObjectId ob);
+
+  const Stats& stats() const { return stats_; }
+  Stats* mutable_stats() { return &stats_; }
+
+  const Options& options() const { return options_; }
+  Options* mutable_options() { return &options_; }
+
+  size_t shard_index() const { return shard_index_; }
+
+  TxnManager* txn_manager() { return txn_manager_.get(); }
+  LogManager* log_manager() { return log_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  LockManager* lock_manager() { return locks_.get(); }
+  SimulatedDisk* disk() { return disk_.get(); }
+  CheckpointDaemon* checkpoint_daemon() { return daemon_.get(); }
+
+  /// Test-only interception points inside the fuzzy-checkpoint window.
+  struct CheckpointTestHooks {
+    /// After the CKPT_BEGIN append, before the table snapshot.
+    std::function<void()> after_begin;
+    /// After the table snapshot, before the CKPT_END append.
+    std::function<void()> after_snapshot;
+  };
+  void set_checkpoint_test_hooks(CheckpointTestHooks hooks) {
+    ckpt_hooks_ = std::move(hooks);
+  }
+
+  /// "database crashed; call Recover() first" when crashed (the facade
+  /// surfaces this verbatim so the unsharded error text is unchanged).
+  Status EnsureUsable() const;
+
+ private:
+  void BuildVolatileComponents();
+  /// Refreshes the live-log gauge (end of log minus archived prefix):
+  /// "ariesrh_log_live_records", suffixed "_shard<i>" when sharded.
+  void UpdateLogLiveGauge();
+
+  Options options_;
+  obs::Observability* obs_;  // shared, engine-wide; outlives the shard
+  const size_t shard_index_;
+  const size_t shard_count_;
+  std::string log_live_gauge_name_;
+  Stats stats_;  // this shard's counters (aggregate + per-shard mirror)
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TxnManager> txn_manager_;
+  bool crashed_ = false;
+
+  /// Serializes checkpoint/archive admin operations (daemon vs. shell vs.
+  /// tests): interleaved CKPT_BEGIN/CKPT_END pairs would cross-link their
+  /// fuzzy windows, and archive must not race the master-record update.
+  std::mutex admin_mu_;
+  obs::Histogram* checkpoint_ns_ = nullptr;
+  CheckpointTestHooks ckpt_hooks_;
+  /// Declared last: destroyed first, so the daemon thread is joined before
+  /// any component it drives goes away.
+  std::unique_ptr<CheckpointDaemon> daemon_;
+};
+
+}  // namespace ariesrh
+
+#endif  // ARIESRH_CORE_ENGINE_SHARD_H_

@@ -31,6 +31,27 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "buffer_pool_pages must be at least 1");
   }
+  if (num_shards == 0) {
+    return Status::InvalidArgument(
+        "num_shards must be at least 1 (1 = the classic unsharded engine)");
+  }
+  if (num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards exceeds kMaxShards (" + std::to_string(kMaxShards) +
+        "); every shard is a full engine instance");
+  }
+  if (num_shards > 1 && !enable_coordinator) {
+    return Status::InvalidArgument(
+        "num_shards > 1 requires the coordinator: cross-shard commits and "
+        "delegations are resolved from its decision log at restart");
+  }
+  if (num_shards > 1 && delegation_mode != DelegationMode::kRH &&
+      delegation_mode != DelegationMode::kDisabled) {
+    return Status::InvalidArgument(
+        "num_shards > 1 requires checkpoint-based recovery (delegation_mode "
+        "rh or disabled); the rewriting baselines recover from the log head "
+        "and cannot participate in coordinated restart");
+  }
   if (recovery_threads == 0) {
     return Status::InvalidArgument(
         "recovery_threads must be at least 1 (1 = serial recovery)");

@@ -45,6 +45,11 @@ enum class UndoStrategy {
 
 const char* UndoStrategyName(UndoStrategy strategy);
 
+/// Upper bound on Options::num_shards. Shards are full engine instances
+/// (log, pool, lock table, daemon threads each); the cap keeps a typo from
+/// spawning thousands of them.
+inline constexpr size_t kMaxShards = 64;
+
 /// Test-only fault injection knobs.
 struct FaultInjection {
   /// When non-zero, recovery's undo pass "crashes" (flushes the log written
@@ -65,7 +70,24 @@ struct FaultInjection {
 struct Options {
   DelegationMode delegation_mode = DelegationMode::kRH;
 
-  /// Buffer pool frames.
+  /// Engine shards. 1 (the default) is the classic single-engine layout,
+  /// byte-for-byte identical to the unsharded engine. N > 1 partitions the
+  /// object space by ObjectId hash across N independent engine shards (each
+  /// with its own log, buffer pool, lock table, transaction-manager
+  /// partition, and checkpoint daemon); transactions that touch several
+  /// shards commit through the coordinator (docs/SHARDING.md). Sharding
+  /// requires checkpoint-capable recovery, so only kRH and kDisabled
+  /// delegation modes are valid with num_shards > 1.
+  size_t num_shards = 1;
+
+  /// The cross-shard commit/delegation coordinator (its own stable decision
+  /// log). Required — and on by default — whenever num_shards > 1; it is
+  /// never consulted at num_shards == 1. Exists as a knob so a
+  /// deliberately-broken configuration is rejected loudly instead of
+  /// silently losing cross-shard atomicity.
+  bool enable_coordinator = true;
+
+  /// Buffer pool frames (per shard).
   size_t buffer_pool_pages = 64;
 
   /// Force the log on every commit (classic durability). When false, the

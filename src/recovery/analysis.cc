@@ -85,7 +85,8 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       const CheckpointData* ckpt,
                                       Lsn ckpt_end_lsn,
                                       ForwardPassKind kind,
-                                      RecoveryFaultBudget* redo_budget) {
+                                      RecoveryFaultBudget* redo_budget,
+                                      const coord::Resolution* resolution) {
   const bool collect_redo = kind == ForwardPassKind::kAnalysisCollectRedo;
   const bool do_redo = kind == ForwardPassKind::kMerged ||
                        kind == ForwardPassKind::kRedoOnly;
@@ -121,6 +122,10 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
       info.id = snap.id;
       info.first_lsn = snap.first_lsn;
       info.last_lsn = snap.last_lsn;
+      if (snap.prepared_csn != 0) {
+        info.prepared = true;
+        info.prepared_csn = snap.prepared_csn;
+      }
       info.ob_list = snap.ob_list;
       snap_last[snap.id] = snap.last_lsn;
       result.max_txn_id = std::max(result.max_txn_id, snap.id);
@@ -212,6 +217,15 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
       case LogRecordType::kAbort:
         if (analyze) Touch(&result, rec.txn_id, lsn).aborting = true;
         break;
+      case LogRecordType::kPrepare:
+        // Like COMMIT, prepare applies unconditionally (setting it twice is
+        // idempotent; a checkpoint snapshot may already carry the csn).
+        if (analyze) {
+          TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
+          info.prepared = true;
+          info.prepared_csn = rec.csn;
+        }
+        break;
       case LogRecordType::kEnd:
         if (analyze) {
           TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
@@ -233,7 +247,17 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
           // the check consults both.
           const bool in_snapshot =
               reflected(rec.tor, lsn) || reflected(rec.tee, lsn);
-          if (mode == DelegationMode::kRH && !in_snapshot) {
+          // A csn-stamped record is one leg of a cross-shard transfer; it is
+          // effective only if the coordinator's commit point was reached.
+          // Voiding leaves the record in both backward chains (traversals
+          // still step through it) but the scopes never move — presumed
+          // abort for the whole round. The checkpoint fence is held across
+          // the entire cross-shard protocol, so a snapshot reflecting the
+          // record implies the coordinator COMMIT was already durable.
+          const bool voided =
+              rec.csn != 0 &&
+              (resolution == nullptr || !resolution->IsCommitted(rec.csn));
+          if (mode == DelegationMode::kRH && !in_snapshot && !voided) {
             TransferScopes(&result, rec, stats);
           } else if (mode == DelegationMode::kLazyRewrite) {
             // Physically rewrite history now (deferred Figure 1): surgery

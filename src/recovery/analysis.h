@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "coord/coordinator_log.h"
 #include "core/options.h"
 #include "recovery/checkpoint.h"
 #include "recovery/redo.h"
@@ -36,9 +37,14 @@ struct TxnAnalysis {
   bool committed = false;  ///< COMMIT record seen -> winner
   bool aborting = false;   ///< ABORT record seen, rollback was in progress
   bool ended = false;      ///< END record seen -> fully resolved
+  bool prepared = false;   ///< PREPARE record seen -> in doubt (2PC)
+  uint64_t prepared_csn = 0;  ///< csn of the PREPARE round (0 = none)
   std::map<ObjectId, ObjectEntry> ob_list;  ///< scopes (kRH mode only)
 
   bool IsLoser() const { return !committed && !ended; }
+  /// In doubt: voted in a 2PC round whose fate only the coordinator log
+  /// knows. RecoveryManager resolves these before the undo pass.
+  bool InDoubt() const { return prepared && !committed && !ended; }
 };
 
 /// Everything recovery's backward pass needs.
@@ -79,6 +85,12 @@ enum class ForwardPassKind {
 /// chain surgery (the baseline the paper contrasts with RH).
 /// `redo_budget` (test-only) injects a crash in the redo-bearing kinds
 /// after that many page applications.
+/// `resolution` (sharded engines) carries the coordinator's committed-csn
+/// set: a csn-stamped DELEGATE record whose csn is not committed is one leg
+/// of a cross-shard transfer that never reached its commit point — the pass
+/// voids it (the record stays in both backward chains but its scopes never
+/// transfer, so undo targets the original invoker). nullptr treats every
+/// csn-stamped DELEGATE as uncommitted, which is exactly presumed abort.
 Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       BufferPool* pool, Stats* stats,
                                       const CheckpointData* ckpt,
@@ -86,6 +98,8 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       ForwardPassKind kind =
                                           ForwardPassKind::kMerged,
                                       RecoveryFaultBudget* redo_budget =
+                                          nullptr,
+                                      const coord::Resolution* resolution =
                                           nullptr);
 
 }  // namespace ariesrh

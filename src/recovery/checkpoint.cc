@@ -8,10 +8,13 @@ namespace ariesrh {
 
 namespace {
 
-// v2 payloads open with a marker byte no v1 payload can start with (v1
+// v2+ payloads open with a marker byte no v1 payload can start with (v1
 // leads with varint next_txn_id >= 1) followed by the format version.
+// v3 adds prepared_csn per transaction snapshot; v2 payloads decode with
+// prepared_csn = 0 (they predate sharding, so nothing was ever in doubt).
 constexpr uint8_t kVersionMarker = 0x00;
-constexpr uint8_t kFormatVersion = 2;
+constexpr uint8_t kFormatVersion = 3;
+constexpr uint8_t kMinMarkedVersion = 2;
 
 }  // namespace
 
@@ -39,6 +42,7 @@ std::string CheckpointData::Serialize() const {
     PutVarint64(&out, txn.id);
     PutVarint64(&out, txn.first_lsn);
     PutVarint64(&out, txn.last_lsn);
+    PutVarint64(&out, txn.prepared_csn);
     PutVarint64(&out, txn.ob_list.size());
     for (const auto& [ob, entry] : txn.ob_list) {
       PutVarint64(&out, ob);
@@ -67,12 +71,13 @@ std::string CheckpointData::Serialize() const {
 Result<CheckpointData> CheckpointData::Deserialize(const std::string& payload) {
   Decoder dec(payload);
   CheckpointData data;
+  uint8_t version = 1;
   if (!payload.empty() &&
       static_cast<uint8_t>(payload[0]) == kVersionMarker) {
-    uint8_t marker = 0, version = 0;
+    uint8_t marker = 0;
     ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&marker));
     ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&version));
-    if (version != kFormatVersion) {
+    if (version < kMinMarkedVersion || version > kFormatVersion) {
       return Status::Corruption("unknown checkpoint payload version " +
                                 std::to_string(version));
     }
@@ -89,6 +94,9 @@ Result<CheckpointData> CheckpointData::Deserialize(const std::string& payload) {
     ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn.id));
     ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn.first_lsn));
     ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn.last_lsn));
+    if (version >= 3) {
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&txn.prepared_csn));
+    }
     uint64_t ob_count = 0;
     ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&ob_count));
     for (uint64_t j = 0; j < ob_count; ++j) {

@@ -33,6 +33,11 @@ struct CheckpointData {
     TxnId id = kInvalidTxn;
     Lsn first_lsn = kInvalidLsn;
     Lsn last_lsn = kInvalidLsn;
+    /// Non-zero iff the transaction was prepared (in doubt) at checkpoint
+    /// time: the csn of its 2PC round, resolved against the coordinator log
+    /// at restart. 0 for ordinary active transactions (and for every
+    /// pre-v3 payload).
+    uint64_t prepared_csn = 0;
     std::map<ObjectId, ObjectEntry> ob_list;
   };
 
@@ -63,10 +68,11 @@ struct CheckpointData {
   /// CKPT_END (legacy checkpoints were only taken quiesced).
   Lsn AnalysisStart(Lsn ckpt_end_lsn) const;
 
-  /// Serializes in the v2 format: a leading 0x00 marker byte plus a version
-  /// byte, then the fields. The marker is unambiguous because a v1 payload
-  /// starts with varint-encoded next_txn_id >= 1, whose first byte is never
-  /// 0x00. Deserialize accepts both formats.
+  /// Serializes in the v3 format: a leading 0x00 marker byte plus a version
+  /// byte, then the fields (v3 adds prepared_csn per transaction). The
+  /// marker is unambiguous because a v1 payload starts with varint-encoded
+  /// next_txn_id >= 1, whose first byte is never 0x00. Deserialize accepts
+  /// v1, v2, and v3.
   std::string Serialize() const;
   static Result<CheckpointData> Deserialize(const std::string& payload);
 };

@@ -59,10 +59,15 @@ std::string RecoveryManager::Outcome::ToString() const {
   out << "\n  undo:     " << records_undone << " compensated in "
       << undo_ns / 1000 << "us (" << clusters_swept << " clusters, "
       << records_skipped << " records skipped)";
+  if (in_doubt_committed + in_doubt_aborted > 0) {
+    out << "\n  in-doubt: " << in_doubt_committed << " committed, "
+        << in_doubt_aborted << " presumed-aborted (coordinator log)";
+  }
   return out.str();
 }
 
-Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
+Result<RecoveryManager::Outcome> RecoveryManager::Recover(
+    const coord::Resolution* resolution) {
   // Locate the most recent completed checkpoint via the master record.
   //
   // The history-rewriting baselines cannot start from a checkpoint: a
@@ -109,7 +114,8 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
     ARIESRH_ASSIGN_OR_RETURN(
         fwd, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
                          ckpt_ptr, ckpt_end_lsn,
-                         ForwardPassKind::kAnalysisCollectRedo));
+                         ForwardPassKind::kAnalysisCollectRedo,
+                         /*redo_budget=*/nullptr, resolution));
     outcome.analysis_ns = obs::MonotonicNanos() - analysis_start;
     outcome.records_analyzed = fwd.records_scanned;
     ObservePass(stats_, "ariesrh_recovery_analysis_ns", outcome.analysis_ns);
@@ -135,7 +141,7 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
     ARIESRH_ASSIGN_OR_RETURN(
         fwd, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
                          ckpt_ptr, ckpt_end_lsn, ForwardPassKind::kMerged,
-                         redo_budget_ptr));
+                         redo_budget_ptr, resolution));
     outcome.analysis_ns = obs::MonotonicNanos() - start;
     outcome.merged_forward_pass = true;
     outcome.records_analyzed = fwd.records_scanned;
@@ -146,7 +152,8 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
     ARIESRH_ASSIGN_OR_RETURN(
         fwd,
         ForwardPass(options_.delegation_mode, log_, pool_, stats_, ckpt_ptr,
-                    ckpt_end_lsn, ForwardPassKind::kAnalysisOnly));
+                    ckpt_end_lsn, ForwardPassKind::kAnalysisOnly,
+                    /*redo_budget=*/nullptr, resolution));
     outcome.analysis_ns = obs::MonotonicNanos() - analysis_start;
     outcome.records_analyzed = fwd.records_scanned;
     ObservePass(stats_, "ariesrh_recovery_analysis_ns", outcome.analysis_ns);
@@ -160,6 +167,24 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover() {
     outcome.redo_ns = obs::MonotonicNanos() - redo_start;
     outcome.records_redone = stats_->recovery_redos - redos_before;
     ObservePass(stats_, "ariesrh_recovery_redo_ns", outcome.redo_ns);
+  }
+
+  // Resolve in-doubt (prepared) transactions before undo. A csn the
+  // coordinator committed makes the transaction a winner — append the
+  // COMMIT record its crash interrupted and drop its undo targets. Every
+  // other prepared transaction stays a loser: presumed abort, identical to
+  // having no coordinator verdict at all.
+  for (auto& [txn, info] : fwd.txns) {
+    if (!info.InDoubt()) continue;
+    if (resolution != nullptr && resolution->IsCommitted(info.prepared_csn)) {
+      info.last_lsn =
+          log_->Append(LogRecord::MakeCommit(txn, info.last_lsn));
+      info.committed = true;
+      info.ob_list.clear();
+      ++outcome.in_doubt_committed;
+    } else {
+      ++outcome.in_doubt_aborted;
+    }
   }
 
   // Backward pass: undo the loser updates.

@@ -56,6 +56,12 @@ class RecoveryManager {
     uint64_t clusters_swept = 0;    ///< undo cluster groups dispatched
     uint64_t records_skipped = 0;   ///< records the cluster sweep never read
 
+    /// In-doubt (prepared) transactions resolved from the coordinator log:
+    /// committed because the coordinator's COMMIT was durable, or rolled
+    /// back by presumed abort. Always 0 in unsharded engines.
+    uint64_t in_doubt_committed = 0;
+    uint64_t in_doubt_aborted = 0;
+
     /// Multi-line human-readable rendering (shell `recover` output).
     std::string ToString() const;
   };
@@ -63,7 +69,13 @@ class RecoveryManager {
   /// Runs the full restart sequence. Idempotent under crashes during
   /// recovery: re-running after a partial recovery converges to the same
   /// state (CLRs and the compensated set prevent double undo).
-  Result<Outcome> Recover();
+  ///
+  /// `resolution` (sharded engines) carries the coordinator's durable
+  /// verdicts: a prepared transaction whose csn is committed there gets a
+  /// COMMIT record appended and counts as a winner; every other prepared
+  /// transaction rolls back (presumed abort — the same thing nullptr
+  /// does, which is also the unsharded engine's path).
+  Result<Outcome> Recover(const coord::Resolution* resolution = nullptr);
 
   /// Scans backward from the stable log's end dropping records whose CRC
   /// fails (torn tail). Called before constructing the log manager.

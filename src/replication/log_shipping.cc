@@ -1,5 +1,6 @@
 #include "replication/log_shipping.h"
 
+#include <string>
 #include <vector>
 
 namespace ariesrh::replication {
@@ -9,10 +10,15 @@ StandbyReplica::StandbyReplica(Options options)
   // A standby is permanently "crashed": it has no volatile state, only the
   // stable storage the shipping fills. Promotion is literally recovery.
   db_->SimulateCrash();
+  shipped_.assign(db_->num_shards(), 0);
 }
 
 Status StandbyReplica::SeedFromBackup(const Database::BackupImage& backup) {
-  if (shipped_through_ != 0) {
+  if (db_->num_shards() != 1) {
+    return Status::NotSupported(
+        "backup seeding covers single-shard engines only");
+  }
+  if (shipped_[0] != 0) {
     return Status::IllegalState("seed before the first sync");
   }
   if (backup.log_window.empty() || backup.master_record == 0 ||
@@ -32,26 +38,44 @@ Status StandbyReplica::SeedFromBackup(const Database::BackupImage& backup) {
   db_->disk()->AppendLogRecords(backup.log_window);
   // Resume shipping right after the checkpoint; anything between it and the
   // backup end is re-shipped and re-applied idempotently (page LSN checks).
-  shipped_through_ = backup.master_record;
+  shipped_[0] = backup.master_record;
   return Status::OK();
 }
 
 Status StandbyReplica::SyncFrom(const Database& primary) {
-  SimulatedDisk* source =
-      const_cast<Database&>(primary).disk();  // read-only access
-  const Lsn durable = source->stable_end_lsn();
-  if (source->first_retained_lsn() > shipped_through_ + 1) {
-    return Status::IllegalState(
-        "primary archived log the standby still needs; reseed from backup");
+  Database& source_db = const_cast<Database&>(primary);  // read-only access
+  if (source_db.num_shards() != db_->num_shards()) {
+    return Status::InvalidArgument(
+        "primary and standby shard counts differ");
   }
-  std::vector<std::string> batch;
-  for (Lsn lsn = shipped_through_ + 1; lsn <= durable; ++lsn) {
-    ARIESRH_ASSIGN_OR_RETURN(std::string record, source->ReadLogRecord(lsn));
-    batch.push_back(std::move(record));
+  for (size_t i = 0; i < db_->num_shards(); ++i) {
+    SimulatedDisk* source = source_db.shard(i)->disk();
+    const Lsn durable = source->stable_end_lsn();
+    if (source->first_retained_lsn() > shipped_[i] + 1) {
+      return Status::IllegalState(
+          "primary archived log the standby still needs; reseed from backup");
+    }
+    std::vector<std::string> batch;
+    for (Lsn lsn = shipped_[i] + 1; lsn <= durable; ++lsn) {
+      ARIESRH_ASSIGN_OR_RETURN(std::string record, source->ReadLogRecord(lsn));
+      batch.push_back(std::move(record));
+    }
+    if (!batch.empty()) {
+      db_->shard(i)->disk()->AppendLogRecords(batch);
+      shipped_[i] = durable;
+    }
   }
-  if (!batch.empty()) {
-    db_->disk()->AppendLogRecords(batch);
-    shipped_through_ = durable;
+  // The coordinator's durable decisions ship too (ship-once, like the shard
+  // logs): a promoted standby resolves its in-doubt cross-shard rounds from
+  // this copy exactly as the primary's restart would.
+  if (source_db.coordinator_log() != nullptr) {
+    const std::vector<std::string> images =
+        source_db.coordinator_log()->StableImagesFrom(coord_shipped_);
+    if (!images.empty()) {
+      ARIESRH_RETURN_IF_ERROR(
+          db_->coordinator_log()->AppendStableImages(images));
+      coord_shipped_ += images.size();
+    }
   }
   // The primary's master record deliberately does NOT travel. A checkpoint
   // promises "pages the dirty-page snapshot calls clean already reflect

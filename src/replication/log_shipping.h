@@ -18,7 +18,9 @@
 #ifndef ARIESRH_REPLICATION_LOG_SHIPPING_H_
 #define ARIESRH_REPLICATION_LOG_SHIPPING_H_
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "core/database.h"
 
@@ -27,38 +29,55 @@ namespace ariesrh::replication {
 class StandbyReplica {
  public:
   /// Creates an empty standby. `options` must match the primary's
-  /// delegation mode (the log is interpreted with it at promotion).
+  /// delegation mode and shard count (each shard's log ships pairwise, and
+  /// the logs are interpreted with the options at promotion).
   explicit StandbyReplica(Options options);
 
   /// Seeds the standby from a primary backup (pages + checkpoint), so
-  /// promotion replays only the log after the backup point.
+  /// promotion replays only the log after the backup point. Single-shard
+  /// engines only (Backup itself is).
   Status SeedFromBackup(const Database::BackupImage& backup);
 
-  /// Ships every durable record the standby has not seen yet. Ship-once:
+  /// Ships every durable record the standby has not seen yet — shard by
+  /// shard (each primary shard's log feeds the matching standby shard),
+  /// plus the coordinator log's durable decisions, without which a promoted
+  /// standby could not resolve in-doubt cross-shard rounds. Ship-once:
   /// records are never re-read. Safe to call as often as desired. The
-  /// primary's master record is never shipped — its checkpoint's redo
+  /// primary's master records are never shipped — a checkpoint's redo
   /// point speaks about the primary's pages, not this standby's (see the
   /// note in SyncFrom); promotion anchors at the seed backup's checkpoint
-  /// or, for a log-only standby, replays from the log head.
+  /// or, for a log-only standby, replays from the log heads.
   Status SyncFrom(const Database& primary);
 
-  /// LSN through which the standby holds the primary's log.
-  Lsn shipped_through() const { return shipped_through_; }
+  /// LSN through which the standby holds the primary's log (shard 0 — the
+  /// whole log when unsharded; per-shard positions via the overload).
+  Lsn shipped_through() const {
+    return shipped_.empty() ? 0 : shipped_[0];
+  }
+  Lsn shipped_through(size_t shard) const { return shipped_[shard]; }
 
-  /// The oldest primary LSN this standby still needs shipped: pass it to
-  /// Database::ArchiveLog(retain_from) on the primary so continuous
-  /// archiving (the checkpoint daemon's auto_archive) never discards the
-  /// unshipped suffix out from under ship-once replication. Without the
-  /// pin, an archive racing ahead of shipping forces a reseed from backup.
-  Lsn RetentionPin() const { return shipped_through_ + 1; }
+  /// The oldest primary LSN this standby still needs shipped on any shard:
+  /// pass it to Database::ArchiveLog(retain_from) on the primary so
+  /// continuous archiving (the checkpoint daemons' auto_archive) never
+  /// discards an unshipped suffix out from under ship-once replication.
+  /// Without the pin, an archive racing ahead of shipping forces a reseed
+  /// from backup. (One pin for all shards: conservative, always safe.)
+  Lsn RetentionPin() const {
+    return shipped_.empty()
+               ? 1
+               : *std::min_element(shipped_.begin(), shipped_.end()) + 1;
+  }
 
-  /// Promotes the standby: runs restart recovery over the shipped log and
-  /// returns the now-usable database. The replica object is consumed.
+  /// Promotes the standby: runs restart recovery over the shipped logs
+  /// (every shard in parallel, in-doubt rounds resolved from the shipped
+  /// coordinator decisions) and returns the now-usable database. The
+  /// replica object is consumed.
   Result<std::unique_ptr<Database>> Promote() &&;
 
  private:
   std::unique_ptr<Database> db_;  // held in the crashed (standby) state
-  Lsn shipped_through_ = 0;
+  std::vector<Lsn> shipped_;      // per-shard shipped-through positions
+  size_t coord_shipped_ = 0;      // durable coordinator images shipped
 };
 
 }  // namespace ariesrh::replication

@@ -12,6 +12,8 @@ const char* TxnStateName(TxnState state) {
       return "committed";
     case TxnState::kAborted:
       return "aborted";
+    case TxnState::kPrepared:
+      return "prepared";
   }
   return "unknown";
 }

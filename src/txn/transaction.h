@@ -17,6 +17,10 @@ enum class TxnState : uint8_t {
   kActive = 0,
   kCommitted = 1,
   kAborted = 2,
+  /// Voted in a 2PC round (sharded engines): the PREPARE record is durable
+  /// and the transaction's fate now belongs to the coordinator. No further
+  /// work may arrive; commit/abort comes only via FinishCommit/AbortPrepared.
+  kPrepared = 3,
 };
 
 const char* TxnStateName(TxnState state);
@@ -72,6 +76,11 @@ struct Transaction {
   /// surgery would move records out from under the CLR undo-next chain.
   bool touched_by_delegation = false;
 
+  /// Coordinator sequence number of the 2PC round this transaction is
+  /// prepared under; 0 when not prepared. Survives into checkpoint
+  /// snapshots so an in-doubt transaction stays resolvable after restart.
+  uint64_t prepared_csn = 0;
+
   /// Set (under `latch`) the moment commit/abort processing begins — before
   /// `state` leaves kActive, which under group commit happens only after the
   /// commit record is durable. Delegation checks it so no DELEGATE record
@@ -109,6 +118,7 @@ struct Transaction {
     ob_list = other.ob_list;
     did_partial_rollback = other.did_partial_rollback;
     touched_by_delegation = other.touched_by_delegation;
+    prepared_csn = other.prepared_csn;
     terminating = other.terminating;
   }
 };

@@ -41,6 +41,32 @@ Result<TxnId> TxnManager::Begin() {
   return id;
 }
 
+Result<TxnId> TxnManager::BeginWithId(TxnId id) {
+  // Keep the local counter strictly ahead of externally-allocated ids so a
+  // later plain Begin can never collide.
+  TxnId cur = next_txn_id_.load(std::memory_order_relaxed);
+  while (cur <= id && !next_txn_id_.compare_exchange_weak(
+                          cur, id + 1, std::memory_order_relaxed)) {
+  }
+  {
+    std::shared_lock table_lock(table_mu_);
+    if (txns_.contains(id)) {
+      return Status::IllegalState("transaction id " + std::to_string(id) +
+                                  " already exists on this shard");
+    }
+  }
+  Transaction tx;
+  tx.id = id;
+  tx.first_lsn = tx.last_lsn = log_->Append(LogRecord::MakeBegin(id));
+  {
+    std::unique_lock table_lock(table_mu_);
+    txns_.emplace(id, std::move(tx));
+  }
+  ++stats_->txns_begun;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kTxnBegin, id);
+  return id;
+}
+
 Result<Transaction*> TxnManager::FindActive(TxnId txn) {
   std::shared_lock table_lock(table_mu_);
   auto it = txns_.find(txn);
@@ -57,10 +83,35 @@ Result<Transaction*> TxnManager::FindActive(TxnId txn) {
   return &it->second;
 }
 
+Result<Transaction*> TxnManager::FindPrepared(TxnId txn) {
+  std::shared_lock table_lock(table_mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::NotFound("transaction " + std::to_string(txn) +
+                            " does not exist");
+  }
+  if (it->second.state != TxnState::kPrepared) {
+    return Status::IllegalState("transaction " + std::to_string(txn) +
+                                " is " + TxnStateName(it->second.state) +
+                                ", not prepared");
+  }
+  return &it->second;
+}
+
 const Transaction* TxnManager::Find(TxnId txn) const {
   std::shared_lock table_lock(table_mu_);
   auto it = txns_.find(txn);
   return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::vector<ObjectId> TxnManager::ObjectsOf(TxnId txn) const {
+  const Transaction* tx = Find(txn);
+  if (tx == nullptr) return {};
+  std::lock_guard latch(tx->latch);
+  std::vector<ObjectId> objects;
+  objects.reserve(tx->ob_list.size());
+  for (const auto& [ob, entry] : tx->ob_list) objects.push_back(ob);
+  return objects;
 }
 
 Result<int64_t> TxnManager::Read(TxnId txn, ObjectId ob) {
@@ -557,6 +608,150 @@ Status TxnManager::Abort(TxnId txn) {
   return Status::OK();
 }
 
+Status TxnManager::Prepare(TxnId txn, uint64_t csn) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  Lsn prepare_lsn = kInvalidLsn;
+  {
+    std::lock_guard latch(tx->latch);
+    if (tx->terminating) {
+      return Status::IllegalState("transaction " + std::to_string(txn) +
+                                  " is committing or aborting");
+    }
+    prepare_lsn = log_->Append(LogRecord::MakePrepare(txn, tx->last_lsn, csn));
+    tx->last_lsn = prepare_lsn;
+    tx->prepared_csn = csn;
+    tx->state = TxnState::kPrepared;
+  }
+  // The vote must be durable before the coordinator may decide commit: a
+  // committed csn with a lost PREPARE record would presume-abort a round
+  // the coordinator committed. Outside the latch, like Commit's wait.
+  if (options_.group_commit) {
+    return log_->FlushWait(prepare_lsn);
+  }
+  return log_->Flush(prepare_lsn);
+}
+
+Status TxnManager::FinishCommit(TxnId txn) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindPrepared(txn));
+  obs::ScopedLatencyTimer timer(commit_ns_);
+  Lsn commit_lsn = kInvalidLsn;
+  {
+    std::lock_guard latch(tx->latch);
+    tx->terminating = true;
+    commit_lsn = log_->Append(LogRecord::MakeCommit(txn, tx->last_lsn));
+    tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, commit_lsn));
+    tx->state = TxnState::kCommitted;
+    tx->prepared_csn = 0;
+    tx->ob_list.clear();
+  }
+  // No force: the round's commit point was the coordinator's durable
+  // COMMIT. If these records are lost to a crash, recovery finds the
+  // transaction in doubt and re-commits it from the coordinator log.
+  locks_->ReleaseAll(txn);
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    deps_.RemoveTxn(txn);
+  }
+  ++stats_->txns_committed;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kTxnCommit, txn, commit_lsn);
+  return Status::OK();
+}
+
+Status TxnManager::AbortPrepared(TxnId txn) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindPrepared(txn));
+  {
+    std::lock_guard latch(tx->latch);
+    tx->terminating = true;
+    tx->last_lsn = log_->Append(LogRecord::MakeAbort(txn, tx->last_lsn));
+    ARIESRH_RETURN_IF_ERROR(RollBack(tx));
+    tx->last_lsn = log_->Append(LogRecord::MakeEnd(txn, tx->last_lsn));
+    tx->state = TxnState::kAborted;
+    tx->prepared_csn = 0;
+    tx->ob_list.clear();
+  }
+  locks_->ReleaseAll(txn);
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    deps_.RemoveTxn(txn);
+  }
+  ++stats_->txns_aborted;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kTxnAbort, txn,
+            tx->last_lsn);
+  return Status::OK();
+}
+
+Result<TxnManager::DelegationGuard> TxnManager::GuardDelegation(TxnId from,
+                                                                TxnId to) {
+  if (from == to) {
+    return Status::InvalidArgument("cannot delegate to self");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tor, FindActive(from));
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tee, FindActive(to));
+
+  DelegationGuard guard;
+  guard.tor_ = tor;
+  guard.tee_ = tee;
+  // Same lock order as Delegate: fence first, then both latches — but in
+  // ascending TxnId order (scoped_lock's deadlock avoidance cannot persist
+  // beyond a scope; a fixed order can).
+  guard.fence_ = std::shared_lock(ckpt_fence_);
+  Transaction* first = tor->id < tee->id ? tor : tee;
+  Transaction* second = tor->id < tee->id ? tee : tor;
+  guard.first_ = std::unique_lock(first->latch);
+  guard.second_ = std::unique_lock(second->latch);
+  ARIESRH_RETURN_IF_ERROR(CheckDelegationParties(*tor, *tee));
+  return guard;
+}
+
+Status TxnManager::CheckDelegatable(const DelegationGuard& guard,
+                                    const std::vector<ObjectId>& objects)
+    const {
+  ARIESRH_RETURN_IF_ERROR(CheckDelegationParties(*guard.tor_, *guard.tee_));
+  for (ObjectId ob : objects) {
+    if (!guard.tor_->IsResponsibleFor(ob)) {
+      return Status::InvalidArgument(
+          "delegator is not responsible for object " + std::to_string(ob));
+    }
+  }
+  return Status::OK();
+}
+
+Status TxnManager::ApplyCrossShardDelegation(
+    const DelegationGuard& guard, const std::vector<ObjectId>& objects,
+    uint64_t csn) {
+  Transaction* tor = guard.tor_;
+  Transaction* tee = guard.tee_;
+  LogRecord rec = LogRecord::MakeDelegate(tor->id, tee->id, tor->last_lsn,
+                                          tee->last_lsn, objects);
+  rec.csn = csn;
+  const Lsn lsn = log_->Append(std::move(rec));
+  tor->last_lsn = lsn;
+  tee->last_lsn = lsn;
+  ++stats_->delegations;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kDelegate, tor->id, tee->id,
+            lsn);
+
+  // TRANSFER RESPONSIBILITY, exactly as the shard-local path does.
+  for (ObjectId ob : objects) {
+    auto it = tor->ob_list.find(ob);
+    assert(it != tor->ob_list.end());
+    ObjectEntry& dst = tee->ob_list[ob];
+    dst.delegated_from = tor->id;
+    stats_->scopes_transferred += it->second.scopes.size();
+    dst.MergeFrom(it->second);
+    tor->ob_list.erase(it);
+    if (options_.transfer_locks_on_delegate) {
+      locks_->Transfer(tor->id, tee->id, ob);
+    }
+  }
+  tor->touched_by_delegation = true;
+  tee->touched_by_delegation = true;
+  // This leg must be durable before the coordinator's commit point: a
+  // committed csn referencing a lost shard record would be a half-applied
+  // transfer.
+  return log_->Flush(lsn);
+}
+
 Status TxnManager::RollBack(Transaction* tx) {
   std::unordered_map<TxnId, Lsn> bc_heads = {{tx->id, tx->last_lsn}};
   // kRH and kLazyRewrite abort via the scope sweep; kDisabled has no scopes
@@ -623,8 +818,11 @@ std::map<TxnId, Transaction> TxnManager::SnapshotTransactions() const {
 void TxnManager::ReapTerminated() {
   std::unique_lock table_lock(table_mu_);
   for (auto it = txns_.begin(); it != txns_.end();) {
-    it = it->second.state == TxnState::kActive ? std::next(it)
-                                               : txns_.erase(it);
+    // Prepared transactions are live (in doubt), not terminated.
+    const TxnState state = it->second.state;
+    it = (state == TxnState::kActive || state == TxnState::kPrepared)
+             ? std::next(it)
+             : txns_.erase(it);
   }
 }
 

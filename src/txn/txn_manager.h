@@ -71,6 +71,12 @@ class TxnManager {
   /// Starts a transaction (ASSET initiate+begin): writes a BEGIN record.
   Result<TxnId> Begin();
 
+  /// Starts a transaction under an externally-allocated id (the sharded
+  /// facade hands out globally-unique ids and enlists a transaction lazily
+  /// on each shard it touches). Bumps the local counter past `id` so a
+  /// later plain Begin can never collide.
+  Result<TxnId> BeginWithId(TxnId id);
+
   /// Reads an object under a shared lock (or a stronger lock/permit already
   /// held). Returns kBusy on lock conflict.
   Result<int64_t> Read(TxnId txn, ObjectId ob);
@@ -145,9 +151,80 @@ class TxnManager {
   /// END records, releases locks, then cascades to abort-dependents.
   Status Abort(TxnId txn);
 
+  // --- Two-phase commit participant role (sharded engines only) ---
+
+  /// Phase 1 vote: writes a csn-stamped PREPARE record and forces the log,
+  /// moving the transaction to kPrepared. From here no further work is
+  /// accepted (FindActive rejects kPrepared); the transaction's fate belongs
+  /// to the coordinator and arrives via FinishCommit or AbortPrepared.
+  /// Locks are retained — a prepared transaction's writes stay protected
+  /// until the round resolves.
+  Status Prepare(TxnId txn, uint64_t csn);
+
+  /// Phase 2 commit of a prepared transaction: COMMIT + END records,
+  /// release locks. Deliberately does NOT force the log — the round's
+  /// commit point is the coordinator's durable COMMIT; a crash before these
+  /// records flush is resolved in-doubt from the coordinator log.
+  Status FinishCommit(TxnId txn);
+
+  /// Phase 2 abort of a prepared transaction: ABORT record, rollback, END,
+  /// release locks — the same work Abort does, accepted from kPrepared.
+  Status AbortPrepared(TxnId txn);
+
+  // --- Cross-shard delegation participant role (sharded engines only) ---
+
+  /// Holds this shard's checkpoint fence (shared) plus both parties'
+  /// latches from acquisition until destruction, so the facade can run the
+  /// multi-step cross-shard transfer protocol (validate every shard →
+  /// apply per shard → coordinator decision) atomically with respect to
+  /// fuzzy checkpoints and both parties' commit/abort on this shard. A
+  /// checkpoint snapshot therefore lands entirely before the transfer (the
+  /// csn-stamped record re-applies or voids on the window re-scan) or
+  /// entirely after it (the coordinator COMMIT is durable by then).
+  class DelegationGuard {
+   public:
+    DelegationGuard() = default;
+    DelegationGuard(DelegationGuard&&) = default;
+    DelegationGuard& operator=(DelegationGuard&&) = default;
+
+   private:
+    friend class TxnManager;
+    std::shared_lock<std::shared_mutex> fence_;
+    std::unique_lock<TxnLatch> first_, second_;  ///< ascending-TxnId order
+    Transaction* tor_ = nullptr;
+    Transaction* tee_ = nullptr;
+  };
+
+  /// Acquires the guard (fence + both latches, latches in ascending-TxnId
+  /// order per the documented lock order) and validates both parties are
+  /// active and not terminating.
+  Result<DelegationGuard> GuardDelegation(TxnId from, TxnId to);
+
+  /// Re-validates, under the guard, that the transfer can succeed on this
+  /// shard: both parties still in shape and the delegator responsible for
+  /// every listed object. Mutates nothing — the facade pre-validates every
+  /// shard before applying anywhere, so a refusal can never strand a
+  /// half-applied transfer.
+  Status CheckDelegatable(const DelegationGuard& guard,
+                          const std::vector<ObjectId>& objects) const;
+
+  /// Applies this shard's leg of a cross-shard transfer under the guard:
+  /// appends the csn-stamped DELEGATE record, moves the scopes and locks,
+  /// and forces the log — the leg must be durable before the coordinator
+  /// may reach its commit point, else a committed csn could reference a
+  /// lost shard record (a half-applied transfer). kRH only.
+  Status ApplyCrossShardDelegation(const DelegationGuard& guard,
+                                   const std::vector<ObjectId>& objects,
+                                   uint64_t csn);
+
   /// Looks up a live or terminated-this-session transaction. The pointer
   /// stays valid until ReapTerminated (std::map node stability).
   const Transaction* Find(TxnId txn) const;
+
+  /// The objects currently in `txn`'s Ob_List (latched read; empty when the
+  /// transaction does not exist on this shard). The sharded facade uses
+  /// this to expand an all-objects delegation into per-shard object lists.
+  std::vector<ObjectId> ObjectsOf(TxnId txn) const;
 
   /// The transaction currently responsible for `invoker`'s update to `ob`
   /// logged at `lsn` — i.e. ResponsibleTr(update[ob]) computed from scopes.
@@ -185,6 +262,7 @@ class TxnManager {
     return options_.delegation_mode != DelegationMode::kDisabled;
   }
   Result<Transaction*> FindActive(TxnId txn);
+  Result<Transaction*> FindPrepared(TxnId txn);
   Status DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind, LockMode lock_mode,
                   int64_t value_or_delta);
   Status RollBack(Transaction* tx);

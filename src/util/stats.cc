@@ -49,12 +49,28 @@ std::string Stats::ToString() const {
 }
 
 void Stats::AttachObservability(obs::Observability* obs) {
+  AttachObservability(obs, "");
+}
+
+void Stats::AttachObservability(obs::Observability* obs,
+                                const std::string& shard_suffix) {
   obs_ = obs;
   if (obs == nullptr) return;
+  if (shard_suffix.empty()) {
 #define ARIESRH_STATS_BIND_FIELD(group, field, label) \
   field.Bind(obs->registry.GetCounter("ariesrh_" #field)->cell());
-  ARIESRH_STATS_FIELDS(ARIESRH_STATS_BIND_FIELD)
+    ARIESRH_STATS_FIELDS(ARIESRH_STATS_BIND_FIELD)
 #undef ARIESRH_STATS_BIND_FIELD
+    return;
+  }
+#define ARIESRH_STATS_BIND_SHARD_FIELD(group, field, label)            \
+  field.Bind(obs->registry.GetCounter("ariesrh_" #field)->cell(),      \
+             obs->registry                                             \
+                 .GetCounter(std::string("ariesrh_" #field) +          \
+                             shard_suffix)                             \
+                 ->cell());
+  ARIESRH_STATS_FIELDS(ARIESRH_STATS_BIND_SHARD_FIELD)
+#undef ARIESRH_STATS_BIND_SHARD_FIELD
 }
 
 obs::EventTrace* Stats::trace() const {

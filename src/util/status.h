@@ -69,6 +69,7 @@ class Status {
   bool IsIllegalState() const { return code_ == StatusCode::kIllegalState; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
 
   StatusCode code() const { return code_; }

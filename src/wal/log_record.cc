@@ -44,6 +44,8 @@ const char* LogRecordTypeName(LogRecordType type) {
       return "CKPT_BEGIN";
     case LogRecordType::kCkptEnd:
       return "CKPT_END";
+    case LogRecordType::kPrepare:
+      return "PREPARE";
   }
   return "UNKNOWN";
 }
@@ -82,6 +84,10 @@ std::string LogRecord::Serialize() const {
         PutLsn(&out, first);
         PutLsn(&out, last);
       }
+      PutVarint64(&out, csn);
+      break;
+    case LogRecordType::kPrepare:
+      PutVarint64(&out, csn);
       break;
     case LogRecordType::kCkptEnd:
       PutLengthPrefixed(&out, ckpt_payload);
@@ -111,7 +117,7 @@ Result<LogRecord> LogRecord::Deserialize(const std::string& image) {
   uint8_t type_byte = 0;
   ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&type_byte));
   if (type_byte < static_cast<uint8_t>(LogRecordType::kBegin) ||
-      type_byte > static_cast<uint8_t>(LogRecordType::kCkptEnd)) {
+      type_byte > static_cast<uint8_t>(LogRecordType::kPrepare)) {
     return Status::Corruption("unknown log record type");
   }
   rec.type = static_cast<LogRecordType>(type_byte);
@@ -167,8 +173,12 @@ Result<LogRecord> LogRecord::Deserialize(const std::string& image) {
         ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &last));
         rec.ranges.emplace_back(first, last);
       }
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.csn));
       break;
     }
+    case LogRecordType::kPrepare:
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.csn));
+      break;
     case LogRecordType::kCkptEnd:
       ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.ckpt_payload));
       break;
@@ -197,8 +207,12 @@ std::string LogRecord::ToString() const {
         os << "ob" << objects[i];
       }
       os << "}";
+      if (csn != 0) os << " csn" << csn;
       break;
     }
+    case LogRecordType::kPrepare:
+      os << " csn" << csn;
+      break;
     default:
       break;
   }
@@ -286,6 +300,15 @@ LogRecord LogRecord::MakeDelegateRange(TxnId tor, TxnId tee, Lsn tor_bc,
                                        Lsn last) {
   LogRecord rec = MakeDelegate(tor, tee, tor_bc, tee_bc, {ob});
   rec.ranges.emplace_back(first, last);
+  return rec;
+}
+
+LogRecord LogRecord::MakePrepare(TxnId txn, Lsn prev, uint64_t csn) {
+  LogRecord rec;
+  rec.type = LogRecordType::kPrepare;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  rec.csn = csn;
   return rec;
 }
 

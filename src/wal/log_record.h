@@ -32,6 +32,11 @@ enum class LogRecordType : uint8_t {
   kDelegate = 7,
   kCkptBegin = 8,
   kCkptEnd = 9,   ///< carries the fuzzy-checkpoint table snapshot
+  /// Two-phase commit vote (sharded engines only): the transaction's work on
+  /// this shard is durable and the shard will commit iff the coordinator's
+  /// decision log records COMMIT for the carried csn. In-doubt at restart
+  /// until resolved from the coordinator log; presumed abort without it.
+  kPrepare = 10,
 };
 
 /// How an update mutates its object cell.
@@ -76,6 +81,15 @@ struct LogRecord {
   /// whole object. Empty = whole-object delegation for every entry.
   std::vector<std::pair<Lsn, Lsn>> ranges;
 
+  // --- PREPARE and DELEGATE (sharded engines) ---
+  /// Coordinator sequence number. On a PREPARE record it names the 2PC
+  /// round this shard voted in. On a DELEGATE record, 0 means a plain
+  /// shard-local delegation (effective the moment it is logged, exactly as
+  /// in the unsharded engine); non-zero marks one leg of a cross-shard
+  /// transfer, effective at restart only if the coordinator log committed
+  /// that csn — otherwise recovery voids it (the scopes never transfer).
+  uint64_t csn = 0;
+
   // --- CKPT_END only ---
   std::string ckpt_payload;  ///< serialized table snapshot (see checkpoint.h)
 
@@ -104,6 +118,7 @@ struct LogRecord {
   static LogRecord MakeDelegateRange(TxnId tor, TxnId tee, Lsn tor_bc,
                                      Lsn tee_bc, ObjectId ob, Lsn first,
                                      Lsn last);
+  static LogRecord MakePrepare(TxnId txn, Lsn prev, uint64_t csn);
 };
 
 }  // namespace ariesrh

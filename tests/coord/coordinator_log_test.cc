@@ -1,0 +1,148 @@
+// The cross-shard coordinator's decision log: record encoding, the
+// durable-prefix/volatile-tail crash split, and the recovery-time
+// Resolution (presumed abort) built from the surviving records.
+
+#include "coord/coordinator_log.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace ariesrh::coord {
+namespace {
+
+CoordRecord SampleRecord() {
+  CoordRecord rec;
+  rec.csn = 42;
+  rec.type = CoordRecordType::kCommit;
+  rec.kind = CoordRoundKind::kDelegate;
+  rec.txn = 7;
+  rec.txn2 = 9;
+  rec.shards = {0, 2, 3};
+  return rec;
+}
+
+TEST(CoordRecordTest, RoundTripPreservesEveryField) {
+  const CoordRecord rec = SampleRecord();
+  Result<CoordRecord> back = CoordRecord::Deserialize(rec.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->csn, 42u);
+  EXPECT_EQ(back->type, CoordRecordType::kCommit);
+  EXPECT_EQ(back->kind, CoordRoundKind::kDelegate);
+  EXPECT_EQ(back->txn, 7u);
+  EXPECT_EQ(back->txn2, 9u);
+  EXPECT_EQ(back->shards, (std::vector<uint32_t>{0, 2, 3}));
+}
+
+TEST(CoordRecordTest, CorruptionDetectedOnEveryByteFlip) {
+  std::string image = SampleRecord().Serialize();
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string bad = image;
+    bad[i] ^= 0x20;
+    EXPECT_FALSE(CoordRecord::Deserialize(bad).ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(CoordRecordTest, TruncationDetected) {
+  const std::string image = SampleRecord().Serialize();
+  for (size_t keep = 0; keep < image.size(); ++keep) {
+    EXPECT_FALSE(CoordRecord::Deserialize(image.substr(0, keep)).ok())
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(CoordRecordTest, ToStringNamesTheRound) {
+  const std::string s = SampleRecord().ToString();
+  EXPECT_NE(s.find("csn42"), std::string::npos);
+  EXPECT_NE(s.find("COMMIT"), std::string::npos);
+  EXPECT_NE(s.find("delegate"), std::string::npos);
+}
+
+TEST(CoordinatorLogTest, CsnsAreUniqueAndReseedable) {
+  CoordinatorLog log;
+  const uint64_t a = log.NextCsn();
+  const uint64_t b = log.NextCsn();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  log.SeedCsn(100);
+  EXPECT_EQ(log.NextCsn(), 100u);
+  log.SeedCsn(0);  // 0 is never a valid csn
+  EXPECT_EQ(log.NextCsn(), 1u);
+}
+
+TEST(CoordinatorLogTest, UnforcedTailDiesWithTheCrash) {
+  CoordinatorLog log;
+  CoordRecord rec = SampleRecord();
+  rec.csn = 1;
+  log.Append(rec);
+  ASSERT_TRUE(log.Force().ok());
+  rec.csn = 2;
+  log.Append(rec);  // volatile: never forced
+  log.SimulateCrash();
+  const std::vector<CoordRecord> stable = log.StableRecords();
+  ASSERT_EQ(stable.size(), 1u);
+  EXPECT_EQ(stable[0].csn, 1u);
+  EXPECT_EQ(log.stable_size(), 1u);
+}
+
+TEST(CoordinatorLogTest, ResolutionIsPresumedAbort) {
+  CoordinatorLog log;
+  auto round = [&](uint64_t csn, CoordRecordType type) {
+    CoordRecord rec;
+    rec.csn = csn;
+    rec.type = type;
+    rec.txn = csn;
+    return rec;
+  };
+  // csn 1: opened and committed. csn 2: opened only. csn 3: explicitly
+  // aborted. Only csn 1 resolves committed; 2 and 3 are presumed aborted.
+  log.Append(round(1, CoordRecordType::kPrepare));
+  log.Append(round(1, CoordRecordType::kCommit));
+  log.Append(round(2, CoordRecordType::kPrepare));
+  log.Append(round(3, CoordRecordType::kPrepare));
+  log.Append(round(3, CoordRecordType::kAbort));
+  ASSERT_TRUE(log.Force().ok());
+
+  const Resolution res = Resolution::FromRecords(log.StableRecords());
+  EXPECT_TRUE(res.IsCommitted(1));
+  EXPECT_FALSE(res.IsCommitted(2));
+  EXPECT_FALSE(res.IsCommitted(3));
+  EXPECT_EQ(res.max_csn, 3u);
+
+  const Resolution empty = Resolution::FromRecords({});
+  EXPECT_EQ(empty.max_csn, 0u);
+  EXPECT_FALSE(empty.IsCommitted(1));
+}
+
+TEST(CoordinatorLogTest, ShippedImagesReplayOnAStandby) {
+  obs::MetricsRegistry registry;
+  CoordinatorLog primary(&registry);
+  CoordRecord rec = SampleRecord();
+  rec.csn = 1;
+  primary.Append(rec);
+  rec.csn = 2;
+  rec.type = CoordRecordType::kPrepare;
+  primary.Append(rec);
+  ASSERT_TRUE(primary.Force().ok());
+
+  CoordinatorLog standby;
+  ASSERT_TRUE(
+      standby.AppendStableImages(primary.StableImagesFrom(0)).ok());
+  EXPECT_EQ(standby.stable_size(), 2u);
+  // Incremental shipping: nothing new yields nothing.
+  EXPECT_TRUE(primary.StableImagesFrom(2).empty());
+  const std::vector<CoordRecord> got = standby.StableRecords();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].csn, 1u);
+  EXPECT_EQ(got[1].type, CoordRecordType::kPrepare);
+}
+
+TEST(CoordinatorLogTest, CorruptShippedImageRejected) {
+  CoordinatorLog standby;
+  std::string image = SampleRecord().Serialize();
+  image.back() ^= 0x01;
+  EXPECT_FALSE(standby.AppendStableImages({image}).ok());
+}
+
+}  // namespace
+}  // namespace ariesrh::coord

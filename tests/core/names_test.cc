@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "coord/coordinator_log.h"
 #include "core/options.h"
 #include "lock/lock_manager.h"
 #include "txn/dependency_graph.h"
@@ -30,6 +31,7 @@ TEST(NamesTest, TxnStateNames) {
   EXPECT_STREQ(TxnStateName(TxnState::kActive), "active");
   EXPECT_STREQ(TxnStateName(TxnState::kCommitted), "committed");
   EXPECT_STREQ(TxnStateName(TxnState::kAborted), "aborted");
+  EXPECT_STREQ(TxnStateName(TxnState::kPrepared), "prepared");
 }
 
 TEST(NamesTest, DependencyTypeNames) {
@@ -55,6 +57,16 @@ TEST(NamesTest, LogRecordTypeNames) {
   EXPECT_STREQ(LogRecordTypeName(LogRecordType::kDelegate), "DELEGATE");
   EXPECT_STREQ(LogRecordTypeName(LogRecordType::kCkptBegin), "CKPT_BEGIN");
   EXPECT_STREQ(LogRecordTypeName(LogRecordType::kCkptEnd), "CKPT_END");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kPrepare), "PREPARE");
+}
+
+TEST(NamesTest, CoordRecordTypeNames) {
+  EXPECT_STREQ(coord::CoordRecordTypeName(coord::CoordRecordType::kPrepare),
+               "PREPARE");
+  EXPECT_STREQ(coord::CoordRecordTypeName(coord::CoordRecordType::kCommit),
+               "COMMIT");
+  EXPECT_STREQ(coord::CoordRecordTypeName(coord::CoordRecordType::kAbort),
+               "ABORT");
 }
 
 TEST(NamesTest, TransactionToStringShowsScopesAndDelegation) {

@@ -45,6 +45,58 @@ TEST(OptionsValidateTest, FullScanOnlyAppliesToRh) {
   EXPECT_TRUE(eager.Validate().ok());
 }
 
+TEST(OptionsValidateTest, ZeroShardsRejected) {
+  Options options;
+  options.num_shards = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsValidateTest, TooManyShardsRejected) {
+  Options options;
+  options.num_shards = kMaxShards + 1;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.num_shards = kMaxShards;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTest, ShardingRequiresCoordinator) {
+  Options options;
+  options.num_shards = 2;
+  EXPECT_TRUE(options.Validate().ok());
+  options.enable_coordinator = false;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  // A 1-shard engine never consults the coordinator, so the knob is free.
+  options.num_shards = 1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTest, ShardingRejectsRewritingBaselines) {
+  for (DelegationMode mode :
+       {DelegationMode::kEager, DelegationMode::kLazyRewrite}) {
+    Options options;
+    options.num_shards = 2;
+    options.delegation_mode = mode;
+    EXPECT_TRUE(options.Validate().IsInvalidArgument())
+        << DelegationModeName(mode);
+  }
+  for (DelegationMode mode :
+       {DelegationMode::kRH, DelegationMode::kDisabled}) {
+    Options options;
+    options.num_shards = 2;
+    options.delegation_mode = mode;
+    EXPECT_TRUE(options.Validate().ok()) << DelegationModeName(mode);
+  }
+}
+
+TEST(OptionsValidateTest, InvalidShardingMakesDatabaseInert) {
+  Options options;
+  options.num_shards = 2;
+  options.enable_coordinator = false;
+  Database db(options);
+  EXPECT_TRUE(db.Begin().status().IsInvalidArgument());
+  EXPECT_TRUE(db.Recover().status().IsInvalidArgument());
+}
+
 TEST(OptionsValidateTest, ParallelRecoveryThreadsAreValid) {
   Options options;
   options.recovery_threads = 8;

@@ -1,0 +1,466 @@
+// The sharded facade: routing, cross-shard two-phase commit, cross-shard
+// delegation, coordinated restart, and the N=1 equivalence with a bare
+// EngineShard. The exhaustive crash-point sweeps live in
+// sharded_crash_matrix_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/engine_shard.h"
+#include "obs/observability.h"
+#include "replication/log_shipping.h"
+
+namespace ariesrh {
+namespace {
+
+Options ShardedOptions(size_t shards) {
+  Options options;
+  options.num_shards = shards;
+  return options;
+}
+
+/// First object at or after `from` that routes to `shard`.
+ObjectId ObOnShard(const Database& db, size_t shard, ObjectId from = 1) {
+  for (ObjectId ob = from;; ++ob) {
+    if (db.ShardOf(ob) == shard) return ob;
+  }
+}
+
+TEST(ShardedDatabaseTest, RoutingIsStableAndCoversEveryShard) {
+  Database db(ShardedOptions(4));
+  ASSERT_EQ(db.num_shards(), 4u);
+  std::set<size_t> seen;
+  for (ObjectId ob = 1; ob <= 256; ++ob) {
+    const size_t s = db.ShardOf(ob);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, db.ShardOf(ob));  // deterministic
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  // A 1-shard engine routes everything to shard 0 and has no coordinator.
+  Database one;
+  EXPECT_EQ(one.num_shards(), 1u);
+  EXPECT_EQ(one.ShardOf(12345), 0u);
+  EXPECT_EQ(one.coordinator_log(), nullptr);
+}
+
+TEST(ShardedDatabaseTest, SingleShardTransactionsAvoidTheCoordinator) {
+  Database db(ShardedOptions(4));
+  const ObjectId ob = ObOnShard(db, 2);
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, ob, 7).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  EXPECT_EQ(*db.ReadCommitted(ob), 7);
+  EXPECT_EQ(db.coordinator_log()->stable_size(), 0u);
+}
+
+TEST(ShardedDatabaseTest, VacuousCommitTouchesNothing) {
+  Database db(ShardedOptions(4));
+  TxnId t = *db.Begin();
+  EXPECT_TRUE(db.Commit(t).ok());
+  EXPECT_TRUE(db.Commit(t).IsNotFound());  // terminated
+}
+
+TEST(ShardedDatabaseTest, CrossShardCommitRunsTwoPhase) {
+  Database db(ShardedOptions(4));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, a, 10).ok());
+  ASSERT_TRUE(db.Set(t, b, 20).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  EXPECT_EQ(*db.ReadCommitted(a), 10);
+  EXPECT_EQ(*db.ReadCommitted(b), 20);
+  // The coordinator durably holds the round: PREPARE + the forced COMMIT.
+  const auto records = db.coordinator_log()->StableRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, coord::CoordRecordType::kPrepare);
+  EXPECT_EQ(records[1].type, coord::CoordRecordType::kCommit);
+  EXPECT_EQ(records[1].kind, coord::CoordRoundKind::kCommitTxn);
+  EXPECT_EQ(records[1].txn, t);
+  EXPECT_EQ(records[1].shards.size(), 2u);
+}
+
+TEST(ShardedDatabaseTest, CrossShardAbortUndoesEverywhere) {
+  Database db(ShardedOptions(4));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 3);
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Add(t, a, 5).ok());
+  ASSERT_TRUE(db.Add(t, b, 6).ok());
+  ASSERT_TRUE(db.Abort(t).ok());
+  EXPECT_EQ(*db.ReadCommitted(a), 0);
+  EXPECT_EQ(*db.ReadCommitted(b), 0);
+  EXPECT_EQ(db.coordinator_log()->stable_size(), 0u);  // aborts are local
+}
+
+TEST(ShardedDatabaseTest, LazySecondPhaseResolvesInDoubtCommitted) {
+  // The commit point is the coordinator's forced COMMIT; the shards' own
+  // COMMIT/END records are volatile until some later force. A crash right
+  // after Commit() returns must still preserve the transaction — restart
+  // finds both shards prepared and resolves them from the coordinator log.
+  Database db(ShardedOptions(2));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, a, 1).ok());
+  ASSERT_TRUE(db.Set(t, b, 2).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  db.SimulateCrash();
+  Result<RecoveryManager::Outcome> outcome = db.Recover();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->in_doubt_committed, 2u);  // one per participating shard
+  EXPECT_EQ(outcome->in_doubt_aborted, 0u);
+  EXPECT_EQ(*db.ReadCommitted(a), 1);
+  EXPECT_EQ(*db.ReadCommitted(b), 2);
+}
+
+TEST(ShardedDatabaseTest, CrossShardDelegationMovesResponsibility) {
+  Database db(ShardedOptions(4));
+  const ObjectId a = ObOnShard(db, 1);
+  const ObjectId b = ObOnShard(db, 2);
+  TxnId tor = *db.Begin();
+  TxnId tee = *db.Begin();
+  ASSERT_TRUE(db.Set(tor, a, 11).ok());
+  ASSERT_TRUE(db.Set(tor, b, 22).ok());
+  ASSERT_TRUE(db.Delegate(tor, tee, DelegationSpec::Objects({a, b})).ok());
+  // The transfer was its own coordinator round.
+  const auto records = db.coordinator_log()->StableRecords();
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(records.back().type, coord::CoordRecordType::kCommit);
+  EXPECT_EQ(records.back().kind, coord::CoordRoundKind::kDelegate);
+  // The delegator dies; the delegatee commits the inherited updates.
+  ASSERT_TRUE(db.Abort(tor).ok());
+  ASSERT_TRUE(db.Commit(tee).ok());
+  EXPECT_EQ(*db.ReadCommitted(a), 11);
+  EXPECT_EQ(*db.ReadCommitted(b), 22);
+}
+
+TEST(ShardedDatabaseTest, DelegatedUpdatesSurviveCrashRecovery) {
+  // The positive half of delegation atomicity: once the transfer's
+  // coordinator COMMIT is durable and the delegatee commits, a crash must
+  // not void the csn-stamped DELEGATE legs.
+  Database db(ShardedOptions(2));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId tor = *db.Begin();
+  TxnId tee = *db.Begin();
+  ASSERT_TRUE(db.Add(tor, a, 3).ok());
+  ASSERT_TRUE(db.Add(tor, b, 4).ok());
+  ASSERT_TRUE(db.Delegate(tor, tee, DelegationSpec::All()).ok());
+  ASSERT_TRUE(db.Commit(tee).ok());
+  // tor is an (empty) active loser at the crash.
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(*db.ReadCommitted(a), 3);
+  EXPECT_EQ(*db.ReadCommitted(b), 4);
+}
+
+TEST(ShardedDatabaseTest, ShardLocalDelegationSkipsTheCoordinator) {
+  Database db(ShardedOptions(4));
+  const ObjectId a = ObOnShard(db, 1);
+  const ObjectId b = ObOnShard(db, 1, a + 1);  // same shard
+  TxnId tor = *db.Begin();
+  TxnId tee = *db.Begin();
+  ASSERT_TRUE(db.Set(tor, a, 1).ok());
+  ASSERT_TRUE(db.Set(tor, b, 2).ok());
+  ASSERT_TRUE(db.Delegate(tor, tee, DelegationSpec::Objects({a, b})).ok());
+  EXPECT_EQ(db.coordinator_log()->stable_size(), 0u);
+  ASSERT_TRUE(db.Abort(tor).ok());
+  ASSERT_TRUE(db.Commit(tee).ok());
+  EXPECT_EQ(*db.ReadCommitted(a), 1);
+  EXPECT_EQ(*db.ReadCommitted(b), 2);
+}
+
+TEST(ShardedDatabaseTest, OperationRangeDelegationStaysShardLocal) {
+  Database db(ShardedOptions(4));
+  const ObjectId ob = ObOnShard(db, 2);
+  TxnId tor = *db.Begin();
+  TxnId tee = *db.Begin();
+  ASSERT_TRUE(db.Add(tor, ob, 10).ok());
+  const size_t s = db.ShardOf(ob);
+  const Lsn mid = db.shard(s)->txn_manager()->Find(tor)->last_lsn;
+  ASSERT_TRUE(db.Add(tor, ob, 100).ok());
+  ASSERT_TRUE(
+      db.Delegate(tor, tee, DelegationSpec::Operations(ob, mid, mid)).ok());
+  ASSERT_TRUE(db.Commit(tee).ok());
+  ASSERT_TRUE(db.Abort(tor).ok());
+  EXPECT_EQ(*db.ReadCommitted(ob), 10);
+  // Delegating operations on a shard the delegator never touched refuses.
+  TxnId t3 = *db.Begin();
+  TxnId t4 = *db.Begin();
+  EXPECT_TRUE(db.Delegate(t3, t4, DelegationSpec::Operations(ob, 1, 1))
+                  .IsInvalidArgument());
+}
+
+TEST(ShardedDatabaseTest, DelegationErrorsMirrorTheClassicRules) {
+  Database db(ShardedOptions(4));
+  TxnId t1 = *db.Begin();
+  TxnId t2 = *db.Begin();
+  EXPECT_TRUE(db.Delegate(t1, t1, DelegationSpec::Objects({1}))
+                  .IsInvalidArgument());  // self
+  EXPECT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({}))
+                  .IsInvalidArgument());  // empty list
+  EXPECT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({1}))
+                  .IsInvalidArgument());  // not responsible
+  // Delegating everything while owning nothing is a no-op, like DelegateAll.
+  EXPECT_TRUE(db.Delegate(t1, t2, DelegationSpec::All()).ok());
+}
+
+TEST(ShardedDatabaseTest, DependenciesSpanShards) {
+  Database db(ShardedOptions(4));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId t1 = *db.Begin();
+  TxnId t2 = *db.Begin();
+  ASSERT_TRUE(db.Set(t1, a, 1).ok());
+  ASSERT_TRUE(db.Set(t2, b, 2).ok());
+  ASSERT_TRUE(
+      db.FormDependency(DependencyType::kCommit, t2, t1).ok());
+  EXPECT_TRUE(db.Commit(t2).IsBusy());  // prerequisite still active
+  ASSERT_TRUE(db.Commit(t1).ok());
+  EXPECT_TRUE(db.Commit(t2).ok());
+
+  // A strong-commit dependent dies with its prerequisite: aborting t3
+  // cascades into t4 immediately, across shards.
+  TxnId t3 = *db.Begin();
+  TxnId t4 = *db.Begin();
+  ASSERT_TRUE(db.Set(t3, a, 3).ok());
+  ASSERT_TRUE(db.Set(t4, b, 4).ok());
+  ASSERT_TRUE(
+      db.FormDependency(DependencyType::kStrongCommit, t4, t3).ok());
+  ASSERT_TRUE(db.Abort(t3).ok());
+  EXPECT_TRUE(db.Commit(t4).IsNotFound());  // already cascade-aborted
+  EXPECT_EQ(*db.ReadCommitted(b), 2);       // t4's write died with it
+  // And forming one on an already-aborted target aborts on the spot.
+  TxnId t7 = *db.Begin();
+  ASSERT_TRUE(db.Set(t7, a, 7).ok());
+  ASSERT_TRUE(
+      db.FormDependency(DependencyType::kStrongCommit, t7, t3).ok());
+  EXPECT_TRUE(db.Commit(t7).IsNotFound());
+  EXPECT_EQ(*db.ReadCommitted(a), 1);
+
+  // Abort dependencies cascade across shards.
+  TxnId t5 = *db.Begin();
+  TxnId t6 = *db.Begin();
+  ASSERT_TRUE(db.Set(t5, a, 5).ok());
+  ASSERT_TRUE(db.Set(t6, b, 6).ok());
+  ASSERT_TRUE(db.FormDependency(DependencyType::kAbort, t6, t5).ok());
+  ASSERT_TRUE(db.Abort(t5).ok());
+  EXPECT_TRUE(db.Commit(t6).IsNotFound());  // already gone with the cascade
+  EXPECT_EQ(*db.ReadCommitted(b), 2);
+}
+
+TEST(ShardedDatabaseTest, SavepointsRequireOneShard) {
+  Database db(ShardedOptions(4));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, a, 1).ok());
+  Result<Lsn> sp = db.Savepoint(t);
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  ASSERT_TRUE(db.Set(t, a, 2).ok());
+  EXPECT_TRUE(db.RollbackTo(t, *sp).ok());
+  EXPECT_EQ(*db.Read(t, a), 1);
+  // The moment the transaction spans shards, savepoints refuse.
+  ASSERT_TRUE(db.Set(t, b, 9).ok());
+  EXPECT_TRUE(db.Savepoint(t).status().IsNotSupported());
+  EXPECT_TRUE(db.RollbackTo(t, *sp).IsNotSupported());
+}
+
+TEST(ShardedDatabaseTest, PermitCrossesShardsForTheGrantedObject) {
+  Database db(ShardedOptions(4));
+  const ObjectId ob = ObOnShard(db, 3);
+  TxnId owner = *db.Begin();
+  TxnId grantee = *db.Begin();
+  ASSERT_TRUE(db.Set(owner, ob, 5).ok());
+  ASSERT_TRUE(db.Permit(owner, grantee, ob).ok());
+  EXPECT_TRUE(db.Set(grantee, ob, 6).ok());
+  ASSERT_TRUE(db.Commit(grantee).ok());
+  ASSERT_TRUE(db.Commit(owner).ok());
+}
+
+TEST(ShardedDatabaseTest, PoisonedFacadeDemandsCrashRecovery) {
+  Database db(ShardedOptions(2));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId tor = *db.Begin();
+  TxnId tee = *db.Begin();
+  ASSERT_TRUE(db.Set(tor, a, 1).ok());
+  ASSERT_TRUE(db.Set(tor, b, 2).ok());
+  db.set_protocol_test_hook([](const std::string& point) {
+    return point == "xdel:before-decision" ? Status::IllegalState("crash here")
+                                           : Status::OK();
+  });
+  EXPECT_FALSE(db.Delegate(tor, tee, DelegationSpec::All()).ok());
+  db.set_protocol_test_hook(nullptr);
+  EXPECT_TRUE(db.poisoned());
+  // Half-transferred volatile state: everything refuses until restart.
+  EXPECT_TRUE(db.Begin().status().IsIllegalState());
+  EXPECT_TRUE(db.Commit(tee).IsIllegalState());
+  EXPECT_TRUE(db.ReadCommitted(a).status().IsIllegalState());
+  db.SimulateCrash();
+  EXPECT_FALSE(db.poisoned());
+  ASSERT_TRUE(db.Recover().ok());
+  // No durable coordinator COMMIT: the undecided transfer was voided and
+  // both parties died as active losers — nothing half-applied survives.
+  EXPECT_EQ(*db.ReadCommitted(a), 0);
+  EXPECT_EQ(*db.ReadCommitted(b), 0);
+}
+
+TEST(ShardedDatabaseTest, TxnIdsStayGloballyUniqueAcrossRestart) {
+  Database db(ShardedOptions(2));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId t1 = *db.Begin();
+  ASSERT_TRUE(db.Set(t1, a, 1).ok());
+  ASSERT_TRUE(db.Set(t1, b, 2).ok());
+  ASSERT_TRUE(db.Commit(t1).ok());
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  TxnId t2 = *db.Begin();
+  EXPECT_GT(t2, t1);
+  // The coordinator's csn counter re-seeds past the durable records too:
+  // a fresh cross-shard round must land a csn recovery has never judged.
+  const uint64_t max_before =
+      coord::Resolution::FromRecords(db.coordinator_log()->StableRecords())
+          .max_csn;
+  ASSERT_TRUE(db.Set(t2, a, 3).ok());
+  ASSERT_TRUE(db.Set(t2, b, 4).ok());
+  ASSERT_TRUE(db.Commit(t2).ok());
+  const auto records = db.coordinator_log()->StableRecords();
+  EXPECT_GT(records.back().csn, max_before);
+}
+
+TEST(ShardedDatabaseTest, SingleShardPersistenceOnlyOperationsRefuse) {
+  Database db(ShardedOptions(2));
+  EXPECT_TRUE(db.SaveTo("/tmp/ariesrh_sharded_save").IsNotSupported());
+  EXPECT_TRUE(db.Backup().status().IsNotSupported());
+  Options two = ShardedOptions(2);
+  EXPECT_TRUE(
+      Database::Open(two, "/tmp/ariesrh_sharded_save").status()
+          .IsNotSupported());
+}
+
+TEST(ShardedDatabaseTest, PerShardMetricsCarryShardLabels) {
+  Database db(ShardedOptions(2));
+  const ObjectId a = ObOnShard(db, 0);
+  const ObjectId b = ObOnShard(db, 1);
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, a, 1).ok());
+  ASSERT_TRUE(db.Set(t, b, 2).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  obs::MetricsRegistry* registry = db.metrics();
+  obs::Counter* total = registry->FindCounter("ariesrh_txns_committed");
+  obs::Counter* s0 = registry->FindCounter("ariesrh_txns_committed_shard0");
+  obs::Counter* s1 = registry->FindCounter("ariesrh_txns_committed_shard1");
+  ASSERT_NE(total, nullptr);
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  // One 2PC commit counts once per participating shard; the unsuffixed
+  // counter is the aggregate the facade's Stats view reads.
+  EXPECT_EQ(s0->Value() + s1->Value(), total->Value());
+  EXPECT_EQ(db.stats().txns_committed.value(), total->Value());
+  // A classic 1-shard engine binds only the unsuffixed names.
+  Database one;
+  TxnId u = *one.Begin();
+  ASSERT_TRUE(one.Set(u, 1, 1).ok());
+  ASSERT_TRUE(one.Commit(u).ok());
+  EXPECT_EQ(one.metrics()->FindCounter("ariesrh_txns_committed_shard0"),
+            nullptr);
+}
+
+TEST(ShardedDatabaseTest, FacadeAtOneShardMatchesBareEngineShardOutcome) {
+  // The same history through the facade (num_shards = 1) and through a
+  // bare EngineShard must produce identical recovery outcomes.
+  auto run_facade = [] {
+    Database db;
+    TxnId t1 = *db.Begin();
+    TxnId t2 = *db.Begin();
+    EXPECT_TRUE(db.Set(t1, 1, 10).ok());
+    EXPECT_TRUE(db.Add(t1, 2, 5).ok());
+    EXPECT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({2})).ok());
+    EXPECT_TRUE(db.Commit(t2).ok());
+    EXPECT_TRUE(db.Checkpoint().ok());
+    EXPECT_TRUE(db.Set(t1, 3, 30).ok());
+    db.SimulateCrash();
+    return *db.Recover();
+  };
+  auto run_shard = [] {
+    obs::Observability obs;
+    EngineShard shard(Options{}, &obs, 0, 1);
+    TxnId t1 = *shard.Begin();
+    TxnId t2 = *shard.Begin();
+    EXPECT_TRUE(shard.Set(t1, 1, 10).ok());
+    EXPECT_TRUE(shard.Add(t1, 2, 5).ok());
+    EXPECT_TRUE(
+        shard.Delegate(t1, t2, DelegationSpec::Objects({2})).ok());
+    EXPECT_TRUE(shard.Commit(t2).ok());
+    EXPECT_TRUE(shard.Checkpoint().ok());
+    EXPECT_TRUE(shard.Set(t1, 3, 30).ok());
+    shard.SimulateCrash();
+    return *shard.Recover();
+  };
+  const RecoveryManager::Outcome facade = run_facade();
+  const RecoveryManager::Outcome bare = run_shard();
+  EXPECT_EQ(facade.next_txn_id, bare.next_txn_id);
+  EXPECT_EQ(facade.winners, bare.winners);
+  EXPECT_EQ(facade.losers, bare.losers);
+  EXPECT_EQ(facade.checkpoint_used, bare.checkpoint_used);
+  EXPECT_EQ(facade.records_analyzed, bare.records_analyzed);
+  EXPECT_EQ(facade.records_redone, bare.records_redone);
+  EXPECT_EQ(facade.records_undone, bare.records_undone);
+  EXPECT_EQ(facade.in_doubt_committed, 0u);
+  EXPECT_EQ(facade.in_doubt_aborted, 0u);
+}
+
+TEST(ShardedStandbyTest, ShardedLogShippingAndPromotion) {
+  Options options = ShardedOptions(2);
+  Database primary(options);
+  replication::StandbyReplica standby(options);
+  const ObjectId a = ObOnShard(primary, 0);
+  const ObjectId b = ObOnShard(primary, 1);
+
+  // A cross-shard commit and a cross-shard delegation, so promotion needs
+  // the shipped coordinator decisions to resolve both rounds.
+  TxnId t1 = *primary.Begin();
+  ASSERT_TRUE(primary.Set(t1, a, 10).ok());
+  ASSERT_TRUE(primary.Set(t1, b, 20).ok());
+  ASSERT_TRUE(primary.Commit(t1).ok());
+  TxnId tor = *primary.Begin();
+  TxnId tee = *primary.Begin();
+  ASSERT_TRUE(primary.Add(tor, a, 1).ok());
+  ASSERT_TRUE(primary.Add(tor, b, 2).ok());
+  ASSERT_TRUE(primary.Delegate(tor, tee, DelegationSpec::All()).ok());
+  ASSERT_TRUE(primary.Commit(tee).ok());
+  ASSERT_TRUE(primary.Sync().ok());
+
+  ASSERT_TRUE(standby.SyncFrom(primary).ok());
+  EXPECT_GT(standby.shipped_through(0), 0u);
+  EXPECT_GT(standby.shipped_through(1), 0u);
+  EXPECT_GE(standby.RetentionPin(), 1u);
+
+  Result<std::unique_ptr<Database>> promoted = std::move(standby).Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(*(*promoted)->ReadCommitted(a), 11);
+  EXPECT_EQ(*(*promoted)->ReadCommitted(b), 22);
+}
+
+TEST(ShardedStandbyTest, ShardCountMismatchRefused) {
+  Database primary(ShardedOptions(2));
+  replication::StandbyReplica standby{Options{}};  // 1 shard
+  EXPECT_TRUE(standby.SyncFrom(primary).IsInvalidArgument());
+}
+
+TEST(ShardedStandbyTest, BackupSeedingIsSingleShardOnly) {
+  replication::StandbyReplica standby(ShardedOptions(2));
+  Database::BackupImage backup;
+  EXPECT_TRUE(standby.SeedFromBackup(backup).IsNotSupported());
+}
+
+}  // namespace
+}  // namespace ariesrh

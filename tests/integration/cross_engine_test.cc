@@ -72,7 +72,8 @@ std::map<ObjectId, int64_t> RunOnAries(const std::vector<Action>& history,
         // Delegate only if actually responsible; mirrors the EOS adapter.
         const Transaction* tx = db.txn_manager()->Find(ids[action.txn]);
         if (tx != nullptr && tx->IsResponsibleFor(action.ob)) {
-          (void)db.Delegate(ids[action.txn], ids[action.other], {action.ob});
+          (void)db.Delegate(ids[action.txn], ids[action.other],
+                            DelegationSpec::Objects({action.ob}));
         }
         break;
       }

@@ -27,7 +27,7 @@ std::map<ObjectId, int64_t> RunWorkload(Database& db, uint64_t seed,
       TxnId to = active[rng.Uniform(active.size())];
       const Transaction* tx = db.txn_manager()->Find(from);
       if (from != to && tx != nullptr && !tx->ob_list.empty()) {
-        (void)db.Delegate(from, to, {tx->ob_list.begin()->first});
+        (void)db.Delegate(from, to, DelegationSpec::Objects({tx->ob_list.begin()->first}));
       }
     } else {
       size_t index = rng.Uniform(active.size());
@@ -115,7 +115,7 @@ TEST(EfficiencyInvariantsTest, RhRecoveryUsesExactlyTwoPasses) {
   TxnId t0 = *db.Begin();
   TxnId t1 = *db.Begin();
   ASSERT_TRUE(db.Set(t0, 1, 5).ok());
-  ASSERT_TRUE(db.Delegate(t0, t1, {1}).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db.Commit(t0).ok());
   db.SimulateCrash();
   const Stats before = db.stats();
@@ -166,7 +166,7 @@ TEST(EfficiencyInvariantsTest, DelegationCostIndependentOfLogLength) {
     }
     ASSERT_TRUE(db.log_manager()->FlushAll().ok());
     const Stats before = db.stats();
-    ASSERT_TRUE(db.Delegate(t0, t1, {1}).ok());
+    ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({1})).ok());
     const Stats delta = db.stats().Delta(before);
     EXPECT_EQ(delta.log_appends, 1u) << "history " << history;
     EXPECT_EQ(delta.log_seq_reads + delta.log_random_reads, 0u);

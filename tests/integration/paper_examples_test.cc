@@ -39,7 +39,7 @@ TEST_F(PaperExamplesTest, Example1RewritesResponsibilityNotTheLog) {
   EXPECT_EQ(*db_.txn_manager()->ResponsibleTxn(t1, a, lsn_100), t1);
   EXPECT_EQ(*db_.txn_manager()->ResponsibleTxn(t1, a, lsn_104), t1);
 
-  ASSERT_TRUE(db_.Delegate(t1, t2, {a}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({a})).ok());
   const Lsn delegate_lsn = db_.log_manager()->end_lsn();
 
   // "After rewriting": t1's updates to `a` now appear to be t2's...
@@ -83,7 +83,7 @@ TEST_F(PaperExamplesTest, Example1EagerModePhysicallyRewrites) {
   const Lsn lsn_104 = db.log_manager()->end_lsn();
   ASSERT_TRUE(db.Add(t2, y, 1).ok());
 
-  ASSERT_TRUE(db.Delegate(t1, t2, {a}).ok());
+  ASSERT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({a})).ok());
 
   EXPECT_EQ(db.log_manager()->Read(lsn_100)->txn_id, t2);  // rewritten
   EXPECT_EQ(db.log_manager()->Read(lsn_104)->txn_id, t2);  // rewritten
@@ -105,7 +105,7 @@ TEST_F(PaperExamplesTest, BothViewsAgreeOnRecoveryOutcome) {
     ASSERT_TRUE(db.Add(t2, a, 10).ok());
     ASSERT_TRUE(db.Add(t1, b, 5).ok());
     ASSERT_TRUE(db.Add(t1, a, 1).ok());
-    ASSERT_TRUE(db.Delegate(t1, t2, {a}).ok());
+    ASSERT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({a})).ok());
     ASSERT_TRUE(db.Commit(t2).ok());
     db.SimulateCrash();
     ASSERT_TRUE(db.Recover().ok());
@@ -123,7 +123,7 @@ TEST_F(PaperExamplesTest, BackwardChainsMergeAtDelegateRecord) {
   ASSERT_TRUE(db_.Add(t1, 1, 1).ok());
   ASSERT_TRUE(db_.Add(t2, 2, 1).ok());
   const Lsn t2_update = db_.log_manager()->end_lsn();
-  ASSERT_TRUE(db_.Delegate(t1, t2, {1}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({1})).ok());
   const Lsn d = db_.log_manager()->end_lsn();
 
   EXPECT_EQ(db_.txn_manager()->Find(t1)->last_lsn, d);

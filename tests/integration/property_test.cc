@@ -49,7 +49,9 @@ ScriptStep SetStep(size_t who, ObjectId ob, int64_t value) {
 }
 ScriptStep DelegateStep(size_t from, size_t to, std::vector<ObjectId> obs) {
   return [=](ScriptContext& ctx) {
-    if (ctx.db->Delegate(ctx.ids[from], ctx.ids[to], obs).ok()) {
+    if (ctx.db->Delegate(ctx.ids[from], ctx.ids[to],
+                         DelegationSpec::Objects(obs))
+            .ok()) {
       ctx.oracle->Delegate(ctx.ids[from], ctx.ids[to], obs);
     }
   };
@@ -208,7 +210,7 @@ TEST_P(RandomizedPropertyTest, AllModesMatchOracleOnRandomHistory) {
         const Transaction* tx = db.txn_manager()->Find(from);
         if (tx == nullptr || tx->ob_list.empty()) continue;
         std::vector<ObjectId> objects = {tx->ob_list.begin()->first};
-        if (db.Delegate(from, to, objects).ok()) {
+        if (db.Delegate(from, to, DelegationSpec::Objects(objects)).ok()) {
           oracle.Delegate(from, to, objects);
         }
       } else {

@@ -212,7 +212,7 @@ TEST(ObsIntegrationTest, DelegationAndClusterSkipVisibleInTrace) {
     ASSERT_TRUE(db.Add(filler, 100 + i, 1).ok());
     ASSERT_TRUE(db.Commit(filler).ok());
   }
-  ASSERT_TRUE(db.Delegate(t1, t2, {1}).ok());
+  ASSERT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db.Commit(t1).ok());
   ASSERT_TRUE(db.Sync().ok());
   db.SimulateCrash();

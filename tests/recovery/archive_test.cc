@@ -69,7 +69,7 @@ TEST_F(ArchiveTest, DelegatedScopePinsOldHistory) {
   TxnId tee = *db_.Begin();
   ASSERT_TRUE(db_.Add(tor, 1, 42).ok());
   const Lsn update_lsn = db_.txn_manager()->Find(tor)->last_lsn;
-  ASSERT_TRUE(db_.Delegate(tor, tee, {1}).ok());
+  ASSERT_TRUE(db_.Delegate(tor, tee, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db_.Commit(tor).ok());
 
   CommittedNoise(30);
@@ -88,7 +88,7 @@ TEST_F(ArchiveTest, ArchiveThenCrashRecoverWithDelegation) {
   TxnId tor = *db_.Begin();
   TxnId tee = *db_.Begin();
   ASSERT_TRUE(db_.Add(tor, 1, 42).ok());
-  ASSERT_TRUE(db_.Delegate(tor, tee, {1}).ok());
+  ASSERT_TRUE(db_.Delegate(tor, tee, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db_.Commit(tor).ok());
   CommittedNoise(10);
   ASSERT_TRUE(db_.buffer_pool()->FlushAll().ok());
@@ -106,7 +106,7 @@ TEST_F(ArchiveTest, ResolvingTheScopeUnpinsHistory) {
   TxnId tee = *db_.Begin();
   ASSERT_TRUE(db_.Add(tor, 1, 42).ok());
   const Lsn update_lsn = db_.txn_manager()->Find(tor)->last_lsn;
-  ASSERT_TRUE(db_.Delegate(tor, tee, {1}).ok());
+  ASSERT_TRUE(db_.Delegate(tor, tee, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db_.Commit(tor).ok());
   CommittedNoise(10);
 
@@ -170,7 +170,7 @@ TEST_F(ArchiveTest, DelegationRacingArchiveNeverDropsTheScope) {
   std::thread mover([this, a, b, &stop, &failures] {
     TxnId from = a, to = b;
     while (!stop.load()) {
-      if (!db_.Delegate(from, to, {1}).ok()) {
+      if (!db_.Delegate(from, to, DelegationSpec::Objects({1})).ok()) {
         ++failures;
         return;
       }

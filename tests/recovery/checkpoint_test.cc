@@ -73,8 +73,9 @@ TEST(CheckpointDataTest, RoundTripPreservesBeginLsn) {
 }
 
 TEST(CheckpointDataTest, LegacyPayloadWithoutBeginLsnDecodes) {
-  // A v1 payload is exactly a v2 payload minus the marker byte, the version
-  // byte, and the (one-byte, when zero) begin-LSN varint.
+  // A v1 payload is exactly a v3 payload minus the marker byte, the version
+  // byte, the (one-byte, when zero) begin-LSN varint, and the per-txn
+  // (one-byte, when zero) prepared_csn varint.
   CheckpointData data;
   data.next_txn_id = 17;  // >= 1, so the v1 payload cannot start with 0x00
   CheckpointData::TxnSnapshot snap;
@@ -83,7 +84,10 @@ TEST(CheckpointDataTest, LegacyPayloadWithoutBeginLsnDecodes) {
   snap.last_lsn = 42;
   data.active_txns.push_back(snap);
   data.dirty_pages = {{2, 30}};
-  const std::string v1 = data.Serialize().substr(3);
+  std::string v1 = data.Serialize().substr(3);
+  // Layout: next_txn_id, txn count, id, first, last, prepared_csn, ... —
+  // all single-byte varints here, so prepared_csn sits at offset 5.
+  v1.erase(5, 1);
 
   Result<CheckpointData> back = CheckpointData::Deserialize(v1);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
@@ -101,7 +105,7 @@ TEST(CheckpointDataTest, UnknownFormatVersionRejected) {
   CheckpointData data;
   data.ckpt_begin_lsn = 5;
   std::string payload = data.Serialize();
-  payload[1] = 0x03;  // future format version
+  payload[1] = 0x04;  // future format version
   EXPECT_TRUE(CheckpointData::Deserialize(payload).status().IsCorruption());
 }
 
@@ -141,7 +145,7 @@ TEST(CheckpointTest, ScopesSurviveThroughCheckpoint) {
   TxnId t0 = *db.Begin();
   TxnId t1 = *db.Begin();
   ASSERT_TRUE(db.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db.Checkpoint().ok());
   // Delegation state lives only in the checkpoint now (analysis will not
   // see the delegate record). t1 commits, so the update must survive.
@@ -158,7 +162,7 @@ TEST(CheckpointTest, LoserScopesFromCheckpointAreUndone) {
   TxnId t0 = *db.Begin();
   TxnId t1 = *db.Begin();
   ASSERT_TRUE(db.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db.Checkpoint().ok());
   ASSERT_TRUE(db.Commit(t0).ok());  // invoker commits, but...
 
@@ -346,7 +350,7 @@ TEST(CheckpointWindowTest, DelegateAfterSnapshotIsReplayed) {
   ASSERT_TRUE(db.Set(t0, 5, 42).ok());
   Database::CheckpointTestHooks hooks;
   hooks.after_snapshot = [&db, t0, t1] {
-    ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+    ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   };
   db.set_checkpoint_test_hooks(hooks);
   ASSERT_TRUE(db.Checkpoint().ok());
@@ -370,7 +374,7 @@ TEST(CheckpointWindowTest, DelegateBeforeSnapshotIsNotReplayedTwice) {
   ASSERT_TRUE(db.Set(t0, 5, 42).ok());
   Database::CheckpointTestHooks hooks;
   hooks.after_begin = [&db, t0, t1] {
-    ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+    ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   };
   db.set_checkpoint_test_hooks(hooks);
   ASSERT_TRUE(db.Checkpoint().ok());
@@ -389,7 +393,7 @@ TEST(CheckpointWindowTest, DelegateBeforeSnapshotIsNotReplayedTwice) {
   ASSERT_TRUE(db2.Set(s0, 5, 42).ok());
   Database::CheckpointTestHooks hooks2;
   hooks2.after_begin = [&db2, s0, s1] {
-    ASSERT_TRUE(db2.Delegate(s0, s1, {5}).ok());
+    ASSERT_TRUE(db2.Delegate(s0, s1, DelegationSpec::Objects({5})).ok());
   };
   db2.set_checkpoint_test_hooks(hooks2);
   ASSERT_TRUE(db2.Checkpoint().ok());

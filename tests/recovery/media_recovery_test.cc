@@ -54,7 +54,7 @@ TEST_F(MediaRecoveryTest, DelegationInReplayedSuffix) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(t1).ok());
   // t0 stays active -> loser, but its update was delegated to a winner.
   ASSERT_TRUE(db_.log_manager()->FlushAll().ok());
@@ -69,7 +69,7 @@ TEST_F(MediaRecoveryTest, DelegationStateInsideTheBackup) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   // Backup taken while the delegation is in flight: the scopes live in the
   // backup's checkpoint.
   Database::BackupImage backup = *db_.Backup();

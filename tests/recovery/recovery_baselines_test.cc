@@ -28,7 +28,7 @@ std::vector<Scenario> Scenarios() {
        [](Database& db) {
          TxnId t0 = *db.Begin(), t1 = *db.Begin();
          (void)db.Set(t0, 1, 42);
-         (void)db.Delegate(t0, t1, {1});
+         (void)db.Delegate(t0, t1, DelegationSpec::Objects({1}));
          (void)db.Commit(t1);
        },
        {1}},
@@ -36,7 +36,7 @@ std::vector<Scenario> Scenarios() {
        [](Database& db) {
          TxnId t0 = *db.Begin(), t1 = *db.Begin();
          (void)db.Set(t0, 1, 42);
-         (void)db.Delegate(t0, t1, {1});
+         (void)db.Delegate(t0, t1, DelegationSpec::Objects({1}));
          (void)db.Commit(t0);
        },
        {1}},
@@ -44,9 +44,9 @@ std::vector<Scenario> Scenarios() {
        [](Database& db) {
          TxnId t = *db.Begin(), t1 = *db.Begin(), t2 = *db.Begin();
          (void)db.Add(t, 1, 100);
-         (void)db.Delegate(t, t1, {1});
+         (void)db.Delegate(t, t1, DelegationSpec::Objects({1}));
          (void)db.Add(t, 1, 23);
-         (void)db.Delegate(t, t2, {1});
+         (void)db.Delegate(t, t2, DelegationSpec::Objects({1}));
          (void)db.Abort(t2);
          (void)db.Commit(t1);
          (void)db.Commit(t);
@@ -57,8 +57,8 @@ std::vector<Scenario> Scenarios() {
          TxnId t0 = *db.Begin(), t1 = *db.Begin(), t2 = *db.Begin();
          (void)db.Set(t0, 1, 7);
          (void)db.Set(t0, 2, 8);
-         (void)db.Delegate(t0, t1, {1, 2});
-         (void)db.Delegate(t1, t2, {1});
+         (void)db.Delegate(t0, t1, DelegationSpec::Objects({1, 2}));
+         (void)db.Delegate(t1, t2, DelegationSpec::Objects({1}));
          (void)db.Commit(t2);
          (void)db.Abort(t1);
          (void)db.Commit(t0);
@@ -70,7 +70,7 @@ std::vector<Scenario> Scenarios() {
          (void)db.Set(a, 1, 10);
          (void)db.Set(b, 2, 20);
          (void)db.Set(a, 3, 30);
-         (void)db.Delegate(a, c, {1, 3});
+         (void)db.Delegate(a, c, DelegationSpec::Objects({1, 3}));
          (void)db.Commit(a);
          (void)db.Commit(c);
          // b stays active -> loser
@@ -142,7 +142,7 @@ TEST(BaselineCostTest, EagerRewritesStableLogAtDelegateTime) {
   // Force the records to stable storage so the rewrite hits the disk.
   ASSERT_TRUE(db.log_manager()->FlushAll().ok());
   const Stats before = db.stats();
-  ASSERT_TRUE(db.Delegate(t0, t1, {1, 2}).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({1, 2})).ok());
   const Stats delta = db.stats().Delta(before);
   EXPECT_GT(delta.log_rewrites, 0u);     // physical history rewriting
   EXPECT_GT(delta.log_random_reads, 0u); // chain walking
@@ -156,7 +156,7 @@ TEST(BaselineCostTest, RhOnlyAppendsAtDelegateTime) {
   ASSERT_TRUE(db.Set(t0, 2, 20).ok());
   ASSERT_TRUE(db.log_manager()->FlushAll().ok());
   const Stats before = db.stats();
-  ASSERT_TRUE(db.Delegate(t0, t1, {1, 2}).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({1, 2})).ok());
   const Stats delta = db.stats().Delta(before);
   EXPECT_EQ(delta.log_rewrites, 0u);
   EXPECT_EQ(delta.log_random_reads, 0u);
@@ -172,7 +172,7 @@ TEST(BaselineCostTest, LazyRewriteDefersCostToRecovery) {
   ASSERT_TRUE(db.Set(t0, 1, 10).ok());
   ASSERT_TRUE(db.log_manager()->FlushAll().ok());
   const Stats before_delegate = db.stats();
-  ASSERT_TRUE(db.Delegate(t0, t1, {1}).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({1})).ok());
   EXPECT_EQ(db.stats().Delta(before_delegate).log_rewrites, 0u);
 
   ASSERT_TRUE(db.Commit(t1).ok());
@@ -199,7 +199,7 @@ TEST(BaselineCostTest, EagerCostGrowsWithChainLength) {
     }
     ASSERT_TRUE(db.log_manager()->FlushAll().ok());
     const Stats before = db.stats();
-    ASSERT_TRUE(db.Delegate(t0, t1, {1}).ok());
+    ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({1})).ok());
     const uint64_t reads = db.stats().Delta(before).log_random_reads +
                            db.stats().Delta(before).log_seq_reads;
     (n == 4 ? reads_short : reads_long) = reads;

@@ -26,7 +26,7 @@ TEST_F(RecoveryDelegationTest, DelegateeCommittedBeforeCrashUpdateSurvives) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(t1).ok());
   // t0 is still active at the crash: a loser. Its delegated update must
   // survive anyway — it belongs to the committed delegatee.
@@ -38,7 +38,7 @@ TEST_F(RecoveryDelegationTest, DelegateeLoserAtCrashUpdateUndone) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(t0).ok());  // the *invoker* commits...
   CrashAndRecover();
   // ...but the responsible transaction (t1) never did: undo.
@@ -52,9 +52,9 @@ TEST_F(RecoveryDelegationTest, PaperExample2AcrossCrash) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Add(t, 5, 100).ok());
-  ASSERT_TRUE(db_.Delegate(t, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Add(t, 5, 23).ok());
-  ASSERT_TRUE(db_.Delegate(t, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t2, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t2).ok());
   ASSERT_TRUE(db_.Commit(t1).ok());
   CrashAndRecover();
@@ -68,9 +68,9 @@ TEST_F(RecoveryDelegationTest, Example2BothPendingAtCrash) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Add(t, 5, 100).ok());
-  ASSERT_TRUE(db_.Delegate(t, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Add(t, 5, 23).ok());
-  ASSERT_TRUE(db_.Delegate(t, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t2, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(t).ok());  // forces the whole history to disk
   CrashAndRecover();
   EXPECT_EQ(*db_.ReadCommitted(5), 0);
@@ -82,9 +82,9 @@ TEST_F(RecoveryDelegationTest, DelegationChainToWinner) {
   TxnId t2 = *db_.Begin();
   TxnId t3 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 7).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
-  ASSERT_TRUE(db_.Delegate(t2, t3, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
+  ASSERT_TRUE(db_.Delegate(t2, t3, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t0).ok());
   ASSERT_TRUE(db_.Abort(t1).ok());
   ASSERT_TRUE(db_.Commit(t3).ok());
@@ -98,8 +98,8 @@ TEST_F(RecoveryDelegationTest, DelegationChainToLoser) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 7).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(t0).ok());
   ASSERT_TRUE(db_.Commit(t1).ok());
   // t2, the final delegatee, never commits.
@@ -114,8 +114,8 @@ TEST_F(RecoveryDelegationTest, MixedObjectsSplitAcrossDelegatees) {
   ASSERT_TRUE(db_.Set(t, 1, 11).ok());
   ASSERT_TRUE(db_.Set(t, 2, 22).ok());
   ASSERT_TRUE(db_.Set(t, 3, 33).ok());
-  ASSERT_TRUE(db_.Delegate(t, keeper, {1}).ok());
-  ASSERT_TRUE(db_.Delegate(t, dropper, {2}).ok());
+  ASSERT_TRUE(db_.Delegate(t, keeper, DelegationSpec::Objects({1})).ok());
+  ASSERT_TRUE(db_.Delegate(t, dropper, DelegationSpec::Objects({2})).ok());
   ASSERT_TRUE(db_.Commit(keeper).ok());
   ASSERT_TRUE(db_.Abort(dropper).ok());
   ASSERT_TRUE(db_.Commit(t).ok());  // t keeps object 3
@@ -132,7 +132,7 @@ TEST_F(RecoveryDelegationTest, ConcurrentIncrementsOneDelegated) {
   ASSERT_TRUE(db_.Add(a, 5, 10).ok());
   ASSERT_TRUE(db_.Add(b, 5, 200).ok());
   ASSERT_TRUE(db_.Add(a, 5, 1).ok());
-  ASSERT_TRUE(db_.Delegate(a, heir, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(a, heir, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(heir).ok());
   ASSERT_TRUE(db_.Commit(b).ok());
   // a is a loser at the crash but everything it invoked was delegated.
@@ -146,7 +146,7 @@ TEST_F(RecoveryDelegationTest, ConcurrentIncrementsDelegateeLoses) {
   TxnId heir = *db_.Begin();
   ASSERT_TRUE(db_.Add(a, 5, 10).ok());
   ASSERT_TRUE(db_.Add(b, 5, 200).ok());
-  ASSERT_TRUE(db_.Delegate(a, heir, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(a, heir, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(b).ok());
   ASSERT_TRUE(db_.Commit(a).ok());  // a committed but delegated its update
   CrashAndRecover();                // heir is a loser
@@ -157,7 +157,7 @@ TEST_F(RecoveryDelegationTest, UpdateAfterDelegationSplitsFate) {
   TxnId t = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Add(t, 5, 100).ok());
-  ASSERT_TRUE(db_.Delegate(t, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Add(t, 5, 23).ok());  // new scope, still t's
   ASSERT_TRUE(db_.Commit(t).ok());      // the 23 survives with t
   CrashAndRecover();                    // t1 loses the 100
@@ -169,7 +169,7 @@ TEST_F(RecoveryDelegationTest, CrashDuringDelegateeRollbackResumes) {
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 42).ok());
   ASSERT_TRUE(db_.Set(t0, 6, 43).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5, 6}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5, 6})).ok());
   ASSERT_TRUE(db_.Commit(t0).ok());
   ASSERT_TRUE(db_.Abort(t1).ok());  // CLRs + END
   FlushLog();
@@ -190,8 +190,8 @@ TEST_F(RecoveryDelegationTest, RepeatedRecoveryWithDelegationsIsStable) {
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Add(t0, 1, 10).ok());
   ASSERT_TRUE(db_.Add(t0, 2, 20).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {1}).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t2, {2}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({1})).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t2, DelegationSpec::Objects({2})).ok());
   ASSERT_TRUE(db_.Commit(t1).ok());
   ASSERT_TRUE(db_.Commit(t0).ok());
   FlushLog();
@@ -211,7 +211,7 @@ TEST_F(RecoveryDelegationTest, DelegationsAcrossManyObjectsAndTxns) {
     TxnId t = *db_.Begin();
     ASSERT_TRUE(db_.Set(t, 100 + i, i + 1).ok());   // delegated, survives
     ASSERT_TRUE(db_.Set(t, 200 + i, i + 1).ok());   // kept, dies
-    ASSERT_TRUE(db_.Delegate(t, collector, {static_cast<ObjectId>(100 + i)})
+    ASSERT_TRUE(db_.Delegate(t, collector, DelegationSpec::Objects({static_cast<ObjectId>(100 + i)}))
                     .ok());
   }
   ASSERT_TRUE(db_.Commit(collector).ok());
@@ -226,7 +226,7 @@ TEST_F(RecoveryDelegationTest, RhNeverRewritesStableLog) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 1).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Commit(t0).ok());
   db_.SimulateCrash();
   ASSERT_TRUE(db_.Recover().ok());

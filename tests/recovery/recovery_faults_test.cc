@@ -31,7 +31,8 @@ void BuildHistory(Database* db, HistoryOracle* oracle) {
   auto delegate = [&](int from, int to, std::vector<ObjectId> obs) {
     // DelegationMode::kDisabled rejects delegation; the history simply
     // proceeds without it (the oracle agrees: nothing happened).
-    Status status = db->Delegate(txns[from], txns[to], obs);
+    Status status =
+        db->Delegate(txns[from], txns[to], DelegationSpec::Objects(obs));
     if (status.code() == StatusCode::kNotSupported) return;
     ASSERT_TRUE(status.ok()) << status.ToString();
     oracle->Delegate(txns[from], txns[to], obs);

@@ -97,7 +97,7 @@ class TortureDriver {
       if (rng_.Percent(60)) objects.push_back(ob);
     }
     if (objects.empty()) objects.push_back(tx->ob_list.begin()->first);
-    if (db_->Delegate(from, to, objects).ok()) {
+    if (db_->Delegate(from, to, DelegationSpec::Objects(objects)).ok()) {
       oracle_.Delegate(from, to, objects);
     }
   }
@@ -288,7 +288,8 @@ TEST(ConcurrentCheckpointWindowTest, CrashAtEveryWindowLsnMatchesLogHead) {
         }
         bool ok = db.Add(*a, base, 1).ok() &&
                   db.Add(*a, base + 1 + (round % 3), 1).ok() &&
-                  db.Delegate(*a, *b, {base}).ok() && db.Commit(*a).ok();
+                  db.Delegate(*a, *b, DelegationSpec::Objects({base})).ok() &&
+                  db.Commit(*a).ok();
         // The delegatee sometimes aborts: CLRs and compensated-set inserts
         // cross the window too.
         ok = ok && (round % 3 == 2 ? db.Abort(*b) : db.Commit(*b)).ok();

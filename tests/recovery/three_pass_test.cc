@@ -43,7 +43,7 @@ RunResult RunOnce(DelegationMode mode, bool merged) {
   TxnId t1 = *db.Begin();
   (void)db.Add(t0, 1, 10);
   (void)db.Add(t0, 2, 20);
-  (void)db.Delegate(t0, t1, {1});
+  (void)db.Delegate(t0, t1, DelegationSpec::Objects({1}));
   (void)db.Commit(t1);
   TxnId t2 = *db.Begin();
   (void)db.Add(t2, 3, 30);
@@ -121,7 +121,7 @@ TEST(ThreePassOracleTest, RandomHistoryMatchesUnderBothLayouts) {
         const Transaction* tx = db.txn_manager()->Find(from);
         if (from != to && tx != nullptr && !tx->ob_list.empty()) {
           std::vector<ObjectId> obs = {tx->ob_list.begin()->first};
-          if (db.Delegate(from, to, obs).ok()) {
+          if (db.Delegate(from, to, DelegationSpec::Objects(obs)).ok()) {
             oracle.Delegate(from, to, obs);
           }
         }

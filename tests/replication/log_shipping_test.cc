@@ -72,7 +72,7 @@ TEST(StandbyReplicaTest, DelegationShipsTransparently) {
   TxnId t0 = *primary.Begin();
   TxnId t1 = *primary.Begin();
   ASSERT_TRUE(primary.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(primary.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(primary.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(primary.Commit(t1).ok());  // delegatee commits
   ASSERT_TRUE(primary.Commit(t0).ok());
   ASSERT_TRUE(standby.SyncFrom(primary).ok());
@@ -213,7 +213,7 @@ TEST(StandbyReplicaTest, RewritingBaselinesBreakShipOnceReplication) {
 
     // The delegation: RH appends one record; eager rewrites the already-
     // shipped update in place (invisible to ship-once replication).
-    ASSERT_TRUE(primary.Delegate(t0, t1, {5}).ok());
+    ASSERT_TRUE(primary.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
     ASSERT_TRUE(primary.Commit(t1).ok());
     ASSERT_TRUE(primary.Commit(t0).ok());
     ASSERT_TRUE(standby.SyncFrom(primary).ok());
@@ -248,7 +248,7 @@ TEST(StandbyReplicaTest, RewritingBaselinesBreakShipOnceReplication) {
     ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
     ASSERT_TRUE(standby.SyncFrom(primary).ok());  // pre-delegation ship
 
-    ASSERT_TRUE(primary.Delegate(t0, t1, {5}).ok());
+    ASSERT_TRUE(primary.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
     ASSERT_TRUE(primary.Commit(t1).ok());  // responsible party commits
     ASSERT_TRUE(primary.log_manager()->FlushAll().ok());
     ASSERT_TRUE(standby.SyncFrom(primary).ok());

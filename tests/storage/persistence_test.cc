@@ -98,7 +98,7 @@ TEST(DatabasePersistenceTest, DelegationStateSurvivesSaveOpen) {
     TxnId t0 = *db.Begin();
     TxnId t1 = *db.Begin();
     ASSERT_TRUE(db.Set(t0, 5, 42).ok());
-    ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+    ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
     ASSERT_TRUE(db.Commit(t1).ok());  // delegatee commits; t0 still active
     ASSERT_TRUE(db.SaveTo(path).ok());
   }

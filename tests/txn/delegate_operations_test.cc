@@ -26,7 +26,7 @@ TEST_F(DelegateOperationsTest, SingleOperationDelegation) {
   const Lsn mid = Add(t, 5, 100);
   Add(t, 5, 1000);
 
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, mid, mid).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, mid, mid)).ok());
   // Both remain responsible for parts of the object's history.
   EXPECT_TRUE(db_.txn_manager()->Find(t)->IsResponsibleFor(5));
   EXPECT_TRUE(db_.txn_manager()->Find(heir)->IsResponsibleFor(5));
@@ -43,7 +43,7 @@ TEST_F(DelegateOperationsTest, PrefixDelegation) {
   const Lsn second = Add(t, 5, 100);
   Add(t, 5, 1000);
 
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, first, second).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, first, second)).ok());
   ASSERT_TRUE(db_.Abort(heir).ok());  // 10 + 100 undone
   ASSERT_TRUE(db_.Commit(t).ok());    // 1000 survives
   EXPECT_EQ(*db_.ReadCommitted(5), 1000);
@@ -55,7 +55,7 @@ TEST_F(DelegateOperationsTest, SuffixStaysOpenAndExtendable) {
   const Lsn first = Add(t, 5, 10);
   Add(t, 5, 100);
 
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, first, first).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, first, first)).ok());
   // The retained suffix is still t's open scope; a further update extends
   // responsibility seamlessly.
   Add(t, 5, 1000);
@@ -70,7 +70,7 @@ TEST_F(DelegateOperationsTest, RangeSurvivesCrashRecovery) {
   Add(t, 5, 10);
   const Lsn mid = Add(t, 5, 100);
   Add(t, 5, 1000);
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, mid, mid).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, mid, mid)).ok());
   ASSERT_TRUE(db_.Commit(heir).ok());
   // t is a loser at the crash: 10 and 1000 must be undone, 100 kept —
   // the forward pass must rebuild the split scopes from the ranged record.
@@ -84,7 +84,7 @@ TEST_F(DelegateOperationsTest, RangeSplitAcrossCheckpoint) {
   TxnId heir = *db_.Begin();
   Add(t, 5, 10);
   const Lsn mid = Add(t, 5, 100);
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, mid, mid).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, mid, mid)).ok());
   ASSERT_TRUE(db_.Checkpoint().ok());  // split scopes snapshot
   ASSERT_TRUE(db_.Commit(heir).ok());
   db_.SimulateCrash();
@@ -97,7 +97,7 @@ TEST_F(DelegateOperationsTest, LockStaysWithDelegatorWhileItHoldsScopes) {
   TxnId heir = *db_.Begin();
   const Lsn first = Add(t, 5, 10);
   Add(t, 5, 100);
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, first, first).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, first, first)).ok());
   // t still holds responsibility (and its increment lock).
   EXPECT_TRUE(db_.lock_manager()->Holds(t, 5, LockMode::kIncrement));
 }
@@ -107,7 +107,7 @@ TEST_F(DelegateOperationsTest, LockTransfersWhenEverythingMoves) {
   TxnId heir = *db_.Begin();
   const Lsn first = Add(t, 5, 10);
   const Lsn second = Add(t, 5, 100);
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, first, second).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, first, second)).ok());
   EXPECT_FALSE(db_.txn_manager()->Find(t)->IsResponsibleFor(5));
   EXPECT_TRUE(db_.lock_manager()->Holds(heir, 5, LockMode::kIncrement));
   ASSERT_TRUE(db_.Commit(heir).ok());
@@ -119,9 +119,9 @@ TEST_F(DelegateOperationsTest, NonIntersectingRangeRejected) {
   TxnId heir = *db_.Begin();
   const Lsn only = Add(t, 5, 10);
   EXPECT_TRUE(
-      db_.DelegateOperations(t, heir, 5, only + 10, only + 20)
+      db_.Delegate(t, heir, DelegationSpec::Operations(5, only + 10, only + 20))
           .IsInvalidArgument());
-  EXPECT_TRUE(db_.DelegateOperations(t, heir, 6, only, only)
+  EXPECT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(6, only, only))
                   .IsInvalidArgument());  // wrong object
 }
 
@@ -129,10 +129,10 @@ TEST_F(DelegateOperationsTest, MalformedRangeRejected) {
   TxnId t = *db_.Begin();
   TxnId heir = *db_.Begin();
   const Lsn l = Add(t, 5, 10);
-  EXPECT_TRUE(db_.DelegateOperations(t, heir, 5, l, l - 1).IsInvalidArgument());
-  EXPECT_TRUE(db_.DelegateOperations(t, heir, 5, kInvalidLsn, l)
+  EXPECT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, l, l - 1)).IsInvalidArgument());
+  EXPECT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, kInvalidLsn, l))
                   .IsInvalidArgument());
-  EXPECT_TRUE(db_.DelegateOperations(t, t, 5, l, l).IsInvalidArgument());
+  EXPECT_TRUE(db_.Delegate(t, t, DelegationSpec::Operations(5, l, l)).IsInvalidArgument());
 }
 
 TEST_F(DelegateOperationsTest, BaselinesDoNotSupportRanges) {
@@ -146,7 +146,7 @@ TEST_F(DelegateOperationsTest, BaselinesDoNotSupportRanges) {
     TxnId heir = *db.Begin();
     ASSERT_TRUE(db.Add(t, 5, 1).ok());
     const Lsn l = db.txn_manager()->Find(t)->last_lsn;
-    EXPECT_EQ(db.DelegateOperations(t, heir, 5, l, l).code(),
+    EXPECT_EQ(db.Delegate(t, heir, DelegationSpec::Operations(5, l, l)).code(),
               StatusCode::kNotSupported)
         << DelegationModeName(mode);
   }
@@ -162,9 +162,9 @@ TEST_F(DelegateOperationsTest, ChainedRangeDelegations) {
   TxnId h1 = *db_.Begin();
   TxnId h2 = *db_.Begin();
   TxnId h3 = *db_.Begin();
-  ASSERT_TRUE(db_.DelegateOperations(t, h1, 5, a, a).ok());
-  ASSERT_TRUE(db_.DelegateOperations(t, h2, 5, b, b).ok());
-  ASSERT_TRUE(db_.DelegateOperations(t, h3, 5, c, c).ok());
+  ASSERT_TRUE(db_.Delegate(t, h1, DelegationSpec::Operations(5, a, a)).ok());
+  ASSERT_TRUE(db_.Delegate(t, h2, DelegationSpec::Operations(5, b, b)).ok());
+  ASSERT_TRUE(db_.Delegate(t, h3, DelegationSpec::Operations(5, c, c)).ok());
   EXPECT_FALSE(db_.txn_manager()->Find(t)->IsResponsibleFor(5));
   ASSERT_TRUE(db_.Commit(h1).ok());
   ASSERT_TRUE(db_.Abort(h2).ok());
@@ -183,7 +183,7 @@ TEST_F(DelegateOperationsTest, ScopeSplitBookkeeping) {
   Add(t, 5, 10);
   const Lsn c = Add(t, 5, 100);
   // Delegate the middle only.
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, a + 1, c - 1).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, a + 1, c - 1)).ok());
   const auto& kept = db_.txn_manager()->Find(t)->ob_list.at(5).scopes;
   ASSERT_EQ(kept.size(), 2u);
   EXPECT_EQ(kept[0], (Scope{t, a, a, false}));       // closed prefix
@@ -205,7 +205,7 @@ TEST_F(DelegateOperationsTest, SplittingSetCoverageRejected) {
     return db_.txn_manager()->Find(t)->last_lsn;
   }();
   EXPECT_TRUE(
-      db_.DelegateOperations(t, heir, 5, l2, l2).IsInvalidArgument());
+      db_.Delegate(t, heir, DelegationSpec::Operations(5, l2, l2)).IsInvalidArgument());
   ASSERT_TRUE(db_.Commit(t).ok());
   ASSERT_TRUE(db_.Commit(heir).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 20);
@@ -223,7 +223,7 @@ TEST_F(DelegateOperationsTest, FullTransferOfSetCoverageAllowed) {
     return db_.txn_manager()->Find(t)->last_lsn;
   }();
   // The range covers everything: equivalent to whole-object delegation.
-  ASSERT_TRUE(db_.DelegateOperations(t, heir, 5, l1, l2).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Operations(5, l1, l2)).ok());
   ASSERT_TRUE(db_.Abort(heir).ok());
   ASSERT_TRUE(db_.Commit(t).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 0);
@@ -237,13 +237,13 @@ TEST_F(DelegateOperationsTest, SetFlagTravelsWithDelegatedCoverage) {
   TxnId mid = *db_.Begin();
   TxnId heir = *db_.Begin();
   ASSERT_TRUE(db_.Set(t, 5, 10).ok());
-  ASSERT_TRUE(db_.Delegate(t, mid, {5}).ok());  // whole object: fine
+  ASSERT_TRUE(db_.Delegate(t, mid, DelegationSpec::Objects({5})).ok());  // whole object: fine
   ASSERT_TRUE(db_.Add(mid, 5, 3).ok());         // mid holds X >= I
   const Lsn add_lsn = db_.txn_manager()->Find(mid)->last_lsn;
-  EXPECT_TRUE(db_.DelegateOperations(mid, heir, 5, add_lsn, add_lsn)
+  EXPECT_TRUE(db_.Delegate(mid, heir, DelegationSpec::Operations(5, add_lsn, add_lsn))
                   .IsInvalidArgument());
   // Delegating everything mid holds remains legal.
-  ASSERT_TRUE(db_.DelegateAll(mid, heir).ok());
+  ASSERT_TRUE(db_.Delegate(mid, heir, DelegationSpec::All()).ok());
   ASSERT_TRUE(db_.Commit(heir).ok());
   ASSERT_TRUE(db_.Commit(t).ok());
   ASSERT_TRUE(db_.Commit(mid).ok());

@@ -1,5 +1,6 @@
 // DelegationSpec: the consolidated Delegate(from, to, spec) entry point
-// must behave exactly like the three legacy signatures it subsumes.
+// must behave exactly like the three legacy TxnManager signatures it
+// subsumes (the Database wrappers for those signatures are gone).
 
 #include <gtest/gtest.h>
 
@@ -33,7 +34,8 @@ TEST(DelegationSpecTest, ObjectListMatchesLegacyDelegate) {
     EXPECT_TRUE(db.Add(t1, 7, 40).ok());
     Status status =
         use_spec ? db.Delegate(t1, t2, DelegationSpec::Objects({5, 6}))
-                 : db.Delegate(t1, t2, std::vector<ObjectId>{5, 6});
+                 : db.txn_manager()->Delegate(t1, t2,
+                                              std::vector<ObjectId>{5, 6});
     EXPECT_TRUE(status.ok()) << status.ToString();
     EXPECT_TRUE(db.Commit(t2).ok());  // 10 and 20 survive
     EXPECT_TRUE(db.Abort(t1).ok());   // 40 dies
@@ -53,7 +55,7 @@ TEST(DelegationSpecTest, AllObjectsMatchesLegacyDelegateAll) {
     EXPECT_TRUE(db.Add(t1, 6, 20).ok());
     Status status = use_spec
                         ? db.Delegate(t1, t2, DelegationSpec::All())
-                        : db.DelegateAll(t1, t2);
+                        : db.txn_manager()->DelegateAll(t1, t2);
     EXPECT_TRUE(status.ok()) << status.ToString();
     EXPECT_TRUE(db.Abort(t1).ok());   // nothing left to undo
     EXPECT_TRUE(db.Commit(t2).ok());  // everything survives
@@ -74,7 +76,7 @@ TEST(DelegationSpecTest, OperationRangeMatchesLegacyDelegateOperations) {
     Status status =
         use_spec
             ? db.Delegate(t1, t2, DelegationSpec::Operations(5, mid, mid))
-            : db.DelegateOperations(t1, t2, 5, mid, mid);
+            : db.txn_manager()->DelegateOperations(t1, t2, 5, mid, mid);
     EXPECT_TRUE(status.ok()) << status.ToString();
     EXPECT_TRUE(db.Commit(t2).ok());  // the 10 survives
     EXPECT_TRUE(db.Abort(t1).ok());   // the 100 dies

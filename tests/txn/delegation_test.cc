@@ -18,20 +18,20 @@ TEST_F(DelegationTest, PreconditionRequiresResponsibility) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   // t1 never updated object 5, so it is not the responsible transaction.
-  EXPECT_TRUE(db_.Delegate(t1, t2, {5}).IsInvalidArgument());
+  EXPECT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).IsInvalidArgument());
 }
 
 TEST_F(DelegationTest, SelfDelegationRejected) {
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t1, 5, 1).ok());
-  EXPECT_TRUE(db_.Delegate(t1, t1, {5}).IsInvalidArgument());
+  EXPECT_TRUE(db_.Delegate(t1, t1, DelegationSpec::Objects({5})).IsInvalidArgument());
 }
 
 TEST_F(DelegationTest, EmptyDelegationRejected) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   EXPECT_TRUE(
-      db_.Delegate(t1, t2, std::vector<ObjectId>{}).IsInvalidArgument());
+      db_.Delegate(t1, t2, DelegationSpec::Objects({})).IsInvalidArgument());
 }
 
 TEST_F(DelegationTest, DelegationToTerminatedTxnRejected) {
@@ -39,14 +39,14 @@ TEST_F(DelegationTest, DelegationToTerminatedTxnRejected) {
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t1, 5, 1).ok());
   ASSERT_TRUE(db_.Commit(t2).ok());
-  EXPECT_TRUE(db_.Delegate(t1, t2, {5}).IsIllegalState());
+  EXPECT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).IsIllegalState());
 }
 
 TEST_F(DelegationTest, ResponsibilityMovesToDelegatee) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t1, 5, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
 
   const Transaction* tor = db_.txn_manager()->Find(t1);
   const Transaction* tee = db_.txn_manager()->Find(t2);
@@ -63,7 +63,7 @@ TEST_F(DelegationTest, DelegateeCommitMakesDelegatorsUpdateDurable) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t0).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 42);  // abort did not touch it
   ASSERT_TRUE(db_.Commit(t1).ok());
@@ -74,7 +74,7 @@ TEST_F(DelegationTest, DelegateeAbortUndoesDelegatorsUpdate) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t1).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 0);
   // t0 can still commit; it is no longer responsible for the update.
@@ -91,9 +91,9 @@ TEST_F(DelegationTest, PaperExample2SplitFates) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Add(t, 5, 100).ok());
-  ASSERT_TRUE(db_.Delegate(t, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Add(t, 5, 23).ok());
-  ASSERT_TRUE(db_.Delegate(t, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t2, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t2).ok());
   ASSERT_TRUE(db_.Commit(t1).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 100);
@@ -106,8 +106,8 @@ TEST_F(DelegationTest, DelegationChainFollowsLastDelegatee) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 7).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t0).ok());
   ASSERT_TRUE(db_.Abort(t1).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 7);  // only t2's fate matters now
@@ -119,8 +119,8 @@ TEST_F(DelegationTest, DelegateBackAndForth) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 3).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t0, {5}).ok());  // comes back
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t0, DelegationSpec::Objects({5})).ok());  // comes back
   ASSERT_TRUE(db_.Commit(t1).ok());             // t1 holds nothing
   // Responsibility is back with t0; its fate decides the update's.
   ASSERT_TRUE(db_.Abort(t0).ok());
@@ -131,8 +131,8 @@ TEST_F(DelegationTest, DelegateBackAndForthCommitPath) {
   TxnId t0 = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t0, 5, 3).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t1, {5}).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t0, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t0, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t1).ok());  // t1 is responsible for nothing
   ASSERT_TRUE(db_.Commit(t0).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 3);
@@ -143,7 +143,7 @@ TEST_F(DelegationTest, OnlyNamedObjectsAreDelegated) {
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t1, 5, 50).ok());
   ASSERT_TRUE(db_.Set(t1, 6, 60).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(t1).ok());  // kills only ob6
   ASSERT_TRUE(db_.Commit(t2).ok());
   EXPECT_EQ(*db_.ReadCommitted(5), 50);
@@ -156,7 +156,7 @@ TEST_F(DelegationTest, MultiObjectDelegationIsAtomic) {
   ASSERT_TRUE(db_.Set(t1, 5, 50).ok());
   ASSERT_TRUE(db_.Set(t1, 6, 60).ok());
   const uint64_t delegations_before = db_.stats().delegations;
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5, 6}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5, 6})).ok());
   EXPECT_EQ(db_.stats().delegations - delegations_before, 1u);
   ASSERT_TRUE(db_.Commit(t2).ok());
   ASSERT_TRUE(db_.Abort(t1).ok());
@@ -169,7 +169,7 @@ TEST_F(DelegationTest, DelegateAllTransfersEverything) {
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t1, 5, 50).ok());
   ASSERT_TRUE(db_.Add(t1, 6, 60).ok());
-  ASSERT_TRUE(db_.DelegateAll(t1, t2).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::All()).ok());
   EXPECT_TRUE(db_.txn_manager()->Find(t1)->ob_list.empty());
   ASSERT_TRUE(db_.Abort(t1).ok());
   ASSERT_TRUE(db_.Commit(t2).ok());
@@ -186,7 +186,7 @@ TEST_F(DelegationTest, ConcurrentIncrementsDelegateIndependently) {
   TxnId heir = *db_.Begin();
   ASSERT_TRUE(db_.Add(a, 5, 10).ok());
   ASSERT_TRUE(db_.Add(b, 5, 200).ok());
-  ASSERT_TRUE(db_.Delegate(a, heir, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(a, heir, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Abort(b).ok());   // b's increment dies
   ASSERT_TRUE(db_.Abort(a).ok());   // a's delegated increment unaffected
   ASSERT_TRUE(db_.Commit(heir).ok());
@@ -197,7 +197,7 @@ TEST_F(DelegationTest, UpdateAfterDelegationOpensNewScope) {
   TxnId t = *db_.Begin();
   TxnId t1 = *db_.Begin();
   ASSERT_TRUE(db_.Add(t, 5, 1).ok());
-  ASSERT_TRUE(db_.Delegate(t, t1, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db_.Add(t, 5, 2).ok());
   const Transaction* tx = db_.txn_manager()->Find(t);
   ASSERT_TRUE(tx->IsResponsibleFor(5));
@@ -212,7 +212,7 @@ TEST_F(DelegationTest, LockTransferBroadensVisibility) {
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t1, 5, 1).ok());
   EXPECT_TRUE(db_.Read(t2, 5).status().IsBusy());
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   EXPECT_EQ(*db_.Read(t2, 5), 1);  // the delegatee now holds the lock
   // The delegator conflicts with its own delegated update (paper 2.1).
   EXPECT_TRUE(db_.Set(t1, 5, 2).IsBusy());
@@ -225,7 +225,7 @@ TEST_F(DelegationTest, ResponsibleTxnIntrospection) {
   ASSERT_TRUE(db_.Set(t1, 5, 1).ok());
   const Lsn update_lsn = db_.txn_manager()->Find(t1)->last_lsn;
   EXPECT_EQ(*db_.txn_manager()->ResponsibleTxn(t1, 5, update_lsn), t1);
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   EXPECT_EQ(*db_.txn_manager()->ResponsibleTxn(t1, 5, update_lsn), t2);
 }
 
@@ -236,7 +236,7 @@ TEST_F(DelegationTest, DelegationDisabledModeRejects) {
   TxnId t1 = *db.Begin();
   TxnId t2 = *db.Begin();
   ASSERT_TRUE(db.Set(t1, 5, 1).ok());
-  EXPECT_TRUE(db.Delegate(t1, t2, {5}).code() == StatusCode::kNotSupported);
+  EXPECT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({5})).code() == StatusCode::kNotSupported);
 }
 
 TEST_F(DelegationTest, DelegateRecordLinksBothChains) {
@@ -245,7 +245,7 @@ TEST_F(DelegationTest, DelegateRecordLinksBothChains) {
   ASSERT_TRUE(db_.Set(t1, 5, 1).ok());
   const Lsn t1_head = db_.txn_manager()->Find(t1)->last_lsn;
   const Lsn t2_head = db_.txn_manager()->Find(t2)->last_lsn;
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   const Lsn d = db_.txn_manager()->Find(t1)->last_lsn;
   EXPECT_EQ(d, db_.txn_manager()->Find(t2)->last_lsn);
   LogRecord rec = *db_.log_manager()->Read(d);

@@ -113,7 +113,7 @@ TEST(GroupCommitTest, DelegationUnderGroupCommit) {
   TxnId t0 = *db.Begin();
   TxnId t1 = *db.Begin();
   ASSERT_TRUE(db.Set(t0, 5, 42).ok());
-  ASSERT_TRUE(db.Delegate(t0, t1, {5}).ok());
+  ASSERT_TRUE(db.Delegate(t0, t1, DelegationSpec::Objects({5})).ok());
   ASSERT_TRUE(db.Commit(t1).ok());
   ASSERT_TRUE(db.Sync().ok());
   db.SimulateCrash();

@@ -120,7 +120,7 @@ TEST_F(SavepointTest, RollbackToUndoesDelegatedInUpdates) {
   TxnId t = *db_.Begin();
   Lsn sp = *db_.Savepoint(t);
   ASSERT_TRUE(db_.Add(t0, 1, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t0, t, {1}).ok());
+  ASSERT_TRUE(db_.Delegate(t0, t, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db_.RollbackTo(t, sp).ok());
   EXPECT_FALSE(db_.txn_manager()->Find(t)->IsResponsibleFor(1));
   ASSERT_TRUE(db_.Commit(t).ok());
@@ -133,7 +133,7 @@ TEST_F(SavepointTest, DelegatedAwayUpdatesSurvivePartialRollback) {
   TxnId heir = *db_.Begin();
   Lsn sp = *db_.Savepoint(t);
   ASSERT_TRUE(db_.Add(t, 1, 42).ok());
-  ASSERT_TRUE(db_.Delegate(t, heir, {1}).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db_.RollbackTo(t, sp).ok());  // t owns nothing on ob1 now
   ASSERT_TRUE(db_.Commit(heir).ok());
   ASSERT_TRUE(db_.Abort(t).ok());
@@ -149,7 +149,7 @@ TEST_F(SavepointTest, DelegationAfterPartialRollbackWorksUnderRH) {
   ASSERT_TRUE(db_.RollbackTo(t, sp).ok());
   // RH can delegate the surviving (clipped) scope; the compensated update
   // stays dead.
-  ASSERT_TRUE(db_.Delegate(t, heir, {1}).ok());
+  ASSERT_TRUE(db_.Delegate(t, heir, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db_.Commit(heir).ok());
   ASSERT_TRUE(db_.Abort(t).ok());
   db_.SimulateCrash();
@@ -169,7 +169,7 @@ TEST_F(SavepointTest, RewritingBaselinesRefuseDelegationAfterRollback) {
     Lsn sp = *db.Savepoint(t);
     ASSERT_TRUE(db.Add(t, 1, 100).ok());
     ASSERT_TRUE(db.RollbackTo(t, sp).ok());
-    EXPECT_TRUE(db.Delegate(t, heir, {1}).IsIllegalState())
+    EXPECT_TRUE(db.Delegate(t, heir, DelegationSpec::Objects({1})).IsIllegalState())
         << DelegationModeName(mode);
   }
 }
@@ -182,7 +182,7 @@ TEST_F(SavepointTest, LazyRewriteRefusesRollbackAfterDelegation) {
   TxnId heir = *db.Begin();
   ASSERT_TRUE(db.Add(t, 1, 5).ok());
   Lsn sp = *db.Savepoint(t);
-  ASSERT_TRUE(db.Delegate(t, heir, {1}).ok());
+  ASSERT_TRUE(db.Delegate(t, heir, DelegationSpec::Objects({1})).ok());
   ASSERT_TRUE(db.Add(t, 2, 9).ok());
   EXPECT_TRUE(db.RollbackTo(t, sp).code() == StatusCode::kNotSupported);
 }

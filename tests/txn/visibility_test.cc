@@ -91,7 +91,7 @@ TEST_F(VisibilityTest, DelegationTransfersVisibilityPermitDoesNot) {
   EXPECT_TRUE(db_.Read(grantee, 5).ok());
   EXPECT_FALSE(db_.txn_manager()->Find(grantee)->IsResponsibleFor(5));
 
-  ASSERT_TRUE(db_.Delegate(owner, grantee, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(owner, grantee, DelegationSpec::Objects({5})).ok());
   EXPECT_TRUE(db_.txn_manager()->Find(grantee)->IsResponsibleFor(5));
   // Ownership (the lock) moved with the delegation.
   EXPECT_TRUE(db_.lock_manager()->Holds(grantee, 5, LockMode::kExclusive));
@@ -124,7 +124,7 @@ TEST_F(VisibilityTest, DelegateeOfLockTransferBlocksFormerOwner) {
   TxnId t1 = *db.Begin();
   TxnId t2 = *db.Begin();
   ASSERT_TRUE(db.Add(t1, 5, 1).ok());
-  ASSERT_TRUE(db.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   // t1 lost its increment lock to t2: a read now conflicts with t2's
   // increment lock (S-I incompatible)...
   EXPECT_TRUE(db.Read(t1, 5).status().IsBusy());
@@ -141,7 +141,7 @@ TEST_F(VisibilityTest, NoLockTransferOptionKeepsOwnership) {
   TxnId t1 = *db.Begin();
   TxnId t2 = *db.Begin();
   ASSERT_TRUE(db.Set(t1, 5, 1).ok());
-  ASSERT_TRUE(db.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   // Responsibility moved but the lock stayed: recovery semantics decouple
   // from visibility when the application wants them to.
   EXPECT_TRUE(db.txn_manager()->Find(t2)->IsResponsibleFor(5));

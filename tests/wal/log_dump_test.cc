@@ -97,7 +97,7 @@ TEST_F(LogDumpTest, DelegateRecordVisibleInDump) {
   TxnId t1 = *db_.Begin();
   TxnId t2 = *db_.Begin();
   ASSERT_TRUE(db_.Set(t1, 5, 1).ok());
-  ASSERT_TRUE(db_.Delegate(t1, t2, {5}).ok());
+  ASSERT_TRUE(db_.Delegate(t1, t2, DelegationSpec::Objects({5})).ok());
   Result<std::string> dump = DumpLog(*db_.log_manager());
   ASSERT_TRUE(dump.ok());
   EXPECT_NE(dump->find("DELEGATE"), std::string::npos);

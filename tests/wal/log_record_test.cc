@@ -66,6 +66,28 @@ TEST(LogRecordTest, DelegateRoundTrip) {
   EXPECT_EQ(back.objects, (std::vector<ObjectId>{10, 11, 12}));
 }
 
+TEST(LogRecordTest, DelegateCsnRoundTrip) {
+  // Cross-shard delegation legs carry the coordinator round's csn; the
+  // shard-local default (csn 0) must stay distinguishable from any round.
+  LogRecord rec = LogRecord::MakeDelegate(1, 2, 5, 6, {10});
+  rec.lsn = 31;
+  rec.csn = 9000;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.csn, 9000u);
+  rec.csn = 0;
+  EXPECT_EQ(RoundTrip(rec).csn, 0u);
+}
+
+TEST(LogRecordTest, PrepareRoundTrip) {
+  LogRecord rec = LogRecord::MakePrepare(6, 40, 123);
+  rec.lsn = 41;
+  LogRecord back = RoundTrip(rec);
+  EXPECT_EQ(back.type, LogRecordType::kPrepare);
+  EXPECT_EQ(back.txn_id, 6u);
+  EXPECT_EQ(back.prev_lsn, 40u);
+  EXPECT_EQ(back.csn, 123u);
+}
+
 TEST(LogRecordTest, CommitAbortEndRoundTrip) {
   for (auto maker : {&LogRecord::MakeCommit, &LogRecord::MakeAbort,
                      &LogRecord::MakeEnd}) {

@@ -153,7 +153,7 @@ TEST(StepSchedulerTest, DelegationBetweenPrograms) {
   producer.Then(SetStep(7, 77));
   producer.Then([&consumer_txn](Database* db, TxnId txn) -> Status {
     if (consumer_txn == kInvalidTxn) return Status::Busy("no consumer yet");
-    return db->Delegate(txn, consumer_txn, {7});
+    return db->Delegate(txn, consumer_txn, DelegationSpec::Objects({7}));
   });
 
   size_t ci = scheduler.AddProgram(std::move(consumer));
