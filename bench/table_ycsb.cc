@@ -1,0 +1,342 @@
+// E9: YCSB-style key-value mixes over the table layer.
+//
+// Three mixes drive the logical-logging write path through the step
+// scheduler: an update-heavy Zipf mix (YCSB-A shape), a read-modify-write
+// mix (YCSB-F shape), and a scan-heavy mix (YCSB-E shape). The sharded rows
+// (`--shards={1,4}`) route each key by rid hash, so a multi-op transaction
+// spans shards and commits through the coordinator — the table flavor of
+// the E8 sharding experiment.
+//
+// BM_TableLockGranularity is the acceptance row for record-level locking:
+// programs touch *disjoint* hot keys, so record locks never conflict while
+// bucket (page-granularity) locks collide whenever two concurrent
+// transactions land in one of the 16 bucket chains. Record mode must beat
+// page mode on committed-txn/s ("rec_txns_per_s" vs "page_txns_per_s").
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "table/table_heap.h"
+#include "util/random.h"
+#include "workload/scheduler.h"
+
+namespace ariesrh {
+namespace {
+
+using bench::Check;
+
+constexpr size_t kRecords = 512;
+// One op per transaction, as in YCSB proper. This is also what keeps the
+// no-wait lock manager livelock-free under Zipf contention: a transaction
+// never holds one hot record while spinning on another, so the holder
+// always drains and busy waiters make progress.
+constexpr int kYcsbPrograms = 256;
+constexpr size_t kWorkers = 4;
+constexpr size_t kValueBytes = 64;
+constexpr double kZipfTheta = 0.99;  // the YCSB default skew
+
+std::string KeyOf(size_t i) { return "user:" + std::to_string(i); }
+
+/// Draws keys 0..n-1 with Zipf(theta) popularity from a precomputed CDF
+/// (exact inverse-CDF sampling; n is small enough that the table is cheap).
+class ZipfChooser {
+ public:
+  ZipfChooser(size_t n, double theta) : cdf_(n) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  size_t Next(Random* rng) {
+    const double u =
+        static_cast<double>(rng->Uniform(1u << 30)) / (1u << 30);
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Loads the keyspace in committed batches so every mix starts from the
+/// same populated table.
+void LoadRecords(Database* db) {
+  constexpr size_t kBatch = 64;
+  for (size_t base = 0; base < kRecords; base += kBatch) {
+    TxnId t = bench::CheckResult(db->Begin(), "Begin(load)");
+    for (size_t i = base; i < base + kBatch && i < kRecords; ++i) {
+      Check(db->TablePut(t, KeyOf(i), std::string(kValueBytes, 'v')),
+            "TablePut(load)");
+    }
+    Check(db->Commit(t), "Commit(load)");
+  }
+}
+
+enum class Mix { kUpdateHeavy, kReadModifyWrite, kScanHeavy };
+
+/// Appends one YCSB op to `program`, chosen by the mix's ratios.
+void AddOp(workload::TxnProgram* program, Mix mix, Random* rng,
+           ZipfChooser* zipf) {
+  const std::string key = KeyOf(zipf->Next(rng));
+  const std::string value(kValueBytes, 'w');
+  switch (mix) {
+    case Mix::kUpdateHeavy:
+      // 50% reads / 50% writes over the Zipf-hot keyspace.
+      if (rng->Percent(50)) {
+        program->Then([key](Database* db, TxnId txn) {
+          return db->TableGet(txn, key).status();
+        });
+      } else {
+        program->Then([key, value](Database* db, TxnId txn) {
+          return db->TablePut(txn, key, value);
+        });
+      }
+      break;
+    case Mix::kReadModifyWrite:
+      // 50% reads / 50% read-modify-writes (YCSB-F).
+      if (rng->Percent(50)) {
+        program->Then([key](Database* db, TxnId txn) {
+          return db->TableGet(txn, key).status();
+        });
+      } else {
+        program->Then([key](Database* db, TxnId txn) {
+          return db->TableReadModifyWrite(
+              txn, key, [](const std::optional<std::string>& cur) {
+                std::string next = cur.value_or("");
+                if (next.size() < kValueBytes) next.resize(kValueBytes, 'm');
+                next[0] = static_cast<char>(next[0] + 1);
+                return next;
+              });
+        });
+      }
+      break;
+    case Mix::kScanHeavy: {
+      // 95% short scans / 5% writes (YCSB-E).
+      if (rng->Percent(95)) {
+        const size_t len = 1 + rng->Uniform(16);
+        program->Then([key, len](Database* db, TxnId txn) {
+          return db->TableScan(txn, key, len).status();
+        });
+      } else {
+        program->Then([key, value](Database* db, TxnId txn) {
+          return db->TablePut(txn, key, value);
+        });
+      }
+      break;
+    }
+  }
+}
+
+/// Contention-tolerant scheduler knobs: busy conflicts resolve fastest when
+/// the spinner aborts quickly (the default retry streak) but a Zipf-hot
+/// program must be allowed to restart as often as the hot key demands.
+workload::StepScheduler::SchedulerOptions ContendedSchedulerOptions() {
+  workload::StepScheduler::SchedulerOptions sched_options;
+  sched_options.worker_threads = kWorkers;
+  sched_options.max_restarts = 4096;
+  return sched_options;
+}
+
+void RunMix(benchmark::State& state, Mix mix, size_t shards) {
+  uint64_t committed = 0;
+  uint64_t failed = 0;
+  uint64_t restarts = 0;
+  uint64_t busy = 0;
+  uint64_t ops = 0;
+  uint64_t scans = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Options options;
+    options.num_shards = shards;
+    Database db(options);
+    LoadRecords(&db);
+    const Stats before = db.stats();
+
+    Random rng(42);
+    ZipfChooser zipf(kRecords, kZipfTheta);
+    workload::StepScheduler scheduler(&db, ContendedSchedulerOptions());
+    for (int p = 0; p < kYcsbPrograms; ++p) {
+      workload::TxnProgram program;
+      program.name = "p" + std::to_string(p);
+      AddOp(&program, mix, &rng, &zipf);
+      scheduler.AddProgram(std::move(program));
+    }
+    state.ResumeTiming();
+
+    Check(scheduler.Run(), "scheduler.Run");
+
+    state.PauseTiming();
+    // Programs, not per-shard commit records: a cross-shard commit bumps
+    // txns_committed on every participant, which would inflate the sharded
+    // rows.
+    for (int p = 0; p < kYcsbPrograms; ++p) {
+      if (scheduler.outcome(static_cast<size_t>(p)) ==
+          workload::ProgramOutcome::kCommitted) {
+        ++committed;
+      } else {
+        ++failed;
+      }
+    }
+    const Stats delta = db.stats().Delta(before);
+    restarts += scheduler.restarts();
+    busy += scheduler.busy_events();
+    ops += delta.table_ops;
+    scans += delta.table_scans;
+    state.ResumeTiming();
+  }
+  state.counters["committed"] = static_cast<double>(committed);
+  state.counters["failed"] = static_cast<double>(failed);
+  state.counters["txns_per_s"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+  state.counters["table_ops"] = static_cast<double>(ops);
+  state.counters["restarts"] = static_cast<double>(restarts);
+  state.counters["busy"] = static_cast<double>(busy);
+  if (mix == Mix::kScanHeavy) {
+    state.counters["scans"] = static_cast<double>(scans);
+  }
+}
+
+void BM_TableYcsb(benchmark::State& state) {
+  RunMix(state, Mix::kUpdateHeavy, static_cast<size_t>(state.range(0)));
+}
+
+void BM_TableYcsbRmw(benchmark::State& state) {
+  RunMix(state, Mix::kReadModifyWrite, static_cast<size_t>(state.range(0)));
+}
+
+void BM_TableYcsbScan(benchmark::State& state) {
+  RunMix(state, Mix::kScanHeavy, static_cast<size_t>(state.range(0)));
+}
+
+// The lock-granularity acceptance row. Programs write *disjoint* key sets,
+// so record mode runs conflict-free at full worker parallelism, and group
+// commit coalesces the concurrent committers' device forces. The keys pack
+// into 16 bucket chains, so in page mode concurrent transactions collide on
+// chains they never share records with: the false sharing serializes them
+// and commits stop coalescing (each pays its own force). Each program's ops
+// are sorted by bucket so lock acquisition is globally ordered — the no-wait
+// manager then never sees a cyclic wait, and the page-mode penalty measured
+// is pure serialization, not restart storms.
+constexpr int kLockPrograms = 64;
+constexpr int kLockOpsPerTxn = 4;
+constexpr uint64_t kLockForceStallNs = 1'000'000;  // 1ms per device force
+
+double RunLockGranularity(bool record_locking) {
+  Options options;
+  options.table_record_locking = record_locking;
+  options.force_commits = true;
+  options.group_commit = true;
+  options.group_commit_window_us = 0;
+  options.sim_log_force_ns = kLockForceStallNs;
+  Database db(options);
+  LoadRecords(&db);
+
+  // Extra workers sharpen the contrast: record mode turns them into bigger
+  // group-commit batches, page mode into more bucket collisions.
+  workload::StepScheduler::SchedulerOptions sched_options =
+      ContendedSchedulerOptions();
+  sched_options.worker_threads = 8;
+  workload::StepScheduler scheduler(&db, sched_options);
+  for (int p = 0; p < kLockPrograms; ++p) {
+    workload::TxnProgram program;
+    program.name = "p" + std::to_string(p);
+    std::vector<std::string> keys;
+    for (int op = 0; op < kLockOpsPerTxn; ++op) {
+      keys.push_back(KeyOf(
+          static_cast<size_t>(p * kLockOpsPerTxn + op) % kRecords));
+    }
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string& a, const std::string& b) {
+                return table::BucketOfRid(table::TableRid(a)) <
+                       table::BucketOfRid(table::TableRid(b));
+              });
+    for (const std::string& key : keys) {
+      program.Then([key](Database* target, TxnId txn) {
+        return target->TablePut(txn, key, std::string(kValueBytes, 'g'));
+      });
+    }
+    scheduler.AddProgram(std::move(program));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Check(scheduler.Run(), "scheduler.Run");
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  uint64_t committed = 0;
+  for (int p = 0; p < kLockPrograms; ++p) {
+    if (scheduler.outcome(static_cast<size_t>(p)) ==
+        workload::ProgramOutcome::kCommitted) {
+      ++committed;
+    }
+  }
+  return static_cast<double>(committed) / seconds;
+}
+
+void BM_TableLockGranularity(benchmark::State& state) {
+  double rec_rate = 0;
+  double page_rate = 0;
+  for (auto _ : state) {
+    rec_rate = RunLockGranularity(/*record_locking=*/true);
+    page_rate = RunLockGranularity(/*record_locking=*/false);
+  }
+  state.counters["rec_txns_per_s"] = rec_rate;
+  state.counters["page_txns_per_s"] = page_rate;
+  state.counters["rec_over_page"] =
+      page_rate > 0 ? rec_rate / page_rate : 0.0;
+}
+
+BENCHMARK(BM_TableLockGranularity)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Registers the sharded YCSB rows for the requested shard counts; called
+// from main so a `--shards=N` run registers exactly that row.
+void RegisterTableYcsb(const std::vector<int64_t>& shard_counts) {
+  for (auto [name, fn] :
+       {std::pair<const char*, void (*)(benchmark::State&)>{
+            "BM_TableYcsb", BM_TableYcsb},
+        {"BM_TableYcsbRmw", BM_TableYcsbRmw},
+        {"BM_TableYcsbScan", BM_TableYcsbScan}}) {
+    auto* bench = benchmark::RegisterBenchmark(name, fn);
+    for (int64_t s : shard_counts) bench->Arg(s);
+    bench->UseRealTime()->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace ariesrh
+
+// Custom main: strips the bench-specific `--shards=N` flag (google-benchmark
+// would reject it) before handing the rest to the shared harness. Without
+// the flag the YCSB rows sweep {1, 4}.
+int main(int argc, char** argv) {
+  std::vector<int64_t> shard_counts = {1, 4};
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      shard_counts = {std::stoll(arg.substr(arg.find('=') + 1))};
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  ariesrh::RegisterTableYcsb(shard_counts);
+  int args_count = static_cast<int>(args.size());
+  return ariesrh::bench::BenchMain("table_ycsb", args_count, args.data());
+}

@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 #include <utility>
 
@@ -137,6 +138,88 @@ Status Database::Add(TxnId txn, ObjectId ob, int64_t delta) {
   const size_t s = ShardOf(ob);
   ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
   return shards_[s]->txn_manager()->Add(txn, ob, delta);
+}
+
+Result<std::optional<std::string>> Database::TableGet(TxnId txn,
+                                                      const std::string& key,
+                                                      bool for_update) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  if (shards_.size() == 1) return shards_[0]->TableGet(txn, key, for_update);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  const size_t s = ShardOf(table::TableRid(key));
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  return shards_[s]->txn_manager()->TableGet(txn, key, for_update);
+}
+
+Status Database::TablePut(TxnId txn, const std::string& key,
+                          const std::string& value) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  if (shards_.size() == 1) return shards_[0]->TablePut(txn, key, value);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  const size_t s = ShardOf(table::TableRid(key));
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  return shards_[s]->txn_manager()->TablePut(txn, key, value);
+}
+
+Status Database::TableDelete(TxnId txn, const std::string& key) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  if (shards_.size() == 1) return shards_[0]->TableDelete(txn, key);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  const size_t s = ShardOf(table::TableRid(key));
+  ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  return shards_[s]->txn_manager()->TableDelete(txn, key);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> Database::TableScan(
+    TxnId txn, const std::string& start_key, size_t limit) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  if (shards_.size() == 1) return shards_[0]->TableScan(txn, start_key, limit);
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
+  std::lock_guard lock(route->mu);
+  ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
+  // Keys hash across shards, so every shard may hold part of any key range:
+  // fan out, then merge the per-shard (already sorted) results.
+  std::vector<std::pair<std::string, std::string>> merged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+    ARIESRH_ASSIGN_OR_RETURN(
+        auto part, shards_[s]->txn_manager()->TableScan(txn, start_key, limit));
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(merged.size() + part.size());
+    std::merge(merged.begin(), merged.end(), part.begin(), part.end(),
+               std::back_inserter(out));
+    merged = std::move(out);
+    if (limit != 0 && merged.size() > limit) merged.resize(limit);
+  }
+  return merged;
+}
+
+Status Database::TableReadModifyWrite(
+    TxnId txn, const std::string& key,
+    const std::function<std::string(const std::optional<std::string>&)>&
+        mutate) {
+  // The exclusive lock is taken by the read and held to the write — no
+  // shared->exclusive upgrade exists to deadlock on.
+  ARIESRH_ASSIGN_OR_RETURN(std::optional<std::string> current,
+                           TableGet(txn, key, /*for_update=*/true));
+  return TablePut(txn, key, mutate(current));
+}
+
+Result<std::optional<std::string>> Database::TableGetCommitted(
+    const std::string& key) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  table::TableHeap* heap =
+      shards_[ShardOf(table::TableRid(key))]->table_heap();
+  if (heap == nullptr) {
+    return Status::IllegalState("this engine has no table heap attached");
+  }
+  return heap->Read(key);
 }
 
 Status Database::Delegate(TxnId from, TxnId to, const DelegationSpec& spec) {
@@ -466,6 +549,19 @@ Status Database::Abort(TxnId txn) {
     }
   }
   return Status::OK();
+}
+
+bool Database::IsActive(TxnId txn) {
+  if (!init_status_.ok() || crashed_ || shards_.empty()) return false;
+  if (shards_.size() == 1) {
+    const Transaction* tx = shards_[0]->txn_manager()->Find(txn);
+    return tx != nullptr && tx->state == TxnState::kActive;
+  }
+  std::lock_guard lock(routes_mu_);
+  auto it = routes_.find(txn);
+  return it != routes_.end() &&
+         it->second->outcome.load(std::memory_order_relaxed) ==
+             TxnState::kActive;
 }
 
 Status Database::Sync() {

@@ -35,9 +35,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "coord/coordinator_log.h"
@@ -74,6 +76,42 @@ class Database {
   Status Set(TxnId txn, ObjectId ob, int64_t value);
   Status Add(TxnId txn, ObjectId ob, int64_t delta);
 
+  // --- typed key-value table layer (docs/TABLE.md) ---
+  //
+  // Records route to shards by their rid (the key's stable hash), so a
+  // table transaction enlists on exactly the shards its keys live on —
+  // cross-shard commits and delegation work unchanged, keyed by rid.
+
+  /// Reads a record (shared lock; exclusive when `for_update`). nullopt =
+  /// no such key.
+  Result<std::optional<std::string>> TableGet(TxnId txn,
+                                              const std::string& key,
+                                              bool for_update = false);
+
+  /// Inserts or overwrites a record.
+  Status TablePut(TxnId txn, const std::string& key, const std::string& value);
+
+  /// Deletes a record; NotFound if the key does not exist.
+  Status TableDelete(TxnId txn, const std::string& key);
+
+  /// Ordered scan: up to `limit` (0 = unbounded) pairs with key >=
+  /// start_key, in key order. Sharded engines fan out to every shard and
+  /// merge.
+  Result<std::vector<std::pair<std::string, std::string>>> TableScan(
+      TxnId txn, const std::string& start_key, size_t limit);
+
+  /// Read-modify-write: reads the record under an exclusive lock (held from
+  /// the start, so the idiom never deadlocks on an upgrade) and overwrites
+  /// it with `mutate`'s result.
+  Status TableReadModifyWrite(
+      TxnId txn, const std::string& key,
+      const std::function<std::string(const std::optional<std::string>&)>&
+          mutate);
+
+  /// Reads a record's current value outside any transaction (test/bench
+  /// oracle access; no locks taken). nullopt = no such key.
+  Result<std::optional<std::string>> TableGetCommitted(const std::string& key);
+
   /// The delegation entry point: transfers responsibility from `from` to
   /// `to` per the spec (DelegationSpec::All / Objects / Operations). In a
   /// sharded engine a transfer touching one shard stays shard-local (one
@@ -98,6 +136,12 @@ class Database {
   /// from the coordinator log at restart.
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
+
+  /// True while `txn` is known to the engine and still active (neither
+  /// committed nor aborted). Sharded engines answer from the facade's route
+  /// table, which tracks the transaction even before it touches any shard —
+  /// shard-local Find() would miss a transaction enlisted elsewhere.
+  bool IsActive(TxnId txn);
 
   /// Forces every shard's log (and the coordinator log) to stable storage.
   /// Under group commit (Options::force_commits = false) this is the

@@ -38,9 +38,14 @@ void EngineShard::BuildVolatileComponents() {
       disk_.get(), options_.buffer_pool_pages,
       [this](Lsn lsn) { return log_->Flush(lsn); }, &stats_);
   locks_ = std::make_unique<LockManager>(&stats_);
+  // The heap's frames are volatile like the pool's; its stable pages live in
+  // the same simulated disk. A fresh build starts empty — Recover()
+  // bootstraps it from stable pages before replaying the log.
+  heap_ = std::make_unique<table::TableHeap>(
+      disk_.get(), &stats_, [this](Lsn lsn) { return log_->Flush(lsn); });
   txn_manager_ = std::make_unique<TxnManager>(options_, log_.get(),
                                               pool_.get(), locks_.get(),
-                                              &stats_);
+                                              &stats_, heap_.get());
   // The flusher is volatile like everything else here: SimulateCrash tears
   // it down with the log manager and Recover() builds a fresh one.
   if (options_.group_commit) {
@@ -128,6 +133,30 @@ Status EngineShard::Abort(TxnId txn) {
   return txn_manager_->Abort(txn);
 }
 
+Result<std::optional<std::string>> EngineShard::TableGet(TxnId txn,
+                                                         const std::string& key,
+                                                         bool for_update) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->TableGet(txn, key, for_update);
+}
+
+Status EngineShard::TablePut(TxnId txn, const std::string& key,
+                             const std::string& value) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->TablePut(txn, key, value);
+}
+
+Status EngineShard::TableDelete(TxnId txn, const std::string& key) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->TableDelete(txn, key);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> EngineShard::TableScan(
+    TxnId txn, const std::string& start_key, size_t limit) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  return txn_manager_->TableScan(txn, start_key, limit);
+}
+
 Status EngineShard::Sync() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
   return log_->FlushAll();
@@ -169,6 +198,11 @@ Status EngineShard::Checkpoint() {
     data.active_txns.push_back(std::move(snap));
   }
   data.dirty_pages = pool_->DirtyPageTable();
+  // Heap pages share the dirty page table (their id space is disjoint), so
+  // RedoStart reaches every unflushed table write too.
+  for (const auto& [page_id, rec_lsn] : heap_->DirtyPageTable()) {
+    data.dirty_pages[page_id] = rec_lsn;
+  }
   if (ckpt_hooks_.after_snapshot) ckpt_hooks_.after_snapshot();
 
   LogRecord end;
@@ -203,6 +237,7 @@ Result<EngineShard::BackupImage> EngineShard::Backup() {
   // Sharp backup: every logged update reaches the stable pages first, and a
   // checkpoint records the tables/redo point the restore will start from.
   ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
+  ARIESRH_RETURN_IF_ERROR(heap_->FlushAll());
   ARIESRH_RETURN_IF_ERROR(Checkpoint());
   BackupImage backup;
   backup.pages = disk_->ClonePages();
@@ -307,6 +342,7 @@ void EngineShard::SimulateCrash() {
   pool_.reset();
   locks_.reset();
   txn_manager_.reset();
+  heap_.reset();
   crashed_ = true;
 }
 
@@ -317,9 +353,11 @@ Result<RecoveryManager::Outcome> EngineShard::Recover(
   }
   ARIESRH_RETURN_IF_ERROR(RecoveryManager::TruncateTornTail(disk_.get()));
   BuildVolatileComponents();
+  // The heap's stable pages come back before the log replays over them.
+  ARIESRH_RETURN_IF_ERROR(heap_->Bootstrap());
 
   RecoveryManager recovery(options_, disk_.get(), log_.get(), pool_.get(),
-                           &stats_);
+                           &stats_, heap_.get());
   ARIESRH_ASSIGN_OR_RETURN(RecoveryManager::Outcome outcome,
                            recovery.Recover(resolution));
   txn_manager_->SetNextTxnId(outcome.next_txn_id);
@@ -327,6 +365,7 @@ Result<RecoveryManager::Outcome> EngineShard::Recover(
 
   if (options_.checkpoint_after_recovery) {
     ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
+    ARIESRH_RETURN_IF_ERROR(heap_->FlushAll());
     ARIESRH_RETURN_IF_ERROR(Checkpoint());
   }
   if (daemon_ != nullptr) daemon_->Start();

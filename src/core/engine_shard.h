@@ -21,8 +21,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "coord/coordinator_log.h"
@@ -32,6 +34,7 @@
 #include "recovery/recovery_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
+#include "table/table_heap.h"
 #include "txn/delegation_spec.h"
 #include "txn/txn_manager.h"
 #include "util/stats.h"
@@ -68,6 +71,15 @@ class EngineShard {
   Status RollbackTo(TxnId txn, Lsn savepoint);
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
+
+  // --- typed key-value table layer (see TxnManager for semantics) ---
+  Result<std::optional<std::string>> TableGet(TxnId txn,
+                                              const std::string& key,
+                                              bool for_update = false);
+  Status TablePut(TxnId txn, const std::string& key, const std::string& value);
+  Status TableDelete(TxnId txn, const std::string& key);
+  Result<std::vector<std::pair<std::string, std::string>>> TableScan(
+      TxnId txn, const std::string& start_key, size_t limit);
 
   /// Forces the whole shard log to stable storage.
   Status Sync();
@@ -146,6 +158,7 @@ class EngineShard {
   size_t shard_index() const { return shard_index_; }
 
   TxnManager* txn_manager() { return txn_manager_.get(); }
+  table::TableHeap* table_heap() { return heap_.get(); }
   LogManager* log_manager() { return log_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   LockManager* lock_manager() { return locks_.get(); }
@@ -183,6 +196,7 @@ class EngineShard {
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<table::TableHeap> heap_;
   std::unique_ptr<TxnManager> txn_manager_;
   bool crashed_ = false;
 

@@ -1,5 +1,8 @@
 #include "core/options.h"
 
+#include "table/heap_page.h"
+#include "table/table_heap.h"
+
 namespace ariesrh {
 
 const char* DelegationModeName(DelegationMode mode) {
@@ -89,6 +92,19 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "auto_archive rides on the checkpoint daemon; set "
         "checkpoint_interval_records or checkpoint_interval_ms");
+  }
+  if (table_max_value_bytes == 0) {
+    return Status::InvalidArgument(
+        "table_max_value_bytes must be at least 1");
+  }
+  if (table_max_value_bytes >
+      table::HeapPage::kPayloadCapacity - table::kMaxKeyBytes) {
+    return Status::InvalidArgument(
+        "table_max_value_bytes exceeds what a heap page can hold alongside "
+        "a maximum-length key (" +
+        std::to_string(table::HeapPage::kPayloadCapacity -
+                       table::kMaxKeyBytes) +
+        " bytes)");
   }
   return Status::OK();
 }

@@ -178,6 +178,19 @@ struct Options {
   /// tail lock, so concurrent appenders keep running during a force.
   uint64_t sim_log_force_ns = 0;
 
+  /// Lock granularity for the typed table layer (docs/TABLE.md). True (the
+  /// default) locks each record's rid, so transactions touching different
+  /// keys in one heap bucket never conflict. False locks the key's bucket
+  /// chain — page-granularity locking, the false-sharing baseline the
+  /// record mode is measured against. Recovery semantics are identical in
+  /// both modes (logging is logical either way).
+  bool table_record_locking = true;
+
+  /// Upper bound on a table value's size in bytes. A record (key + value +
+  /// slot overhead) must fit a heap page, so the bound must leave room for
+  /// the largest permitted key.
+  size_t table_max_value_bytes = 1024;
+
   /// Test-only fault injection.
   FaultInjection faults;
 

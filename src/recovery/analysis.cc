@@ -86,7 +86,8 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       Lsn ckpt_end_lsn,
                                       ForwardPassKind kind,
                                       RecoveryFaultBudget* redo_budget,
-                                      const coord::Resolution* resolution) {
+                                      const coord::Resolution* resolution,
+                                      table::TableHeap* heap) {
   const bool collect_redo = kind == ForwardPassKind::kAnalysisCollectRedo;
   const bool do_redo = kind == ForwardPassKind::kMerged ||
                        kind == ForwardPassKind::kRedoOnly;
@@ -281,6 +282,49 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
           }
         }
         break;
+      case LogRecordType::kTableInsert:
+      case LogRecordType::kTableUpdate:
+      case LogRecordType::kTableDelete: {
+        if (do_redo && lsn >= redo_from) {
+          ARIESRH_RETURN_IF_ERROR(SpendRedoBudget(redo_budget));
+          bool applied = false;
+          ARIESRH_RETURN_IF_ERROR(ApplyRecordToPage(
+              pool, rec, /*check_page_lsn=*/true, &applied, heap));
+          if (applied) ++stats->recovery_redos;
+        } else if (collect_redo && lsn >= redo_from) {
+          result.redo_plan.push_back(
+              RedoItem{rec, table::RedoBucketOf(rec.object)});
+        }
+        if (analyze) {
+          TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
+          if (mode == DelegationMode::kRH && !reflected(rec.txn_id, lsn)) {
+            // ADJUST SCOPES keyed by record identity: the rid in `object`.
+            // Every table write is exclusive (Set-like), so the scope is
+            // marked accordingly for delegation-spec checks.
+            ObjectEntry& entry = info.ob_list[rec.object];
+            entry.ExtendOrOpen(rec.txn_id, lsn);
+            entry.has_set_update = true;
+          }
+        }
+        break;
+      }
+      case LogRecordType::kTableClr: {
+        if (do_redo && lsn >= redo_from) {
+          ARIESRH_RETURN_IF_ERROR(SpendRedoBudget(redo_budget));
+          bool applied = false;
+          ARIESRH_RETURN_IF_ERROR(ApplyRecordToPage(
+              pool, rec, /*check_page_lsn=*/true, &applied, heap));
+          if (applied) ++stats->recovery_redos;
+        } else if (collect_redo && lsn >= redo_from) {
+          result.redo_plan.push_back(
+              RedoItem{rec, table::RedoBucketOf(rec.object)});
+        }
+        if (analyze) {
+          Touch(&result, rec.txn_id, lsn);
+          result.compensated.insert(rec.compensated_lsn);
+        }
+        break;
+      }
       case LogRecordType::kCkptBegin:
       case LogRecordType::kCkptEnd:
         // The anchor checkpoint's own BEGIN/END bracket the re-scanned

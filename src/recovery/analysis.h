@@ -21,6 +21,7 @@
 #include "recovery/checkpoint.h"
 #include "recovery/redo.h"
 #include "storage/buffer_pool.h"
+#include "table/table_heap.h"
 #include "txn/scope.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -91,6 +92,9 @@ enum class ForwardPassKind {
 /// voids it (the record stays in both backward chains but its scopes never
 /// transfer, so undo targets the original invoker). nullptr treats every
 /// csn-stamped DELEGATE as uncommitted, which is exactly presumed abort.
+/// `heap` (optional) is the table heap logical table records replay into
+/// (redo-bearing kinds) and whose rids the rebuilt Ob_Lists cover; engines
+/// without a table layer pass nullptr and table records are then corruption.
 Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       BufferPool* pool, Stats* stats,
                                       const CheckpointData* ckpt,
@@ -100,7 +104,8 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       RecoveryFaultBudget* redo_budget =
                                           nullptr,
                                       const coord::Resolution* resolution =
-                                          nullptr);
+                                          nullptr,
+                                      table::TableHeap* heap = nullptr);
 
 }  // namespace ariesrh
 

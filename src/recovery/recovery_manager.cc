@@ -28,8 +28,13 @@ void ObservePass(Stats* stats, const char* name, uint64_t ns) {
 
 RecoveryManager::RecoveryManager(const Options& options, SimulatedDisk* disk,
                                  LogManager* log, BufferPool* pool,
-                                 Stats* stats)
-    : options_(options), disk_(disk), log_(log), pool_(pool), stats_(stats) {}
+                                 Stats* stats, table::TableHeap* heap)
+    : options_(options),
+      disk_(disk),
+      log_(log),
+      pool_(pool),
+      stats_(stats),
+      heap_(heap) {}
 
 Status RecoveryManager::TruncateTornTail(SimulatedDisk* disk) {
   while (disk->stable_end_lsn() >= kFirstLsn) {
@@ -115,7 +120,7 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover(
         fwd, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
                          ckpt_ptr, ckpt_end_lsn,
                          ForwardPassKind::kAnalysisCollectRedo,
-                         /*redo_budget=*/nullptr, resolution));
+                         /*redo_budget=*/nullptr, resolution, heap_));
     outcome.analysis_ns = obs::MonotonicNanos() - analysis_start;
     outcome.records_analyzed = fwd.records_scanned;
     ObservePass(stats_, "ariesrh_recovery_analysis_ns", outcome.analysis_ns);
@@ -126,8 +131,9 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover(
               fwd.redo_plan.size(), threads);
     const uint64_t redo_start = obs::MonotonicNanos();
     uint64_t applied = 0;
-    Status redo_status = PartitionedRedo(fwd.redo_plan, threads, pool_,
-                                         stats_, redo_budget_ptr, &applied);
+    Status redo_status =
+        PartitionedRedo(fwd.redo_plan, threads, pool_, stats_,
+                        redo_budget_ptr, &applied, heap_);
     outcome.redo_ns = obs::MonotonicNanos() - redo_start;
     outcome.records_redone = applied;
     ObservePass(stats_, "ariesrh_recovery_redo_ns", outcome.redo_ns);
@@ -141,7 +147,7 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover(
     ARIESRH_ASSIGN_OR_RETURN(
         fwd, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
                          ckpt_ptr, ckpt_end_lsn, ForwardPassKind::kMerged,
-                         redo_budget_ptr, resolution));
+                         redo_budget_ptr, resolution, heap_));
     outcome.analysis_ns = obs::MonotonicNanos() - start;
     outcome.merged_forward_pass = true;
     outcome.records_analyzed = fwd.records_scanned;
@@ -153,7 +159,7 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover(
         fwd,
         ForwardPass(options_.delegation_mode, log_, pool_, stats_, ckpt_ptr,
                     ckpt_end_lsn, ForwardPassKind::kAnalysisOnly,
-                    /*redo_budget=*/nullptr, resolution));
+                    /*redo_budget=*/nullptr, resolution, heap_));
     outcome.analysis_ns = obs::MonotonicNanos() - analysis_start;
     outcome.records_analyzed = fwd.records_scanned;
     ObservePass(stats_, "ariesrh_recovery_analysis_ns", outcome.analysis_ns);
@@ -162,7 +168,8 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover(
     const uint64_t redos_before = stats_->recovery_redos;
     ARIESRH_RETURN_IF_ERROR(
         ForwardPass(options_.delegation_mode, log_, pool_, stats_, ckpt_ptr,
-                    ckpt_end_lsn, ForwardPassKind::kRedoOnly, redo_budget_ptr)
+                    ckpt_end_lsn, ForwardPassKind::kRedoOnly, redo_budget_ptr,
+                    /*resolution=*/nullptr, heap_)
             .status());
     outcome.redo_ns = obs::MonotonicNanos() - redo_start;
     outcome.records_redone = stats_->recovery_redos - redos_before;
@@ -263,8 +270,9 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
       // record — parallelizing it would defeat its purpose, so it always
       // runs serial.
       outcome->clusters_swept = targets.empty() ? 0 : 1;
-      undo_status = FullScanUndo(targets, fwd.compensated, fwd.scan_end,
-                                 log_, pool_, stats_, &bc_heads, budget_ptr);
+      undo_status =
+          FullScanUndo(targets, fwd.compensated, fwd.scan_end, log_, pool_,
+                       stats_, &bc_heads, budget_ptr, heap_);
     } else {
       const std::vector<std::vector<ScopeUndoTarget>> groups =
           PartitionUndoClusters(targets);
@@ -272,7 +280,7 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
       if (threads <= 1 || groups.size() <= 1) {
         undo_status =
             ScopeSweepUndo(targets, fwd.compensated, fwd.scan_end, log_,
-                           pool_, stats_, &bc_heads, budget_ptr);
+                           pool_, stats_, &bc_heads, budget_ptr, heap_);
       } else {
         // Parallel undo: one sweep per independent cluster group. Each
         // responsible transaction lives in exactly one group (the partition
@@ -297,7 +305,7 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
               }
               return ScopeSweepUndo(groups[g], fwd.compensated, group_from,
                                     log_, pool_, stats_, &group_heads[g],
-                                    budget_ptr);
+                                    budget_ptr, heap_);
             });
         // Merge updated chain heads back (even on failure: the CLRs that
         // were written are durable work the END records must reflect).
@@ -318,8 +326,8 @@ Status RecoveryManager::UndoLosers(const ForwardPassResult& fwd,
       loser_heads[txn] = fwd.txns.at(txn).last_lsn;
     }
     outcome->clusters_swept = loser_heads.empty() ? 0 : 1;
-    undo_status =
-        ChainUndo(loser_heads, log_, pool_, stats_, &bc_heads, budget_ptr);
+    undo_status = ChainUndo(loser_heads, log_, pool_, stats_, &bc_heads,
+                            budget_ptr, heap_);
   }
 
   outcome->undo_ns = obs::MonotonicNanos() - undo_start;

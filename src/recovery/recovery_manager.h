@@ -19,6 +19,7 @@
 #include "recovery/analysis.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
+#include "table/table_heap.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -31,8 +32,12 @@ namespace ariesrh {
 /// Recover() once.
 class RecoveryManager {
  public:
+  /// `heap` (optional) is the shard's table heap; logical table records
+  /// replay into it and table undo compensates through it. Engines without
+  /// a table layer pass nullptr.
   RecoveryManager(const Options& options, SimulatedDisk* disk,
-                  LogManager* log, BufferPool* pool, Stats* stats);
+                  LogManager* log, BufferPool* pool, Stats* stats,
+                  table::TableHeap* heap = nullptr);
 
   /// What restart recovery did — enough for operators (the shell's
   /// `recover` command prints it) and for tests to assert equivalence
@@ -90,6 +95,7 @@ class RecoveryManager {
   LogManager* log_;
   BufferPool* pool_;
   Stats* stats_;
+  table::TableHeap* heap_;
 };
 
 }  // namespace ariesrh

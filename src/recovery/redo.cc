@@ -6,10 +6,21 @@
 namespace ariesrh {
 
 Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
-                         bool check_page_lsn, bool* applied) {
+                         bool check_page_lsn, bool* applied,
+                         table::TableHeap* heap) {
+  if (applied != nullptr) *applied = false;
+  if (IsTableWrite(rec.type) || rec.type == LogRecordType::kTableClr) {
+    if (heap == nullptr) {
+      return Status::IllegalState("table log record without a table heap");
+    }
+    // Logical replay is state-based: idempotence comes from replaying each
+    // key's records in LSN order, not from a page-LSN check.
+    ARIESRH_RETURN_IF_ERROR(heap->ApplyLogical(rec));
+    if (applied != nullptr) *applied = true;
+    return Status::OK();
+  }
   assert(rec.type == LogRecordType::kUpdate ||
          rec.type == LogRecordType::kClr);
-  if (applied != nullptr) *applied = false;
   const PageId page_id = PageOf(rec.object);
   return pool->WithPage(page_id, [&](Page* page) -> Lsn {
     if (check_page_lsn && page->page_lsn() >= rec.lsn) {
@@ -32,7 +43,29 @@ Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
 
 Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
                   const LogRecord& update_rec, TxnId responsible,
-                  std::unordered_map<TxnId, Lsn>* bc_heads) {
+                  std::unordered_map<TxnId, Lsn>* bc_heads,
+                  table::TableHeap* heap) {
+  if (IsTableWrite(update_rec.type)) {
+    if (heap == nullptr) {
+      return Status::IllegalState("table undo without a table heap");
+    }
+    auto table_head = bc_heads->find(responsible);
+    const Lsn table_prev =
+        table_head == bc_heads->end() ? kInvalidLsn : table_head->second;
+    // The compensating action: an insert is undone by removing the key,
+    // an update or delete by reinstating the before image.
+    const bool remove = update_rec.type == LogRecordType::kTableInsert;
+    LogRecord clr = LogRecord::MakeTableClr(
+        responsible, table_prev, update_rec.object, update_rec.key, remove,
+        update_rec.before_image,
+        /*compensated=*/update_rec.lsn, /*undo_next=*/update_rec.prev_lsn);
+    const Lsn clr_lsn = log->Append(clr);
+    (*bc_heads)[responsible] = clr_lsn;
+    clr.lsn = clr_lsn;
+    ARIESRH_RETURN_IF_ERROR(heap->ApplyLogical(clr));
+    ++stats->recovery_undos;
+    return Status::OK();
+  }
   assert(update_rec.type == LogRecordType::kUpdate);
   // The compensation carries the inverse action in its `after` field so it
   // can be (re)applied through the same path as an update: a Set is undone
@@ -58,7 +91,8 @@ Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
 
 Status PartitionedRedo(const std::vector<RedoItem>& plan, size_t threads,
                        BufferPool* pool, Stats* stats,
-                       RecoveryFaultBudget* redo_budget, uint64_t* applied) {
+                       RecoveryFaultBudget* redo_budget, uint64_t* applied,
+                       table::TableHeap* heap) {
   if (applied != nullptr) *applied = 0;
   if (plan.empty()) return Status::OK();
 
@@ -91,7 +125,7 @@ Status PartitionedRedo(const std::vector<RedoItem>& plan, size_t threads,
           }
           bool did = false;
           ARIESRH_RETURN_IF_ERROR(ApplyRecordToPage(
-              pool, plan[i].rec, /*check_page_lsn=*/true, &did));
+              pool, plan[i].rec, /*check_page_lsn=*/true, &did, heap));
           if (did) {
             ++stats->recovery_redos;
             ++bucket_applied;

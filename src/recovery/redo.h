@@ -9,6 +9,7 @@
 
 #include "recovery/parallel.h"
 #include "storage/buffer_pool.h"
+#include "table/table_heap.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -17,25 +18,33 @@
 
 namespace ariesrh {
 
-/// Applies an UPDATE or CLR record to its page.
+/// Applies an UPDATE or CLR record to its page, or a logical table record
+/// to the table heap.
 ///
-/// With `check_page_lsn` (the redo pass), the record is applied only if the
-/// page LSN is older than the record's LSN — ARIES "repeating history"
+/// With `check_page_lsn` (the redo pass), a page record is applied only if
+/// the page LSN is older than the record's LSN — ARIES "repeating history"
 /// idempotence; otherwise (normal processing) it is applied unconditionally.
 /// Either way the page LSN advances to the record's LSN on application and
 /// the page is marked dirty. The fetch + apply runs atomically under the
 /// pool latch, so concurrent recovery workers can share the pool.
-/// `applied` (optional) reports whether the page was actually modified.
+/// Table records replay state-based through `heap` (idempotent by per-key
+/// LSN order rather than page LSN); engines without a table heap pass
+/// nullptr and encountering a table record is then an error.
+/// `applied` (optional) reports whether state was actually modified.
 Status ApplyRecordToPage(BufferPool* pool, const LogRecord& rec,
-                         bool check_page_lsn, bool* applied = nullptr);
+                         bool check_page_lsn, bool* applied = nullptr,
+                         table::TableHeap* heap = nullptr);
 
 /// Undoes one update record on behalf of `responsible`: writes a CLR chained
 /// into `responsible`'s backward chain (tracked in `bc_heads`) and applies
-/// the compensation to the page. Used by normal-processing abort and by both
-/// recovery undo algorithms.
+/// the compensation to the page — or, for a logical table write, writes a
+/// TBL_CLR carrying the compensating action (remove for an insert, restore
+/// the before image otherwise) and applies it to `heap`. Used by
+/// normal-processing abort and by both recovery undo algorithms.
 Status UndoUpdate(LogManager* log, BufferPool* pool, Stats* stats,
                   const LogRecord& update_rec, TxnId responsible,
-                  std::unordered_map<TxnId, Lsn>* bc_heads);
+                  std::unordered_map<TxnId, Lsn>* bc_heads,
+                  table::TableHeap* heap = nullptr);
 
 /// One unit of redo work discovered by the forward scan: the parsed record
 /// and the page it touches. The scan emits items in increasing LSN order,
@@ -54,11 +63,15 @@ struct RedoItem {
 /// and the page-LSN check makes application idempotent — so per-page order
 /// is the only order that matters. `redo_budget` (optional, test-only)
 /// injects a crash after that many applications. Returns the number of
-/// records actually applied through `applied` (optional).
+/// records actually applied through `applied` (optional). Table records are
+/// bucketed by their rid's redo bucket (RedoBucketOf) instead of a physical
+/// page, which keeps every record of one key in one work unit — the order
+/// guarantee logical replay needs.
 Status PartitionedRedo(const std::vector<RedoItem>& plan, size_t threads,
                        BufferPool* pool, Stats* stats,
                        RecoveryFaultBudget* redo_budget = nullptr,
-                       uint64_t* applied = nullptr);
+                       uint64_t* applied = nullptr,
+                       table::TableHeap* heap = nullptr);
 
 }  // namespace ariesrh
 

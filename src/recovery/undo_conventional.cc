@@ -10,7 +10,7 @@ namespace ariesrh {
 Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
                  LogManager* log, BufferPool* pool, Stats* stats,
                  std::unordered_map<TxnId, Lsn>* bc_heads,
-                 RecoveryFaultBudget* undo_budget) {
+                 RecoveryFaultBudget* undo_budget, table::TableHeap* heap) {
   // Outstanding (next LSN to undo, owner); always process the maximum LSN
   // next so log accesses are monotonically decreasing.
   using Entry = std::pair<Lsn, TxnId>;
@@ -28,15 +28,19 @@ Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
     Lsn next = kInvalidLsn;
     switch (rec.type) {
       case LogRecordType::kUpdate:
+      case LogRecordType::kTableInsert:
+      case LogRecordType::kTableUpdate:
+      case LogRecordType::kTableDelete:
         if (undo_budget != nullptr && !undo_budget->Spend()) {
           ARIESRH_RETURN_IF_ERROR(log->FlushAll());
           return Status::IOError("injected crash during recovery undo");
         }
         ARIESRH_RETURN_IF_ERROR(
-            UndoUpdate(log, pool, stats, rec, txn, bc_heads));
+            UndoUpdate(log, pool, stats, rec, txn, bc_heads, heap));
         next = rec.prev_lsn;
         break;
       case LogRecordType::kClr:
+      case LogRecordType::kTableClr:
         // Everything between this CLR and its undo-next is already undone.
         next = rec.undo_next_lsn;
         break;

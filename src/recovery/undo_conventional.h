@@ -14,6 +14,7 @@
 
 #include "recovery/parallel.h"
 #include "storage/buffer_pool.h"
+#include "table/table_heap.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -27,10 +28,13 @@ namespace ariesrh {
 /// (tor/tee) belonging to the chain's owner.
 /// `undo_budget` (optional, test-only) injects a crash after that many
 /// undos, as in ScopeSweepUndo.
+/// `heap` (optional) receives the compensating actions for logical table
+/// records found on the chains.
 Status ChainUndo(const std::unordered_map<TxnId, Lsn>& loser_heads,
                  LogManager* log, BufferPool* pool, Stats* stats,
                  std::unordered_map<TxnId, Lsn>* bc_heads,
-                 RecoveryFaultBudget* undo_budget = nullptr);
+                 RecoveryFaultBudget* undo_budget = nullptr,
+                 table::TableHeap* heap = nullptr);
 
 }  // namespace ariesrh
 

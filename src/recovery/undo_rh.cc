@@ -39,7 +39,8 @@ Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
                       Lsn sweep_from, LogManager* log, BufferPool* pool,
                       Stats* stats,
                       std::unordered_map<TxnId, Lsn>* bc_heads,
-                      RecoveryFaultBudget* undo_budget) {
+                      RecoveryFaultBudget* undo_budget,
+                      table::TableHeap* heap) {
   if (targets.empty()) return Status::OK();
 
   // LsrScopes: constructed once, depleted in reverse scope order — a
@@ -84,15 +85,16 @@ Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
     // not already been compensated.
     ++stats->recovery_backward_examined;
     ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(k));
-    if (rec.type == LogRecordType::kUpdate && !compensated.contains(rec.lsn)) {
+    if ((rec.type == LogRecordType::kUpdate || IsTableWrite(rec.type)) &&
+        !compensated.contains(rec.lsn)) {
       auto [begin, end] = cluster.equal_range(rec.txn_id);
       for (auto it = begin; it != end; ++it) {
         const ScopeUndoTarget& target = it->second;
         if (target.object == rec.object &&
             target.scope.Covers(rec.txn_id, rec.lsn)) {
           ARIESRH_RETURN_IF_ERROR(SpendUndoBudget(undo_budget, log));
-          ARIESRH_RETURN_IF_ERROR(UndoUpdate(log, pool, stats, rec,
-                                             target.responsible, bc_heads));
+          ARIESRH_RETURN_IF_ERROR(UndoUpdate(
+              log, pool, stats, rec, target.responsible, bc_heads, heap));
           break;  // an update is covered by at most one scope
         }
       }
@@ -137,7 +139,8 @@ Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
                     const std::unordered_set<Lsn>& compensated,
                     Lsn sweep_from, LogManager* log, BufferPool* pool,
                     Stats* stats, std::unordered_map<TxnId, Lsn>* bc_heads,
-                    RecoveryFaultBudget* undo_budget) {
+                    RecoveryFaultBudget* undo_budget,
+                    table::TableHeap* heap) {
   if (targets.empty()) return Status::OK();
 
   std::unordered_multimap<TxnId, const ScopeUndoTarget*> by_invoker;
@@ -151,7 +154,8 @@ Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
   for (Lsn k = sweep_from; k >= stop; --k) {
     ++stats->recovery_backward_examined;
     ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(k));
-    if (rec.type != LogRecordType::kUpdate || compensated.contains(rec.lsn)) {
+    if ((rec.type != LogRecordType::kUpdate && !IsTableWrite(rec.type)) ||
+        compensated.contains(rec.lsn)) {
       continue;
     }
     auto [begin, end] = by_invoker.equal_range(rec.txn_id);
@@ -160,8 +164,9 @@ Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
       if (target.object == rec.object &&
           target.scope.Covers(rec.txn_id, rec.lsn)) {
         ARIESRH_RETURN_IF_ERROR(SpendUndoBudget(undo_budget, log));
-        ARIESRH_RETURN_IF_ERROR(
-            UndoUpdate(log, pool, stats, rec, target.responsible, bc_heads));
+        ARIESRH_RETURN_IF_ERROR(UndoUpdate(log, pool, stats, rec,
+                                           target.responsible, bc_heads,
+                                           heap));
         break;
       }
     }

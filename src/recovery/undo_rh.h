@@ -20,6 +20,7 @@
 
 #include "recovery/parallel.h"
 #include "storage/buffer_pool.h"
+#include "table/table_heap.h"
 #include "txn/scope.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -51,12 +52,16 @@ struct ScopeUndoTarget {
 /// IOError, modeling a failure in the middle of the undo pass. The budget
 /// is shared (and thread-safe), so concurrent cluster sweeps draw from one
 /// global crash point.
+///
+/// `heap` (optional) is the table heap logical table writes compensate
+/// against; required only when the swept scopes can cover table records.
 Status ScopeSweepUndo(const std::vector<ScopeUndoTarget>& targets,
                       const std::unordered_set<Lsn>& compensated,
                       Lsn sweep_from, LogManager* log, BufferPool* pool,
                       Stats* stats,
                       std::unordered_map<TxnId, Lsn>* bc_heads,
-                      RecoveryFaultBudget* undo_budget = nullptr);
+                      RecoveryFaultBudget* undo_budget = nullptr,
+                      table::TableHeap* heap = nullptr);
 
 /// Ablation baseline for the backward pass (Section 3.6.2's rejected
 /// alternative): scan EVERY record from `sweep_from` down to the oldest
@@ -67,7 +72,8 @@ Status FullScanUndo(const std::vector<ScopeUndoTarget>& targets,
                     const std::unordered_set<Lsn>& compensated,
                     Lsn sweep_from, LogManager* log, BufferPool* pool,
                     Stats* stats, std::unordered_map<TxnId, Lsn>* bc_heads,
-                    RecoveryFaultBudget* undo_budget = nullptr);
+                    RecoveryFaultBudget* undo_budget = nullptr,
+                    table::TableHeap* heap = nullptr);
 
 /// Partitions loser scopes into groups that can be undone concurrently,
 /// one ScopeSweepUndo per group. Two scopes land in the same group when any

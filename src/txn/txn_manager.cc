@@ -16,14 +16,18 @@
 namespace ariesrh {
 
 TxnManager::TxnManager(const Options& options, LogManager* log,
-                       BufferPool* pool, LockManager* locks, Stats* stats)
+                       BufferPool* pool, LockManager* locks, Stats* stats,
+                       table::TableHeap* heap)
     : options_(options),
       log_(log),
       pool_(pool),
       locks_(locks),
-      stats_(stats) {
+      stats_(stats),
+      heap_(heap) {
   if (obs::MetricsRegistry* registry = stats->registry()) {
     commit_ns_ = registry->GetHistogram("ariesrh_txn_commit_ns");
+    table_scan_len_ = registry->GetHistogram(
+        "ariesrh_table_scan_len", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
   }
 }
 
@@ -178,6 +182,154 @@ Status TxnManager::DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind,
     tx->ob_list.try_emplace(ob);
   }
   return Status::OK();
+}
+
+Status TxnManager::CheckTableOp(const std::string& key) const {
+  if (heap_ == nullptr) {
+    return Status::IllegalState("this engine has no table heap attached");
+  }
+  // The rewriting baselines physically splice backward chains record by
+  // record; they know nothing of the logical TBL_* types, so accepting a
+  // table write under them would plant records their recovery corrupts.
+  if (options_.delegation_mode != DelegationMode::kRH &&
+      options_.delegation_mode != DelegationMode::kDisabled) {
+    return Status::NotSupported(
+        "table operations require delegation_mode rh or disabled; the "
+        "rewriting baselines cannot interpret logical table records");
+  }
+  if (key.empty()) {
+    return Status::InvalidArgument("table key must not be empty");
+  }
+  if (key.size() > table::kMaxKeyBytes) {
+    return Status::InvalidArgument(
+        "table key exceeds " + std::to_string(table::kMaxKeyBytes) +
+        " bytes");
+  }
+  return Status::OK();
+}
+
+Status TxnManager::DoTableWrite(
+    TxnId txn, ObjectId rid,
+    const std::function<Result<Lsn>(Transaction* tx,
+                                    const std::optional<std::string>&,
+                                    table::RecordMutation*)>& fn,
+    const std::string& key) {
+  ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
+  ARIESRH_RETURN_IF_ERROR(
+      locks_->Acquire(txn, TableLockIdOf(rid), LockMode::kExclusive));
+
+  // Same shape as DoUpdate: the latch spans read-chain-head .. adjust-scopes
+  // so a delegation involving this transaction cannot splice the chain or
+  // move scopes mid-write. The heap latch (inside WithRecord) plays the
+  // pool-latch role: before-image read, log append, and application are one
+  // critical section.
+  std::lock_guard latch(tx->latch);
+  Lsn lsn = kInvalidLsn;
+  ARIESRH_ASSIGN_OR_RETURN(
+      lsn, heap_->WithRecord(
+               key, [&](const std::optional<std::string>& current,
+                        table::RecordMutation* mut) -> Result<Lsn> {
+                 return fn(tx, current, mut);
+               }));
+  tx->last_lsn = lsn;
+
+  // ADJUST SCOPES, keyed by record identity: every table write is Set-like
+  // (its undo restores a physical before image), so coverage must never be
+  // split across responsibilities.
+  if (TrackScopes()) {
+    ObjectEntry& entry = tx->ob_list[rid];
+    entry.ExtendOrOpen(txn, lsn);
+    entry.has_set_update = true;
+  } else {
+    tx->ob_list.try_emplace(rid);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> TxnManager::TableGet(TxnId txn,
+                                                        const std::string& key,
+                                                        bool for_update) {
+  ARIESRH_RETURN_IF_ERROR(CheckTableOp(key));
+  ARIESRH_RETURN_IF_ERROR(FindActive(txn).status());
+  const ObjectId rid = table::TableRid(key);
+  ARIESRH_RETURN_IF_ERROR(locks_->Acquire(
+      txn, TableLockIdOf(rid),
+      for_update ? LockMode::kExclusive : LockMode::kShared));
+  ++stats_->table_ops;
+  ++stats_->table_gets;
+  return heap_->Read(key);
+}
+
+Status TxnManager::TablePut(TxnId txn, const std::string& key,
+                            const std::string& value) {
+  ARIESRH_RETURN_IF_ERROR(CheckTableOp(key));
+  if (value.size() > options_.table_max_value_bytes) {
+    return Status::InvalidArgument(
+        "table value exceeds table_max_value_bytes (" +
+        std::to_string(options_.table_max_value_bytes) + ")");
+  }
+  const ObjectId rid = table::TableRid(key);
+  ARIESRH_RETURN_IF_ERROR(DoTableWrite(
+      txn, rid,
+      [&](Transaction* tx, const std::optional<std::string>& current,
+          table::RecordMutation* mut) -> Result<Lsn> {
+        mut->op = table::RecordOp::kUpsert;
+        mut->value = value;
+        return log_->Append(
+            current.has_value()
+                ? LogRecord::MakeTableUpdate(txn, tx->last_lsn, rid, key,
+                                             *current, value)
+                : LogRecord::MakeTableInsert(txn, tx->last_lsn, rid, key,
+                                             value));
+      },
+      key));
+  ++stats_->table_ops;
+  ++stats_->table_puts;
+  return Status::OK();
+}
+
+Status TxnManager::TableDelete(TxnId txn, const std::string& key) {
+  ARIESRH_RETURN_IF_ERROR(CheckTableOp(key));
+  const ObjectId rid = table::TableRid(key);
+  ARIESRH_RETURN_IF_ERROR(DoTableWrite(
+      txn, rid,
+      [&](Transaction* tx, const std::optional<std::string>& current,
+          table::RecordMutation* mut) -> Result<Lsn> {
+        if (!current.has_value()) {
+          return Status::NotFound("no record under key \"" + key + "\"");
+        }
+        mut->op = table::RecordOp::kRemove;
+        return log_->Append(LogRecord::MakeTableDelete(txn, tx->last_lsn, rid,
+                                                       key, *current));
+      },
+      key));
+  ++stats_->table_ops;
+  ++stats_->table_deletes;
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> TxnManager::TableScan(
+    TxnId txn, const std::string& start_key, size_t limit) {
+  if (heap_ == nullptr) {
+    return Status::IllegalState("this engine has no table heap attached");
+  }
+  ARIESRH_RETURN_IF_ERROR(FindActive(txn).status());
+  // The heap snapshot is atomic (one latch acquisition); each record is
+  // then stabilized under a shared lock and re-read, so the result reflects
+  // only lock-protected state. A key deleted between snapshot and lock
+  // simply drops out.
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [key, value] : heap_->Scan(start_key, limit)) {
+    ARIESRH_RETURN_IF_ERROR(locks_->Acquire(
+        txn, TableLockIdOf(table::TableRid(key)), LockMode::kShared));
+    if (std::optional<std::string> current = heap_->Read(key)) {
+      out.emplace_back(key, std::move(*current));
+    }
+  }
+  ++stats_->table_ops;
+  ++stats_->table_scans;
+  if (table_scan_len_ != nullptr) table_scan_len_->Observe(out.size());
+  return out;
 }
 
 Status TxnManager::CheckDelegationParties(const Transaction& tor,
@@ -455,7 +607,8 @@ Status TxnManager::RollbackTo(TxnId txn, Lsn savepoint) {
     }
     ARIESRH_RETURN_IF_ERROR(ScopeSweepUndo(targets, /*compensated=*/{},
                                            sweep_from, log_, pool_, stats_,
-                                           &bc_heads));
+                                           &bc_heads, /*undo_budget=*/nullptr,
+                                           heap_));
     // ...and the stored scopes shrink to what is still live.
     for (auto entry_it = tx->ob_list.begin();
          entry_it != tx->ob_list.end();) {
@@ -477,11 +630,15 @@ Status TxnManager::RollbackTo(TxnId txn, Lsn savepoint) {
       ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(cur));
       switch (rec.type) {
         case LogRecordType::kUpdate:
+        case LogRecordType::kTableInsert:
+        case LogRecordType::kTableUpdate:
+        case LogRecordType::kTableDelete:
           ARIESRH_RETURN_IF_ERROR(
-              UndoUpdate(log_, pool_, stats_, rec, tx->id, &bc_heads));
+              UndoUpdate(log_, pool_, stats_, rec, tx->id, &bc_heads, heap_));
           cur = rec.prev_lsn;
           break;
         case LogRecordType::kClr:
+        case LogRecordType::kTableClr:
           cur = rec.undo_next_lsn;
           break;
         case LogRecordType::kDelegate:
@@ -773,13 +930,14 @@ Status TxnManager::RollBack(Transaction* tx) {
     }
     ARIESRH_RETURN_IF_ERROR(ScopeSweepUndo(
         targets, /*compensated=*/{}, sweep_from, log_, pool_, stats_,
-        &bc_heads));
+        &bc_heads, /*undo_budget=*/nullptr, heap_));
   } else {
     // Conventional ARIES rollback: walk the backward chain. (Eager-mode
     // chains are physically correct, so this also serves kEager.)
     std::unordered_map<TxnId, Lsn> loser_heads = {{tx->id, tx->last_lsn}};
-    ARIESRH_RETURN_IF_ERROR(
-        ChainUndo(loser_heads, log_, pool_, stats_, &bc_heads));
+    ARIESRH_RETURN_IF_ERROR(ChainUndo(loser_heads, log_, pool_, stats_,
+                                      &bc_heads, /*undo_budget=*/nullptr,
+                                      heap_));
   }
   tx->last_lsn = bc_heads[tx->id];
   return Status::OK();

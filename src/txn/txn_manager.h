@@ -41,16 +41,21 @@
 #define ARIESRH_TXN_TXN_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/options.h"
 #include "lock/lock_manager.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
+#include "table/table_heap.h"
 #include "txn/delegation_spec.h"
 #include "txn/dependency_graph.h"
 #include "txn/transaction.h"
@@ -65,8 +70,11 @@ namespace ariesrh {
 /// concurrency contract.
 class TxnManager {
  public:
+  /// `heap` (optional) is the shard's table heap; nullptr disables the
+  /// Table* entry points (they then return IllegalState).
   TxnManager(const Options& options, LogManager* log, BufferPool* pool,
-             LockManager* locks, Stats* stats);
+             LockManager* locks, Stats* stats,
+             table::TableHeap* heap = nullptr);
 
   /// Starts a transaction (ASSET initiate+begin): writes a BEGIN record.
   Result<TxnId> Begin();
@@ -87,6 +95,37 @@ class TxnManager {
   /// Increments an object (increment lock; commutes with other increments,
   /// so several transactions may hold scopes on one object concurrently).
   Status Add(TxnId txn, ObjectId ob, int64_t delta);
+
+  // --- Typed key-value table layer (docs/TABLE.md) ---
+  //
+  // Each record's key hashes to a stable rid; the rid is an ObjectId, so
+  // scopes, delegation, and (in record mode) locks key by it directly.
+  // Logging is logical — TBL_* records carry the key and before/after
+  // images — and Options::table_record_locking picks the lock granularity
+  // (rid vs the key's bucket chain). kRH and kDisabled modes only: the
+  // rewriting baselines physically splice chains and know nothing of the
+  // logical record types.
+
+  /// Reads the record under a shared lock (exclusive when `for_update` —
+  /// the read-modify-write idiom, which must not upgrade mid-flight).
+  /// nullopt = no such key. kBusy on lock conflict.
+  Result<std::optional<std::string>> TableGet(TxnId txn,
+                                              const std::string& key,
+                                              bool for_update = false);
+
+  /// Inserts or overwrites the record (exclusive lock): logs TBL_INSERT or
+  /// TBL_UPDATE (chosen from the key's current state) and applies it.
+  Status TablePut(TxnId txn, const std::string& key, const std::string& value);
+
+  /// Deletes the record (exclusive lock): logs TBL_DELETE carrying the
+  /// before image. NotFound if the key does not exist.
+  Status TableDelete(TxnId txn, const std::string& key);
+
+  /// Ordered scan: up to `limit` (0 = unbounded) pairs with key >=
+  /// start_key, each stabilized under a shared lock before it is returned.
+  /// kBusy on any lock conflict (no partial result).
+  Result<std::vector<std::pair<std::string, std::string>>> TableScan(
+      TxnId txn, const std::string& start_key, size_t limit);
 
   /// delegate(t1, t2, spec): the unified delegation entry point — transfers
   /// responsibility per the spec's granularity (all objects, an object
@@ -265,6 +304,23 @@ class TxnManager {
   Result<Transaction*> FindPrepared(TxnId txn);
   Status DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind, LockMode lock_mode,
                   int64_t value_or_delta);
+  /// Preconditions shared by every table entry point: a heap is attached,
+  /// the delegation mode supports logical records, the key is in bounds.
+  Status CheckTableOp(const std::string& key) const;
+  /// The object a table operation locks: the rid itself in record mode,
+  /// the key's bucket chain in page mode.
+  ObjectId TableLockIdOf(ObjectId rid) const {
+    return options_.table_record_locking ? rid : table::PageLockIdOf(rid);
+  }
+  /// The write path shared by TablePut and TableDelete: lock, run the heap
+  /// mutation (`fn` appends the log record), splice the chain, adjust
+  /// scopes.
+  Status DoTableWrite(
+      TxnId txn, ObjectId rid,
+      const std::function<Result<Lsn>(Transaction* tx,
+                                      const std::optional<std::string>&,
+                                      table::RecordMutation*)>& fn,
+      const std::string& key);
   Status RollBack(Transaction* tx);
   /// The delegation preconditions that must hold *under both latches*:
   /// both parties still active and neither mid-commit/mid-abort.
@@ -276,7 +332,9 @@ class TxnManager {
   BufferPool* pool_;
   LockManager* locks_;
   Stats* stats_;
+  table::TableHeap* heap_;
   obs::Histogram* commit_ns_ = nullptr;  ///< null when Stats is unattached
+  obs::Histogram* table_scan_len_ = nullptr;
 
   /// Guards deps_ (the graph itself is not thread-safe). Leaf: never held
   /// across log, pool, or latch operations.

@@ -75,7 +75,14 @@ struct Observability;
   X(delegation, scopes_transferred, "scopes_transferred")               \
   /* --- workload scheduler --- */                                      \
   X(workload, sched_busy_events, "busy_events")                         \
-  X(workload, sched_restarts, "restarts")
+  X(workload, sched_restarts, "restarts")                               \
+  /* --- table layer --- */                                             \
+  X(table, table_ops, "ops")            /* all table operations */      \
+  X(table, table_puts, "puts")                                          \
+  X(table, table_gets, "gets")                                          \
+  X(table, table_deletes, "deletes")                                    \
+  X(table, table_scans, "scans")                                        \
+  X(table, table_relocations, "relocations") /* record moved pages */
 
 /// One Stats field: a relaxed-atomic counter cell that behaves like a plain
 /// uint64_t (implicit conversion, ++, +=) so every existing call site

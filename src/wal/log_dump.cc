@@ -46,4 +46,41 @@ Result<std::vector<ObjectHistoryEntry>> ObjectHistory(const LogManager& log,
   return entries;
 }
 
+Result<std::vector<TableHistoryEntry>> TableKeyHistory(
+    const LogManager& log, const std::string& key) {
+  std::vector<TableHistoryEntry> entries;
+  std::vector<Lsn> compensated;
+  for (Lsn lsn = kFirstLsn; lsn <= log.end_lsn(); ++lsn) {
+    Result<LogRecord> rec = log.Read(lsn);
+    if (rec.status().IsNotFound()) continue;  // archived prefix
+    ARIESRH_RETURN_IF_ERROR(rec.status());
+    if (rec->key != key) continue;
+    switch (rec->type) {
+      case LogRecordType::kTableInsert:
+      case LogRecordType::kTableUpdate:
+      case LogRecordType::kTableDelete:
+        entries.push_back(TableHistoryEntry{lsn, rec->txn_id, rec->type,
+                                            rec->before_image,
+                                            rec->after_image, false});
+        break;
+      case LogRecordType::kTableClr:
+        // The CLR's action: remove, or reinstate the restore image (stored
+        // in after_image).
+        entries.push_back(TableHistoryEntry{
+            lsn, rec->txn_id, rec->type, std::string(),
+            rec->table_remove ? std::string() : rec->after_image, false});
+        compensated.push_back(rec->compensated_lsn);
+        break;
+      default:
+        break;
+    }
+  }
+  for (TableHistoryEntry& entry : entries) {
+    for (Lsn undone : compensated) {
+      if (entry.lsn == undone) entry.compensated = true;
+    }
+  }
+  return entries;
+}
+
 }  // namespace ariesrh

@@ -36,6 +36,22 @@ struct ObjectHistoryEntry {
 Result<std::vector<ObjectHistoryEntry>> ObjectHistory(const LogManager& log,
                                                       ObjectId ob);
 
+/// One logical table record touching a key, as found in the log.
+struct TableHistoryEntry {
+  Lsn lsn = kInvalidLsn;
+  TxnId writer = kInvalidTxn;  ///< txn_id in the record (invoker under RH)
+  LogRecordType type = LogRecordType::kTableInsert;
+  std::string before;  ///< before image (empty for TBL_INSERT)
+  std::string after;   ///< after image (empty for TBL_DELETE / removing CLR)
+  bool compensated = false;  ///< a TBL_CLR undoing this record exists
+};
+
+/// Scans the log and returns every logical table record (including CLRs)
+/// touching `key`, oldest first. Matches by key, not rid, so hash-colliding
+/// keys never mix. A diagnostic full sweep — not a hot path.
+Result<std::vector<TableHistoryEntry>> TableKeyHistory(const LogManager& log,
+                                                       const std::string& key);
+
 }  // namespace ariesrh
 
 #endif  // ARIESRH_WAL_LOG_DUMP_H_

@@ -22,6 +22,17 @@ Status GetLsn(Decoder* dec, Lsn* lsn) {
   return Status::OK();
 }
 
+// Renders a table value for traces: short printable values verbatim in
+// quotes, anything else as its byte length.
+std::string ImageDigest(const std::string& image) {
+  bool printable = image.size() <= 16;
+  for (char c : image) {
+    if (c < 0x20 || c > 0x7e) printable = false;
+  }
+  if (printable) return "\"" + image + "\"";
+  return "<" + std::to_string(image.size()) + "B>";
+}
+
 }  // namespace
 
 const char* LogRecordTypeName(LogRecordType type) {
@@ -46,6 +57,14 @@ const char* LogRecordTypeName(LogRecordType type) {
       return "CKPT_END";
     case LogRecordType::kPrepare:
       return "PREPARE";
+    case LogRecordType::kTableInsert:
+      return "TBL_INSERT";
+    case LogRecordType::kTableUpdate:
+      return "TBL_UPDATE";
+    case LogRecordType::kTableDelete:
+      return "TBL_DELETE";
+    case LogRecordType::kTableClr:
+      return "TBL_CLR";
   }
   return "UNKNOWN";
 }
@@ -92,6 +111,22 @@ std::string LogRecord::Serialize() const {
     case LogRecordType::kCkptEnd:
       PutLengthPrefixed(&out, ckpt_payload);
       break;
+    case LogRecordType::kTableInsert:
+    case LogRecordType::kTableUpdate:
+    case LogRecordType::kTableDelete:
+      PutVarint64(&out, object);
+      PutLengthPrefixed(&out, key);
+      PutLengthPrefixed(&out, before_image);
+      PutLengthPrefixed(&out, after_image);
+      break;
+    case LogRecordType::kTableClr:
+      PutVarint64(&out, object);
+      PutLengthPrefixed(&out, key);
+      PutFixed8(&out, table_remove ? 1 : 0);
+      PutLengthPrefixed(&out, after_image);
+      PutLsn(&out, compensated_lsn);
+      PutLsn(&out, undo_next_lsn);
+      break;
     default:
       break;  // BEGIN/COMMIT/ABORT/END/CKPT_BEGIN carry no extra payload
   }
@@ -117,7 +152,7 @@ Result<LogRecord> LogRecord::Deserialize(const std::string& image) {
   uint8_t type_byte = 0;
   ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&type_byte));
   if (type_byte < static_cast<uint8_t>(LogRecordType::kBegin) ||
-      type_byte > static_cast<uint8_t>(LogRecordType::kPrepare)) {
+      type_byte > static_cast<uint8_t>(LogRecordType::kTableClr)) {
     return Status::Corruption("unknown log record type");
   }
   rec.type = static_cast<LogRecordType>(type_byte);
@@ -182,6 +217,25 @@ Result<LogRecord> LogRecord::Deserialize(const std::string& image) {
     case LogRecordType::kCkptEnd:
       ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.ckpt_payload));
       break;
+    case LogRecordType::kTableInsert:
+    case LogRecordType::kTableUpdate:
+    case LogRecordType::kTableDelete:
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.object));
+      ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.key));
+      ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.before_image));
+      ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.after_image));
+      break;
+    case LogRecordType::kTableClr: {
+      ARIESRH_RETURN_IF_ERROR(dec.GetVarint64(&rec.object));
+      ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.key));
+      uint8_t remove_byte = 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetFixed8(&remove_byte));
+      rec.table_remove = remove_byte != 0;
+      ARIESRH_RETURN_IF_ERROR(dec.GetLengthPrefixed(&rec.after_image));
+      ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &rec.compensated_lsn));
+      ARIESRH_RETURN_IF_ERROR(GetLsn(&dec, &rec.undo_next_lsn));
+      break;
+    }
     default:
       break;
   }
@@ -212,6 +266,27 @@ std::string LogRecord::ToString() const {
     }
     case LogRecordType::kPrepare:
       os << " csn" << csn;
+      break;
+    case LogRecordType::kTableInsert:
+      os << " rid" << object << " " << ImageDigest(key) << " -> "
+         << ImageDigest(after_image);
+      break;
+    case LogRecordType::kTableUpdate:
+      os << " rid" << object << " " << ImageDigest(key) << " "
+         << ImageDigest(before_image) << " -> " << ImageDigest(after_image);
+      break;
+    case LogRecordType::kTableDelete:
+      os << " rid" << object << " " << ImageDigest(key) << " "
+         << ImageDigest(before_image) << " -> gone";
+      break;
+    case LogRecordType::kTableClr:
+      os << " rid" << object << " " << ImageDigest(key) << " undo-of "
+         << compensated_lsn << " ";
+      if (table_remove) {
+        os << "remove";
+      } else {
+        os << "restore " << ImageDigest(after_image);
+      }
       break;
     default:
       break;
@@ -309,6 +384,61 @@ LogRecord LogRecord::MakePrepare(TxnId txn, Lsn prev, uint64_t csn) {
   rec.txn_id = txn;
   rec.prev_lsn = prev;
   rec.csn = csn;
+  return rec;
+}
+
+LogRecord LogRecord::MakeTableInsert(TxnId txn, Lsn prev, ObjectId rid,
+                                     std::string key, std::string value) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTableInsert;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  rec.object = rid;
+  rec.key = std::move(key);
+  rec.after_image = std::move(value);
+  return rec;
+}
+
+LogRecord LogRecord::MakeTableUpdate(TxnId txn, Lsn prev, ObjectId rid,
+                                     std::string key, std::string before,
+                                     std::string after) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTableUpdate;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  rec.object = rid;
+  rec.key = std::move(key);
+  rec.before_image = std::move(before);
+  rec.after_image = std::move(after);
+  return rec;
+}
+
+LogRecord LogRecord::MakeTableDelete(TxnId txn, Lsn prev, ObjectId rid,
+                                     std::string key, std::string before) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTableDelete;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  rec.object = rid;
+  rec.key = std::move(key);
+  rec.before_image = std::move(before);
+  return rec;
+}
+
+LogRecord LogRecord::MakeTableClr(TxnId txn, Lsn prev, ObjectId rid,
+                                  std::string key, bool remove,
+                                  std::string restore, Lsn compensated,
+                                  Lsn undo_next) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTableClr;
+  rec.txn_id = txn;
+  rec.prev_lsn = prev;
+  rec.object = rid;
+  rec.key = std::move(key);
+  rec.table_remove = remove;
+  rec.after_image = std::move(restore);
+  rec.compensated_lsn = compensated;
+  rec.undo_next_lsn = undo_next;
   return rec;
 }
 

@@ -37,7 +37,25 @@ enum class LogRecordType : uint8_t {
   /// decision log records COMMIT for the carried csn. In-doubt at restart
   /// until resolved from the coordinator log; presumed abort without it.
   kPrepare = 10,
+  /// Logical table records (src/table/): each carries the record key plus
+  /// before/after images, and `object` holds the key's stable rid so scopes,
+  /// delegation, and loser clustering are keyed by record identity. Redo is
+  /// state-based (upsert the after image / remove the key) rather than a
+  /// physical page edit, so replay is idempotent in per-key LSN order.
+  kTableInsert = 11,  ///< after_image = inserted value
+  kTableUpdate = 12,  ///< before_image -> after_image
+  kTableDelete = 13,  ///< before_image = removed value
+  /// Table compensation record: table_remove ? remove(key)
+  /// : upsert(key, after_image). Chain pointers as in kClr.
+  kTableClr = 14,
 };
+
+/// True for the three forward table write types (not the table CLR).
+inline bool IsTableWrite(LogRecordType type) {
+  return type == LogRecordType::kTableInsert ||
+         type == LogRecordType::kTableUpdate ||
+         type == LogRecordType::kTableDelete;
+}
 
 /// How an update mutates its object cell.
 enum class UpdateKind : uint8_t {
@@ -93,6 +111,14 @@ struct LogRecord {
   // --- CKPT_END only ---
   std::string ckpt_payload;  ///< serialized table snapshot (see checkpoint.h)
 
+  // --- table records (kTableInsert/kTableUpdate/kTableDelete/kTableClr) ---
+  std::string key;           ///< record key; `object` carries its rid
+  std::string before_image;  ///< value before the write (empty for insert)
+  std::string after_image;   ///< value after the write (empty for delete)
+  /// kTableClr only: the compensating action removes the key instead of
+  /// reinstating after_image (i.e. this CLR undoes an insert).
+  bool table_remove = false;
+
   /// Serializes to a stable byte image with a trailing masked CRC-32C.
   std::string Serialize() const;
 
@@ -119,6 +145,17 @@ struct LogRecord {
                                      Lsn tee_bc, ObjectId ob, Lsn first,
                                      Lsn last);
   static LogRecord MakePrepare(TxnId txn, Lsn prev, uint64_t csn);
+  static LogRecord MakeTableInsert(TxnId txn, Lsn prev, ObjectId rid,
+                                   std::string key, std::string value);
+  static LogRecord MakeTableUpdate(TxnId txn, Lsn prev, ObjectId rid,
+                                   std::string key, std::string before,
+                                   std::string after);
+  static LogRecord MakeTableDelete(TxnId txn, Lsn prev, ObjectId rid,
+                                   std::string key, std::string before);
+  static LogRecord MakeTableClr(TxnId txn, Lsn prev, ObjectId rid,
+                                std::string key, bool remove,
+                                std::string restore, Lsn compensated,
+                                Lsn undo_next);
 };
 
 }  // namespace ariesrh

@@ -98,8 +98,9 @@ void StepScheduler::WorkerLoop(size_t worker_index) {
 Status StepScheduler::StepProgram(ProgramState* state) {
   if (state->next_step >= state->program.steps.size()) {
     // Program body finished: commit unless the body already resolved it.
-    const Transaction* tx = db_->txn_manager()->Find(state->txn);
-    if (tx != nullptr && tx->state == TxnState::kActive) {
+    // IsActive, not shard 0's Find: a sharded transaction may be enlisted
+    // anywhere (or nowhere yet) and must still be committed here.
+    if (db_->IsActive(state->txn)) {
       const auto start = std::chrono::steady_clock::now();
       Status status = db_->Commit(state->txn);
       if (status.IsBusy()) {
@@ -141,8 +142,7 @@ Status StepScheduler::StepProgram(ProgramState* state) {
     return Status::OK();
   }
   // A non-retryable failure: the program aborts its transaction and fails.
-  const Transaction* tx = db_->txn_manager()->Find(state->txn);
-  if (tx != nullptr && tx->state == TxnState::kActive) {
+  if (db_->IsActive(state->txn)) {
     ARIESRH_RETURN_IF_ERROR(db_->Abort(state->txn));
   }
   state->done = true;
@@ -152,8 +152,7 @@ Status StepScheduler::StepProgram(ProgramState* state) {
 
 Status StepScheduler::RestartProgram(ProgramState* state) {
   // Release everything by aborting, then run again from the first step.
-  const Transaction* tx = db_->txn_manager()->Find(state->txn);
-  if (tx != nullptr && tx->state == TxnState::kActive) {
+  if (db_->IsActive(state->txn)) {
     ARIESRH_RETURN_IF_ERROR(db_->Abort(state->txn));
   }
   ++restarts_;

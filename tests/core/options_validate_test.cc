@@ -7,6 +7,8 @@
 #include <cstdio>
 
 #include "core/database.h"
+#include "table/heap_page.h"
+#include "table/table_heap.h"
 
 namespace ariesrh {
 namespace {
@@ -171,6 +173,32 @@ TEST(OptionsValidateTest, CheckpointDaemonRequiresCheckpointableMode) {
   disabled.delegation_mode = DelegationMode::kDisabled;
   disabled.checkpoint_interval_ms = 10;
   EXPECT_TRUE(disabled.Validate().ok());
+}
+
+TEST(OptionsValidateTest, TableValueCapMustBePositive) {
+  Options options;
+  options.table_max_value_bytes = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.table_max_value_bytes = 1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTest, TableValueCapMustFitAHeapPage) {
+  // A record must fit on one heap page even under a maximum-length key.
+  Options options;
+  options.table_max_value_bytes =
+      table::HeapPage::kPayloadCapacity - table::kMaxKeyBytes;
+  EXPECT_TRUE(options.Validate().ok());
+  options.table_max_value_bytes += 1;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsValidateTest, InvalidTableCapMakesDatabaseInert) {
+  Options options;
+  options.table_max_value_bytes = 0;
+  Database db(options);
+  EXPECT_TRUE(db.Begin().status().IsInvalidArgument());
+  EXPECT_TRUE(db.TableGetCommitted("k").status().IsInvalidArgument());
 }
 
 TEST(OptionsValidateTest, AutoArchiveRequiresTheDaemon) {

@@ -1,0 +1,118 @@
+// Slotted heap page unit tests: slot-index stability across compaction,
+// capacity accounting, and the serialize/deserialize round trip with CRC
+// verification.
+
+#include "table/heap_page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ariesrh::table {
+namespace {
+
+TEST(HeapPageTest, InsertAndReadBack) {
+  HeapPage page(1);
+  Result<uint32_t> slot = page.Insert("alpha", "one");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_TRUE(page.SlotLive(*slot));
+  EXPECT_EQ(page.KeyAt(*slot), "alpha");
+  EXPECT_EQ(page.ValueAt(*slot), "one");
+  EXPECT_EQ(page.live_records(), 1u);
+  EXPECT_EQ(page.live_bytes(), 8u);
+}
+
+TEST(HeapPageTest, UpdateKeepsSlotIndex) {
+  HeapPage page(1);
+  uint32_t a = *page.Insert("a", "first");
+  uint32_t b = *page.Insert("b", "second");
+  ASSERT_TRUE(page.Update(a, "a-much-longer-replacement-value").ok());
+  EXPECT_EQ(page.KeyAt(a), "a");
+  EXPECT_EQ(page.ValueAt(a), "a-much-longer-replacement-value");
+  EXPECT_EQ(page.KeyAt(b), "b");
+  EXPECT_EQ(page.ValueAt(b), "second");
+}
+
+TEST(HeapPageTest, RemoveFreesSlotForReuse) {
+  HeapPage page(1);
+  uint32_t a = *page.Insert("a", "1");
+  uint32_t b = *page.Insert("b", "2");
+  ASSERT_TRUE(page.Remove(a).ok());
+  EXPECT_FALSE(page.SlotLive(a));
+  EXPECT_TRUE(page.SlotLive(b));
+  EXPECT_EQ(page.live_records(), 1u);
+  // The freed slot index is recycled before the directory grows.
+  uint32_t c = *page.Insert("c", "3");
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(page.slot_count(), 2u);
+}
+
+TEST(HeapPageTest, CompactionReclaimsDeadBytesAndKeepsIndices) {
+  HeapPage page(1);
+  // Fill the page with two fat records, drop one, and insert a record that
+  // only fits after compaction reclaims the dead bytes.
+  const std::string fat(HeapPage::kPayloadCapacity / 2 - 8, 'x');
+  uint32_t a = *page.Insert("aaaa", fat);
+  uint32_t b = *page.Insert("bbbb", fat);
+  ASSERT_TRUE(page.Remove(a).ok());
+  const std::string next(HeapPage::kPayloadCapacity / 4, 'y');
+  Result<uint32_t> c = page.Insert("cccc", next);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(page.KeyAt(b), "bbbb");
+  EXPECT_EQ(page.ValueAt(b), fat);
+  EXPECT_EQ(page.ValueAt(*c), next);
+}
+
+TEST(HeapPageTest, RejectsRecordThatCannotFit) {
+  HeapPage page(1);
+  const std::string huge(HeapPage::kPayloadCapacity + 1, 'z');
+  EXPECT_TRUE(page.Insert("k", huge).status().IsIllegalState());
+  // Update to a value that cannot fit fails and leaves the record intact.
+  uint32_t slot = *page.Insert("k", "small");
+  EXPECT_TRUE(page.Update(slot, huge).IsIllegalState());
+  EXPECT_EQ(page.ValueAt(slot), "small");
+}
+
+TEST(HeapPageTest, SerializeRoundTripPreservesSlotIndices) {
+  HeapPage page(7);
+  page.set_page_lsn(42);
+  uint32_t a = *page.Insert("a", "1");
+  uint32_t b = *page.Insert("b", "2");
+  uint32_t c = *page.Insert("c", "3");
+  ASSERT_TRUE(page.Remove(b).ok());
+
+  Result<HeapPage> copy = HeapPage::Deserialize(page.Serialize());
+  ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+  EXPECT_EQ(copy->id(), 7u);
+  EXPECT_EQ(copy->page_lsn(), 42u);
+  EXPECT_EQ(copy->live_records(), 2u);
+  EXPECT_TRUE(copy->SlotLive(a));
+  EXPECT_FALSE(copy->SlotLive(b));
+  EXPECT_TRUE(copy->SlotLive(c));
+  EXPECT_EQ(copy->KeyAt(a), "a");
+  EXPECT_EQ(copy->ValueAt(c), "3");
+}
+
+TEST(HeapPageTest, DeserializeRejectsCorruption) {
+  HeapPage page(7);
+  ASSERT_TRUE(page.Insert("key", "value").ok());
+  std::string image = page.Serialize();
+  image[image.size() / 2] ^= 0x40;
+  EXPECT_TRUE(HeapPage::Deserialize(image).status().IsCorruption());
+  EXPECT_TRUE(HeapPage::Deserialize(std::string("short")).status()
+                  .IsCorruption());
+}
+
+TEST(HeapPageTest, BinaryKeysAndValuesSurvive) {
+  HeapPage page(1);
+  const std::string key("k\0ey", 4);
+  const std::string value("v\0\xff\x01", 4);
+  uint32_t slot = *page.Insert(key, value);
+  Result<HeapPage> copy = HeapPage::Deserialize(page.Serialize());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->KeyAt(slot), key);
+  EXPECT_EQ(copy->ValueAt(slot), value);
+}
+
+}  // namespace
+}  // namespace ariesrh::table

@@ -13,6 +13,10 @@
 // plus shell builtins:
 //   log [from [to]]    dump the write-ahead log
 //   history <ob>       show an object's update history
+//   put <t> <key> <v>  table write (insert or overwrite) under txn t
+//   get <t> <key>      table read under txn t
+//   del <t> <key>      table delete under txn t
+//   scan <t> [start [limit]]   ordered table scan under txn t
 //   txns               list live transactions with their Ob_Lists
 //   stats              engine counters
 //   metrics            Prometheus-style metrics exposition
@@ -55,11 +59,27 @@ void PrintHelp() {
       "shell builtins:\n"
       "  log [from [to]] | history <ob> | txns | stats | metrics |"
       " bench |\n"
+      "  put <t> <key> <v> | get <t> <key> | del <t> <key> |"
+      " scan <t> [start [limit]]\n"
       "  checkpoint | archive | trace [n] | save | help | quit\n");
 }
 
+/// A transaction argument: a script name the runner knows ("t1"), or a raw
+/// engine id.
+TxnId ResolveTxn(const etm::ScriptRunner& runner, const std::string& token) {
+  const TxnId named = runner.Lookup(token);
+  if (named != kInvalidTxn) return named;
+  char* end = nullptr;
+  const unsigned long long raw = std::strtoull(token.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && raw > 0) {
+    return static_cast<TxnId>(raw);
+  }
+  return kInvalidTxn;
+}
+
 bool HandleBuiltin(const std::string& line, Database* db,
-                   const std::string& save_path) {
+                   const std::string& save_path,
+                   const etm::ScriptRunner& runner) {
   std::istringstream stream(line);
   std::string cmd;
   stream >> cmd;
@@ -96,6 +116,66 @@ bool HandleBuiltin(const std::string& line, Database* db,
                   (long long)entry.before, (long long)entry.after,
                   entry.compensated ? "  [compensated]" : "");
     }
+    return true;
+  }
+  if (cmd == "put" || cmd == "get" || cmd == "del") {
+    std::string txn_token, key;
+    if (!(stream >> txn_token >> key)) {
+      std::printf("usage: %s <txn> <key>%s\n", cmd.c_str(),
+                  cmd == "put" ? " <value>" : "");
+      return true;
+    }
+    const TxnId txn = ResolveTxn(runner, txn_token);
+    if (txn == kInvalidTxn) {
+      std::printf("unknown transaction '%s'\n", txn_token.c_str());
+      return true;
+    }
+    if (cmd == "put") {
+      std::string value;
+      if (!(stream >> value)) {
+        std::printf("usage: put <txn> <key> <value>\n");
+        return true;
+      }
+      Status status = db->TablePut(txn, key, value);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    } else if (cmd == "get") {
+      Result<std::optional<std::string>> value = db->TableGet(txn, key);
+      if (!value.ok()) {
+        std::printf("error: %s\n", value.status().ToString().c_str());
+      } else if (value->has_value()) {
+        std::printf("\"%s\" = \"%s\"\n", key.c_str(), (*value)->c_str());
+      } else {
+        std::printf("\"%s\" (not found)\n", key.c_str());
+      }
+    } else {
+      Status status = db->TableDelete(txn, key);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    }
+    return true;
+  }
+  if (cmd == "scan") {
+    std::string txn_token, start;
+    size_t limit = 0;
+    if (!(stream >> txn_token)) {
+      std::printf("usage: scan <txn> [start [limit]]\n");
+      return true;
+    }
+    stream >> start >> limit;
+    const TxnId txn = ResolveTxn(runner, txn_token);
+    if (txn == kInvalidTxn) {
+      std::printf("unknown transaction '%s'\n", txn_token.c_str());
+      return true;
+    }
+    Result<std::vector<std::pair<std::string, std::string>>> rows =
+        db->TableScan(txn, start, limit);
+    if (!rows.ok()) {
+      std::printf("error: %s\n", rows.status().ToString().c_str());
+      return true;
+    }
+    for (const auto& [key, value] : *rows) {
+      std::printf("  \"%s\" = \"%s\"\n", key.c_str(), value.c_str());
+    }
+    std::printf("%zu record(s)\n", rows->size());
     return true;
   }
   if (cmd == "txns") {
@@ -258,7 +338,7 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     if (line == "quit" || line == "exit") break;
     if (line.empty()) continue;
-    if (HandleBuiltin(line, db.get(), save_path)) continue;
+    if (HandleBuiltin(line, db.get(), save_path, runner)) continue;
 
     const size_t before = runner.trace().size();
     Status status = runner.Run(line);
