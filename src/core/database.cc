@@ -1,16 +1,78 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <iterator>
 #include <thread>
 #include <utility>
 
 #include "core/checkpoint_daemon.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "wal/log_record.h"
 
 namespace ariesrh {
+
+namespace {
+
+/// Per-shard image paths: shard 0 keeps the caller's path (so single-shard
+/// images stay compatible both ways), the rest get a ".shard<i>" suffix.
+std::string ShardImagePath(const std::string& path, size_t shard) {
+  return shard == 0 ? path : path + ".shard" + std::to_string(shard);
+}
+
+/// The coordinator sidecar (`path + ".coord"`): the durable decision
+/// records as a flat sequence of u32-LE-length-prefixed images.
+Status WriteCoordFile(const std::string& path,
+                      const std::vector<std::string>& images) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  for (const std::string& image : images) {
+    const uint32_t len = static_cast<uint32_t>(image.size());
+    char header[4];
+    header[0] = static_cast<char>(len & 0xff);
+    header[1] = static_cast<char>((len >> 8) & 0xff);
+    header[2] = static_cast<char>((len >> 16) & 0xff);
+    header[3] = static_cast<char>((len >> 24) & 0xff);
+    out.write(header, sizeof(header));
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+/// A missing sidecar reads as empty — no durable cross-shard decisions,
+/// which resolves every in-doubt round by presumed abort.
+Result<std::vector<std::string>> ReadCoordFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> images;
+  if (!in) return images;
+  for (;;) {
+    char header[4];
+    in.read(header, sizeof(header));
+    if (in.gcount() == 0 && in.eof()) break;
+    if (in.gcount() != sizeof(header)) {
+      return Status::Corruption("truncated coordinator sidecar " + path);
+    }
+    const uint32_t len = static_cast<uint32_t>(
+        static_cast<uint8_t>(header[0]) |
+        (static_cast<uint8_t>(header[1]) << 8) |
+        (static_cast<uint8_t>(header[2]) << 16) |
+        (static_cast<uint8_t>(header[3]) << 24));
+    std::string image(len, '\0');
+    in.read(image.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) {
+      return Status::Corruption("truncated coordinator sidecar " + path);
+    }
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+}  // namespace
 
 Database::Database(Options options) : options_(options) {
   stats_.AttachObservability(&obs_);
@@ -43,6 +105,15 @@ Status Database::EnsureUsable() const {
   ARIESRH_RETURN_IF_ERROR(init_status_);
   if (crashed_) {
     return Status::IllegalState("database crashed; call Recover() first");
+  }
+  if (active_recovery_ != nullptr && active_recovery_->failed()) {
+    // The background half of an instant restart died: the shards are
+    // half-recovered (some loser clusters never rolled back), which is the
+    // same kind of torn volatile state a stopped cross-shard protocol
+    // leaves. Poison until SimulateCrash()+Recover().
+    return Status::IllegalState(
+        "instant restart failed in the background; call SimulateCrash() and "
+        "Recover()");
   }
   if (poisoned_) {
     return Status::IllegalState(
@@ -115,6 +186,7 @@ Result<int64_t> Database::Read(TxnId txn, ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
   const size_t s = ShardOf(ob);
   ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  ARIESRH_RETURN_IF_ERROR(shards_[s]->WaitForObjectRecovery(ob));
   return shards_[s]->txn_manager()->Read(txn, ob);
 }
 
@@ -126,6 +198,7 @@ Status Database::Set(TxnId txn, ObjectId ob, int64_t value) {
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
   const size_t s = ShardOf(ob);
   ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  ARIESRH_RETURN_IF_ERROR(shards_[s]->WaitForObjectRecovery(ob));
   return shards_[s]->txn_manager()->Set(txn, ob, value);
 }
 
@@ -137,6 +210,7 @@ Status Database::Add(TxnId txn, ObjectId ob, int64_t delta) {
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
   const size_t s = ShardOf(ob);
   ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  ARIESRH_RETURN_IF_ERROR(shards_[s]->WaitForObjectRecovery(ob));
   return shards_[s]->txn_manager()->Add(txn, ob, delta);
 }
 
@@ -150,6 +224,8 @@ Result<std::optional<std::string>> Database::TableGet(TxnId txn,
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
   const size_t s = ShardOf(table::TableRid(key));
   ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  ARIESRH_RETURN_IF_ERROR(
+      shards_[s]->WaitForObjectRecovery(table::TableRid(key)));
   return shards_[s]->txn_manager()->TableGet(txn, key, for_update);
 }
 
@@ -162,6 +238,8 @@ Status Database::TablePut(TxnId txn, const std::string& key,
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
   const size_t s = ShardOf(table::TableRid(key));
   ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  ARIESRH_RETURN_IF_ERROR(
+      shards_[s]->WaitForObjectRecovery(table::TableRid(key)));
   return shards_[s]->txn_manager()->TablePut(txn, key, value);
 }
 
@@ -173,6 +251,8 @@ Status Database::TableDelete(TxnId txn, const std::string& key) {
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
   const size_t s = ShardOf(table::TableRid(key));
   ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+  ARIESRH_RETURN_IF_ERROR(
+      shards_[s]->WaitForObjectRecovery(table::TableRid(key)));
   return shards_[s]->txn_manager()->TableDelete(txn, key);
 }
 
@@ -188,6 +268,9 @@ Result<std::vector<std::pair<std::string, std::string>>> Database::TableScan(
   std::vector<std::pair<std::string, std::string>> merged;
   for (size_t s = 0; s < shards_.size(); ++s) {
     ARIESRH_RETURN_IF_ERROR(EnlistLocked(route.get(), txn, s));
+    // A scan's footprint is unbounded, so it waits for the shard's entire
+    // background undo backlog, not one object's gate.
+    ARIESRH_RETURN_IF_ERROR(shards_[s]->WaitForAllRecovery());
     ARIESRH_ASSIGN_OR_RETURN(
         auto part, shards_[s]->txn_manager()->TableScan(txn, start_key, limit));
     std::vector<std::pair<std::string, std::string>> out;
@@ -214,12 +297,9 @@ Status Database::TableReadModifyWrite(
 Result<std::optional<std::string>> Database::TableGetCommitted(
     const std::string& key) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  table::TableHeap* heap =
-      shards_[ShardOf(table::TableRid(key))]->table_heap();
-  if (heap == nullptr) {
-    return Status::IllegalState("this engine has no table heap attached");
-  }
-  return heap->Read(key);
+  // Routed through the shard so the read is gated during instant restart —
+  // a committed read must not observe an un-undone loser value.
+  return shards_[ShardOf(table::TableRid(key))]->TableGetCommitted(key);
 }
 
 Status Database::Delegate(TxnId from, TxnId to, const DelegationSpec& spec) {
@@ -431,7 +511,11 @@ Status Database::RollbackTo(TxnId txn, Lsn savepoint) {
 
 Status Database::Commit(TxnId txn) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
-  if (shards_.size() == 1) return shards_[0]->Commit(txn);
+  if (shards_.size() == 1) {
+    ARIESRH_RETURN_IF_ERROR(shards_[0]->Commit(txn));
+    ObserveFirstCommit();
+    return Status::OK();
+  }
   ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<TxnRoute> route, FindRoute(txn));
   std::unique_lock lock(route->mu);
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
@@ -471,9 +555,23 @@ Status Database::Commit(TxnId txn) {
     ARIESRH_RETURN_IF_ERROR(TwoPhaseCommit(txn, parts));
     route->outcome.store(TxnState::kCommitted, std::memory_order_relaxed);
   }
-  std::lock_guard deps_lock(deps_mu_);
-  deps_.RemoveTxn(txn);
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    deps_.RemoveTxn(txn);
+  }
+  ObserveFirstCommit();
   return Status::OK();
+}
+
+void Database::ObserveFirstCommit() {
+  bool armed = true;
+  if (!ttfc_armed_.compare_exchange_strong(armed, false,
+                                           std::memory_order_acq_rel)) {
+    return;
+  }
+  obs_.registry.GetHistogram("ariesrh_time_to_first_commit_ns")
+      ->Observe(obs::MonotonicNanos() -
+                restart_epoch_ns_.load(std::memory_order_relaxed));
 }
 
 Status Database::TwoPhaseCommit(TxnId txn, const std::vector<size_t>& parts) {
@@ -584,27 +682,82 @@ Status Database::Checkpoint() {
 }
 
 Status Database::SaveTo(const std::string& path) {
-  if (shards_.size() > 1) {
-    return Status::NotSupported(
-        "SaveTo/Open persistence covers single-shard engines only");
-  }
   ARIESRH_RETURN_IF_ERROR(init_status_);
-  return shards_[0]->SaveTo(path);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ARIESRH_RETURN_IF_ERROR(shards_[i]->SaveTo(ShardImagePath(path, i)));
+  }
+  if (coord_ != nullptr) {
+    // The coordinator's durable decisions ride in a sidecar: without them a
+    // reopened engine would presume-abort rounds it had committed.
+    ARIESRH_RETURN_IF_ERROR(
+        WriteCoordFile(path + ".coord", coord_->StableImagesFrom(0)));
+  }
+  return Status::OK();
 }
 
-Result<std::unique_ptr<Database>> Database::Open(Options options,
-                                                 const std::string& path) {
+Result<Database::OpenResult> Database::Open(Options options) {
+  ARIESRH_RETURN_IF_ERROR(options.Validate());
+  auto db = std::make_unique<Database>(options);
+  ARIESRH_RETURN_IF_ERROR(db->init_status_);
+  OpenResult out;
+  // Nothing to recover: the handle is born terminal with an empty Outcome.
+  out.recovery =
+      RecoveryHandle::Terminal(options.recovery_mode, RecoveryManager::Outcome{});
+  db->active_recovery_ = out.recovery;
+  out.db = std::move(db);
+  return out;
+}
+
+Result<Database::OpenResult> Database::Open(Options options,
+                                            const std::string& path) {
+  ARIESRH_RETURN_IF_ERROR(options.Validate());
+  auto db = std::make_unique<Database>(options);
+  ARIESRH_RETURN_IF_ERROR(db->init_status_);
+  for (size_t i = 0; i < db->shards_.size(); ++i) {
+    ARIESRH_RETURN_IF_ERROR(
+        db->shards_[i]->LoadDiskFrom(ShardImagePath(path, i)));
+  }
+  // Opening a stable image is indistinguishable from restarting after a
+  // crash: volatile state must be rebuilt by restart recovery.
+  db->SimulateCrash();
+  if (db->coord_ != nullptr) {
+    ARIESRH_ASSIGN_OR_RETURN(std::vector<std::string> images,
+                             ReadCoordFile(path + ".coord"));
+    ARIESRH_RETURN_IF_ERROR(db->coord_->AppendStableImages(images));
+  }
+  OpenResult out;
+  ARIESRH_ASSIGN_OR_RETURN(out.recovery, db->StartRecovery());
+  out.db = std::move(db);
+  return out;
+}
+
+Result<Database::OpenResult> Database::OpenFromBackup(
+    Options options, const BackupImage& backup) {
   ARIESRH_RETURN_IF_ERROR(options.Validate());
   if (options.num_shards > 1) {
     return Status::NotSupported(
-        "SaveTo/Open persistence covers single-shard engines only");
+        "backup/restore covers single-shard engines only");
   }
-  auto db = std::unique_ptr<Database>(new Database(options));
-  ARIESRH_RETURN_IF_ERROR(db->shards_[0]->LoadDiskFrom(path));
-  // Opening a stable image is indistinguishable from restarting after a
-  // crash: volatile state must be rebuilt by Recover().
+  if (backup.log_window.empty() || backup.window_start == 0) {
+    return Status::InvalidArgument(
+        "backup image lacks the checkpoint's log window");
+  }
+  auto db = std::make_unique<Database>(options);
+  ARIESRH_RETURN_IF_ERROR(db->init_status_);
+  // The fresh engine "fails" immediately: restore applies to the crashed
+  // state, exactly like the legacy SimulateMediaFailure + RestoreFromBackup
+  // + Recover sequence (which keeps working unchanged).
   db->SimulateCrash();
-  return db;
+  ARIESRH_RETURN_IF_ERROR(db->shards_[0]->RestoreFromBackup(backup));
+  // The fresh log starts mid-stream, holding the backup checkpoint's replay
+  // window at its original LSNs (same install a standby seed performs).
+  ARIESRH_RETURN_IF_ERROR(
+      db->shards_[0]->disk()->SetLogBase(backup.window_start - 1));
+  db->shards_[0]->disk()->AppendLogRecords(backup.log_window);
+  OpenResult out;
+  ARIESRH_ASSIGN_OR_RETURN(out.recovery, db->StartRecovery());
+  out.db = std::move(db);
+  return out;
 }
 
 Result<Database::BackupImage> Database::Backup() {
@@ -652,76 +805,121 @@ void Database::SimulateCrash() {
     deps_.Reset();
   }
   poisoned_ = false;  // the poisoned volatile state just died with the rest
+  active_recovery_.reset();
+  ttfc_armed_.store(false, std::memory_order_relaxed);
   crashed_ = true;
 }
 
-Result<RecoveryManager::Outcome> Database::Recover() {
+Result<std::shared_ptr<RecoveryHandle>> Database::StartRecovery() {
   ARIESRH_RETURN_IF_ERROR(init_status_);
   if (!crashed_) {
     return Status::IllegalState("Recover() without a preceding crash");
   }
-  if (shards_.size() == 1) {
-    ARIESRH_ASSIGN_OR_RETURN(RecoveryManager::Outcome outcome,
-                             shards_[0]->Recover());
-    crashed_ = false;
-    return outcome;
-  }
+  // The restart clock starts here: the first successful Commit after the
+  // open observes its distance from this point (the instant-restart figure
+  // of merit).
+  restart_epoch_ns_.store(obs::MonotonicNanos(), std::memory_order_relaxed);
+  const RecoveryMode mode = options().recovery_mode;
 
   // Distill the coordinator's durable verdicts once; every shard's restart
   // consults the same resolution (in-doubt commit/abort, csn-stamped
-  // DELEGATE voiding). The shards share no state, so they restart in
-  // parallel — the sharded flavor of partitioned restart.
-  const coord::Resolution resolution =
-      coord::Resolution::FromRecords(coord_->StableRecords());
-  std::vector<Status> statuses(shards_.size(), Status::OK());
-  std::vector<RecoveryManager::Outcome> outcomes(shards_.size());
-  {
+  // DELEGATE voiding). Only the synchronous front half reads it, so stack
+  // lifetime is fine even under kInstant.
+  coord::Resolution resolution;
+  if (coord_ != nullptr) {
+    resolution = coord::Resolution::FromRecords(coord_->StableRecords());
+  }
+  const coord::Resolution* resolution_ptr =
+      coord_ != nullptr ? &resolution : nullptr;
+
+  std::shared_ptr<RecoveryHandle> handle =
+      RecoveryHandle::Pending(mode, shards_.size());
+
+  if (mode == RecoveryMode::kInstant) {
+    // Every shard runs its (cheap, analysis-only) front half; the facade
+    // opens once all of them succeeded. The coordinator's in-doubt verdicts
+    // are applied inside the front half, so by the time this returns no
+    // transaction anywhere is in doubt — only loser undo is outstanding,
+    // and the per-shard gates fence it.
+    std::vector<Status> statuses(shards_.size(), Status::OK());
+    if (shards_.size() == 1) {
+      statuses[0] = shards_[0]->BeginInstantRestart(resolution_ptr, handle);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(shards_.size());
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        workers.emplace_back([this, i, resolution_ptr, handle, &statuses] {
+          statuses[i] = shards_[i]->BeginInstantRestart(resolution_ptr, handle);
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+    Status failed = Status::OK();
+    for (const Status& status : statuses) {
+      if (!status.ok()) {
+        failed = status;
+        break;
+      }
+    }
+    if (!failed.ok()) {
+      // All-or-nothing open: crash the shards that began (their Cancel
+      // reports the abort to the handle) and report the front-half failures
+      // ourselves — a shard whose analysis failed never reached the handle.
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        if (statuses[i].ok()) {
+          shards_[i]->SimulateCrash();
+        } else {
+          handle->ShardFailed(statuses[i]);
+        }
+      }
+      return failed;
+    }
+    // Seed the facade's id spaces from the shards' analysis results.
+    TxnId seed = 1;
+    for (auto& shard : shards_) {
+      seed = std::max(seed, shard->txn_manager()->next_txn_id());
+    }
+    next_txn_id_.store(seed, std::memory_order_relaxed);
+    if (coord_ != nullptr) coord_->SeedCsn(resolution.max_csn + 1);
+  } else {
+    // kFull: the historical blocking restart, now reported through the same
+    // handle (terminal by the time this returns).
     std::vector<std::thread> workers;
     workers.reserve(shards_.size());
     for (size_t i = 0; i < shards_.size(); ++i) {
-      workers.emplace_back([this, i, &resolution, &statuses, &outcomes] {
+      workers.emplace_back([this, i, resolution_ptr, handle] {
         Result<RecoveryManager::Outcome> result =
-            shards_[i]->Recover(&resolution);
+            shards_[i]->Recover(resolution_ptr);
         if (result.ok()) {
-          outcomes[i] = *result;
+          handle->ShardDone(*result);
         } else {
-          statuses[i] = result.status();
+          handle->ShardFailed(result.status());
         }
       });
     }
     for (std::thread& worker : workers) worker.join();
-  }
-  for (const Status& status : statuses) {
-    ARIESRH_RETURN_IF_ERROR(status);
+    Result<RecoveryManager::Outcome> merged = handle->Await();
+    ARIESRH_RETURN_IF_ERROR(merged.status());
+    if (shards_.size() > 1) {
+      next_txn_id_.store(merged->next_txn_id, std::memory_order_relaxed);
+      // Restarted engines must never reuse a csn the durable log names.
+      coord_->SeedCsn(resolution.max_csn + 1);
+    }
   }
 
-  // Merge: counters sum, wall times take the slowest shard (they ran
-  // concurrently), the id seed takes the global max.
-  RecoveryManager::Outcome merged;
-  merged.merged_forward_pass = outcomes[0].merged_forward_pass;
-  for (const RecoveryManager::Outcome& o : outcomes) {
-    merged.next_txn_id = std::max(merged.next_txn_id, o.next_txn_id);
-    merged.winners += o.winners;
-    merged.losers += o.losers;
-    merged.checkpoint_used = std::max(merged.checkpoint_used, o.checkpoint_used);
-    merged.threads_used = std::max(merged.threads_used, o.threads_used);
-    merged.analysis_ns = std::max(merged.analysis_ns, o.analysis_ns);
-    merged.redo_ns = std::max(merged.redo_ns, o.redo_ns);
-    merged.undo_ns = std::max(merged.undo_ns, o.undo_ns);
-    merged.records_analyzed += o.records_analyzed;
-    merged.records_redone += o.records_redone;
-    merged.records_undone += o.records_undone;
-    merged.clusters_swept += o.clusters_swept;
-    merged.records_skipped += o.records_skipped;
-    merged.in_doubt_committed += o.in_doubt_committed;
-    merged.in_doubt_aborted += o.in_doubt_aborted;
-  }
-  next_txn_id_.store(merged.next_txn_id, std::memory_order_relaxed);
-  // Restarted engines must never reuse a csn the durable log already names.
-  coord_->SeedCsn(resolution.max_csn + 1);
   poisoned_ = false;
   crashed_ = false;
-  return merged;
+  active_recovery_ = handle;
+  ttfc_armed_.store(true, std::memory_order_release);
+  return handle;
+}
+
+Result<RecoveryManager::Outcome> Database::Recover() {
+  // DEPRECATED shim: identical to the historical blocking Recover() under
+  // kFull; under kInstant it starts the restart and waits it out.
+  ARIESRH_ASSIGN_OR_RETURN(std::shared_ptr<RecoveryHandle> handle,
+                           StartRecovery());
+  return handle->Await();
 }
 
 Result<int64_t> Database::ReadCommitted(ObjectId ob) {

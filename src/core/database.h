@@ -26,6 +26,13 @@
 //   db.SimulateCrash();
 //   db.Recover();                 // ARIES/RH restart (per shard)
 //   db.ReadCommitted(obj);        // == 42
+//
+// Restart is governed by Options::recovery_mode: kFull blocks until all
+// three passes complete; kInstant opens after analysis and runs redo on
+// demand plus background undo (docs/INSTANT_RESTART.md). The one open
+// surface — Database::Open / OpenFromBackup / StartRecovery — returns a
+// RecoveryHandle for progress and Await(); Recover() remains as a blocking
+// shim over the same path.
 
 #ifndef ARIESRH_CORE_DATABASE_H_
 #define ARIESRH_CORE_DATABASE_H_
@@ -47,6 +54,7 @@
 #include "core/options.h"
 #include "lock/lock_manager.h"
 #include "obs/observability.h"
+#include "recovery/ondemand.h"
 #include "recovery/recovery_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
@@ -160,15 +168,32 @@ class Database {
   /// Persists the stable state (pages + durable log + master record) to a
   /// file. Exactly what a crash would preserve — the volatile tail and
   /// dirty pages are *not* included, by design; call FlushAll/Checkpoint
-  /// first to tighten the image. Reopen with Database::Open. Single-shard
-  /// engines only.
+  /// first to tighten the image. A sharded engine writes one file per shard
+  /// (`path` for shard 0, `path + ".shard<i>"` for the rest) plus the
+  /// coordinator's durable decisions at `path + ".coord"`. Reopen with
+  /// Database::Open.
   Status SaveTo(const std::string& path);
 
-  /// Opens a database persisted with SaveTo. The returned database is in
-  /// the needs-recovery state (opening a stable image IS crash recovery);
-  /// call Recover() before use. Single-shard engines only.
-  static Result<std::unique_ptr<Database>> Open(Options options,
-                                                const std::string& path);
+  /// What every open surface returns: the live database plus the
+  /// RecoveryHandle describing its restart. Under RecoveryMode::kFull (and
+  /// fresh opens) the handle is already terminal; under kInstant it tracks
+  /// the background passes — Await() blocks until the database has fully
+  /// caught up.
+  struct OpenResult {
+    std::unique_ptr<Database> db;
+    std::shared_ptr<RecoveryHandle> recovery;
+  };
+
+  /// Opens a fresh (empty) database. Nothing to recover: the handle is
+  /// terminal with a default Outcome.
+  static Result<OpenResult> Open(Options options);
+
+  /// Opens a database persisted with SaveTo and performs restart per
+  /// Options::recovery_mode — the single open surface replacing the old
+  /// Open-then-Recover() two-step. Sharded engines load every shard's image
+  /// (and the coordinator file) and restart all shards in parallel; the
+  /// returned database is live the moment this returns.
+  static Result<OpenResult> Open(Options options, const std::string& path);
 
   /// A media-recovery backup (see EngineShard::BackupImage).
   using BackupImage = EngineShard::BackupImage;
@@ -190,6 +215,13 @@ class Database {
   /// engines only.
   Status RestoreFromBackup(const BackupImage& backup);
 
+  /// Builds a fresh database from a backup image — the restore/open entry
+  /// point unifying the RestoreFromBackup+Recover sequence: installs the
+  /// backup's pages and its checkpoint's log window, then performs restart
+  /// per Options::recovery_mode. Single-shard engines only (as Backup is).
+  static Result<OpenResult> OpenFromBackup(Options options,
+                                           const BackupImage& backup);
+
   /// Archives the no-longer-needed log prefix on every shard (see
   /// EngineShard::ArchiveLog for the retention bound). Returns the total
   /// number of records archived across shards. `retain_from` pins every
@@ -205,15 +237,28 @@ class Database {
   /// again.
   void SimulateCrash();
 
-  /// ARIES/RH restart recovery (or the configured baseline's). In a
-  /// sharded engine every shard recovers in parallel against the
-  /// coordinator log's durable verdicts (in-doubt commit/abort, cross-shard
-  /// delegation voiding) and the returned Outcome merges the shard
-  /// outcomes.
+  /// Begins restart recovery per Options::recovery_mode and returns its
+  /// handle. Under kFull every pass runs before this returns (the handle is
+  /// terminal); under kInstant the database is usable the moment this
+  /// returns — analysis has run, on-demand redo and the recovery gates are
+  /// armed, and loser undo drains in the background (handle->Await() blocks
+  /// until fully caught up). In a sharded engine every shard restarts in
+  /// parallel against the coordinator log's durable verdicts.
+  Result<std::shared_ptr<RecoveryHandle>> StartRecovery();
+
+  /// DEPRECATED blocking shim over StartRecovery(): starts restart and
+  /// Await()s the handle, returning the merged Outcome. Byte-identical to
+  /// the historical Recover() under kFull; under kInstant it still blocks
+  /// (use StartRecovery() to exploit the instant open).
   Result<RecoveryManager::Outcome> Recover();
 
-  /// True between SimulateCrash() and a successful Recover().
-  bool NeedsRecovery() const { return crashed_; }
+  /// True between SimulateCrash() and a successful Recover() — and, under
+  /// kInstant, after a background restart pass failed (the facade is then
+  /// poisoned until SimulateCrash()+Recover()).
+  bool NeedsRecovery() const {
+    return crashed_ ||
+           (active_recovery_ != nullptr && active_recovery_->failed());
+  }
 
   // --- inspection ---
 
@@ -309,8 +354,19 @@ class Database {
   }
 
   /// True after a cross-shard protocol stopped mid-flight (test hook or
-  /// component failure); cleared by SimulateCrash()+Recover().
-  bool poisoned() const { return poisoned_; }
+  /// component failure) — or after an instant restart's background pass
+  /// failed, which leaves shards half-recovered the same way; cleared by
+  /// SimulateCrash()+Recover().
+  bool poisoned() const {
+    return poisoned_ ||
+           (active_recovery_ != nullptr && active_recovery_->failed());
+  }
+
+  /// The most recent restart's handle (progress, Await); nullptr before the
+  /// first StartRecovery()/Open.
+  std::shared_ptr<RecoveryHandle> recovery_handle() const {
+    return active_recovery_;
+  }
 
  private:
   /// Per-transaction routing state (num_shards > 1 only): which shards the
@@ -344,6 +400,10 @@ class Database {
                                 by_shard);
   /// Two-phase commit across `parts`. Caller holds the route mutex.
   Status TwoPhaseCommit(TxnId txn, const std::vector<size_t>& parts);
+  /// Feeds the time-to-first-commit histogram once per restart (the instant
+  /// restart figure of merit): the first successful Commit after a
+  /// StartRecovery observes now - restart begin.
+  void ObserveFirstCommit();
 
   Options options_;
   /// Options::Validate() verdict from construction. When not OK, every
@@ -357,6 +417,14 @@ class Database {
   std::unique_ptr<coord::CoordinatorLog> coord_;  // num_shards > 1 only
   bool crashed_ = false;
   bool poisoned_ = false;
+
+  /// The current restart's handle; failure there poisons the facade
+  /// (NeedsRecovery/poisoned). Cleared by SimulateCrash.
+  std::shared_ptr<RecoveryHandle> active_recovery_;
+  /// Time-to-first-commit instrumentation: armed by StartRecovery, consumed
+  /// by the first successful Commit.
+  std::atomic<bool> ttfc_armed_{false};
+  std::atomic<uint64_t> restart_epoch_ns_{0};
 
   /// Facade-level transaction id allocation and routing (num_shards > 1).
   std::atomic<TxnId> next_txn_id_{1};

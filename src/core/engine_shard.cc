@@ -84,16 +84,19 @@ Result<TxnId> EngineShard::Begin() {
 
 Result<int64_t> EngineShard::Read(TxnId txn, ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(ob));
   return txn_manager_->Read(txn, ob);
 }
 
 Status EngineShard::Set(TxnId txn, ObjectId ob, int64_t value) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(ob));
   return txn_manager_->Set(txn, ob, value);
 }
 
 Status EngineShard::Add(TxnId txn, ObjectId ob, int64_t delta) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(ob));
   return txn_manager_->Add(txn, ob, delta);
 }
 
@@ -137,23 +140,29 @@ Result<std::optional<std::string>> EngineShard::TableGet(TxnId txn,
                                                          const std::string& key,
                                                          bool for_update) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(table::TableRid(key)));
   return txn_manager_->TableGet(txn, key, for_update);
 }
 
 Status EngineShard::TablePut(TxnId txn, const std::string& key,
                              const std::string& value) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(table::TableRid(key)));
   return txn_manager_->TablePut(txn, key, value);
 }
 
 Status EngineShard::TableDelete(TxnId txn, const std::string& key) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(table::TableRid(key)));
   return txn_manager_->TableDelete(txn, key);
 }
 
 Result<std::vector<std::pair<std::string, std::string>>> EngineShard::TableScan(
     TxnId txn, const std::string& start_key, size_t limit) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // A scan's footprint is unbounded: it must see no un-undone loser value
+  // anywhere, so it waits for every cluster, not one object.
+  ARIESRH_RETURN_IF_ERROR(WaitForAllRecovery());
   return txn_manager_->TableScan(txn, start_key, limit);
 }
 
@@ -164,6 +173,11 @@ Status EngineShard::Sync() {
 
 Status EngineShard::Checkpoint() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // A checkpoint's snapshot must not capture a half-recovered shard: its
+  // dirty page table would miss pages whose redo is still pending on
+  // demand, and its transaction table knows nothing of the losers the
+  // background sweep is still rolling back.
+  ARIESRH_RETURN_IF_ERROR(AwaitInstantRecovery());
   std::lock_guard admin(admin_mu_);
   obs::ScopedLatencyTimer timer(checkpoint_ns_);
 
@@ -234,6 +248,9 @@ Status EngineShard::LoadDiskFrom(const std::string& path) {
 
 Result<EngineShard::BackupImage> EngineShard::Backup() {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // A backup clones the stable pages, so every pending on-demand redo (and
+  // the background undo's CLRs) must land first.
+  ARIESRH_RETURN_IF_ERROR(AwaitInstantRecovery());
   // Sharp backup: every logged update reaches the stable pages first, and a
   // checkpoint records the tables/redo point the restore will start from.
   ARIESRH_RETURN_IF_ERROR(pool_->FlushAll());
@@ -284,6 +301,9 @@ Status EngineShard::RestoreFromBackup(const BackupImage& backup) {
 
 Result<uint64_t> EngineShard::ArchiveLog(Lsn retain_from) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // The pending redo plan and the background undo both still read the log
+  // suffix; archiving under them could drop records they need.
+  ARIESRH_RETURN_IF_ERROR(AwaitInstantRecovery());
   if (options_.delegation_mode != DelegationMode::kRH &&
       options_.delegation_mode != DelegationMode::kDisabled) {
     return Status::NotSupported(
@@ -330,9 +350,18 @@ Result<uint64_t> EngineShard::ArchiveLog(Lsn retain_from) {
 }
 
 void EngineShard::SimulateCrash() {
-  // The daemon goes first — its thread drives the components about to be
+  // An in-flight instant restart goes first: Cancel joins its background
+  // worker, so nothing concurrently drives the components (or starts the
+  // daemon via on_complete) once the teardown below begins. This is also
+  // the crash-mid-background-undo model — CLRs are idempotent through the
+  // compensated set, so the next restart repeats whatever was cut short.
+  if (instant_ != nullptr) {
+    instant_->Cancel(Status::Aborted("crash during instant restart"));
+  }
+  // The daemon goes next — its thread drives the components about to be
   // discarded, so it must be joined before any of them is reset.
   daemon_.reset();
+  instant_.reset();
   // Everything volatile disappears; the simulated disk survives — and so
   // does the observability bundle, by design: the trace is how a crash is
   // observed after the fact.
@@ -372,8 +401,80 @@ Result<RecoveryManager::Outcome> EngineShard::Recover(
   return outcome;
 }
 
+Status EngineShard::BeginInstantRestart(const coord::Resolution* resolution,
+                                        std::shared_ptr<RecoveryHandle> handle) {
+  if (!crashed_) {
+    return Status::IllegalState("Recover() without a preceding crash");
+  }
+  ARIESRH_RETURN_IF_ERROR(RecoveryManager::TruncateTornTail(disk_.get()));
+  BuildVolatileComponents();
+  // The heap's stable pages come back before anything replays over them.
+  ARIESRH_RETURN_IF_ERROR(heap_->Bootstrap());
+
+  const std::string suffix =
+      shard_count_ > 1 ? "_shard" + std::to_string(shard_index_) : "";
+  instant_ = std::make_unique<InstantRestart>(
+      options_, disk_.get(), log_.get(), pool_.get(), &stats_, heap_.get(),
+      obs_->registry.GetGauge("ariesrh_undo_backlog" + suffix));
+  TxnId next_txn_id = 0;
+  // Flipped before Start spawns the background worker: on a very fast
+  // drain, on_complete's checkpoint would otherwise race this write (and
+  // bounce off EnsureUsable). Nothing else can reach the shard yet — the
+  // facade publishes it only after this returns.
+  crashed_ = false;
+  Status started = instant_->Start(
+      resolution, std::move(handle), &next_txn_id, [this] {
+        // Runs on the background thread once both lazy passes drained; the
+        // shard is fully recovered, so the post-restart housekeeping the
+        // blocking path does inline happens here. Checkpoint errors cannot
+        // surface to a caller anymore — the handle already carries the
+        // restart's outcome — so they are advisory, exactly like a failed
+        // daemon checkpoint.
+        if (options_.checkpoint_after_recovery) {
+          Status flushed = pool_->FlushAll();
+          if (flushed.ok()) flushed = heap_->FlushAll();
+          if (flushed.ok()) flushed = Checkpoint();
+          (void)flushed;
+        }
+        if (daemon_ != nullptr) daemon_->Start();
+      });
+  if (!started.ok()) {
+    // Analysis failed: the shard never opened. Back out to the crashed
+    // state so kFull Recover() (or another attempt) still applies.
+    crashed_ = true;
+    daemon_.reset();
+    instant_.reset();
+    log_.reset();
+    pool_.reset();
+    locks_.reset();
+    txn_manager_.reset();
+    heap_.reset();
+    return started;
+  }
+  txn_manager_->SetNextTxnId(next_txn_id);
+  return Status::OK();
+}
+
+Status EngineShard::WaitForObjectRecovery(ObjectId ob) {
+  if (instant_ == nullptr) return Status::OK();
+  return instant_->WaitForObject(ob);
+}
+
+Status EngineShard::WaitForAllRecovery() {
+  if (instant_ == nullptr) return Status::OK();
+  return instant_->WaitForAll();
+}
+
+Status EngineShard::AwaitInstantRecovery() {
+  if (instant_ == nullptr) return Status::OK();
+  return instant_->Await();
+}
+
 Result<int64_t> EngineShard::ReadCommitted(ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  // Gated like the transactional read: a committed read must not observe a
+  // loser value the background sweep has not yet rolled back.
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(ob));
   // WithPage, not Fetch: the oracle read is allowed while workers run, and
   // their fetches may evict this page the moment the pool latch drops.
   int64_t value = 0;
@@ -382,6 +483,13 @@ Result<int64_t> EngineShard::ReadCommitted(ObjectId ob) {
     return kInvalidLsn;  // not modified
   }));
   return value;
+}
+
+Result<std::optional<std::string>> EngineShard::TableGetCommitted(
+    const std::string& key) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_RETURN_IF_ERROR(WaitForObjectRecovery(table::TableRid(key)));
+  return heap_->Read(key);
 }
 
 }  // namespace ariesrh

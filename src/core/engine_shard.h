@@ -31,6 +31,7 @@
 #include "core/options.h"
 #include "lock/lock_manager.h"
 #include "obs/observability.h"
+#include "recovery/ondemand.h"
 #include "recovery/recovery_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
@@ -137,17 +138,42 @@ class EngineShard {
   /// Discards every volatile structure; only stable storage survives.
   void SimulateCrash();
 
-  /// ARIES/RH restart recovery. `resolution` (sharded engines) carries the
-  /// coordinator's durable verdicts for in-doubt transactions and
-  /// cross-shard delegation legs; nullptr is the unsharded engine's path.
+  /// ARIES/RH restart recovery (RecoveryMode::kFull: all three passes block
+  /// the open). `resolution` (sharded engines) carries the coordinator's
+  /// durable verdicts for in-doubt transactions and cross-shard delegation
+  /// legs; nullptr is the unsharded engine's path.
   Result<RecoveryManager::Outcome> Recover(
       const coord::Resolution* resolution = nullptr);
+
+  /// Instant restart (RecoveryMode::kInstant): runs analysis synchronously,
+  /// arms on-demand redo and the recovery gate, then opens the shard while
+  /// loser-cluster undo and the final redo drain run in the background. The
+  /// shard reports its completion (with its per-pass Outcome) or failure on
+  /// `handle`. On error the shard stays crashed.
+  Status BeginInstantRestart(const coord::Resolution* resolution,
+                             std::shared_ptr<RecoveryHandle> handle);
+
+  /// Blocks until `ob` is outside every unresolved loser cluster (no-op
+  /// after restart completes, or when no instant restart is in flight).
+  /// Returns the background pass's terminal status if it failed.
+  Status WaitForObjectRecovery(ObjectId ob);
+
+  /// Blocks until every loser cluster resolved (scans).
+  Status WaitForAllRecovery();
+
+  /// Blocks until the whole background pass drained (checkpoints, backups,
+  /// archiving — operations that need the stable state caught up).
+  Status AwaitInstantRecovery();
 
   bool NeedsRecovery() const { return crashed_; }
 
   // --- inspection ---
 
   Result<int64_t> ReadCommitted(ObjectId ob);
+
+  /// Committed point read straight from the heap (the facade's
+  /// TableGetCommitted), gated on the key's rid during instant restart.
+  Result<std::optional<std::string>> TableGetCommitted(const std::string& key);
 
   const Stats& stats() const { return stats_; }
   Stats* mutable_stats() { return &stats_; }
@@ -206,6 +232,10 @@ class EngineShard {
   std::mutex admin_mu_;
   obs::Histogram* checkpoint_ns_ = nullptr;
   CheckpointTestHooks ckpt_hooks_;
+  /// Live between BeginInstantRestart and the next SimulateCrash; its
+  /// background thread touches log_/pool_/heap_, so it is declared after
+  /// them (destroyed — and joined — first).
+  std::unique_ptr<InstantRestart> instant_;
   /// Declared last: destroyed first, so the daemon thread is joined before
   /// any component it drives goes away.
   std::unique_ptr<CheckpointDaemon> daemon_;

@@ -29,6 +29,16 @@ const char* UndoStrategyName(UndoStrategy strategy) {
   return "unknown";
 }
 
+const char* RecoveryModeName(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kFull:
+      return "full";
+    case RecoveryMode::kInstant:
+      return "instant";
+  }
+  return "unknown";
+}
+
 Status Options::Validate() const {
   if (buffer_pool_pages == 0) {
     return Status::InvalidArgument(
@@ -78,6 +88,20 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "undo_strategy full-scan only applies to delegation_mode rh; the "
         "rewriting baselines always use conventional chain undo");
+  }
+  if (recovery_mode == RecoveryMode::kInstant &&
+      delegation_mode != DelegationMode::kRH) {
+    return Status::InvalidArgument(
+        "recovery_mode instant requires delegation_mode rh: the scope index "
+        "is what tells an open engine which objects a pending loser cluster "
+        "still covers");
+  }
+  if (recovery_mode == RecoveryMode::kInstant &&
+      undo_strategy != UndoStrategy::kScopeClusters) {
+    return Status::InvalidArgument(
+        "recovery_mode instant requires undo_strategy scope-clusters; the "
+        "full-scan ablation has no per-cluster resolution to unblock "
+        "transactions incrementally");
   }
   const bool checkpoint_daemon =
       checkpoint_interval_records > 0 || checkpoint_interval_ms > 0;

@@ -45,6 +45,24 @@ enum class UndoStrategy {
 
 const char* UndoStrategyName(UndoStrategy strategy);
 
+/// How much restart work Database::Open / Recover performs before the
+/// engine accepts new transactions (docs/INSTANT_RESTART.md).
+enum class RecoveryMode {
+  /// Classic ARIES/RH restart: analysis, redo, and undo all complete before
+  /// the open returns. The RecoveryHandle is already terminal.
+  kFull,
+  /// Instant restart (Sauer & Härder style, made cheap by RH's scope
+  /// index): the open returns after the analysis sweep. Redo replays
+  /// per-page on demand as pages are fetched; loser-cluster undo runs
+  /// incrementally on a background pool, blocking only transactions whose
+  /// footprints intersect a still-unresolved loser cluster. Requires
+  /// delegation_mode kRH and undo_strategy kScopeClusters (the scope index
+  /// IS the blocking mechanism).
+  kInstant,
+};
+
+const char* RecoveryModeName(RecoveryMode mode);
+
 /// Upper bound on Options::num_shards. Shards are full engine instances
 /// (log, pool, lock table, daemon threads each); the cap keeps a typo from
 /// spawning thousands of them.
@@ -146,6 +164,11 @@ struct Options {
 
   /// Backward-pass implementation for kRH (ablation; see UndoStrategy).
   UndoStrategy undo_strategy = UndoStrategy::kScopeClusters;
+
+  /// Restart availability policy (see RecoveryMode). kFull keeps the
+  /// classic blocking restart; kInstant opens after analysis and pays
+  /// redo/undo lazily, gated per object by the loser-scope index.
+  RecoveryMode recovery_mode = RecoveryMode::kFull;
 
   /// Merge analysis and redo into a single forward sweep (the variant the
   /// paper builds on, §3.3). When false, recovery runs the classic

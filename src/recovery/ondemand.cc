@@ -1,0 +1,533 @@
+#include "recovery/ondemand.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+#include "obs/trace.h"
+#include "recovery/parallel.h"
+#include "wal/log_record.h"
+
+namespace ariesrh {
+
+// ---------------------------------------------------------------------------
+// OnDemandRedo
+// ---------------------------------------------------------------------------
+
+OnDemandRedo::OnDemandRedo(std::vector<RedoItem> plan, Stats* stats,
+                           std::atomic<int64_t>* remaining_external)
+    : stats_(stats), remaining_external_(remaining_external) {
+  for (RedoItem& item : plan) {
+    pending_[item.page].push_back(std::move(item.rec));
+  }
+  remaining_.store(pending_.size(), std::memory_order_release);
+  if (remaining_external_ != nullptr) {
+    remaining_external_->fetch_add(static_cast<int64_t>(pending_.size()),
+                                   std::memory_order_relaxed);
+  }
+}
+
+Lsn OnDemandRedo::DrainPage(PageId id, Page* page) {
+  if (remaining_.load(std::memory_order_acquire) == 0) return kInvalidLsn;
+  std::vector<LogRecord> recs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return kInvalidLsn;
+    recs = std::move(it->second);
+    pending_.erase(it);
+  }
+  remaining_.fetch_sub(1, std::memory_order_release);
+  if (remaining_external_ != nullptr) {
+    remaining_external_->fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Replay the page's log suffix, exactly what PartitionedRedo would have
+  // applied: page-LSN checked, in the plan's (increasing-LSN) order. The
+  // caller holds the pool latch, so the application is atomic with the
+  // fetch; the first applied LSN is the frame's rec_lsn for the DPT.
+  Lsn rec_lsn = kInvalidLsn;
+  uint64_t applied = 0;
+  for (const LogRecord& rec : recs) {
+    if (page->page_lsn() >= rec.lsn) continue;
+    const uint32_t slot = SlotOf(rec.object);
+    if (rec.kind == UpdateKind::kSet) {
+      page->Set(slot, rec.after);
+    } else {
+      page->Add(slot, rec.after);
+    }
+    page->set_page_lsn(std::max(page->page_lsn(), rec.lsn));
+    if (rec_lsn == kInvalidLsn) rec_lsn = rec.lsn;
+    ++applied;
+  }
+
+  pages_drained_.fetch_add(1, std::memory_order_relaxed);
+  records_applied_.fetch_add(applied, std::memory_order_relaxed);
+  ++stats_->ondemand_redo_pages;
+  stats_->ondemand_redo_records += applied;
+  stats_->recovery_redos += applied;
+  return rec_lsn;
+}
+
+std::vector<LogRecord> OnDemandRedo::TakeBucket(PageId bucket_id) {
+  if (remaining_.load(std::memory_order_acquire) == 0) return {};
+  std::vector<LogRecord> recs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(bucket_id);
+    if (it == pending_.end()) return {};
+    recs = std::move(it->second);
+    pending_.erase(it);
+  }
+  remaining_.fetch_sub(1, std::memory_order_release);
+  if (remaining_external_ != nullptr) {
+    remaining_external_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  // State-based logical replay applies every record (idempotence is per-key
+  // LSN order, not a page-LSN check), so the whole bucket counts as applied.
+  pages_drained_.fetch_add(1, std::memory_order_relaxed);
+  records_applied_.fetch_add(recs.size(), std::memory_order_relaxed);
+  ++stats_->ondemand_redo_pages;
+  stats_->ondemand_redo_records += recs.size();
+  stats_->recovery_redos += recs.size();
+  return recs;
+}
+
+std::vector<PageId> OnDemandRedo::PendingPlainPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, recs] : pending_) {
+    if (id < table::kHeapPageBase) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryGate
+// ---------------------------------------------------------------------------
+
+void RecoveryGate::Arm(
+    const std::vector<std::vector<ScopeUndoTarget>>& groups) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resolved_.assign(groups.size(), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const ScopeUndoTarget& target : groups[g]) {
+      std::vector<size_t>& covering = by_object_[target.object];
+      if (covering.empty() || covering.back() != g) covering.push_back(g);
+    }
+  }
+  unresolved_.store(groups.size(), std::memory_order_release);
+}
+
+Status RecoveryGate::WaitForObject(ObjectId ob) {
+  if (unresolved_.load(std::memory_order_acquire) == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = by_object_.find(ob);
+  if (it == by_object_.end()) {
+    return closed_ ? close_status_ : Status::OK();
+  }
+  const std::vector<size_t>& covering = it->second;
+  auto lifted = [&] {
+    for (size_t g : covering) {
+      if (!resolved_[g]) return false;
+    }
+    return true;
+  };
+  cv_.wait(lock, [&] { return closed_ || lifted(); });
+  if (lifted()) return Status::OK();
+  return close_status_;
+}
+
+Status RecoveryGate::WaitForAll() {
+  if (unresolved_.load(std::memory_order_acquire) == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return closed_ || unresolved_.load(std::memory_order_acquire) == 0;
+  });
+  if (unresolved_.load(std::memory_order_acquire) == 0) return Status::OK();
+  return close_status_;
+}
+
+void RecoveryGate::MarkResolved(size_t group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (resolved_[group]) return;
+  resolved_[group] = 1;
+  unresolved_.fetch_sub(1, std::memory_order_release);
+  cv_.notify_all();
+}
+
+void RecoveryGate::Close(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  close_status_ = std::move(status);
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryHandle
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<RecoveryHandle> RecoveryHandle::Terminal(RecoveryMode mode,
+                                                         Outcome outcome) {
+  auto handle = std::shared_ptr<RecoveryHandle>(new RecoveryHandle(mode, 0));
+  handle->merged_ = std::move(outcome);
+  handle->any_merged_ = true;
+  return handle;
+}
+
+std::shared_ptr<RecoveryHandle> RecoveryHandle::Pending(RecoveryMode mode,
+                                                        size_t shards) {
+  return std::shared_ptr<RecoveryHandle>(new RecoveryHandle(mode, shards));
+}
+
+Result<RecoveryHandle::Outcome> RecoveryHandle::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+  if (!status_.ok()) return status_;
+  return merged_;
+}
+
+bool RecoveryHandle::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_ == 0;
+}
+
+bool RecoveryHandle::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !status_.ok();
+}
+
+size_t RecoveryHandle::shards_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+void RecoveryHandle::ShardDone(const Outcome& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeLocked(outcome);
+  if (pending_ > 0) --pending_;
+  cv_.notify_all();
+}
+
+void RecoveryHandle::ShardFailed(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (status_.ok()) status_ = status;
+  if (pending_ > 0) --pending_;
+  cv_.notify_all();
+}
+
+void RecoveryHandle::MergeLocked(const Outcome& outcome) {
+  if (!any_merged_) {
+    merged_ = outcome;
+    any_merged_ = true;
+    return;
+  }
+  // Same shape as the sharded facade's historical merge: wall-clock times
+  // and id-space maxima take the max (shards recover concurrently), counted
+  // work sums.
+  merged_.next_txn_id = std::max(merged_.next_txn_id, outcome.next_txn_id);
+  merged_.winners += outcome.winners;
+  merged_.losers += outcome.losers;
+  merged_.checkpoint_used =
+      std::max(merged_.checkpoint_used, outcome.checkpoint_used);
+  merged_.threads_used = std::max(merged_.threads_used, outcome.threads_used);
+  merged_.merged_forward_pass =
+      merged_.merged_forward_pass || outcome.merged_forward_pass;
+  merged_.analysis_ns = std::max(merged_.analysis_ns, outcome.analysis_ns);
+  merged_.redo_ns = std::max(merged_.redo_ns, outcome.redo_ns);
+  merged_.undo_ns = std::max(merged_.undo_ns, outcome.undo_ns);
+  merged_.records_analyzed += outcome.records_analyzed;
+  merged_.records_redone += outcome.records_redone;
+  merged_.records_undone += outcome.records_undone;
+  merged_.clusters_swept += outcome.clusters_swept;
+  merged_.records_skipped += outcome.records_skipped;
+  merged_.in_doubt_committed += outcome.in_doubt_committed;
+  merged_.in_doubt_aborted += outcome.in_doubt_aborted;
+}
+
+// ---------------------------------------------------------------------------
+// InstantRestart
+// ---------------------------------------------------------------------------
+
+InstantRestart::InstantRestart(const Options& options, SimulatedDisk* disk,
+                               LogManager* log, BufferPool* pool, Stats* stats,
+                               table::TableHeap* heap,
+                               obs::Gauge* backlog_gauge)
+    : options_(options),
+      disk_(disk),
+      log_(log),
+      pool_(pool),
+      stats_(stats),
+      heap_(heap),
+      backlog_gauge_(backlog_gauge) {}
+
+InstantRestart::~InstantRestart() {
+  Cancel(Status::Aborted("instant restart torn down"));
+}
+
+Status InstantRestart::Start(const coord::Resolution* resolution,
+                             std::shared_ptr<RecoveryHandle> handle,
+                             TxnId* next_txn_id,
+                             std::function<void()> on_complete) {
+  handle_ = std::move(handle);
+  on_complete_ = std::move(on_complete);
+
+  CheckpointData ckpt;
+  Lsn ckpt_end_lsn = 0;
+  ARIESRH_ASSIGN_OR_RETURN(
+      ckpt_end_lsn,
+      RecoveryManager::LocateCheckpoint(options_, disk_, log_, &ckpt));
+  const CheckpointData* ckpt_ptr = ckpt_end_lsn != 0 ? &ckpt : nullptr;
+  outcome_.checkpoint_used = ckpt_end_lsn;
+  outcome_.threads_used =
+      static_cast<uint32_t>(std::max<size_t>(1, options_.recovery_threads));
+
+  // The analysis sweep: rebuild the transaction table and the scope index,
+  // collect (but do not apply) the redo plan. This is the only restart work
+  // the open waits for.
+  const uint64_t analysis_start = obs::MonotonicNanos();
+  ARIESRH_ASSIGN_OR_RETURN(
+      fwd_, ForwardPass(options_.delegation_mode, log_, pool_, stats_,
+                        ckpt_ptr, ckpt_end_lsn,
+                        ForwardPassKind::kAnalysisCollectRedo,
+                        /*redo_budget=*/nullptr, resolution, heap_));
+  outcome_.analysis_ns = obs::MonotonicNanos() - analysis_start;
+  outcome_.records_analyzed = fwd_.records_scanned;
+  if (obs::MetricsRegistry* registry = stats_->registry()) {
+    registry->GetHistogram("ariesrh_recovery_analysis_ns")
+        ->Observe(outcome_.analysis_ns);
+  }
+
+  // Resolve in-doubt (prepared) transactions before anything opens — same
+  // rules as the blocking path (presumed abort without a verdict).
+  for (auto& [txn, info] : fwd_.txns) {
+    if (!info.InDoubt()) continue;
+    if (resolution != nullptr && resolution->IsCommitted(info.prepared_csn)) {
+      info.last_lsn = log_->Append(LogRecord::MakeCommit(txn, info.last_lsn));
+      info.committed = true;
+      info.ob_list.clear();
+      ++outcome_.in_doubt_committed;
+    } else {
+      ++outcome_.in_doubt_aborted;
+    }
+  }
+
+  // Build the undo work: every loser scope, partitioned into independently
+  // sweepable cluster groups (each loser lives in exactly one group).
+  std::unordered_map<TxnId, Lsn> bc_heads;
+  std::vector<ScopeUndoTarget> targets;
+  std::unordered_set<TxnId> backgrounded;
+  for (auto& [txn, info] : fwd_.txns) {
+    if (!info.IsLoser()) continue;
+    bc_heads[txn] = info.last_lsn;
+    for (const auto& [ob, entry] : info.ob_list) {
+      for (const Scope& scope : entry.scopes) {
+        targets.push_back(ScopeUndoTarget{txn, ob, scope});
+        backgrounded.insert(txn);
+      }
+    }
+  }
+  groups_ = PartitionUndoClusters(targets);
+  outcome_.clusters_swept = groups_.size();
+  group_heads_.assign(groups_.size(), {});
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (const ScopeUndoTarget& target : groups_[g]) {
+      group_heads_[g][target.responsible] = bc_heads.at(target.responsible);
+    }
+  }
+
+  // Transactions analysis alone fully resolves get END records up front:
+  // winners, and losers with nothing to undo. Losers with scopes get theirs
+  // when their cluster group's background sweep completes.
+  for (auto& [txn, info] : fwd_.txns) {
+    if (info.committed) {
+      ++outcome_.winners;
+      if (!info.ended) log_->Append(LogRecord::MakeEnd(txn, info.last_lsn));
+    } else if (!info.ended) {
+      ++outcome_.losers;
+      if (backgrounded.count(txn) == 0) {
+        log_->Append(LogRecord::MakeEnd(txn, bc_heads.at(txn)));
+      }
+    }
+  }
+
+  // Arm the lazy machinery before the engine opens: the redo index feeds
+  // the pool's (and heap's) fetch path, the gate feeds the transaction
+  // entry points.
+  ondemand_ = std::make_unique<OnDemandRedo>(
+      std::move(fwd_.redo_plan), stats_,
+      handle_ != nullptr ? handle_->redo_pages_cell() : nullptr);
+  gate_.Arm(groups_);
+  if (handle_ != nullptr) {
+    handle_->AddUndoBacklog(static_cast<int64_t>(groups_.size()));
+  }
+  SetBacklogGauge();
+
+  OnDemandRedo* ondemand = ondemand_.get();
+  pool_->set_redo_resolve(
+      [ondemand](PageId id, Page* page) { return ondemand->DrainPage(id, page); });
+  if (heap_ != nullptr) {
+    heap_->set_redo_resolve([ondemand](size_t bucket) {
+      return ondemand->TakeBucket(table::kHeapPageBase +
+                                  static_cast<PageId>(bucket));
+    });
+  }
+
+  *next_txn_id = fwd_.max_txn_id + 1;
+  outcome_.next_txn_id = fwd_.max_txn_id + 1;
+
+  // The analysis-time appends (in-doubt COMMITs, up-front ENDs) go stable
+  // before the open, so a crash right after it re-resolves identically.
+  ARIESRH_RETURN_IF_ERROR(log_->FlushAll());
+
+  worker_ = std::thread([this] { BackgroundPass(); });
+  return Status::OK();
+}
+
+void InstantRestart::BackgroundPass() {
+  Status status = RunBackgroundUndo();
+  if (status.ok()) status = DrainRemainingRedo();
+  if (status.ok()) status = log_->FlushAll();
+  Finish(std::move(status));
+}
+
+Status InstantRestart::RunBackgroundUndo() {
+  ++stats_->recovery_passes;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kRecoveryPassBegin,
+            static_cast<uint64_t>(obs::RecoveryPassKind::kUndo), kFirstLsn,
+            fwd_.scan_end);
+  const uint64_t examined_before = stats_->recovery_backward_examined;
+  const uint64_t skipped_before = stats_->recovery_backward_skipped;
+  const uint64_t undos_before = stats_->recovery_undos;
+  const uint64_t undo_start = obs::MonotonicNanos();
+
+  RecoveryFaultBudget budget(options_.faults.crash_after_undo_steps);
+  RecoveryFaultBudget* budget_ptr =
+      options_.faults.crash_after_undo_steps > 0 ? &budget : nullptr;
+  const size_t threads = std::max<size_t>(1, options_.recovery_threads);
+
+  Status status =
+      RunOnWorkers(threads, groups_.size(), [&](size_t g) -> Status {
+        if (cancel_.load(std::memory_order_acquire)) {
+          return Status::Aborted("instant restart cancelled");
+        }
+        // Each group's sweep starts at its own newest scope end, exactly as
+        // the blocking parallel undo does.
+        Lsn group_from = kFirstLsn;
+        for (const ScopeUndoTarget& target : groups_[g]) {
+          group_from = std::max(group_from, target.scope.last);
+        }
+        ARIESRH_RETURN_IF_ERROR(
+            ScopeSweepUndo(groups_[g], fwd_.compensated, group_from, log_,
+                           pool_, stats_, &group_heads_[g], budget_ptr,
+                           heap_));
+        // The group's losers are fully rolled back: END them and lift the
+        // gate for every object the group covered.
+        for (const auto& [txn, head] : group_heads_[g]) {
+          log_->Append(LogRecord::MakeEnd(txn, head));
+        }
+        gate_.MarkResolved(g);
+        if (handle_ != nullptr) handle_->AddUndoBacklog(-1);
+        SetBacklogGauge();
+        return Status::OK();
+      });
+
+  outcome_.undo_ns = obs::MonotonicNanos() - undo_start;
+  outcome_.records_undone = stats_->recovery_undos - undos_before;
+  outcome_.records_skipped =
+      stats_->recovery_backward_skipped - skipped_before;
+  if (obs::MetricsRegistry* registry = stats_->registry()) {
+    registry->GetHistogram("ariesrh_recovery_undo_ns")
+        ->Observe(outcome_.undo_ns);
+  }
+  obs::Emit(stats_->trace(), obs::TraceEventType::kRecoveryPassEnd,
+            static_cast<uint64_t>(obs::RecoveryPassKind::kUndo),
+            stats_->recovery_backward_examined - examined_before,
+            stats_->recovery_undos - undos_before);
+  return status;
+}
+
+Status InstantRestart::DrainRemainingRedo() {
+  const uint64_t drain_start = obs::MonotonicNanos();
+  for (PageId id : ondemand_->PendingPlainPages()) {
+    if (cancel_.load(std::memory_order_acquire)) {
+      return Status::Aborted("instant restart cancelled");
+    }
+    // Fetching is enough: the pool's resolve hook drains the page and marks
+    // it dirty with the drained suffix's first LSN.
+    ARIESRH_RETURN_IF_ERROR(
+        pool_->WithPage(id, [](Page*) { return kInvalidLsn; }));
+  }
+  if (heap_ != nullptr) {
+    ARIESRH_RETURN_IF_ERROR(heap_->DrainPending());
+  }
+  outcome_.redo_ns = obs::MonotonicNanos() - drain_start;
+  outcome_.records_redone = ondemand_->records_applied();
+  return Status::OK();
+}
+
+void InstantRestart::Finish(Status status) {
+  std::function<void()> on_complete;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_ = std::move(status);
+    on_complete = std::move(on_complete_);
+    done_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  Status terminal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    terminal = status_;
+  }
+  if (!terminal.ok()) {
+    // Wake every blocked transaction with the failure; the shard stays
+    // half-recovered until SimulateCrash()+Recover().
+    gate_.Close(terminal);
+    if (handle_ != nullptr) handle_->ShardFailed(terminal);
+    return;
+  }
+  if (backlog_gauge_ != nullptr) backlog_gauge_->Set(0);
+  if (on_complete) on_complete();
+  if (handle_ != nullptr) handle_->ShardDone(outcome_);
+}
+
+Status InstantRestart::WaitForObject(ObjectId ob) {
+  if (done_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  return gate_.WaitForObject(ob);
+}
+
+Status InstantRestart::WaitForAll() {
+  Status gate_status = gate_.WaitForAll();
+  if (!gate_status.ok()) return gate_status;
+  if (done_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  return Status::OK();
+}
+
+Status InstantRestart::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_.load(std::memory_order_acquire); });
+  return status_;
+}
+
+void InstantRestart::Cancel(const Status& reason) {
+  cancel_.store(true, std::memory_order_release);
+  gate_.Close(reason);
+  if (worker_.joinable()) worker_.join();
+}
+
+void InstantRestart::SetBacklogGauge() {
+  if (backlog_gauge_ != nullptr) {
+    backlog_gauge_->Set(static_cast<int64_t>(gate_.unresolved_groups()));
+  }
+}
+
+}  // namespace ariesrh

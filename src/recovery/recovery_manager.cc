@@ -71,10 +71,10 @@ std::string RecoveryManager::Outcome::ToString() const {
   return out.str();
 }
 
-Result<RecoveryManager::Outcome> RecoveryManager::Recover(
-    const coord::Resolution* resolution) {
-  // Locate the most recent completed checkpoint via the master record.
-  //
+Result<Lsn> RecoveryManager::LocateCheckpoint(const Options& options,
+                                              SimulatedDisk* disk,
+                                              LogManager* log,
+                                              CheckpointData* out) {
   // The history-rewriting baselines cannot start from a checkpoint: a
   // delegation *retroactively* edits records and chain heads that predate
   // the snapshot, so a checkpointed transaction table may be stale by the
@@ -82,22 +82,28 @@ Result<RecoveryManager::Outcome> RecoveryManager::Recover(
   // ARIES/RH has no such problem because the log is immutable.) They
   // recover from the log head instead.
   const bool can_use_checkpoint =
-      options_.delegation_mode == DelegationMode::kRH ||
-      options_.delegation_mode == DelegationMode::kDisabled;
-  CheckpointData ckpt;
-  const CheckpointData* ckpt_ptr = nullptr;
-  Lsn ckpt_end_lsn = can_use_checkpoint ? disk_->master_record() : 0;
-  if (ckpt_end_lsn != 0 && ckpt_end_lsn <= log_->flushed_lsn()) {
-    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(ckpt_end_lsn));
-    if (rec.type != LogRecordType::kCkptEnd) {
-      return Status::Corruption("master record does not point at CKPT_END");
-    }
-    ARIESRH_ASSIGN_OR_RETURN(ckpt,
-                             CheckpointData::Deserialize(rec.ckpt_payload));
-    ckpt_ptr = &ckpt;
-  } else {
-    ckpt_end_lsn = 0;
+      options.delegation_mode == DelegationMode::kRH ||
+      options.delegation_mode == DelegationMode::kDisabled;
+  const Lsn ckpt_end_lsn = can_use_checkpoint ? disk->master_record() : 0;
+  if (ckpt_end_lsn == 0 || ckpt_end_lsn > log->flushed_lsn()) {
+    return static_cast<Lsn>(0);
   }
+  ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log->Read(ckpt_end_lsn));
+  if (rec.type != LogRecordType::kCkptEnd) {
+    return Status::Corruption("master record does not point at CKPT_END");
+  }
+  ARIESRH_ASSIGN_OR_RETURN(*out,
+                           CheckpointData::Deserialize(rec.ckpt_payload));
+  return ckpt_end_lsn;
+}
+
+Result<RecoveryManager::Outcome> RecoveryManager::Recover(
+    const coord::Resolution* resolution) {
+  CheckpointData ckpt;
+  Lsn ckpt_end_lsn = 0;
+  ARIESRH_ASSIGN_OR_RETURN(ckpt_end_lsn,
+                           LocateCheckpoint(options_, disk_, log_, &ckpt));
+  const CheckpointData* ckpt_ptr = ckpt_end_lsn != 0 ? &ckpt : nullptr;
 
   const size_t threads = std::max<size_t>(1, options_.recovery_threads);
   Outcome outcome;

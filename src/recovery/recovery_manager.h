@@ -86,6 +86,16 @@ class RecoveryManager {
   /// fails (torn tail). Called before constructing the log manager.
   static Status TruncateTornTail(SimulatedDisk* disk);
 
+  /// Locates the most recent completed checkpoint via the disk's master
+  /// record and deserializes it into `out`. Returns the CKPT_END LSN, or 0
+  /// when recovery must start from the log head (`out` is then untouched) —
+  /// always 0 for the history-rewriting baselines, whose checkpoints would
+  /// be stale (see Recover). Shared by the blocking path and instant
+  /// restart's analysis front half.
+  static Result<Lsn> LocateCheckpoint(const Options& options,
+                                      SimulatedDisk* disk, LogManager* log,
+                                      CheckpointData* out);
+
  private:
   Status UndoLosers(const ForwardPassResult& fwd, std::vector<TxnId>* resolved,
                     Outcome* outcome);

@@ -24,6 +24,7 @@ Result<Page*> BufferPool::FetchLocked(PageId id) {
     ++hits_;
     if (stats_ != nullptr) ++stats_->bp_hits;
     Touch(id, &it->second);
+    ResolvePendingRedoLocked(id, &it->second.page);
     return &it->second.page;
   }
   ++misses_;
@@ -43,7 +44,19 @@ Result<Page*> BufferPool::FetchLocked(PageId id) {
   frame.lru_pos = lru_.begin();
   auto [pos, inserted] = frames_.emplace(id, std::move(frame));
   assert(inserted);
+  ResolvePendingRedoLocked(id, &pos->second.page);
   return &pos->second.page;
+}
+
+void BufferPool::ResolvePendingRedoLocked(PageId id, Page* page) {
+  if (!redo_resolve_) return;
+  const Lsn rec_lsn = redo_resolve_(id, page);
+  if (rec_lsn != kInvalidLsn) MarkDirtyLocked(id, rec_lsn);
+}
+
+void BufferPool::set_redo_resolve(RedoResolveFn resolve) {
+  std::lock_guard<std::mutex> lock(mu_);
+  redo_resolve_ = std::move(resolve);
 }
 
 Status BufferPool::WithPage(PageId id, const std::function<Lsn(Page*)>& fn) {

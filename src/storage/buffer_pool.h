@@ -37,6 +37,12 @@ namespace ariesrh {
 /// Flushes the write-ahead log up to (and including) the given LSN.
 using WalFlushFn = std::function<Status(Lsn)>;
 
+/// Instant-restart hook: replays a page's pending redo-plan suffix onto the
+/// freshly fetched frame, returning the first applied LSN (the frame's
+/// rec_lsn) or kInvalidLsn when nothing was pending. Runs under the pool
+/// latch (lock order: pool latch, then the redo index's lock).
+using RedoResolveFn = std::function<Lsn(PageId, Page*)>;
+
 /// LRU buffer pool. Volatile: Reset() models the crash.
 class BufferPool {
  public:
@@ -78,6 +84,12 @@ class BufferPool {
   /// Crash: discards every frame, including dirty ones.
   void Reset();
 
+  /// Installs (or clears, with an empty function) the instant-restart
+  /// resolve hook. Every fetch — hit or miss, any entry point — consults it
+  /// before the frame is visible, so no caller can observe a page whose
+  /// pending redo has not been replayed. Install before the engine opens.
+  void set_redo_resolve(RedoResolveFn resolve);
+
   size_t capacity() const { return capacity_; }
   size_t cached_pages() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -95,6 +107,7 @@ class BufferPool {
   };
 
   Result<Page*> FetchLocked(PageId id);
+  void ResolvePendingRedoLocked(PageId id, Page* page);
   void MarkDirtyLocked(PageId id, Lsn rec_lsn);
   Status EvictOne();
   Status WriteBack(PageId id, Frame* frame);
@@ -103,6 +116,7 @@ class BufferPool {
   SimulatedDisk* disk_;
   size_t capacity_;
   WalFlushFn wal_flush_;
+  RedoResolveFn redo_resolve_;
   Stats* stats_ = nullptr;
   mutable std::mutex mu_;
   std::unordered_map<PageId, Frame> frames_;

@@ -23,6 +23,7 @@ Result<Lsn> TableHeap::WithRecord(
     const std::function<Result<Lsn>(const std::optional<std::string>&,
                                     RecordMutation*)>& fn) {
   std::lock_guard<std::mutex> lock(mu_);
+  ARIESRH_RETURN_IF_ERROR(DrainBucketLocked(BucketOfRid(TableRid(key))));
   std::optional<std::string> current;
   if (auto it = index_.find(key); it != index_.end()) {
     current.emplace(FrameLocked(it->second.page).ValueAt(it->second.slot));
@@ -44,6 +45,10 @@ Result<Lsn> TableHeap::WithRecord(
 
 std::optional<std::string> TableHeap::Read(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Best-effort drain (a failure here surfaces on the next write path).
+  const_cast<TableHeap*>(this)
+      ->DrainBucketLocked(BucketOfRid(TableRid(key)))
+      .ok();
   const auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
   const auto frame = frames_.find(it->second.page);
@@ -53,6 +58,11 @@ std::optional<std::string> TableHeap::Read(const std::string& key) const {
 std::vector<std::pair<std::string, std::string>> TableHeap::Scan(
     const std::string& start_key, size_t limit) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (redo_resolve_) {
+    for (size_t b = 0; b < kTableBuckets; ++b) {
+      const_cast<TableHeap*>(this)->DrainBucketLocked(b).ok();
+    }
+  }
   std::vector<std::pair<std::string, std::string>> out;
   for (auto it = index_.lower_bound(start_key); it != index_.end(); ++it) {
     if (limit != 0 && out.size() >= limit) break;
@@ -65,6 +75,14 @@ std::vector<std::pair<std::string, std::string>> TableHeap::Scan(
 
 Status TableHeap::ApplyLogical(const LogRecord& rec) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Instant restart: a CLR (or any out-of-band replay) must land after the
+  // key's pending forward records — state-based idempotence is per-key LSN
+  // order, so the bucket drains first.
+  ARIESRH_RETURN_IF_ERROR(DrainBucketLocked(BucketOfRid(rec.object)));
+  return ApplyLogicalLocked(rec);
+}
+
+Status TableHeap::ApplyLogicalLocked(const LogRecord& rec) {
   switch (rec.type) {
     case LogRecordType::kTableInsert:
     case LogRecordType::kTableUpdate:
@@ -77,6 +95,28 @@ Status TableHeap::ApplyLogical(const LogRecord& rec) {
     default:
       return Status::IllegalState("not a table log record");
   }
+}
+
+Status TableHeap::DrainBucketLocked(size_t bucket) {
+  if (!redo_resolve_) return Status::OK();
+  const std::vector<LogRecord> recs = redo_resolve_(bucket);
+  for (const LogRecord& rec : recs) {
+    ARIESRH_RETURN_IF_ERROR(ApplyLogicalLocked(rec));
+  }
+  return Status::OK();
+}
+
+void TableHeap::set_redo_resolve(BucketResolveFn resolve) {
+  std::lock_guard<std::mutex> lock(mu_);
+  redo_resolve_ = std::move(resolve);
+}
+
+Status TableHeap::DrainPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t b = 0; b < kTableBuckets; ++b) {
+    ARIESRH_RETURN_IF_ERROR(DrainBucketLocked(b));
+  }
+  return Status::OK();
 }
 
 Status TableHeap::FlushAll() {

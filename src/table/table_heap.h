@@ -101,6 +101,12 @@ struct RecordMutation {
   std::string value;
 };
 
+/// Instant-restart hook: removes and returns a bucket's pending logical
+/// redo records (in LSN order) for the heap to replay before it serves the
+/// bucket. Runs under the heap latch (lock order: heap latch, then the redo
+/// index's lock).
+using BucketResolveFn = std::function<std::vector<LogRecord>(size_t bucket)>;
+
 class TableHeap {
  public:
   /// `wal_flush` enforces the WAL rule on write-back (flush the log through
@@ -151,6 +157,16 @@ class TableHeap {
   /// scanning slot directories. Called before recovery replays the log.
   Status Bootstrap();
 
+  /// Installs (or clears, with an empty function) the instant-restart
+  /// resolve hook. Every record access — WithRecord, Read, Scan, and CLR
+  /// application — drains the touched bucket's pending records first, so no
+  /// caller observes a key whose log suffix has not been replayed.
+  void set_redo_resolve(BucketResolveFn resolve);
+
+  /// Drains every bucket's pending records (instant restart's final
+  /// background sweep). A no-op without a resolve hook.
+  Status DrainPending();
+
   size_t record_count() const {
     std::lock_guard<std::mutex> lock(mu_);
     return index_.size();
@@ -162,6 +178,8 @@ class TableHeap {
     uint32_t slot = 0;
   };
 
+  Status ApplyLogicalLocked(const LogRecord& rec);
+  Status DrainBucketLocked(size_t bucket);
   Status UpsertLocked(const std::string& key, const std::string& value,
                       Lsn lsn);
   Status RemoveLocked(const std::string& key, Lsn lsn);
@@ -175,6 +193,7 @@ class TableHeap {
   SimulatedDisk* disk_;
   Stats* stats_;
   WalFlushFn wal_flush_;
+  BucketResolveFn redo_resolve_;
 
   mutable std::mutex mu_;
   std::map<PageId, HeapPage> frames_;

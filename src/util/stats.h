@@ -67,6 +67,8 @@ struct Observability;
   X(recovery, recovery_undos, "undos")                                  \
   X(recovery, recovery_redos, "redos")                                  \
   X(recovery, recovery_passes, "passes")                                \
+  X(recovery, ondemand_redo_pages, "ondemand_pages")   /* lazily drained */ \
+  X(recovery, ondemand_redo_records, "ondemand_records")                \
   /* --- checkpoints & log retention --- */                             \
   X(checkpoint, checkpoints_taken, "taken")                             \
   X(checkpoint, archived_records, "archived_records")                   \

@@ -16,9 +16,11 @@
 namespace ariesrh {
 namespace {
 
-Options ShardedOptions(size_t shards) {
+Options ShardedOptions(size_t shards,
+                       RecoveryMode mode = RecoveryMode::kFull) {
   Options options;
   options.num_shards = shards;
+  options.recovery_mode = mode;
   return options;
 }
 
@@ -63,7 +65,16 @@ RecoveryManager::Outcome RunToCrashPoint(
   return outcome.ok() ? *outcome : RecoveryManager::Outcome{};
 }
 
-class ShardedCrashMatrixTest : public ::testing::TestWithParam<size_t> {};
+// The whole matrix runs under both recovery modes. Under kInstant the
+// Recover() shim inside RunToCrashPoint starts the instant restart and
+// Await()s it, so every ground-truth assertion doubles as an observational
+// equivalence check against what kFull produces at the same crash point.
+class ShardedCrashMatrixTest
+    : public ::testing::TestWithParam<std::tuple<size_t, RecoveryMode>> {
+ protected:
+  size_t shard_count() const { return std::get<0>(GetParam()); }
+  RecoveryMode mode() const { return std::get<1>(GetParam()); }
+};
 
 // --- two-phase commit ---
 
@@ -88,9 +99,9 @@ std::vector<TwoPcPoint> TwoPcMatrix(size_t shards) {
 }
 
 TEST_P(ShardedCrashMatrixTest, TwoPhaseCommitIsAtomicAtEveryCrashPoint) {
-  const size_t shards = GetParam();
+  const size_t shards = shard_count();
   for (const TwoPcPoint& pt : TwoPcMatrix(shards)) {
-    Database db(ShardedOptions(shards));
+    Database db(ShardedOptions(shards, mode()));
     const std::vector<ObjectId> obs = OnePerShard(db);
     // A committed backdrop value distinguishes "undone" from "never ran".
     TxnId setup = *db.Begin();
@@ -111,10 +122,10 @@ TEST_P(ShardedCrashMatrixTest, TwoPhaseCommitIsAtomicAtEveryCrashPoint) {
 }
 
 TEST_P(ShardedCrashMatrixTest, InDoubtCountsMatchTheDecisionPoint) {
-  const size_t shards = GetParam();
+  const size_t shards = shard_count();
   // Crash after the decision, before any second-phase record: every shard
   // is in doubt and every one must resolve committed.
-  Database db(ShardedOptions(shards));
+  Database db(ShardedOptions(shards, mode()));
   const std::vector<ObjectId> obs = OnePerShard(db);
   TxnId t = *db.Begin();
   for (ObjectId ob : obs) ASSERT_TRUE(db.Set(t, ob, 7).ok());
@@ -137,7 +148,7 @@ TEST_P(ShardedCrashMatrixTest, InDoubtCountsMatchTheDecisionPoint) {
 
   // And the mirror image: crash before the decision leaves every prepared
   // shard to presumed abort.
-  Database db2(ShardedOptions(shards));
+  Database db2(ShardedOptions(shards, mode()));
   const std::vector<ObjectId> obs2 = OnePerShard(db2);
   TxnId t2 = *db2.Begin();
   for (ObjectId ob : obs2) ASSERT_TRUE(db2.Set(t2, ob, 7).ok());
@@ -156,7 +167,7 @@ TEST_P(ShardedCrashMatrixTest, InDoubtCountsMatchTheDecisionPoint) {
 /// applied (after). The matrix asserts that totality: no half-transferred
 /// scope may rescue or strand an update on any shard.
 TEST_P(ShardedCrashMatrixTest, DelegationCrashLeavesNoHalfTransfer) {
-  const size_t shards = GetParam();
+  const size_t shards = shard_count();
   std::vector<std::string> points = {"xdel:before-coord-prepare",
                                      "xdel:before-decision",
                                      "xdel:after-decision"};
@@ -164,7 +175,7 @@ TEST_P(ShardedCrashMatrixTest, DelegationCrashLeavesNoHalfTransfer) {
     points.push_back("xdel:before-apply:" + std::to_string(s));
   }
   for (const std::string& point : points) {
-    Database db(ShardedOptions(shards));
+    Database db(ShardedOptions(shards, mode()));
     const std::vector<ObjectId> obs = OnePerShard(db);
     TxnId setup = *db.Begin();
     for (ObjectId ob : obs) ASSERT_TRUE(db.Set(setup, ob, 100).ok());
@@ -190,10 +201,10 @@ TEST_P(ShardedCrashMatrixTest, DelegationCrashLeavesNoHalfTransfer) {
 /// delegation round's verdict decides whose transaction the scopes died
 /// or lived with.)
 TEST_P(ShardedCrashMatrixTest, DelegationDecisionGatesTheHandover) {
-  const size_t shards = GetParam();
+  const size_t shards = shard_count();
   // Committed handover: transfer completes, tee commits, crash. All the
   // delegated updates belong to the committed tee and must survive.
-  Database db(ShardedOptions(shards));
+  Database db(ShardedOptions(shards, mode()));
   const std::vector<ObjectId> obs = OnePerShard(db);
   TxnId tor = *db.Begin();
   TxnId tee = *db.Begin();
@@ -207,7 +218,7 @@ TEST_P(ShardedCrashMatrixTest, DelegationDecisionGatesTheHandover) {
   // Voided handover: the coordinator COMMIT never became durable, so even
   // a tee that then "commits" (it holds nothing yet — the legs are applied
   // only in volatile state on some shards) cannot keep the updates.
-  Database db2(ShardedOptions(shards));
+  Database db2(ShardedOptions(shards, mode()));
   const std::vector<ObjectId> obs2 = OnePerShard(db2);
   TxnId tor2 = *db2.Begin();
   TxnId tee2 = *db2.Begin();
@@ -218,11 +229,15 @@ TEST_P(ShardedCrashMatrixTest, DelegationDecisionGatesTheHandover) {
   for (ObjectId ob : obs2) EXPECT_EQ(*db2.ReadCommitted(ob), 0);
 }
 
-INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedCrashMatrixTest,
-                         ::testing::Values(2, 4),
-                         [](const auto& info) {
-                           return "shards" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    ShardCounts, ShardedCrashMatrixTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 4),
+                       ::testing::Values(RecoveryMode::kFull,
+                                         RecoveryMode::kInstant)),
+    [](const auto& info) {
+      return "shards" + std::to_string(std::get<0>(info.param)) + "_" +
+             RecoveryModeName(std::get<1>(info.param));
+    });
 
 /// At one shard no protocol point is ever reached: the hook must stay
 /// silent and the classic paths carry the same workloads unchanged.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <string>
 #include <vector>
@@ -336,14 +337,42 @@ TEST(ShardedDatabaseTest, TxnIdsStayGloballyUniqueAcrossRestart) {
   EXPECT_GT(records.back().csn, max_before);
 }
 
-TEST(ShardedDatabaseTest, SingleShardPersistenceOnlyOperationsRefuse) {
-  Database db(ShardedOptions(2));
-  EXPECT_TRUE(db.SaveTo("/tmp/ariesrh_sharded_save").IsNotSupported());
-  EXPECT_TRUE(db.Backup().status().IsNotSupported());
+TEST(ShardedDatabaseTest, ShardedSaveOpenRoundTrips) {
+  // SaveTo/Open were single-shard only; the lifted surface persists every
+  // shard image plus the coordinator sidecar and reopens them as one
+  // coordinated restart. Backup/restore remains single-shard.
+  const std::string path =
+      ::testing::TempDir() + "/ariesrh_sharded_save.ariesrh";
   Options two = ShardedOptions(2);
-  EXPECT_TRUE(
-      Database::Open(two, "/tmp/ariesrh_sharded_save").status()
-          .IsNotSupported());
+  ObjectId a = 0;
+  ObjectId b = 0;
+  {
+    Database db(two);
+    a = ObOnShard(db, 0);
+    b = ObOnShard(db, 1);
+    TxnId t = *db.Begin();
+    ASSERT_TRUE(db.Set(t, a, 7).ok());
+    ASSERT_TRUE(db.Set(t, b, 9).ok());
+    ASSERT_TRUE(db.Commit(t).ok());
+    ASSERT_TRUE(db.Sync().ok());
+    EXPECT_TRUE(db.Backup().status().IsNotSupported());
+    ASSERT_TRUE(db.SaveTo(path).ok());
+  }
+  Result<Database::OpenResult> reopened = Database::Open(two, path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Database& db = *reopened->db;
+  ASSERT_TRUE(reopened->recovery->Await().ok());
+  EXPECT_EQ(*db.ReadCommitted(a), 7);
+  EXPECT_EQ(*db.ReadCommitted(b), 9);
+  // The reopened facade still runs cross-shard two-phase commit.
+  TxnId t = *db.Begin();
+  ASSERT_TRUE(db.Set(t, a, 8).ok());
+  ASSERT_TRUE(db.Set(t, b, 10).ok());
+  ASSERT_TRUE(db.Commit(t).ok());
+  EXPECT_EQ(*db.ReadCommitted(b), 10);
+  std::remove(path.c_str());
+  std::remove((path + ".shard1").c_str());
+  std::remove((path + ".coord").c_str());
 }
 
 TEST(ShardedDatabaseTest, PerShardMetricsCarryShardLabels) {

@@ -80,11 +80,14 @@ TEST(DatabasePersistenceTest, SaveOpenRecoverPreservesCommittedState) {
     ASSERT_TRUE(db.SaveTo(path).ok());
   }  // the "process" exits
 
-  Result<std::unique_ptr<Database>> reopened = Database::Open({}, path);
+  Result<Database::OpenResult> reopened = Database::Open({}, path);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
-  Database& db = **reopened;
-  EXPECT_TRUE(db.NeedsRecovery());
-  ASSERT_TRUE(db.Recover().ok());
+  Database& db = *reopened->db;
+  // The one open surface already ran restart recovery (kFull by default):
+  // the database comes back live, the handle terminal.
+  EXPECT_FALSE(db.NeedsRecovery());
+  EXPECT_TRUE(reopened->recovery->done());
+  ASSERT_TRUE(reopened->recovery->Await().ok());
   EXPECT_EQ(*db.ReadCommitted(1), 10);
   EXPECT_EQ(*db.ReadCommitted(2), 5);
   EXPECT_EQ(*db.ReadCommitted(3), 0);  // loser rolled back on reopen
@@ -102,10 +105,9 @@ TEST(DatabasePersistenceTest, DelegationStateSurvivesSaveOpen) {
     ASSERT_TRUE(db.Commit(t1).ok());  // delegatee commits; t0 still active
     ASSERT_TRUE(db.SaveTo(path).ok());
   }
-  Result<std::unique_ptr<Database>> reopened = Database::Open({}, path);
+  Result<Database::OpenResult> reopened = Database::Open({}, path);
   ASSERT_TRUE(reopened.ok());
-  ASSERT_TRUE((*reopened)->Recover().ok());
-  EXPECT_EQ(*(*reopened)->ReadCommitted(5), 42);
+  EXPECT_EQ(*reopened->db->ReadCommitted(5), 42);
   std::remove(path.c_str());
 }
 
@@ -118,10 +120,9 @@ TEST(DatabasePersistenceTest, UnflushedTailIsNotSaved) {
     // No commit, no flush: the update only lives in the volatile tail.
     ASSERT_TRUE(db.SaveTo(path).ok());
   }
-  Result<std::unique_ptr<Database>> reopened = Database::Open({}, path);
+  Result<Database::OpenResult> reopened = Database::Open({}, path);
   ASSERT_TRUE(reopened.ok());
-  ASSERT_TRUE((*reopened)->Recover().ok());
-  EXPECT_EQ(*(*reopened)->ReadCommitted(1), 0);
+  EXPECT_EQ(*reopened->db->ReadCommitted(1), 0);
   std::remove(path.c_str());
 }
 
@@ -135,10 +136,9 @@ TEST(DatabasePersistenceTest, SaveOpenCycleRepeats) {
     ASSERT_TRUE(db.SaveTo(path).ok());
   }
   for (int cycle = 2; cycle <= 4; ++cycle) {
-    Result<std::unique_ptr<Database>> reopened = Database::Open({}, path);
+    Result<Database::OpenResult> reopened = Database::Open({}, path);
     ASSERT_TRUE(reopened.ok());
-    Database& db = **reopened;
-    ASSERT_TRUE(db.Recover().ok());
+    Database& db = *reopened->db;
     TxnId t = *db.Begin();
     ASSERT_TRUE(db.Add(t, 1, 1).ok());
     ASSERT_TRUE(db.Commit(t).ok());

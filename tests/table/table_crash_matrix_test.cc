@@ -20,10 +20,11 @@
 namespace ariesrh {
 namespace {
 
-Options MatrixOptions(size_t shards, size_t threads) {
+Options MatrixOptions(size_t shards, size_t threads, RecoveryMode mode) {
   Options options;
   options.num_shards = shards;
   options.recovery_threads = threads;
+  options.recovery_mode = mode;
   return options;
 }
 
@@ -87,20 +88,30 @@ void VerifyState(Database* db, const std::map<std::string, std::string>& expecte
   }
 }
 
+// The matrix runs under both recovery modes: kFull (the classic blocking
+// restart) and kInstant (analysis-only open, on-demand redo at fetch,
+// background cluster undo). The Recover() shim Await()s the instant
+// restart's handle, so every assertion below doubles as an observational
+// equivalence check — the post-Await state must match what kFull produces.
 class TableCrashMatrixTest
-    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {
+    : public ::testing::TestWithParam<
+          std::tuple<size_t, size_t, RecoveryMode>> {
  protected:
   size_t shards() const { return std::get<0>(GetParam()); }
   size_t threads() const { return std::get<1>(GetParam()); }
+  RecoveryMode mode() const { return std::get<2>(GetParam()); }
 };
 
 INSTANTIATE_TEST_SUITE_P(
     ShardsAndThreads, TableCrashMatrixTest,
     ::testing::Combine(::testing::Values(1u, 2u, 4u),
-                       ::testing::Values(1u, 2u, 4u)),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(RecoveryMode::kFull,
+                                         RecoveryMode::kInstant)),
     [](const auto& info) {
       return "shards" + std::to_string(std::get<0>(info.param)) + "_threads" +
-             std::to_string(std::get<1>(info.param));
+             std::to_string(std::get<1>(info.param)) + "_" +
+             RecoveryModeName(std::get<2>(info.param));
     });
 
 // A loser crashed after every possible prefix of its script must vanish
@@ -108,7 +119,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_P(TableCrashMatrixTest, LoserUndoneAtEveryCrashPoint) {
   const std::vector<Op> script = LoserScript();
   for (size_t prefix = 0; prefix <= script.size(); ++prefix) {
-    Database db(MatrixOptions(shards(), threads()));
+    Database db(MatrixOptions(shards(), threads(), mode()));
     InstallBase(&db);
     if (::testing::Test::HasFatalFailure()) return;
     TxnId loser = *db.Begin();
@@ -128,7 +139,7 @@ TEST_P(TableCrashMatrixTest, LoserUndoneAtEveryCrashPoint) {
 // The same script committed must survive in full — including when the crash
 // lands between the commit and any page flush (pure logical redo).
 TEST_P(TableCrashMatrixTest, CommittedScriptSurvivesIntact) {
-  Database db(MatrixOptions(shards(), threads()));
+  Database db(MatrixOptions(shards(), threads(), mode()));
   InstallBase(&db);
   if (::testing::Test::HasFatalFailure()) return;
   std::map<std::string, std::string> model = BaseState();
@@ -150,7 +161,7 @@ TEST_P(TableCrashMatrixTest, CommittedScriptSurvivesIntact) {
 // Mixed fates with interleaved writers: committed and loser transactions
 // alternate over overlapping key ranges; only the committed writes live.
 TEST_P(TableCrashMatrixTest, MixedFatesResolvePerKey) {
-  Database db(MatrixOptions(shards(), threads()));
+  Database db(MatrixOptions(shards(), threads(), mode()));
   InstallBase(&db);
   if (::testing::Test::HasFatalFailure()) return;
   std::map<std::string, std::string> model = BaseState();
@@ -186,7 +197,7 @@ TEST_P(TableCrashMatrixTest, InterruptedRecoveryConverges) {
     const std::string label =
         "redo_budget=" + std::to_string(shape.redo_budget) +
         " undo_budget=" + std::to_string(shape.undo_budget);
-    Database db(MatrixOptions(shards(), threads()));
+    Database db(MatrixOptions(shards(), threads(), mode()));
     InstallBase(&db);
     if (::testing::Test::HasFatalFailure()) return;
     TxnId loser = *db.Begin();
@@ -224,7 +235,7 @@ TEST_P(TableCrashMatrixTest, InterruptedRecoveryConverges) {
 // before each injected crash persist, so every attempt starts further along
 // and the loop converges.
 TEST_P(TableCrashMatrixTest, RepeatedUndoInterruptionConverges) {
-  Database db(MatrixOptions(shards(), threads()));
+  Database db(MatrixOptions(shards(), threads(), mode()));
   InstallBase(&db);
   if (::testing::Test::HasFatalFailure()) return;
   TxnId loser = *db.Begin();
@@ -255,7 +266,7 @@ TEST_P(TableCrashMatrixTest, RepeatedUndoInterruptionConverges) {
 // recovery from that checkpoint must still see and undo the loser, and must
 // redo committed writes that only exist past the checkpoint.
 TEST_P(TableCrashMatrixTest, CheckpointCoversTheHeap) {
-  Database db(MatrixOptions(shards(), threads()));
+  Database db(MatrixOptions(shards(), threads(), mode()));
   InstallBase(&db);
   if (::testing::Test::HasFatalFailure()) return;
   std::map<std::string, std::string> model = BaseState();
@@ -276,7 +287,7 @@ TEST_P(TableCrashMatrixTest, CheckpointCoversTheHeap) {
 // Two crash/recover cycles back to back: recovery's own output (CLRs, the
 // restart checkpoint) must itself recover cleanly.
 TEST_P(TableCrashMatrixTest, DoubleCrashIsStable) {
-  Database db(MatrixOptions(shards(), threads()));
+  Database db(MatrixOptions(shards(), threads(), mode()));
   InstallBase(&db);
   if (::testing::Test::HasFatalFailure()) return;
   TxnId loser = *db.Begin();

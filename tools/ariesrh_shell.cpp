@@ -309,11 +309,12 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<Database> db;
   if (!save_path.empty()) {
-    Result<std::unique_ptr<Database>> opened =
-        Database::Open(options, save_path);
+    Result<Database::OpenResult> opened = Database::Open(options, save_path);
     if (opened.ok()) {
-      db = std::move(*opened);
-      Result<RecoveryManager::Outcome> outcome = db->Recover();
+      db = std::move(opened->db);
+      // Open already ran restart per options.recovery_mode; the handle
+      // carries the (possibly still draining) outcome.
+      Result<RecoveryManager::Outcome> outcome = opened->recovery->Await();
       if (!outcome.ok()) {
         std::fprintf(stderr, "recovery failed: %s\n",
                      outcome.status().ToString().c_str());
