@@ -12,6 +12,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/database.h"
@@ -19,10 +20,20 @@
 
 namespace ariesrh::bench {
 
+/// Logical CPUs of the host the bench ran on. Every bench JSON records this
+/// (global context AND a per-row counter): a throughput-scaling row measured
+/// on a 1-CPU container means something very different from the same row on
+/// a 16-core box, and the checked-in JSONs must say which one they are.
+inline uint64_t NumCpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
 /// Drop-in replacement for BENCHMARK_MAIN(): runs the registered benchmarks
 /// with console output as usual AND writes the full google-benchmark JSON
 /// report (timings + per-row counters) to BENCH_<name>.json in the working
 /// directory, so experiment tables can be collected without re-running.
+/// The report's context section carries num_cpus_host (see NumCpus).
 inline int BenchMain(const char* name, int argc, char** argv) {
   // Default --benchmark_out to BENCH_<name>.json; an explicit flag wins.
   std::string out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
@@ -41,6 +52,7 @@ inline int BenchMain(const char* name, int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  benchmark::AddCustomContext("num_cpus_host", std::to_string(NumCpus()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

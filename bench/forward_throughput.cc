@@ -47,12 +47,20 @@ void RunForwardThroughput(benchmark::State& state, bool daemon) {
   uint64_t restarts = 0;
   uint64_t checkpoints = 0;
   uint64_t archived = 0;
+  double commit_p50_ns = 0.0;
+  double commit_p99_ns = 0.0;
   for (auto _ : state) {
     state.PauseTiming();
     Options options;
     options.force_commits = true;
     options.group_commit = true;
-    options.group_commit_window_us = 0;  // force as soon as the queue drains
+    // Adaptive window: a lone committer forces immediately (no sampled
+    // inter-arrival gap), while concurrent committers stretch the window
+    // just far enough to coalesce the in-flight burst into one force.
+    options.group_commit_policy = GroupCommitPolicy::kAdaptive;
+    options.group_commit_target_batch =
+        workers > 2 ? workers : 2;  // batch what the workers can supply
+    options.early_lock_release = true;
     options.sim_log_force_ns = kForceStallNs;
     if (daemon) {
       options.checkpoint_interval_records = 256;
@@ -89,8 +97,18 @@ void RunForwardThroughput(benchmark::State& state, bool daemon) {
     restarts += scheduler.restarts();
     checkpoints += delta.checkpoints_taken;
     archived += delta.archived_records;
+    if (const obs::Histogram* latency =
+            db.metrics()->FindHistogram("ariesrh_commit_latency_ns")) {
+      const obs::Histogram::Snapshot snapshot = latency->GetSnapshot();
+      commit_p50_ns = snapshot.P50();
+      commit_p99_ns = snapshot.P99();
+    }
     state.ResumeTiming();
   }
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["num_cpus"] = static_cast<double>(bench::NumCpus());
+  state.counters["commit_p50_ns"] = commit_p50_ns;
+  state.counters["commit_p99_ns"] = commit_p99_ns;
   state.counters["committed"] = static_cast<double>(committed);
   state.counters["txns_per_s"] = benchmark::Counter(
       static_cast<double>(committed), benchmark::Counter::kIsRate);
@@ -118,6 +136,7 @@ BENCHMARK(BM_ForwardThroughput)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -125,6 +144,7 @@ BENCHMARK(BM_ForwardThroughputDaemon)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -178,6 +198,8 @@ void BM_ShardedThroughput(benchmark::State& state) {
     restarts += scheduler.restarts();
     state.ResumeTiming();
   }
+  state.counters["workers"] = static_cast<double>(kWorkers);
+  state.counters["num_cpus"] = static_cast<double>(bench::NumCpus());
   state.counters["committed"] = static_cast<double>(committed);
   state.counters["txns_per_s"] = benchmark::Counter(
       static_cast<double>(committed), benchmark::Counter::kIsRate);

@@ -520,24 +520,28 @@ Status Database::Commit(TxnId txn) {
   std::unique_lock lock(route->mu);
   ARIESRH_RETURN_IF_ERROR(CheckRouteActive(*route, txn));
 
-  // Facade dependency gate, mirroring TxnManager::Commit.
-  std::vector<std::pair<TxnId, DependencyType>> prerequisites;
+  // Facade dependency gate, mirroring TxnManager::Commit. kCommitDurable
+  // edges never reach this graph — they are shard-local (the lock manager
+  // generates them), and the shard-level commit/prepare paths both force
+  // past the dependency's COMMIT record in the same shard log.
+  std::vector<DependencyGraph::Prerequisite> prerequisites;
   {
     std::lock_guard deps_lock(deps_mu_);
     prerequisites = deps_.CommitPrerequisites(txn);
   }
-  for (const auto& [on, type] : prerequisites) {
-    const TxnState on_state = RouteOutcomeOf(on);
+  for (const DependencyGraph::Prerequisite& p : prerequisites) {
+    const TxnState on_state = RouteOutcomeOf(p.on);
     if (on_state == TxnState::kActive) {
       return Status::Busy("commit dependency on active transaction " +
-                          std::to_string(on));
+                          std::to_string(p.on));
     }
     if (on_state == TxnState::kAborted &&
-        type == DependencyType::kStrongCommit) {
+        (p.type == DependencyType::kStrongCommit ||
+         p.type == DependencyType::kCommitDurable)) {
       lock.unlock();
       ARIESRH_RETURN_IF_ERROR(Abort(txn));
       return Status::Aborted("strong-commit prerequisite " +
-                             std::to_string(on) + " aborted");
+                             std::to_string(p.on) + " aborted");
     }
   }
 
@@ -575,6 +579,7 @@ void Database::ObserveFirstCommit() {
 }
 
 Status Database::TwoPhaseCommit(TxnId txn, const std::vector<size_t>& parts) {
+  const uint64_t commit_requested = obs::MonotonicNanos();
   const uint64_t csn = coord_->NextCsn();
   coord::CoordRecord open;
   open.csn = csn;
@@ -604,6 +609,10 @@ Status Database::TwoPhaseCommit(TxnId txn, const std::vector<size_t>& parts) {
   // The commit point: once this force returns, the transaction is durably
   // committed even if every shard's own COMMIT record is still volatile.
   ARIESRH_RETURN_IF_ERROR(PoisonOnError(coord_->Force()));
+  // Durable ack: the user-visible commit latency ends here, not after the
+  // lazy phase 2 below.
+  obs_.registry.GetHistogram("ariesrh_commit_latency_ns")
+      ->Observe(obs::MonotonicNanos() - commit_requested);
   ARIESRH_RETURN_IF_ERROR(PoisonOnError(ProtocolPoint("2pc:after-decision")));
 
   // Phase 2: deliberately lazy — the shard COMMIT/END records ride out with

@@ -49,7 +49,12 @@ void EngineShard::BuildVolatileComponents() {
   // The flusher is volatile like everything else here: SimulateCrash tears
   // it down with the log manager and Recover() builds a fresh one.
   if (options_.group_commit) {
-    log_->StartGroupCommit(options_.group_commit_window_us);
+    LogManager::GroupCommitConfig gc;
+    gc.window_us = options_.group_commit_window_us;
+    gc.adaptive = options_.group_commit_policy == GroupCommitPolicy::kAdaptive;
+    gc.max_window_us = options_.group_commit_max_window_us;
+    gc.target_batch = options_.group_commit_target_batch;
+    log_->StartGroupCommit(gc);
   }
   // So is the checkpoint daemon — but it only starts once the shard is
   // usable: mid-recovery (crashed_ still set) its checkpoints would bounce

@@ -39,6 +39,16 @@ const char* RecoveryModeName(RecoveryMode mode) {
   return "unknown";
 }
 
+const char* GroupCommitPolicyName(GroupCommitPolicy policy) {
+  switch (policy) {
+    case GroupCommitPolicy::kFixed:
+      return "fixed";
+    case GroupCommitPolicy::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
 Status Options::Validate() const {
   if (buffer_pool_pages == 0) {
     return Status::InvalidArgument(
@@ -81,6 +91,31 @@ Status Options::Validate() const {
   if (group_commit_window_us > 0 && !group_commit) {
     return Status::InvalidArgument(
         "group_commit_window_us only applies with group_commit enabled");
+  }
+  if (group_commit_policy == GroupCommitPolicy::kAdaptive) {
+    if (!group_commit) {
+      return Status::InvalidArgument(
+          "group_commit_policy adaptive only applies with group_commit "
+          "enabled");
+    }
+    if (group_commit_window_us > 0) {
+      return Status::InvalidArgument(
+          "group_commit_window_us is the fixed-window knob; under the "
+          "adaptive policy the flusher sizes the window itself (cap it with "
+          "group_commit_max_window_us)");
+    }
+    if (group_commit_target_batch < 2) {
+      return Status::InvalidArgument(
+          "group_commit_target_batch must be at least 2 under the adaptive "
+          "policy; a target of 1 means no coalescing — use the fixed policy "
+          "with window 0");
+    }
+  }
+  if (early_lock_release && !force_commits) {
+    return Status::InvalidArgument(
+        "early_lock_release shortens the wait for the commit force; with "
+        "force_commits=false there is no durability wait to release early "
+        "into");
   }
   if ((delegation_mode == DelegationMode::kEager ||
        delegation_mode == DelegationMode::kLazyRewrite) &&

@@ -63,6 +63,20 @@ enum class RecoveryMode {
 
 const char* RecoveryModeName(RecoveryMode mode);
 
+/// How the group-commit flusher picks its coalescing window
+/// (docs/GROUP_COMMIT.md).
+enum class GroupCommitPolicy {
+  /// Fixed window: group_commit_window_us, every batch.
+  kFixed,
+  /// Adaptive window: the flusher tracks commit inter-arrival times (EWMA)
+  /// and waits just long enough for ~group_commit_target_batch committers to
+  /// pile on, capped at group_commit_max_window_us. Under a lone committer
+  /// the window collapses to zero — single-threaded latency is untouched.
+  kAdaptive,
+};
+
+const char* GroupCommitPolicyName(GroupCommitPolicy policy);
+
 /// Upper bound on Options::num_shards. Shards are full engine instances
 /// (log, pool, lock table, daemon threads each); the cap keeps a typo from
 /// spawning thousands of them.
@@ -126,8 +140,31 @@ struct Options {
   /// flush request the flusher waits up to this long for more committers to
   /// pile on before forcing; 0 forces immediately (batching then emerges
   /// naturally from requests arriving while a force is in flight). Only
-  /// meaningful with group_commit.
+  /// meaningful with group_commit and the kFixed policy.
   uint64_t group_commit_window_us = 0;
+
+  /// Window policy (see GroupCommitPolicy). kAdaptive sizes the wait from
+  /// observed arrival rate instead of group_commit_window_us; the two are
+  /// mutually exclusive (set the window only under kFixed).
+  GroupCommitPolicy group_commit_policy = GroupCommitPolicy::kFixed;
+
+  /// kAdaptive only: hard cap on the adaptive window, in microseconds.
+  uint64_t group_commit_max_window_us = 1000;
+
+  /// kAdaptive only: the batch size the adaptive window aims for. The
+  /// flusher also forces as soon as this many requests are queued — under
+  /// either policy — rather than sleeping out the window.
+  uint64_t group_commit_target_batch = 8;
+
+  /// Early lock release (docs/GROUP_COMMIT.md): a committing transaction
+  /// releases its locks the moment its COMMIT record is *appended*, before
+  /// the group-commit force. A transaction that then acquires one of those
+  /// locks picks up a commit-ordering dependency — it may not report commit
+  /// until the releaser's COMMIT record is durable, and cascade-aborts if
+  /// the releaser's flush fails. Shrinks lock hold time by the full force
+  /// latency. Requires force_commits (without a durability wait there is no
+  /// window to release early into).
+  bool early_lock_release = false;
 
   /// Whether delegate(t1, t2, ob) also moves t1's lock on ob to t2
   /// (broadened visibility, paper Section 2.1). Tests that exercise pure

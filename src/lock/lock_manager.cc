@@ -26,15 +26,42 @@ bool LockModesCompatible(LockMode a, LockMode b) {
   return a == b;
 }
 
-Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode) {
+LockManager::Holder* LockManager::ObjectLocks::FindHolder(TxnId txn) {
+  for (Holder& h : holders) {
+    if (h.txn == txn) return &h;
+  }
+  return nullptr;
+}
+
+const LockManager::Holder* LockManager::ObjectLocks::FindHolder(
+    TxnId txn) const {
+  for (const Holder& h : holders) {
+    if (h.txn == txn) return &h;
+  }
+  return nullptr;
+}
+
+bool LockManager::ObjectLocks::HasPermit(TxnId owner, TxnId grantee) const {
+  for (const PermitPair& p : permits) {
+    if (p.owner == owner && p.grantee == grantee) return true;
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode,
+                            CommitDependencyList* elr_deps) {
   Shard& shard = ShardFor(ob);
   std::lock_guard lock(shard.mu);
   ObjectLocks& locks = shard.table[ob];
-  auto self = locks.holders.find(txn);
-  if (self != locks.holders.end() && self->second >= mode) {
+  Holder* self = locks.FindHolder(txn);
+  if (self != nullptr && self->mode >= mode) {
     return Status::OK();  // already held in an equal or stronger mode
   }
-  if (ConflictsIgnoringPermits(locks, txn, mode)) {
+  // Dependencies go to a scratch list first: a kBusy result must not leave
+  // partial entries in the caller's accumulator.
+  CommitDependencyList picked_up;
+  if (ConflictsIgnoringPermits(locks, txn, mode,
+                               elr_deps != nullptr ? &picked_up : nullptr)) {
     if (stats_ != nullptr) {
       ++stats_->lock_conflicts;
       obs::Emit(stats_->trace(), obs::TraceEventType::kLockConflict, txn, ob,
@@ -43,8 +70,15 @@ Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode) {
     return Status::Busy("lock conflict on object " + std::to_string(ob) +
                         " requested " + LockModeName(mode));
   }
-  locks.holders[txn] = mode;
-  shard.held[txn].insert(ob);
+  if (self != nullptr) {
+    self->mode = mode;  // upgrade
+  } else {
+    locks.holders.push_back(Holder{txn, mode, false, kInvalidLsn});
+    shard.held[txn].push_back(ob);
+  }
+  if (elr_deps != nullptr) {
+    for (const CommitDependency& dep : picked_up) elr_deps->push_back(dep);
+  }
   if (stats_ != nullptr) {
     ++stats_->lock_acquires;
     obs::Emit(stats_->trace(), obs::TraceEventType::kLockGrant, txn, ob,
@@ -53,16 +87,38 @@ Status LockManager::Acquire(TxnId txn, ObjectId ob, LockMode mode) {
   return Status::OK();
 }
 
-bool LockManager::ConflictsIgnoringPermits(const ObjectLocks& locks,
-                                           TxnId requester,
-                                           LockMode mode) const {
-  for (const auto& [holder, held_mode] : locks.holders) {
-    if (holder == requester) continue;
-    if (LockModesCompatible(held_mode, mode)) continue;
-    if (locks.permits.contains({holder, requester})) continue;
+bool LockManager::ConflictsIgnoringPermits(
+    const ObjectLocks& locks, TxnId requester, LockMode mode,
+    CommitDependencyList* elr_deps) const {
+  for (const Holder& holder : locks.holders) {
+    if (holder.txn == requester) continue;
+    if (LockModesCompatible(holder.mode, mode)) continue;
+    if (locks.HasPermit(holder.txn, requester)) continue;
+    if (holder.early_released && elr_deps != nullptr) {
+      // The holder's COMMIT record is already appended; instead of blocking,
+      // the requester orders its own commit after the holder's.
+      elr_deps->push_back(CommitDependency{holder.txn, holder.commit_lsn});
+      continue;
+    }
     return true;
   }
   return false;
+}
+
+void LockManager::MarkEarlyReleased(TxnId txn, Lsn commit_lsn) {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    auto* held = shard.held.Find(txn);
+    if (held == nullptr) continue;
+    for (ObjectId ob : *held) {
+      ObjectLocks* locks = shard.table.Find(ob);
+      if (locks == nullptr) continue;
+      if (Holder* h = locks->FindHolder(txn)) {
+        h->early_released = true;
+        h->commit_lsn = commit_lsn;
+      }
+    }
+  }
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
@@ -70,91 +126,100 @@ void LockManager::ReleaseAll(TxnId txn) {
   // consistent under its own mutex.
   for (Shard& shard : shards_) {
     std::lock_guard lock(shard.mu);
-    auto it = shard.held.find(txn);
-    if (it == shard.held.end()) continue;
-    for (ObjectId ob : it->second) {
-      auto tab = shard.table.find(ob);
-      if (tab == shard.table.end()) continue;
-      tab->second.holders.erase(txn);
+    auto* held = shard.held.Find(txn);
+    if (held == nullptr) continue;
+    for (ObjectId ob : *held) {
+      ObjectLocks* locks = shard.table.Find(ob);
+      if (locks == nullptr) continue;
+      for (auto it = locks->holders.begin(); it != locks->holders.end();) {
+        it = (it->txn == txn) ? locks->holders.erase(it) : it + 1;
+      }
       // Permits granted by a terminated owner are moot; drop them.
-      std::erase_if(tab->second.permits,
-                    [txn](const auto& p) { return p.first == txn; });
-      if (tab->second.holders.empty() && tab->second.permits.empty()) {
-        shard.table.erase(tab);
+      for (auto it = locks->permits.begin(); it != locks->permits.end();) {
+        it = (it->owner == txn) ? locks->permits.erase(it) : it + 1;
+      }
+      if (locks->holders.empty() && locks->permits.empty()) {
+        shard.table.Erase(ob);
       }
     }
-    shard.held.erase(it);
+    shard.held.Erase(txn);
   }
+}
+
+void LockManager::DropFromHeld(Shard& shard, TxnId txn, ObjectId ob) {
+  auto* held = shard.held.Find(txn);
+  if (held == nullptr) return;
+  auto it = std::find(held->begin(), held->end(), ob);
+  if (it != held->end()) held->erase(it);
+  if (held->empty()) shard.held.Erase(txn);
 }
 
 void LockManager::Release(TxnId txn, ObjectId ob) {
   Shard& shard = ShardFor(ob);
   std::lock_guard lock(shard.mu);
-  auto tab = shard.table.find(ob);
-  if (tab != shard.table.end()) {
-    tab->second.holders.erase(txn);
-    if (tab->second.holders.empty() && tab->second.permits.empty()) {
-      shard.table.erase(tab);
+  ObjectLocks* locks = shard.table.Find(ob);
+  if (locks != nullptr) {
+    for (auto it = locks->holders.begin(); it != locks->holders.end();) {
+      it = (it->txn == txn) ? locks->holders.erase(it) : it + 1;
+    }
+    if (locks->holders.empty() && locks->permits.empty()) {
+      shard.table.Erase(ob);
     }
   }
-  auto it = shard.held.find(txn);
-  if (it != shard.held.end()) {
-    it->second.erase(ob);
-    if (it->second.empty()) shard.held.erase(it);
-  }
+  DropFromHeld(shard, txn, ob);
 }
 
 void LockManager::Transfer(TxnId from, TxnId to, ObjectId ob) {
   Shard& shard = ShardFor(ob);
   std::lock_guard lock(shard.mu);
-  auto tab = shard.table.find(ob);
-  if (tab == shard.table.end()) return;
-  auto holder = tab->second.holders.find(from);
-  if (holder == tab->second.holders.end()) return;
+  ObjectLocks* locks = shard.table.Find(ob);
+  if (locks == nullptr) return;
+  Holder* source = locks->FindHolder(from);
+  if (source == nullptr) return;
   if (stats_ != nullptr) ++stats_->lock_transfers;
-  LockMode mode = holder->second;
-  tab->second.holders.erase(holder);
+  LockMode mode = source->mode;
+  locks->holders.erase(source);
+  DropFromHeld(shard, from, ob);
 
-  auto it = shard.held.find(from);
-  if (it != shard.held.end()) {
-    it->second.erase(ob);
-    if (it->second.empty()) shard.held.erase(it);
+  if (Holder* target = locks->FindHolder(to)) {
+    target->mode = std::max(target->mode, mode);
+  } else {
+    locks->holders.push_back(Holder{to, mode, false, kInvalidLsn});
+    shard.held[to].push_back(ob);
   }
-
-  auto [to_pos, inserted] = tab->second.holders.emplace(to, mode);
-  if (!inserted) {
-    to_pos->second = std::max(to_pos->second, mode);
-  }
-  shard.held[to].insert(ob);
 }
 
 void LockManager::Permit(TxnId owner, TxnId grantee, ObjectId ob) {
   Shard& shard = ShardFor(ob);
   std::lock_guard lock(shard.mu);
-  shard.table[ob].permits.insert({owner, grantee});
+  ObjectLocks& locks = shard.table[ob];
+  if (!locks.HasPermit(owner, grantee)) {
+    locks.permits.push_back(PermitPair{owner, grantee});
+  }
   if (stats_ != nullptr) ++stats_->lock_permits;
 }
 
 bool LockManager::Holds(TxnId txn, ObjectId ob, LockMode mode) const {
   const Shard& shard = ShardFor(ob);
   std::lock_guard lock(shard.mu);
-  auto tab = shard.table.find(ob);
-  if (tab == shard.table.end()) return false;
-  auto holder = tab->second.holders.find(txn);
-  return holder != tab->second.holders.end() && holder->second >= mode;
+  const ObjectLocks* locks = shard.table.Find(ob);
+  if (locks == nullptr) return false;
+  const Holder* holder = locks->FindHolder(txn);
+  return holder != nullptr && !holder->early_released && holder->mode >= mode;
 }
 
 std::map<ObjectId, LockMode> LockManager::HeldLocks(TxnId txn) const {
   std::map<ObjectId, LockMode> out;
   for (const Shard& shard : shards_) {
     std::lock_guard lock(shard.mu);
-    auto it = shard.held.find(txn);
-    if (it == shard.held.end()) continue;
-    for (ObjectId ob : it->second) {
-      auto tab = shard.table.find(ob);
-      if (tab == shard.table.end()) continue;
-      auto holder = tab->second.holders.find(txn);
-      if (holder != tab->second.holders.end()) out[ob] = holder->second;
+    const auto* held = shard.held.Find(txn);
+    if (held == nullptr) continue;
+    for (ObjectId ob : *held) {
+      const ObjectLocks* locks = shard.table.Find(ob);
+      if (locks == nullptr) continue;
+      if (const Holder* holder = locks->FindHolder(txn)) {
+        out[ob] = holder->mode;
+      }
     }
   }
   return out;

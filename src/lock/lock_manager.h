@@ -11,6 +11,15 @@
 //   * Permit: the ASSET `permit` primitive lets a grantee access an object
 //     despite the owner's lock, without forming a dependency.
 //
+// Early lock release (docs/GROUP_COMMIT.md): a committing transaction calls
+// MarkEarlyReleased the moment its COMMIT record is appended — before the
+// group-commit force. Marked holders stop blocking ELR-aware acquirers;
+// instead each acquirer that would have conflicted receives a
+// CommitDependency naming the releaser and its COMMIT record's LSN, which
+// the transaction manager turns into a commit-ordering edge in the ASSET
+// dependency graph. The marked entries physically disappear in the ordinary
+// ReleaseAll once the commit completes (or aborts on the crash path).
+//
 // Acquisition policy is no-wait: a conflicting request returns kBusy and the
 // caller decides (retry, abort, restructure). A standalone wait-for graph
 // with cycle detection is provided for callers that implement waiting.
@@ -20,9 +29,14 @@
 // lock table WITH its own per-transaction held-object index, so any
 // object-keyed operation (Acquire, Release, Transfer, Permit, Holds) locks
 // exactly one shard mutex, and the whole-transaction sweeps (ReleaseAll,
-// HeldLocks, Reset) visit shards one at a time. No two shard mutexes are
-// ever held together, so there is no lock-ordering concern and shard
-// mutexes are leaves under every engine lock.
+// MarkEarlyReleased, HeldLocks, Reset) visit shards one at a time. No two
+// shard mutexes are ever held together, so there is no lock-ordering concern
+// and shard mutexes are leaves under every engine lock.
+//
+// Hot-path structures are flat: holder and permit lists are inline vectors
+// (one or two holders is the overwhelmingly common case) and both the lock
+// table and the held-object index are open-addressed hash maps — the
+// per-commit sweep walks contiguous memory instead of node-based sets.
 
 #ifndef ARIESRH_LOCK_LOCK_MANAGER_H_
 #define ARIESRH_LOCK_LOCK_MANAGER_H_
@@ -34,6 +48,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
+#include "util/inline_vector.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -54,6 +70,15 @@ bool LockModesCompatible(LockMode a, LockMode b);
 /// Thread-safe (sharded by object; see the file comment).
 class LockManager {
  public:
+  /// An early-released lock an acquirer violated: the acquirer may not
+  /// report commit until `on`'s COMMIT record (at `commit_lsn`) is durable,
+  /// and must abort if `on` does.
+  struct CommitDependency {
+    TxnId on = kInvalidTxn;
+    Lsn commit_lsn = kInvalidLsn;
+  };
+  using CommitDependencyList = InlineVector<CommitDependency, 2>;
+
   /// `stats`, when given, receives acquire/conflict/transfer/permit counts
   /// and lock trace events; it must outlive the manager. Unit tests that
   /// exercise locking in isolation construct without one.
@@ -63,7 +88,19 @@ class LockManager {
   /// conflicting holder exists and has not permitted `txn`. Re-acquiring an
   /// equal or weaker mode is a no-op; upgrades succeed when every other
   /// holder is compatible with the stronger mode or has permitted `txn`.
-  Status Acquire(TxnId txn, ObjectId ob, LockMode mode);
+  ///
+  /// `elr_deps` (non-null = the caller runs early lock release): a
+  /// conflicting holder that is early-released does not block; it is
+  /// appended to `elr_deps` instead and the acquisition succeeds. With
+  /// `elr_deps` null an early-released holder conflicts like any other.
+  Status Acquire(TxnId txn, ObjectId ob, LockMode mode,
+                 CommitDependencyList* elr_deps = nullptr);
+
+  /// Early lock release: marks every lock `txn` holds as released-at-commit,
+  /// recording `commit_lsn` (the COMMIT record just appended). The entries
+  /// stay in the table — carrying the dependency information for later
+  /// acquirers — until the ordinary ReleaseAll removes them.
+  void MarkEarlyReleased(TxnId txn, Lsn commit_lsn);
 
   /// Releases every lock held by `txn` (transaction termination).
   void ReleaseAll(TxnId txn);
@@ -79,7 +116,9 @@ class LockManager {
   /// Lasts until `owner` terminates (ReleaseAll).
   void Permit(TxnId owner, TxnId grantee, ObjectId ob);
 
-  /// True if `txn` holds `ob` in a mode at least as strong as `mode`.
+  /// True if `txn` holds `ob` in a mode at least as strong as `mode`. An
+  /// early-released lock no longer counts: its protection is gone the
+  /// moment it stops blocking acquirers.
   bool Holds(TxnId txn, ObjectId ob, LockMode mode) const;
 
   /// Objects currently locked by `txn`, with modes. Assembled shard by
@@ -91,18 +130,40 @@ class LockManager {
   void Reset();
 
  private:
+  struct Holder {
+    TxnId txn = kInvalidTxn;
+    LockMode mode = LockMode::kShared;
+    /// Early lock release: set at COMMIT-append time. The lock no longer
+    /// blocks, but a conflicting acquirer picks up a commit dependency on
+    /// `txn` keyed by `commit_lsn`.
+    bool early_released = false;
+    Lsn commit_lsn = kInvalidLsn;
+  };
+  /// (owner, grantee): grantee ignores owner's lock on this object.
+  struct PermitPair {
+    TxnId owner = kInvalidTxn;
+    TxnId grantee = kInvalidTxn;
+  };
+
   struct ObjectLocks {
-    std::map<TxnId, LockMode> holders;
-    // (owner, grantee) pairs: grantee ignores owner's lock on this object.
-    std::set<std::pair<TxnId, TxnId>> permits;
+    /// One holder (or two, briefly, under ELR or increment sharing) is the
+    /// common case: inline slots, linear scan.
+    InlineVector<Holder, 2> holders;
+    InlineVector<PermitPair, 1> permits;
+
+    Holder* FindHolder(TxnId txn);
+    const Holder* FindHolder(TxnId txn) const;
+    bool HasPermit(TxnId owner, TxnId grantee) const;
   };
 
   /// One partition: its objects' lock state plus the per-transaction index
-  /// of objects held *within this shard*.
+  /// of objects held *within this shard*. Both sides are open-addressed —
+  /// the commit-path sweeps (ReleaseAll, MarkEarlyReleased) walk flat
+  /// arrays, never node-based sets.
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<ObjectId, ObjectLocks> table;
-    std::unordered_map<TxnId, std::set<ObjectId>> held;
+    OpenHashMap<ObjectId, ObjectLocks> table;
+    OpenHashMap<TxnId, InlineVector<ObjectId, 4>> held;
   };
 
   static constexpr size_t kShards = 16;
@@ -119,8 +180,14 @@ class LockManager {
     return static_cast<size_t>(h) % kShards;
   }
 
+  /// kBusy-style conflict test. With `elr_deps` non-null, early-released
+  /// conflicting holders are collected there instead of conflicting.
   bool ConflictsIgnoringPermits(const ObjectLocks& locks, TxnId requester,
-                                LockMode mode) const;
+                                LockMode mode,
+                                CommitDependencyList* elr_deps) const;
+
+  /// Drops `ob` from `txn`'s held index within `shard` (under its mutex).
+  static void DropFromHeld(Shard& shard, TxnId txn, ObjectId ob);
 
   Stats* stats_ = nullptr;
   std::array<Shard, kShards> shards_;

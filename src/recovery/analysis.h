@@ -40,7 +40,7 @@ struct TxnAnalysis {
   bool ended = false;      ///< END record seen -> fully resolved
   bool prepared = false;   ///< PREPARE record seen -> in doubt (2PC)
   uint64_t prepared_csn = 0;  ///< csn of the PREPARE round (0 = none)
-  std::map<ObjectId, ObjectEntry> ob_list;  ///< scopes (kRH mode only)
+  ObList ob_list;  ///< scopes (kRH mode only)
 
   bool IsLoser() const { return !committed && !ended; }
   /// In doubt: voted in a 2PC round whose fate only the coordinator log

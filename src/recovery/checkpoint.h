@@ -38,7 +38,7 @@ struct CheckpointData {
     /// at restart. 0 for ordinary active transactions (and for every
     /// pre-v3 payload).
     uint64_t prepared_csn = 0;
-    std::map<ObjectId, ObjectEntry> ob_list;
+    ObList ob_list;
   };
 
   /// Next transaction id to hand out after recovery.

@@ -10,6 +10,8 @@ const char* DependencyTypeName(DependencyType type) {
       return "strong-commit";
     case DependencyType::kAbort:
       return "abort";
+    case DependencyType::kCommitDurable:
+      return "commit-durable";
   }
   return "unknown";
 }
@@ -28,15 +30,28 @@ Status DependencyGraph::Add(DependencyType type, TxnId dependent, TxnId on) {
   return Status::OK();
 }
 
-std::vector<std::pair<TxnId, DependencyType>>
-DependencyGraph::CommitPrerequisites(TxnId txn) const {
-  std::vector<std::pair<TxnId, DependencyType>> out;
+Status DependencyGraph::AddCommitDurable(TxnId dependent, TxnId on,
+                                         Lsn commit_lsn) {
+  if (dependent == on) {
+    return Status::InvalidArgument("self-dependency");
+  }
+  if (CommitPathExists(on, dependent)) {
+    return Status::InvalidArgument("dependency would form a commit cycle");
+  }
+  out_[dependent].insert(Edge{on, DependencyType::kCommitDurable, commit_lsn});
+  // The dependency aborting (its commit record's flush failing) cascades.
+  abort_dependents_[on].insert(dependent);
+  return Status::OK();
+}
+
+std::vector<DependencyGraph::Prerequisite> DependencyGraph::CommitPrerequisites(
+    TxnId txn) const {
+  std::vector<Prerequisite> out;
   auto it = out_.find(txn);
   if (it == out_.end()) return out;
   for (const Edge& edge : it->second) {
-    if (edge.type == DependencyType::kCommit ||
-        edge.type == DependencyType::kStrongCommit) {
-      out.emplace_back(edge.on, edge.type);
+    if (edge.type != DependencyType::kAbort) {
+      out.push_back(Prerequisite{edge.on, edge.type, edge.commit_lsn});
     }
   }
   return out;

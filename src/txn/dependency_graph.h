@@ -10,6 +10,13 @@
 //                      forces t to abort.
 //   * kAbort         — t' aborting forces t to abort (t may otherwise
 //                      commit freely).
+//
+// Early lock release adds a fourth kind the lock manager generates (it is
+// not an ETM primitive): kCommitDurable — t acquired a lock t' released at
+// COMMIT-append time, so t may not REPORT commit until t''s COMMIT record
+// (at the recorded LSN) is durable, and must abort if t''s flush fails.
+// Unlike kCommit it does not gate on t' terminating — t' being mid-commit is
+// the whole point — it gates on a log position becoming durable.
 
 #ifndef ARIESRH_TXN_DEPENDENCY_GRAPH_H_
 #define ARIESRH_TXN_DEPENDENCY_GRAPH_H_
@@ -27,6 +34,9 @@ enum class DependencyType : uint8_t {
   kCommit = 0,
   kStrongCommit = 1,
   kAbort = 2,
+  /// ELR commit-ordering edge: the dependent may not report commit before
+  /// the dependency's COMMIT record is durable, and aborts if it aborts.
+  kCommitDurable = 3,
 };
 
 const char* DependencyTypeName(DependencyType type);
@@ -34,14 +44,26 @@ const char* DependencyTypeName(DependencyType type);
 /// Typed dependency edges with cycle rejection on commit-ordering edges.
 class DependencyGraph {
  public:
+  /// One commit prerequisite of a transaction: who it waits on, how, and —
+  /// for kCommitDurable edges — the COMMIT LSN that must be durable.
+  struct Prerequisite {
+    TxnId on = kInvalidTxn;
+    DependencyType type = DependencyType::kCommit;
+    Lsn commit_lsn = kInvalidLsn;
+  };
+
   /// Adds "dependent depends on `on`". Commit-ordering edges (kCommit,
   /// kStrongCommit) that would close a commit-ordering cycle are rejected
   /// with InvalidArgument, since no commit order could satisfy them.
   Status Add(DependencyType type, TxnId dependent, TxnId on);
 
+  /// Adds an ELR edge: `dependent` acquired a lock `on` early-released at
+  /// COMMIT append; `commit_lsn` is that COMMIT record's position. Same
+  /// cycle rejection as Add (a kCommitDurable edge orders commits).
+  Status AddCommitDurable(TxnId dependent, TxnId on, Lsn commit_lsn);
+
   /// Transactions whose termination gates `txn`'s commit, with edge types.
-  std::vector<std::pair<TxnId, DependencyType>> CommitPrerequisites(
-      TxnId txn) const;
+  std::vector<Prerequisite> CommitPrerequisites(TxnId txn) const;
 
   /// Transactions that must abort when `txn` aborts (kAbort and
   /// kStrongCommit dependents).
@@ -58,6 +80,7 @@ class DependencyGraph {
   struct Edge {
     TxnId on;
     DependencyType type;
+    Lsn commit_lsn = kInvalidLsn;  ///< kCommitDurable only
     auto operator<=>(const Edge&) const = default;
   };
 

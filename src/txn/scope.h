@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/inline_vector.h"
 #include "util/types.h"
 
@@ -79,6 +80,14 @@ struct ObjectEntry {
   /// scope is closed: the delegatee must not extend what it received.
   void MergeFrom(const ObjectEntry& other);
 };
+
+/// An Ob_List: object -> entry, iterated in ascending ObjectId order (the
+/// checkpoint serializer and the cross-engine equivalence tests depend on
+/// the deterministic order, exactly as they did on std::map's). Flat sorted
+/// storage with four inline slots: the common transaction touches a handful
+/// of objects, so scope lookups on the update path stay allocation-free and
+/// cache-resident instead of chasing map nodes.
+using ObList = FlatMap<ObjectId, ObjectEntry, 4>;
 
 /// Operation-granularity delegation (paper Section 2.1: "a transaction
 /// delegates a single operation with each invocation of delegate"): moves

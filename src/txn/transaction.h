@@ -63,7 +63,9 @@ struct Transaction {
 
   /// Ob_List: objects this transaction is currently responsible for, with
   /// the scopes identifying exactly which updates (paper Section 3.4).
-  std::map<ObjectId, ObjectEntry> ob_list;
+  /// Flat sorted storage (see ObList): scope lookups on the update path are
+  /// a binary search over contiguous entries, not a map-node walk.
+  ObList ob_list;
 
   /// True once RollbackTo has compensated part of this transaction's
   /// history. The physically-rewriting baselines cannot safely delegate

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
@@ -26,9 +27,28 @@ TxnManager::TxnManager(const Options& options, LogManager* log,
       heap_(heap) {
   if (obs::MetricsRegistry* registry = stats->registry()) {
     commit_ns_ = registry->GetHistogram("ariesrh_txn_commit_ns");
+    commit_latency_ns_ = registry->GetHistogram("ariesrh_commit_latency_ns");
     table_scan_len_ = registry->GetHistogram(
         "ariesrh_table_scan_len", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
   }
+}
+
+Status TxnManager::AcquireLock(TxnId txn, ObjectId ob, LockMode mode) {
+  if (!options_.early_lock_release) {
+    return locks_->Acquire(txn, ob, mode);
+  }
+  LockManager::CommitDependencyList elr_deps;
+  ARIESRH_RETURN_IF_ERROR(locks_->Acquire(txn, ob, mode, &elr_deps));
+  for (const LockManager::CommitDependency& dep : elr_deps) {
+    std::lock_guard deps_lock(deps_mu_);
+    // A cycle rejection cannot happen here — the dependency is already past
+    // its COMMIT append and takes no further dependencies — but if the graph
+    // ever refuses, failing the operation is the conservative side: the lock
+    // is held, the transaction will abort and release it.
+    ARIESRH_RETURN_IF_ERROR(
+        deps_.AddCommitDurable(txn, dep.on, dep.commit_lsn));
+  }
+  return Status::OK();
 }
 
 Result<TxnId> TxnManager::Begin() {
@@ -120,7 +140,7 @@ std::vector<ObjectId> TxnManager::ObjectsOf(TxnId txn) const {
 
 Result<int64_t> TxnManager::Read(TxnId txn, ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(FindActive(txn).status());
-  ARIESRH_RETURN_IF_ERROR(locks_->Acquire(txn, ob, LockMode::kShared));
+  ARIESRH_RETURN_IF_ERROR(AcquireLock(txn, ob, LockMode::kShared));
   // WithPage, not Fetch: a concurrent worker's fetch may evict the page the
   // moment the pool latch drops, so read the slot under it.
   int64_t value = 0;
@@ -142,7 +162,7 @@ Status TxnManager::Add(TxnId txn, ObjectId ob, int64_t delta) {
 Status TxnManager::DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind,
                             LockMode lock_mode, int64_t value_or_delta) {
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
-  ARIESRH_RETURN_IF_ERROR(locks_->Acquire(txn, ob, lock_mode));
+  ARIESRH_RETURN_IF_ERROR(AcquireLock(txn, ob, lock_mode));
 
   // The latch spans read-chain-head .. adjust-scopes so a concurrent
   // delegation involving this transaction cannot splice the backward chain
@@ -216,7 +236,7 @@ Status TxnManager::DoTableWrite(
     const std::string& key) {
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
   ARIESRH_RETURN_IF_ERROR(
-      locks_->Acquire(txn, TableLockIdOf(rid), LockMode::kExclusive));
+      AcquireLock(txn, TableLockIdOf(rid), LockMode::kExclusive));
 
   // Same shape as DoUpdate: the latch spans read-chain-head .. adjust-scopes
   // so a delegation involving this transaction cannot splice the chain or
@@ -252,7 +272,7 @@ Result<std::optional<std::string>> TxnManager::TableGet(TxnId txn,
   ARIESRH_RETURN_IF_ERROR(CheckTableOp(key));
   ARIESRH_RETURN_IF_ERROR(FindActive(txn).status());
   const ObjectId rid = table::TableRid(key);
-  ARIESRH_RETURN_IF_ERROR(locks_->Acquire(
+  ARIESRH_RETURN_IF_ERROR(AcquireLock(
       txn, TableLockIdOf(rid),
       for_update ? LockMode::kExclusive : LockMode::kShared));
   ++stats_->table_ops;
@@ -320,7 +340,7 @@ Result<std::vector<std::pair<std::string, std::string>>> TxnManager::TableScan(
   // simply drops out.
   std::vector<std::pair<std::string, std::string>> out;
   for (auto& [key, value] : heap_->Scan(start_key, limit)) {
-    ARIESRH_RETURN_IF_ERROR(locks_->Acquire(
+    ARIESRH_RETURN_IF_ERROR(AcquireLock(
         txn, TableLockIdOf(table::TableRid(key)), LockMode::kShared));
     if (std::optional<std::string> current = heap_->Read(key)) {
       out.emplace_back(key, std::move(*current));
@@ -659,27 +679,46 @@ Status TxnManager::RollbackTo(TxnId txn, Lsn savepoint) {
 }
 
 Status TxnManager::Commit(TxnId txn) {
+  const auto commit_requested = std::chrono::steady_clock::now();
   ARIESRH_ASSIGN_OR_RETURN(Transaction * tx, FindActive(txn));
 
-  std::vector<std::pair<TxnId, DependencyType>> prerequisites;
+  std::vector<DependencyGraph::Prerequisite> prerequisites;
   {
     std::lock_guard deps_lock(deps_mu_);
     prerequisites = deps_.CommitPrerequisites(txn);
   }
-  for (const auto& [on, type] : prerequisites) {
-    const Transaction* target = Find(on);
+  for (const DependencyGraph::Prerequisite& p : prerequisites) {
+    const Transaction* target = Find(p.on);
     const TxnState on_state =
         target == nullptr ? TxnState::kCommitted : TxnState(target->state);
+    if (p.type == DependencyType::kCommitDurable) {
+      // ELR edge: the dependency being mid-commit (still kActive, parked in
+      // its durability wait) is the expected state — it does NOT block.
+      // What gates this commit is its COMMIT record's durability, which our
+      // own force implies (it sits earlier in the same log); re-checked
+      // after the flush below. Only a dependency that LOST its commit
+      // record (the ELR crash path marks it kAborted) dooms us.
+      if (on_state == TxnState::kAborted) {
+        const Status abort_status = Abort(txn);
+        // On the crash path the rollback itself may fail (records
+        // discarded); either way this commit must not report success.
+        (void)abort_status;
+        return Status::Aborted("commit dependency " + std::to_string(p.on) +
+                               " lost its commit record before it became "
+                               "durable");
+      }
+      continue;
+    }
     if (on_state == TxnState::kActive) {
       return Status::Busy("commit dependency on active transaction " +
-                          std::to_string(on));
+                          std::to_string(p.on));
     }
     if (on_state == TxnState::kAborted &&
-        type == DependencyType::kStrongCommit) {
+        p.type == DependencyType::kStrongCommit) {
       // The prerequisite aborted: this transaction must abort too.
       ARIESRH_RETURN_IF_ERROR(Abort(txn));
       return Status::Aborted("strong-commit prerequisite " +
-                             std::to_string(on) + " aborted");
+                             std::to_string(p.on) + " aborted");
     }
   }
 
@@ -698,14 +737,53 @@ Status TxnManager::Commit(TxnId txn) {
     commit_lsn = log_->Append(LogRecord::MakeCommit(txn, tx->last_lsn));
     tx->last_lsn = commit_lsn;
   }
+  // Early lock release: the COMMIT record is appended, so this
+  // transaction's fate is sealed in the log order — any acquirer of these
+  // locks logs (and therefore commits) strictly after us. Release before
+  // the force so the locks are free for the full duration of the
+  // durability wait; acquirers pick up kCommitDurable edges.
+  if (options_.early_lock_release) {
+    locks_->MarkEarlyReleased(txn, commit_lsn);
+  }
   // The durability wait happens OUTSIDE the latch: under group commit this
   // parks until the flusher's batched force covers the record, and nothing
   // about this transaction may block checkpoints or other sessions
   // meanwhile (`terminating` already fences delegation).
+  Status durable = Status::OK();
   if (options_.group_commit) {
-    ARIESRH_RETURN_IF_ERROR(log_->FlushWait(commit_lsn));
+    durable = log_->FlushWait(commit_lsn);
   } else if (options_.force_commits) {
-    ARIESRH_RETURN_IF_ERROR(log_->Flush(commit_lsn));
+    durable = log_->Flush(commit_lsn);
+  }
+  if (durable.ok() && options_.early_lock_release) {
+    // Defensive re-check: every kCommitDurable prerequisite's COMMIT record
+    // must be durable by now. Our own force covers any LSN below ours in
+    // this log, so this only fails if the tail was discarded between the
+    // prerequisite scan and our append — the crash path.
+    for (const DependencyGraph::Prerequisite& p : prerequisites) {
+      if (p.type != DependencyType::kCommitDurable) continue;
+      if (p.commit_lsn != kInvalidLsn && p.commit_lsn > log_->flushed_lsn()) {
+        durable = Status::IllegalState(
+            "commit dependency " + std::to_string(p.on) +
+            "'s commit record was lost to a tail discard");
+        break;
+      }
+    }
+  }
+  if (!durable.ok()) {
+    if (options_.early_lock_release) {
+      // The locks are already released and others may have built on them:
+      // abort here and cascade (volatile only — the log is in its crash
+      // state).
+      return FailEarlyReleasedCommit(tx, durable);
+    }
+    return durable;
+  }
+  if (commit_latency_ns_ != nullptr) {
+    commit_latency_ns_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - commit_requested)
+            .count()));
   }
   {
     std::lock_guard latch(tx->latch);
@@ -721,6 +799,43 @@ Status TxnManager::Commit(TxnId txn) {
   ++stats_->txns_committed;
   obs::Emit(stats_->trace(), obs::TraceEventType::kTxnCommit, txn, commit_lsn);
   return Status::OK();
+}
+
+Status TxnManager::FailEarlyReleasedCommit(Transaction* tx,
+                                           const Status& cause) {
+  // The COMMIT record never became durable (tail discard or flusher stop —
+  // the crash path) and the locks were already marked released. No log
+  // writes happen here: the log is in whatever state the crash left it and
+  // restart recovery rebuilds from it; what must happen NOW, in volatile
+  // state, is (a) this transaction stops looking committed-in-progress and
+  // (b) everyone who acquired one of the released locks is doomed with it.
+  {
+    std::lock_guard latch(tx->latch);
+    tx->state = TxnState::kAborted;
+    tx->ob_list.clear();
+  }
+  locks_->ReleaseAll(tx->id);
+  ++stats_->txns_aborted;
+  obs::Emit(stats_->trace(), obs::TraceEventType::kTxnAbort, tx->id,
+            tx->last_lsn);
+  std::vector<TxnId> dependents;
+  {
+    std::lock_guard deps_lock(deps_mu_);
+    dependents = deps_.AbortDependents(tx->id);
+    deps_.RemoveTxn(tx->id);
+  }
+  for (TxnId dependent : dependents) {
+    const Transaction* dep = Find(dependent);
+    if (dep == nullptr || dep->state != TxnState::kActive) continue;
+    // Best effort: a clean cascade abort (with CLRs) if the log still
+    // accepts writes. If it fails — records discarded underneath the
+    // rollback, or the dependent is itself parked in a failing commit —
+    // the dependent is left terminating and can never report commit;
+    // restart recovery resolves it as a loser.
+    const Status status = Abort(dependent);
+    (void)status;
+  }
+  return cause;
 }
 
 Status TxnManager::Abort(TxnId txn) {

@@ -183,6 +183,17 @@ class TxnManager {
   /// releases locks. The WAL rule holds in every mode: Commit returns OK
   /// only after the commit record is on stable storage (unless forcing is
   /// off entirely, the deliberate fast-and-loose configuration).
+  ///
+  /// With Options::early_lock_release the locks are marked released the
+  /// moment the COMMIT record is appended — before the durability wait — so
+  /// other transactions can acquire them during the force. Each such
+  /// acquirer picks up a kCommitDurable edge; this transaction's own
+  /// successful force implies every such edge is satisfiable (the COMMIT
+  /// records sit earlier in the same log). If the force FAILS (tail
+  /// discard / flusher stop — the crash path), the commit record is lost
+  /// while others may already have built on the released locks: the
+  /// transaction is marked aborted in volatile state and every dependent
+  /// cascade-aborts.
   Status Commit(TxnId txn);
 
   /// Aborts: rolls back every update the transaction is responsible for
@@ -302,6 +313,16 @@ class TxnManager {
   }
   Result<Transaction*> FindActive(TxnId txn);
   Result<Transaction*> FindPrepared(TxnId txn);
+  /// The lock acquisition every data path uses. Under early_lock_release it
+  /// collects the early-released holders the grant violated and registers a
+  /// kCommitDurable edge for each; otherwise it is a plain Acquire.
+  Status AcquireLock(TxnId txn, ObjectId ob, LockMode mode);
+  /// The ELR crash path: the COMMIT record failed to become durable after
+  /// the locks were already marked released. Marks the transaction aborted
+  /// (volatile only — the log is in its crash state; recovery rebuilds),
+  /// physically releases the locks, and cascade-aborts every dependent that
+  /// acquired one. Returns `cause`.
+  Status FailEarlyReleasedCommit(Transaction* tx, const Status& cause);
   Status DoUpdate(TxnId txn, ObjectId ob, UpdateKind kind, LockMode lock_mode,
                   int64_t value_or_delta);
   /// Preconditions shared by every table entry point: a heap is attached,
@@ -335,6 +356,11 @@ class TxnManager {
   table::TableHeap* heap_;
   obs::Histogram* commit_ns_ = nullptr;  ///< null when Stats is unattached
   obs::Histogram* table_scan_len_ = nullptr;
+  /// Commit request -> durable ack (the user-visible commit latency, which
+  /// under group commit includes the parked wait). Single-shard commits
+  /// observe it here; 2PC commits observe it in the facade at the
+  /// coordinator's force.
+  obs::Histogram* commit_latency_ns_ = nullptr;
 
   /// Guards deps_ (the graph itself is not thread-safe). Leaf: never held
   /// across log, pool, or latch operations.

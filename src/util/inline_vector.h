@@ -46,8 +46,10 @@ class InlineVector {
     if (this == &other) return *this;
     if (other.spilled()) {
       heap_ = std::move(other.heap_);
-      size_ = other.size_;
+      size_ = 0;
+      spilled_ = true;
       other.size_ = 0;
+      other.spilled_ = false;
     } else {
       clear();
       for (T& v : other) push_back(std::move(v));
@@ -94,6 +96,19 @@ class InlineVector {
     }
   }
 
+  /// Inserts before `pos`, shifting the suffix right. Returns an iterator
+  /// to the inserted element (push_back may have moved the storage, so the
+  /// caller's `pos` is invalid afterwards).
+  iterator insert(iterator pos, T value) {
+    assert(pos >= begin() && pos <= end());
+    const size_t idx = static_cast<size_t>(pos - begin());
+    push_back(T{});
+    iterator it = begin() + idx;
+    std::move_backward(it, end() - 1, end());
+    *it = std::move(value);
+    return it;
+  }
+
   iterator erase(iterator pos) {
     assert(pos >= begin() && pos < end());
     std::move(pos + 1, end(), pos);
@@ -123,6 +138,7 @@ class InlineVector {
   void clear() {
     heap_.clear();
     size_ = 0;
+    spilled_ = false;
   }
 
   bool operator==(const InlineVector& other) const {
@@ -134,7 +150,11 @@ class InlineVector {
   }
 
  private:
-  bool spilled() const { return !heap_.empty(); }
+  // Spilled-ness is an explicit flag, NOT inferred from heap_.empty(): an
+  // erase loop that drains a spilled vector to empty must keep begin()/end()
+  // pointing at the heap buffer, or the caller's live iterator silently
+  // stops matching end() and walks off into freed memory.
+  bool spilled() const { return spilled_; }
 
   void Spill() {
     if (spilled()) return;
@@ -143,10 +163,12 @@ class InlineVector {
       heap_.push_back(std::move(inline_[i]));
     }
     size_ = 0;
+    spilled_ = true;
   }
 
   std::array<T, N> inline_{};
   size_t size_ = 0;  // inline element count; unused once spilled
+  bool spilled_ = false;
   std::vector<T> heap_;
 };
 

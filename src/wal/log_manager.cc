@@ -111,6 +111,24 @@ Status LogManager::FlushWait(Lsn lsn) {
   if (lsn <= acked_lsn_) return flusher_status_;
   const uint64_t generation = tail_generation_;
   requested_lsn_ = std::max(requested_lsn_, lsn);
+  if (track_arrivals_) {
+    const uint64_t now_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    // Sample only intra-burst gaps — this request joining ones already
+    // pending. A lone committer (nothing pending when it arrives) leaves
+    // the EWMA alone, so the adaptive window stays 0 for it.
+    if (pending_requests_ > 0 && last_arrival_ns_ > 0 &&
+        now_ns > last_arrival_ns_) {
+      const uint64_t gap = now_ns - last_arrival_ns_;
+      ewma_interarrival_ns_ =
+          ewma_interarrival_ns_ == 0
+              ? gap
+              : ewma_interarrival_ns_ - ewma_interarrival_ns_ / 8 + gap / 8;
+    }
+    last_arrival_ns_ = now_ns;
+  }
   ++pending_requests_;
   if (queue_depth_ != nullptr) queue_depth_->Add(1);
   flush_cv_.notify_one();
@@ -128,7 +146,7 @@ Status LogManager::FlushWait(Lsn lsn) {
   return Status::IllegalState("log flusher stopped during commit flush");
 }
 
-void LogManager::StartGroupCommit(uint64_t window_us) {
+void LogManager::StartGroupCommit(const GroupCommitConfig& config) {
   std::unique_lock lock(flush_mu_);
   if (flusher_running_.load(std::memory_order_acquire)) return;
   stop_flusher_ = false;
@@ -136,8 +154,11 @@ void LogManager::StartGroupCommit(uint64_t window_us) {
   acked_lsn_ = flushed_lsn();
   requested_lsn_ = acked_lsn_;
   pending_requests_ = 0;
+  track_arrivals_ = config.adaptive;
+  last_arrival_ns_ = 0;
+  ewma_interarrival_ns_ = 0;
   flusher_running_.store(true, std::memory_order_release);
-  flusher_ = std::thread([this, window_us] { FlusherLoop(window_us); });
+  flusher_ = std::thread([this, config] { FlusherLoop(config); });
 }
 
 void LogManager::StopGroupCommit() {
@@ -152,19 +173,34 @@ void LogManager::StopGroupCommit() {
   flusher_running_.store(false, std::memory_order_release);
 }
 
-void LogManager::FlusherLoop(uint64_t window_us) {
+uint64_t LogManager::AdaptiveWindowUs(const GroupCommitConfig& config) const {
+  if (ewma_interarrival_ns_ == 0) return 0;  // no concurrent traffic seen yet
+  if (config.target_batch <= pending_requests_) return 0;  // batch is full
+  const uint64_t missing = config.target_batch - pending_requests_;
+  const uint64_t window_us = missing * ewma_interarrival_ns_ / 1000;
+  return std::min(window_us, config.max_window_us);
+}
+
+void LogManager::FlusherLoop(GroupCommitConfig config) {
   std::unique_lock lock(flush_mu_);
   while (true) {
     flush_cv_.wait(lock, [&] {
       return stop_flusher_ || requested_lsn_ > acked_lsn_;
     });
     if (stop_flusher_) break;
+    const uint64_t window_us =
+        config.adaptive ? AdaptiveWindowUs(config) : config.window_us;
     if (window_us > 0) {
       // Coalescing window: give concurrent committers a beat to pile on.
       // Requests arriving during the force itself batch into the next one
       // regardless, so the window only matters for sparse commit traffic.
-      flush_cv_.wait_for(lock, std::chrono::microseconds(window_us),
-                         [&] { return stop_flusher_; });
+      // Wake early the moment a full batch is queued — sleeping out the
+      // rest of the window would only add latency to a force that cannot
+      // coalesce further.
+      flush_cv_.wait_for(lock, std::chrono::microseconds(window_us), [&] {
+        return stop_flusher_ || (config.target_batch > 0 &&
+                                 pending_requests_ >= config.target_batch);
+      });
       if (stop_flusher_) break;
     }
     const Lsn target = requested_lsn_;

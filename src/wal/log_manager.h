@@ -48,6 +48,23 @@ namespace ariesrh {
 
 class LogManager {
  public:
+  /// Group-commit flusher configuration (see docs/GROUP_COMMIT.md).
+  struct GroupCommitConfig {
+    /// Fixed coalescing window in microseconds; 0 forces immediately.
+    /// Ignored when `adaptive` is set.
+    uint64_t window_us = 0;
+    /// Adaptive windowing: the flusher sizes the window from an EWMA of
+    /// commit inter-arrival times — long enough for ~`target_batch`
+    /// committers to pile on, capped at `max_window_us`, zero when no
+    /// concurrent commit traffic has been observed.
+    bool adaptive = false;
+    uint64_t max_window_us = 1000;
+    /// Full-batch early wake (both policies): once this many requests are
+    /// queued the flusher forces immediately instead of sleeping out the
+    /// rest of the window. 0 disables the early wake.
+    uint64_t target_batch = 8;
+  };
+
   /// Attaches to a disk; the durable prefix (if any) defines the next LSN.
   /// `stats` must outlive the manager.
   LogManager(SimulatedDisk* disk, Stats* stats);
@@ -75,10 +92,15 @@ class LogManager {
   /// which reports IllegalState — the crash path).
   Status FlushWait(Lsn lsn);
 
-  /// Spawns the dedicated flusher thread (idempotent). `window_us` is the
-  /// coalescing window: after waking for a request the flusher waits up to
-  /// this long for more committers before forcing; 0 forces immediately.
-  void StartGroupCommit(uint64_t window_us);
+  /// Spawns the dedicated flusher thread (idempotent).
+  void StartGroupCommit(const GroupCommitConfig& config);
+
+  /// Legacy fixed-window form: window `window_us`, default early wake.
+  void StartGroupCommit(uint64_t window_us) {
+    GroupCommitConfig config;
+    config.window_us = window_us;
+    StartGroupCommit(config);
+  }
 
   /// Stops and joins the flusher thread, waking any parked committers with
   /// IllegalState (idempotent; called by the destructor).
@@ -121,7 +143,12 @@ class LogManager {
     bool filled = false;  // false while a concurrent appender owns the slot
   };
 
-  void FlusherLoop(uint64_t window_us);
+  void FlusherLoop(GroupCommitConfig config);
+
+  /// Adaptive window for the batch being assembled, in microseconds
+  /// (flush_mu_ held): enough of the observed inter-arrival gap for
+  /// `target_batch` total requests, capped; 0 with no arrival history.
+  uint64_t AdaptiveWindowUs(const GroupCommitConfig& config) const;
 
   SimulatedDisk* disk_;
   Stats* stats_;
@@ -146,6 +173,13 @@ class LogManager {
   Lsn acked_lsn_ = 0;                 ///< highest LSN a batched force covered
   uint64_t pending_requests_ = 0;     ///< requests since the last force
   uint64_t tail_generation_ = 0;      ///< bumped by DiscardTail
+  /// Adaptive policy only: arrival-rate tracking for AdaptiveWindowUs.
+  /// The EWMA samples only *intra-burst* gaps (a request arriving while
+  /// others are already pending), so a lone committer — no concurrency to
+  /// coalesce with — never opens a window and keeps immediate-force latency.
+  bool track_arrivals_ = false;
+  uint64_t last_arrival_ns_ = 0;      ///< steady-clock stamp of last request
+  uint64_t ewma_interarrival_ns_ = 0; ///< 0 until the first intra-burst gap
   bool stop_flusher_ = false;
   Status flusher_status_ = Status::OK();
   std::atomic<bool> flusher_running_{false};

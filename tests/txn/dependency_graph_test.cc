@@ -73,5 +73,43 @@ TEST(DependencyGraphTest, DuplicateEdgeIsIdempotent) {
   EXPECT_EQ(graph.CommitPrerequisites(1).size(), 1u);
 }
 
+TEST(DependencyGraphTest, CommitDurableCarriesTheCommitLsn) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.AddCommitDurable(/*dependent=*/2, /*on=*/1,
+                                     /*commit_lsn=*/42).ok());
+  auto prereqs = graph.CommitPrerequisites(2);
+  ASSERT_EQ(prereqs.size(), 1u);
+  EXPECT_EQ(prereqs[0].on, 1u);
+  EXPECT_EQ(prereqs[0].type, DependencyType::kCommitDurable);
+  EXPECT_EQ(prereqs[0].commit_lsn, 42u);
+}
+
+TEST(DependencyGraphTest, CommitDurableCascadesOnAbort) {
+  // ELR semantics: if the early-releasing transaction loses its COMMIT
+  // record, everyone who picked up its locks must abort with it.
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.AddCommitDurable(2, 1, 10).ok());
+  ASSERT_TRUE(graph.AddCommitDurable(3, 1, 10).ok());
+  auto dependents = graph.AbortDependents(1);
+  ASSERT_EQ(dependents.size(), 2u);
+  EXPECT_EQ(dependents[0], 2u);
+  EXPECT_EQ(dependents[1], 3u);
+}
+
+TEST(DependencyGraphTest, CommitDurableRejectsSelfAndCycles) {
+  DependencyGraph graph;
+  EXPECT_TRUE(graph.AddCommitDurable(1, 1, 5).IsInvalidArgument());
+  ASSERT_TRUE(graph.Add(DependencyType::kCommit, 1, 2).ok());
+  EXPECT_TRUE(graph.AddCommitDurable(2, 1, 5).IsInvalidArgument());
+}
+
+TEST(DependencyGraphTest, CommitDurableChainsAreTransitiveForCycles) {
+  DependencyGraph graph;
+  ASSERT_TRUE(graph.AddCommitDurable(2, 1, 10).ok());
+  ASSERT_TRUE(graph.AddCommitDurable(3, 2, 20).ok());
+  // 1 -> 3 would close a cycle through the two durable edges.
+  EXPECT_TRUE(graph.Add(DependencyType::kCommit, 1, 3).IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace ariesrh

@@ -122,5 +122,55 @@ TEST(InlineVectorTest, NonTrivialElementType) {
   EXPECT_EQ(v[2], "gamma");
 }
 
+// Regression: erasing a spilled vector down to empty must keep begin()/end()
+// on the heap buffer. When spilled-ness was inferred from heap emptiness,
+// the last erase flipped the storage back to the inline buffer mid-loop and
+// the caller's live iterator (still pointing into the heap) never compared
+// equal to end() again — the erase loop walked off into freed memory.
+TEST(InlineVectorTest, IteratorEraseLoopDrainsSpilledVector) {
+  IV v = {1, 2, 3, 4, 5};  // spilled (N = 2)
+  for (auto it = v.begin(); it != v.end();) {
+    it = v.erase(it);
+  }
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.begin(), v.end());
+  v.push_back(7);  // still usable afterwards
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(InlineVectorTest, SelectiveEraseLoopAcrossTheSpillBoundary) {
+  IV v = {1, 2, 3, 4, 5, 6};
+  // Drop the evens one erase at a time; the vector shrinks from 6 live
+  // elements through the inline capacity (2) without changing buffers.
+  for (auto it = v.begin(); it != v.end();) {
+    it = (*it % 2 == 0) ? v.erase(it) : it + 1;
+  }
+  EXPECT_EQ(v, (std::vector<int>{1, 3, 5}));
+  for (auto it = v.begin(); it != v.end();) {
+    it = v.erase(it);
+  }
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVectorTest, EraseIfDrainsSpilledVector) {
+  IV v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(v.EraseIf([](int) { return true; }), 5u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(InlineVectorTest, InsertShiftsSuffixAndSpills) {
+  IV v = {10, 30};
+  auto it = v.insert(v.begin() + 1, 20);  // insert forces the spill
+  EXPECT_EQ(*it, 20);
+  EXPECT_EQ(v, (std::vector<int>{10, 20, 30}));
+  it = v.insert(v.begin(), 5);
+  EXPECT_EQ(*it, 5);
+  it = v.insert(v.end(), 40);
+  EXPECT_EQ(*it, 40);
+  EXPECT_EQ(v, (std::vector<int>{5, 10, 20, 30, 40}));
+}
+
 }  // namespace
 }  // namespace ariesrh
