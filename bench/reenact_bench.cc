@@ -1,0 +1,77 @@
+// Reenactment cost: StateAt over a ~10k-record delegation log at three cut
+// depths (shallow / midpoint / tail), plus the responsibility query. The
+// point of the row: time travel is a pure read-side replay — its cost
+// scales with the cut depth and touches the engine not at all, which is
+// only possible because RH never rewrites the history it replays.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "reenact/reenact.h"
+
+namespace ariesrh::bench {
+namespace {
+
+/// ~10k log records: 800 txns x 10 updates + begin/commit framing, with a
+/// quarter of transactions delegating. Returns the database, quiesced and
+/// flushed, ready for reenactment.
+void BuildHistory(Database* db) {
+  WorkloadParams params;
+  params.txns = 800;
+  params.updates_per_txn = 10;
+  params.objects = 256;
+  params.loser_pct = 10;
+  params.delegation_pct = 25;
+  RunWorkload(db, params);
+}
+
+void BM_ReenactStateAt(benchmark::State& state) {
+  Options options;
+  options.buffer_pool_pages = 256;
+  Database db(options);
+  BuildHistory(&db);
+  reenact::Reenactor reenactor =
+      CheckResult(reenact::Reenactor::OpenLive(&db), "OpenLive");
+  const Lsn tail = reenactor.tail_lsn(0);
+  // Cut depth as a fraction of the retained history: 4 = tail/4 (shallow),
+  // 2 = midpoint, 1 = the full tail.
+  const Lsn cut = tail / static_cast<Lsn>(state.range(0));
+  uint64_t records = 0;
+  for (auto _ : state) {
+    reenact::StateImage img =
+        CheckResult(reenactor.StateAt(cut), "StateAt");
+    benchmark::DoNotOptimize(img);
+    records += img.objects.size();
+  }
+  state.counters["cut_lsn"] = benchmark::Counter(static_cast<double>(cut));
+  state.counters["tail_lsn"] = benchmark::Counter(static_cast<double>(tail));
+  state.counters["objects"] = benchmark::Counter(
+      static_cast<double>(records) / static_cast<double>(state.iterations()));
+  state.counters["num_cpus"] =
+      benchmark::Counter(static_cast<double>(NumCpus()));
+}
+BENCHMARK(BM_ReenactStateAt)->Arg(4)->Arg(2)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReenactWhodunit(benchmark::State& state) {
+  Options options;
+  options.buffer_pool_pages = 256;
+  Database db(options);
+  BuildHistory(&db);
+  reenact::Reenactor reenactor =
+      CheckResult(reenact::Reenactor::OpenLive(&db), "OpenLive");
+  ObjectId ob = 0;
+  for (auto _ : state) {
+    reenact::ResponsibilityAnswer answer = CheckResult(
+        reenactor.ResponsibleFor(1 + (ob++ % 256)), "ResponsibleFor");
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["num_cpus"] =
+      benchmark::Counter(static_cast<double>(NumCpus()));
+}
+BENCHMARK(BM_ReenactWhodunit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ariesrh::bench
+
+ARIESRH_BENCH_MAIN("reenact")

@@ -50,13 +50,16 @@ int Show(DelegationMode mode) {
               dump->c_str());
 
   Result<std::vector<ObjectHistoryEntry>> history =
-      ObjectHistory(*db.log_manager(), 1);
+      ObjectHistory(*db.log_manager(), 1, mode);
   if (!history.ok()) return 1;
-  std::printf("object a's update records (writer as recorded in the log):\n");
+  std::printf(
+      "object a's update records (writer as recorded, then who answers\n"
+      "for the value once delegation folds in):\n");
   for (const ObjectHistoryEntry& entry : *history) {
-    std::printf("  LSN %llu by t%llu  %+lld\n",
+    std::printf("  LSN %llu by t%llu  %+lld   answers: t%llu\n",
                 (unsigned long long)entry.lsn,
-                (unsigned long long)entry.writer, (long long)entry.after);
+                (unsigned long long)entry.writer, (long long)entry.after,
+                (unsigned long long)entry.responsible);
   }
   std::printf("\n");
   return 0;

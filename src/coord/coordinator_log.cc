@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -197,6 +198,52 @@ Status CoordinatorLog::AppendStableImages(
 size_t CoordinatorLog::stable_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stable_.size();
+}
+
+Status CoordinatorLog::WriteImagesFile(const std::string& path,
+                                       const std::vector<std::string>& images) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  for (const std::string& image : images) {
+    const uint32_t len = static_cast<uint32_t>(image.size());
+    char header[4];
+    header[0] = static_cast<char>(len & 0xff);
+    header[1] = static_cast<char>((len >> 8) & 0xff);
+    header[2] = static_cast<char>((len >> 16) & 0xff);
+    header[3] = static_cast<char>((len >> 24) & 0xff);
+    out.write(header, sizeof(header));
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> CoordinatorLog::ReadImagesFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> images;
+  if (!in) return images;
+  for (;;) {
+    char header[4];
+    in.read(header, sizeof(header));
+    if (in.gcount() == 0 && in.eof()) break;
+    if (in.gcount() != sizeof(header)) {
+      return Status::Corruption("truncated coordinator sidecar " + path);
+    }
+    const uint32_t len = static_cast<uint32_t>(
+        static_cast<uint8_t>(header[0]) |
+        (static_cast<uint8_t>(header[1]) << 8) |
+        (static_cast<uint8_t>(header[2]) << 16) |
+        (static_cast<uint8_t>(header[3]) << 24));
+    std::string image(len, '\0');
+    in.read(image.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) {
+      return Status::Corruption("truncated coordinator sidecar " + path);
+    }
+    images.push_back(std::move(image));
+  }
+  return images;
 }
 
 }  // namespace ariesrh::coord

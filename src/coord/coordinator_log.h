@@ -119,6 +119,18 @@ class CoordinatorLog {
 
   size_t stable_size() const;
 
+  /// Writes durable decision images to a sidecar file (`<db path>.coord`):
+  /// a flat sequence of u32-LE-length-prefixed images. Database::SaveTo and
+  /// anything else persisting a coordinator log share this format.
+  static Status WriteImagesFile(const std::string& path,
+                                const std::vector<std::string>& images);
+
+  /// Reads a sidecar written by WriteImagesFile. A missing file reads as
+  /// empty — no durable cross-shard decisions, which resolves every
+  /// in-doubt round by presumed abort.
+  static Result<std::vector<std::string>> ReadImagesFile(
+      const std::string& path);
+
  private:
   mutable std::mutex mu_;
   std::vector<std::string> stable_;    ///< durable serialized images

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <fstream>
 #include <iterator>
 #include <thread>
 #include <utility>
@@ -15,64 +14,9 @@
 
 namespace ariesrh {
 
-namespace {
-
-/// Per-shard image paths: shard 0 keeps the caller's path (so single-shard
-/// images stay compatible both ways), the rest get a ".shard<i>" suffix.
-std::string ShardImagePath(const std::string& path, size_t shard) {
+std::string Database::ShardImagePath(const std::string& path, size_t shard) {
   return shard == 0 ? path : path + ".shard" + std::to_string(shard);
 }
-
-/// The coordinator sidecar (`path + ".coord"`): the durable decision
-/// records as a flat sequence of u32-LE-length-prefixed images.
-Status WriteCoordFile(const std::string& path,
-                      const std::vector<std::string>& images) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write " + path);
-  for (const std::string& image : images) {
-    const uint32_t len = static_cast<uint32_t>(image.size());
-    char header[4];
-    header[0] = static_cast<char>(len & 0xff);
-    header[1] = static_cast<char>((len >> 8) & 0xff);
-    header[2] = static_cast<char>((len >> 16) & 0xff);
-    header[3] = static_cast<char>((len >> 24) & 0xff);
-    out.write(header, sizeof(header));
-    out.write(image.data(), static_cast<std::streamsize>(image.size()));
-  }
-  out.flush();
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
-}
-
-/// A missing sidecar reads as empty — no durable cross-shard decisions,
-/// which resolves every in-doubt round by presumed abort.
-Result<std::vector<std::string>> ReadCoordFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::vector<std::string> images;
-  if (!in) return images;
-  for (;;) {
-    char header[4];
-    in.read(header, sizeof(header));
-    if (in.gcount() == 0 && in.eof()) break;
-    if (in.gcount() != sizeof(header)) {
-      return Status::Corruption("truncated coordinator sidecar " + path);
-    }
-    const uint32_t len = static_cast<uint32_t>(
-        static_cast<uint8_t>(header[0]) |
-        (static_cast<uint8_t>(header[1]) << 8) |
-        (static_cast<uint8_t>(header[2]) << 16) |
-        (static_cast<uint8_t>(header[3]) << 24));
-    std::string image(len, '\0');
-    in.read(image.data(), static_cast<std::streamsize>(len));
-    if (in.gcount() != static_cast<std::streamsize>(len)) {
-      return Status::Corruption("truncated coordinator sidecar " + path);
-    }
-    images.push_back(std::move(image));
-  }
-  return images;
-}
-
-}  // namespace
 
 Database::Database(Options options) : options_(options) {
   stats_.AttachObservability(&obs_);
@@ -94,11 +38,7 @@ Database::Database(Options options) : options_(options) {
 Database::~Database() = default;
 
 size_t Database::ShardOf(ObjectId ob) const {
-  if (shards_.size() <= 1) return 0;
-  // Fibonacci-hash the id so adjacent objects spread across shards.
-  uint64_t h = static_cast<uint64_t>(ob) * 0x9E3779B97F4A7C15ULL;
-  h ^= h >> 32;
-  return static_cast<size_t>(h % shards_.size());
+  return ShardIndexOf(ob, shards_.size());
 }
 
 Status Database::EnsureUsable() const {
@@ -699,7 +639,8 @@ Status Database::SaveTo(const std::string& path) {
     // The coordinator's durable decisions ride in a sidecar: without them a
     // reopened engine would presume-abort rounds it had committed.
     ARIESRH_RETURN_IF_ERROR(
-        WriteCoordFile(path + ".coord", coord_->StableImagesFrom(0)));
+        coord::CoordinatorLog::WriteImagesFile(
+            path + ".coord", coord_->StableImagesFrom(0)));
   }
   return Status::OK();
 }
@@ -731,7 +672,7 @@ Result<Database::OpenResult> Database::Open(Options options,
   db->SimulateCrash();
   if (db->coord_ != nullptr) {
     ARIESRH_ASSIGN_OR_RETURN(std::vector<std::string> images,
-                             ReadCoordFile(path + ".coord"));
+                             coord::CoordinatorLog::ReadImagesFile(path + ".coord"));
     ARIESRH_RETURN_IF_ERROR(db->coord_->AppendStableImages(images));
   }
   OpenResult out;
@@ -934,6 +875,59 @@ Result<RecoveryManager::Outcome> Database::Recover() {
 Result<int64_t> Database::ReadCommitted(ObjectId ob) {
   ARIESRH_RETURN_IF_ERROR(EnsureUsable());
   return shards_[ShardOf(ob)]->ReadCommitted(ob);
+}
+
+// --- reenactment facade (docs/REENACTMENT.md) ---
+//
+// Each call opens a fresh Reenactor over the live engine's retained logs.
+// These are diagnostic queries, not hot paths: the open re-derives per-shard
+// retention bounds so the answer always reflects the durable log of the
+// moment, and nothing is cached across calls.
+
+Result<reenact::StateImage> Database::ReenactStateAt(Lsn cut) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_ASSIGN_OR_RETURN(reenact::Reenactor r,
+                           reenact::Reenactor::OpenLive(this));
+  return r.StateAt(cut);
+}
+
+Result<reenact::ResponsibilityAnswer> Database::ReenactWhodunit(ObjectId ob,
+                                                               Lsn cut) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_ASSIGN_OR_RETURN(reenact::Reenactor r,
+                           reenact::Reenactor::OpenLive(this));
+  return r.ResponsibleFor(ob, cut);
+}
+
+Result<reenact::ResponsibilityAnswer> Database::ReenactWhodunitKey(
+    const std::string& key, Lsn cut) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_ASSIGN_OR_RETURN(reenact::Reenactor r,
+                           reenact::Reenactor::OpenLive(this));
+  return r.ResponsibleForKey(key, cut);
+}
+
+Result<reenact::ReplayResult> Database::ReenactReplayTxn(TxnId txn, Lsn cut) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_ASSIGN_OR_RETURN(reenact::Reenactor r,
+                           reenact::Reenactor::OpenLive(this));
+  return r.ReplayTxn(txn, cut);
+}
+
+Result<std::vector<reenact::TransferHop>> Database::ReenactTransferChain(
+    ObjectId ob) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_ASSIGN_OR_RETURN(reenact::Reenactor r,
+                           reenact::Reenactor::OpenLive(this));
+  return r.TransferChain(ob);
+}
+
+Result<std::vector<reenact::TransferHop>> Database::ReenactTransferChainKey(
+    const std::string& key) {
+  ARIESRH_RETURN_IF_ERROR(EnsureUsable());
+  ARIESRH_ASSIGN_OR_RETURN(reenact::Reenactor r,
+                           reenact::Reenactor::OpenLive(this));
+  return r.TransferChainKey(key);
 }
 
 void Database::set_checkpoint_test_hooks(CheckpointTestHooks hooks) {

@@ -56,6 +56,7 @@
 #include "obs/observability.h"
 #include "recovery/ondemand.h"
 #include "recovery/recovery_manager.h"
+#include "reenact/reenact.h"
 #include "storage/buffer_pool.h"
 #include "storage/simulated_disk.h"
 #include "txn/delegation_spec.h"
@@ -188,6 +189,13 @@ class Database {
   /// terminal with a default Outcome.
   static Result<OpenResult> Open(Options options);
 
+  /// The on-disk naming convention SaveTo/Open use for a sharded image:
+  /// shard 0 keeps the caller's path (so single-shard images stay
+  /// compatible both ways), the rest get a ".shard<i>" suffix. The
+  /// coordinator sidecar lives at `path + ".coord"`. Shared with every
+  /// other consumer of saved images (e.g. reenactment archive opens).
+  static std::string ShardImagePath(const std::string& path, size_t shard);
+
   /// Opens a database persisted with SaveTo and performs restart per
   /// Options::recovery_mode — the single open surface replacing the old
   /// Open-then-Recover() two-step. Sharded engines load every shard's image
@@ -265,6 +273,37 @@ class Database {
   /// Reads an object's current value outside any transaction (test/bench
   /// oracle access; no locks taken).
   Result<int64_t> ReadCommitted(ObjectId ob);
+
+  // --- reenactment: provenance and time-travel over the retained log ---
+  //
+  // Read-only diagnostic queries answered by reenact::Reenactor over the
+  // live engine's durable log (docs/REENACTMENT.md; shell builtins `asof`,
+  // `whodunit`, `replay`, `chain`). Each call opens a fresh reenactor, so
+  // answers reflect the durable log at that moment. Only the kRH and
+  // kDisabled delegation modes are supported (NotSupported otherwise), and
+  // cuts below the earliest replayable LSN fail with kOutOfRange.
+
+  /// The committed state as of cut LSN `cut` (kInvalidLsn = each shard's
+  /// durable tail).
+  Result<reenact::StateImage> ReenactStateAt(Lsn cut = kInvalidLsn);
+
+  /// Which transaction answers for the object's / key's value at the cut,
+  /// after delegation, CLR voiding, and coordinator verdicts fold in.
+  Result<reenact::ResponsibilityAnswer> ReenactWhodunit(
+      ObjectId ob, Lsn cut = kInvalidLsn);
+  Result<reenact::ResponsibilityAnswer> ReenactWhodunitKey(
+      const std::string& key, Lsn cut = kInvalidLsn);
+
+  /// One transaction's effects reenacted in isolation against the committed
+  /// state at its begin point.
+  Result<reenact::ReplayResult> ReenactReplayTxn(TxnId txn,
+                                                 Lsn cut = kInvalidLsn);
+
+  /// The object's / key's responsibility-transfer chain (delegation hops,
+  /// csn-stamped cross-shard legs, voided legs).
+  Result<std::vector<reenact::TransferHop>> ReenactTransferChain(ObjectId ob);
+  Result<std::vector<reenact::TransferHop>> ReenactTransferChainKey(
+      const std::string& key);
 
   /// Aggregate counters across all shards (a 1-shard engine's are simply
   /// its shard's). Per-shard values live in the metrics registry under

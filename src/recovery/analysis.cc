@@ -84,10 +84,12 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       BufferPool* pool, Stats* stats,
                                       const CheckpointData* ckpt,
                                       Lsn ckpt_end_lsn,
-                                      ForwardPassKind kind,
-                                      RecoveryFaultBudget* redo_budget,
-                                      const coord::Resolution* resolution,
-                                      table::TableHeap* heap) {
+                                      const ForwardPassOptions& opts) {
+  const ForwardPassKind kind = opts.kind;
+  RecoveryFaultBudget* redo_budget = opts.redo_budget;
+  const coord::Resolution* resolution = opts.resolution;
+  table::TableHeap* heap = opts.heap;
+  const AnalysisHooks* hooks = opts.hooks;
   const bool collect_redo = kind == ForwardPassKind::kAnalysisCollectRedo;
   const bool do_redo = kind == ForwardPassKind::kMerged ||
                        kind == ForwardPassKind::kRedoOnly;
@@ -137,7 +139,8 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
   // may have to reach back to the oldest dirty page.
   const Lsn scan_from =
       redo_bounds ? std::min(redo_from, analysis_from) : analysis_from;
-  const Lsn scan_to = log->flushed_lsn();
+  // The reenactment cut: stop the sweep there instead of the flushed tail.
+  const Lsn scan_to = std::min(log->flushed_lsn(), opts.scan_cut);
   result.scan_end = scan_to;
   ++stats->recovery_passes;
 
@@ -157,6 +160,9 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
     ++stats->recovery_forward_records;
     ++pass_records;
     const bool analyze = do_analysis && lsn >= analysis_from;
+    // Verdicts for the observation hooks (kDelegate fold only).
+    bool delegate_applied = false;
+    bool delegate_voided = false;
 
     switch (rec.type) {
       case LogRecordType::kUpdate: {
@@ -210,6 +216,11 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         if (analyze) {
           TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
           info.committed = true;
+          // Last observable moment of the winner's resolved responsibility:
+          // the scopes it answers for at commit.
+          if (hooks != nullptr && hooks->on_resolve) {
+            hooks->on_resolve(rec, info);
+          }
           // A winner's responsibilities are resolved; its scopes must not
           // feed the loser sweep.
           info.ob_list.clear();
@@ -231,6 +242,9 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         if (analyze) {
           TxnAnalysis& info = Touch(&result, rec.txn_id, lsn);
           info.ended = true;
+          if (hooks != nullptr && hooks->on_resolve) {
+            hooks->on_resolve(rec, info);
+          }
           info.ob_list.clear();
         }
         break;
@@ -258,8 +272,10 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
           const bool voided =
               rec.csn != 0 &&
               (resolution == nullptr || !resolution->IsCommitted(rec.csn));
+          delegate_voided = voided;
           if (mode == DelegationMode::kRH && !in_snapshot && !voided) {
             TransferScopes(&result, rec, stats);
+            delegate_applied = true;
           } else if (mode == DelegationMode::kLazyRewrite) {
             // Physically rewrite history now (deferred Figure 1): surgery
             // over both chains as they stood just before this record.
@@ -331,6 +347,9 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
         // window and carry no table deltas. Any *other* checkpoint seen
         // here was superseded (master points elsewhere) or torn. Skip.
         break;
+    }
+    if (analyze && hooks != nullptr && hooks->on_record) {
+      hooks->on_record(rec, delegate_applied, delegate_voided);
     }
   }
   result.records_scanned = pass_records;

@@ -79,6 +79,45 @@ enum class ForwardPassKind {
   kAnalysisCollectRedo,
 };
 
+/// Observation hooks into the analysis fold (all optional). The reenactment
+/// engine and the log-inspection paths use these to watch the same scope /
+/// Ob_List reconstruction recovery performs, instead of re-implementing the
+/// delegation-resolution rules a second time.
+struct AnalysisHooks {
+  /// Called after each record's analysis fold (analysis-bearing kinds only,
+  /// records at or past the analysis anchor). For kDelegate records
+  /// `delegate_applied` reports whether the scopes actually moved, and
+  /// `delegate_voided` whether a csn-stamped leg was voided (its
+  /// cross-shard round never reached the coordinator's commit point). Both
+  /// are false for every other record type.
+  std::function<void(const LogRecord& rec, bool delegate_applied,
+                     bool delegate_voided)>
+      on_record;
+  /// Called when a termination record (COMMIT or END) is about to drop the
+  /// transaction's Ob_List — the last moment its resolved responsibility
+  /// (every scope it answers for) is observable. `info` still carries the
+  /// pre-clear ob_list; `info.committed` reflects the record being folded.
+  std::function<void(const LogRecord& rec, const TxnAnalysis& info)>
+      on_resolve;
+};
+
+/// Optional knobs for ForwardPass, bundled so new consumers (reenactment,
+/// log inspection) do not keep growing the positional signature.
+struct ForwardPassOptions {
+  ForwardPassKind kind = ForwardPassKind::kMerged;
+  /// Test-only crash injection for the redo-bearing kinds.
+  RecoveryFaultBudget* redo_budget = nullptr;
+  /// Coordinator verdicts for csn-stamped DELEGATE legs (see ForwardPass).
+  const coord::Resolution* resolution = nullptr;
+  /// Table heap logical records replay into (redo-bearing kinds).
+  table::TableHeap* heap = nullptr;
+  /// Stop the scan after this LSN — the reenactment cut. kInvalidLsn (the
+  /// default) scans to the flushed tail, which is recovery's behavior.
+  Lsn scan_cut = kInvalidLsn;
+  /// Observation hooks (see AnalysisHooks); may be nullptr.
+  const AnalysisHooks* hooks = nullptr;
+};
+
 /// Runs a forward pass over the stable log. `ckpt` (with `ckpt_end_lsn`)
 /// seeds the tables and bounds the scan when a checkpoint exists; pass
 /// nullptr to scan from the log head. In kLazyRewrite mode the
@@ -99,13 +138,24 @@ Result<ForwardPassResult> ForwardPass(DelegationMode mode, LogManager* log,
                                       BufferPool* pool, Stats* stats,
                                       const CheckpointData* ckpt,
                                       Lsn ckpt_end_lsn,
-                                      ForwardPassKind kind =
-                                          ForwardPassKind::kMerged,
-                                      RecoveryFaultBudget* redo_budget =
-                                          nullptr,
-                                      const coord::Resolution* resolution =
-                                          nullptr,
-                                      table::TableHeap* heap = nullptr);
+                                      const ForwardPassOptions& opts);
+
+/// Positional convenience overload (the historical signature): forwards to
+/// the ForwardPassOptions form with no scan cut and no hooks.
+inline Result<ForwardPassResult> ForwardPass(
+    DelegationMode mode, LogManager* log, BufferPool* pool, Stats* stats,
+    const CheckpointData* ckpt, Lsn ckpt_end_lsn,
+    ForwardPassKind kind = ForwardPassKind::kMerged,
+    RecoveryFaultBudget* redo_budget = nullptr,
+    const coord::Resolution* resolution = nullptr,
+    table::TableHeap* heap = nullptr) {
+  ForwardPassOptions opts;
+  opts.kind = kind;
+  opts.redo_budget = redo_budget;
+  opts.resolution = resolution;
+  opts.heap = heap;
+  return ForwardPass(mode, log, pool, stats, ckpt, ckpt_end_lsn, opts);
+}
 
 }  // namespace ariesrh
 

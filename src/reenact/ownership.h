@@ -1,0 +1,145 @@
+// Responsibility reconstruction over the delegation log.
+//
+// The reenactment engine and the log-inspection paths both need to answer
+// "which transaction is responsible for this update?" — the question the
+// recovery forward pass answers when it rebuilds Ob_Lists, replays DELEGATE
+// scope transfers, and folds coordinator verdicts into csn-stamped legs.
+// Rather than re-implementing those rules (the original log_dump bug did
+// exactly that: it reported the record's invoker and ignored delegation
+// entirely), this module rides the real ForwardPass via AnalysisHooks and
+// distills what it observes into a queryable OwnershipIndex:
+//
+//   * OwnedSpan — one resolved responsibility span: transaction `owner`
+//     answers for `object`'s updates made by `scope.invoker` with LSNs in
+//     [scope.first, scope.last]. Captured at the moment a COMMIT/END record
+//     would drop the Ob_List (the last instant the mapping is observable),
+//     plus the live Ob_Lists of transactions still open at the cut.
+//   * TransferHop — one DELEGATE record as the fold interpreted it,
+//     including whether the scopes actually moved and whether a csn-stamped
+//     cross-shard leg was voided (its round never reached the coordinator's
+//     commit point — presumed abort).
+//
+// Because the spans come out of the same fold recovery runs, delegation
+// chains, CLR-voided coverage, 2PC verdicts, and fuzzy-checkpoint window
+// reconciliation all resolve identically to restart recovery by
+// construction.
+
+#ifndef ARIESRH_REENACT_OWNERSHIP_H_
+#define ARIESRH_REENACT_OWNERSHIP_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coord/coordinator_log.h"
+#include "recovery/analysis.h"
+#include "txn/scope.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace ariesrh::reenact {
+
+/// One DELEGATE record as the analysis fold interpreted it — a hop in an
+/// object's responsibility-transfer chain.
+struct TransferHop {
+  size_t shard = 0;  ///< filled by the shard-aware callers
+  Lsn lsn = kInvalidLsn;
+  TxnId from = kInvalidTxn;  ///< delegator (tor)
+  TxnId to = kInvalidTxn;    ///< delegatee (tee)
+  /// Non-zero: one leg of a cross-shard transfer round (docs/SHARDING.md).
+  uint64_t csn = 0;
+  /// The scopes actually moved during the fold. False when the record fell
+  /// inside a checkpoint snapshot (the transfer is already reflected) or
+  /// the leg was voided.
+  bool applied = false;
+  /// csn-stamped leg whose round the coordinator never committed: recovery
+  /// voids it, so responsibility stayed with the delegator.
+  bool voided = false;
+  std::vector<ObjectId> objects;
+  /// Operation-granularity ranges, parallel to `objects` (empty =
+  /// whole-object for every entry; see LogRecord::ranges).
+  std::vector<std::pair<Lsn, Lsn>> ranges;
+
+  bool Mentions(ObjectId ob) const;
+  std::string ToString() const;
+};
+
+/// One resolved responsibility span: `owner` answers for updates to
+/// `object` made by `scope.invoker` in [scope.first, scope.last].
+struct OwnedSpan {
+  ObjectId object = kInvalidObject;
+  Scope scope;
+  TxnId owner = kInvalidTxn;
+  bool owner_committed = false;
+  /// True when a COMMIT/END record (or a coordinator verdict) resolved the
+  /// owner before the cut; false for transactions still open at the cut.
+  bool owner_terminated = false;
+  /// LSN of the terminating record that froze this span; kInvalidLsn for
+  /// spans live at the cut or resolved off-log by a coordinator verdict.
+  Lsn resolved_at = kInvalidLsn;
+
+  std::string ToString() const;
+};
+
+/// The queryable product of one analysis fold up to a cut LSN.
+struct OwnershipIndex {
+  DelegationMode mode = DelegationMode::kRH;
+  Lsn cut = kInvalidLsn;
+  std::vector<OwnedSpan> spans;
+  std::vector<TransferHop> hops;
+  /// LSNs of updates a CLR at or before the cut had already undone.
+  std::unordered_set<Lsn> compensated;
+  /// Post-resolution transaction table (in-doubt verdicts already folded).
+  std::unordered_map<TxnId, TxnAnalysis> txns;
+  TxnId max_txn_id = 0;
+
+  /// Resolves the transaction responsible for the update `invoker` made to
+  /// `ob` at `lsn`. Scope coverage is disjoint across Ob_Lists (the paper's
+  /// invariant), so at most one span matches; nullptr when none does —
+  /// under kDisabled (no scopes exist) or when the update's owner committed
+  /// and was forgotten before any retained termination record.
+  const OwnedSpan* Resolve(ObjectId ob, TxnId invoker, Lsn lsn) const;
+};
+
+/// Incremental collector: feed it from AnalysisHooks during any
+/// analysis-bearing ForwardPass, then Finish() against the pass result.
+/// Finish applies the in-doubt resolution recovery would (a prepared
+/// transaction whose csn the coordinator committed becomes a winner and its
+/// Ob_List is dropped — mutating `fwd` so a subsequent undo step agrees),
+/// then snapshots the still-open Ob_Lists as live spans.
+class OwnershipCollector {
+ public:
+  explicit OwnershipCollector(DelegationMode mode) : mode_(mode) {}
+
+  /// AnalysisHooks::on_record target.
+  void OnRecord(const LogRecord& rec, bool delegate_applied,
+                bool delegate_voided);
+  /// AnalysisHooks::on_resolve target.
+  void OnResolve(const LogRecord& rec, const TxnAnalysis& info);
+
+  OwnershipIndex Finish(ForwardPassResult* fwd,
+                        const coord::Resolution* resolution, Lsn cut);
+
+ private:
+  DelegationMode mode_;
+  std::vector<OwnedSpan> spans_;
+  std::vector<TransferHop> hops_;
+};
+
+/// One-shot fold over `log` up to `cut` (kInvalidLsn = the flushed tail).
+/// When the log's prefix has been archived, anchors at the most recent
+/// completed checkpoint found in the retained range — exactly what restart
+/// would use — and fails with IllegalState if none exists. `resolution`
+/// (nullable = presumed abort) supplies coordinator verdicts for csn-stamped
+/// legs and in-doubt transactions. Only kRH and kDisabled logs are
+/// supported: the rewriting baselines edit history in place, so their logs
+/// carry post-rewrite attribution and need no resolution (NotSupported).
+Result<OwnershipIndex> BuildOwnershipIndex(
+    DelegationMode mode, const LogManager& log, Lsn cut,
+    const coord::Resolution* resolution);
+
+}  // namespace ariesrh::reenact
+
+#endif  // ARIESRH_REENACT_OWNERSHIP_H_

@@ -94,4 +94,19 @@ Result<std::unique_ptr<Database>> StandbyReplica::Promote() && {
   return std::move(db_);
 }
 
+Result<reenact::Reenactor> StandbyReplica::Reenact() const {
+  std::vector<SimulatedDisk*> disks;
+  disks.reserve(db_->num_shards());
+  for (size_t i = 0; i < db_->num_shards(); ++i) {
+    disks.push_back(db_->shard(i)->disk());
+  }
+  coord::Resolution resolution;
+  if (db_->coordinator_log() != nullptr) {
+    resolution = coord::Resolution::FromRecords(
+        db_->coordinator_log()->StableRecords());
+  }
+  return reenact::Reenactor::OpenQuiescentDisks(db_->options(), disks,
+                                                std::move(resolution));
+}
+
 }  // namespace ariesrh::replication

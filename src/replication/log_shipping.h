@@ -74,6 +74,15 @@ class StandbyReplica {
   /// replica object is consumed.
   Result<std::unique_ptr<Database>> Promote() &&;
 
+  /// Opens a read-only reenactment engine over the shipped logs — point-in-
+  /// time and provenance queries against the standby's copy of history
+  /// without promoting it (and without disturbing the shipped state; the
+  /// standby remains promotable afterwards). In-doubt cross-shard rounds
+  /// resolve from the shipped coordinator decisions, exactly as promotion
+  /// would. Do not run concurrently with SyncFrom; the reenactor borrows
+  /// the standby's disks and must not outlive this replica.
+  Result<reenact::Reenactor> Reenact() const;
+
  private:
   std::unique_ptr<Database> db_;  // held in the crashed (standby) state
   std::vector<Lsn> shipped_;      // per-shard shipped-through positions

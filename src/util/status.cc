@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "Busy";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
   }
   return "Unknown";
 }

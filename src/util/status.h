@@ -26,6 +26,10 @@ enum class StatusCode {
   kAborted,         ///< transaction aborted (deadlock victim, user abort)
   kBusy,            ///< lock conflict under no-wait policies
   kIOError,         ///< simulated-device failure
+  /// Request outside the retained/replayable range (e.g. a reenactment cut
+  /// below the archived log prefix). The message names the nearest valid
+  /// bound so callers can retry inside it.
+  kOutOfRange,
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path.
@@ -59,6 +63,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -71,6 +78,7 @@ class Status {
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

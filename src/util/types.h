@@ -3,6 +3,7 @@
 #ifndef ARIESRH_UTIL_TYPES_H_
 #define ARIESRH_UTIL_TYPES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -40,6 +41,19 @@ inline PageId PageOf(ObjectId ob) {
 }
 inline uint32_t SlotOf(ObjectId ob) {
   return static_cast<uint32_t>(ob % kObjectsPerPage);
+}
+
+/// Maps an object to its engine shard (stable hash). One definition shared
+/// by the Database facade's routing and every offline log consumer
+/// (reenactment archive opens route objects without a live Database) —
+/// the two must never diverge or offline answers would read the wrong
+/// shard's log.
+inline size_t ShardIndexOf(ObjectId ob, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Fibonacci-hash the id so adjacent objects spread across shards.
+  uint64_t h = static_cast<uint64_t>(ob) * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h % num_shards);
 }
 
 }  // namespace ariesrh

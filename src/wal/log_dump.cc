@@ -2,13 +2,15 @@
 
 #include <sstream>
 
+#include "reenact/ownership.h"
+
 namespace ariesrh {
 
 Result<std::string> DumpLog(const LogManager& log, Lsn from, Lsn to) {
   std::ostringstream os;
   for (Lsn lsn = from; lsn <= to && lsn <= log.end_lsn(); ++lsn) {
     Result<LogRecord> rec = log.Read(lsn);
-    if (rec.status().IsNotFound()) {
+    if (rec.status().IsNotFound() && lsn < log.first_retained_lsn()) {
       os << "[" << lsn << " <archived>]\n";
       continue;
     }
@@ -22,20 +24,72 @@ Result<std::string> DumpLog(const LogManager& log) {
   return DumpLog(log, kFirstLsn, log.end_lsn());
 }
 
-Result<std::vector<ObjectHistoryEntry>> ObjectHistory(const LogManager& log,
-                                                      ObjectId ob) {
+namespace {
+
+/// Folds the log's scope reconstruction once and resolves each entry's
+/// responsible transaction in place. Under the rewriting baselines the
+/// records already carry post-rewrite attribution, so responsibility is the
+/// writer itself and no fold runs.
+template <typename Entry>
+Status ResolveResponsibility(const LogManager& log, ObjectId ob,
+                             DelegationMode mode,
+                             const coord::Resolution* resolution,
+                             std::vector<Entry>* entries) {
+  if (mode != DelegationMode::kRH && mode != DelegationMode::kDisabled) {
+    for (Entry& entry : *entries) {
+      entry.responsible = entry.writer;
+      entry.responsible_committed = true;  // rewrite implies the owner won
+    }
+    return Status::OK();
+  }
+  ARIESRH_ASSIGN_OR_RETURN(
+      reenact::OwnershipIndex idx,
+      reenact::BuildOwnershipIndex(mode, log, kInvalidLsn, resolution));
+  for (Entry& entry : *entries) {
+    const reenact::OwnedSpan* span = idx.Resolve(ob, entry.writer, entry.lsn);
+    if (span != nullptr) {
+      entry.responsible = span->owner;
+      entry.responsible_committed = span->owner_committed;
+    } else {
+      // No covering scope: never delegated (kDisabled has no scopes at
+      // all), or the write is a CLR — compensation always runs on behalf
+      // of the responsible transaction, so the writer answers either way.
+      entry.responsible = entry.writer;
+      auto it = idx.txns.find(entry.writer);
+      entry.responsible_committed =
+          it != idx.txns.end()
+              ? it->second.committed
+              // Terminated and forgotten before the retained range: its
+              // surviving records imply it committed.
+              : true;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ObjectHistoryEntry>> ObjectHistory(
+    const LogManager& log, ObjectId ob, DelegationMode mode,
+    const coord::Resolution* resolution) {
   std::vector<ObjectHistoryEntry> entries;
   std::vector<Lsn> compensated;
-  for (Lsn lsn = kFirstLsn; lsn <= log.end_lsn(); ++lsn) {
-    Result<LogRecord> rec = log.Read(lsn);
-    if (rec.status().IsNotFound()) continue;  // archived prefix
-    ARIESRH_RETURN_IF_ERROR(rec.status());
-    if (rec->object != ob) continue;
-    if (rec->type == LogRecordType::kUpdate) {
-      entries.push_back(ObjectHistoryEntry{lsn, rec->txn_id, rec->kind,
-                                           rec->before, rec->after, false});
-    } else if (rec->type == LogRecordType::kClr) {
-      compensated.push_back(rec->compensated_lsn);
+  // Scan only the retained range: an archived prefix is expected and not an
+  // error, but a failed read inside the range is — propagate it instead of
+  // silently dropping history.
+  for (Lsn lsn = log.first_retained_lsn(); lsn <= log.end_lsn(); ++lsn) {
+    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log.Read(lsn));
+    if (rec.object != ob) continue;
+    if (rec.type == LogRecordType::kUpdate) {
+      ObjectHistoryEntry entry;
+      entry.lsn = lsn;
+      entry.writer = rec.txn_id;
+      entry.kind = rec.kind;
+      entry.before = rec.before;
+      entry.after = rec.after;
+      entries.push_back(std::move(entry));
+    } else if (rec.type == LogRecordType::kClr) {
+      compensated.push_back(rec.compensated_lsn);
     }
   }
   for (ObjectHistoryEntry& entry : entries) {
@@ -43,34 +97,47 @@ Result<std::vector<ObjectHistoryEntry>> ObjectHistory(const LogManager& log,
       if (entry.lsn == undone) entry.compensated = true;
     }
   }
+  ARIESRH_RETURN_IF_ERROR(
+      ResolveResponsibility(log, ob, mode, resolution, &entries));
   return entries;
 }
 
 Result<std::vector<TableHistoryEntry>> TableKeyHistory(
-    const LogManager& log, const std::string& key) {
+    const LogManager& log, const std::string& key, DelegationMode mode,
+    const coord::Resolution* resolution) {
   std::vector<TableHistoryEntry> entries;
   std::vector<Lsn> compensated;
-  for (Lsn lsn = kFirstLsn; lsn <= log.end_lsn(); ++lsn) {
-    Result<LogRecord> rec = log.Read(lsn);
-    if (rec.status().IsNotFound()) continue;  // archived prefix
-    ARIESRH_RETURN_IF_ERROR(rec.status());
-    if (rec->key != key) continue;
-    switch (rec->type) {
+  ObjectId rid = kInvalidObject;  // learned from the first matching record
+  for (Lsn lsn = log.first_retained_lsn(); lsn <= log.end_lsn(); ++lsn) {
+    ARIESRH_ASSIGN_OR_RETURN(LogRecord rec, log.Read(lsn));
+    if (rec.key != key) continue;
+    switch (rec.type) {
       case LogRecordType::kTableInsert:
       case LogRecordType::kTableUpdate:
-      case LogRecordType::kTableDelete:
-        entries.push_back(TableHistoryEntry{lsn, rec->txn_id, rec->type,
-                                            rec->before_image,
-                                            rec->after_image, false});
+      case LogRecordType::kTableDelete: {
+        rid = rec.object;
+        TableHistoryEntry entry;
+        entry.lsn = lsn;
+        entry.writer = rec.txn_id;
+        entry.type = rec.type;
+        entry.before = rec.before_image;
+        entry.after = rec.after_image;
+        entries.push_back(std::move(entry));
         break;
-      case LogRecordType::kTableClr:
+      }
+      case LogRecordType::kTableClr: {
+        rid = rec.object;
         // The CLR's action: remove, or reinstate the restore image (stored
         // in after_image).
-        entries.push_back(TableHistoryEntry{
-            lsn, rec->txn_id, rec->type, std::string(),
-            rec->table_remove ? std::string() : rec->after_image, false});
-        compensated.push_back(rec->compensated_lsn);
+        TableHistoryEntry entry;
+        entry.lsn = lsn;
+        entry.writer = rec.txn_id;
+        entry.type = rec.type;
+        entry.after = rec.table_remove ? std::string() : rec.after_image;
+        entries.push_back(std::move(entry));
+        compensated.push_back(rec.compensated_lsn);
         break;
+      }
       default:
         break;
     }
@@ -80,6 +147,8 @@ Result<std::vector<TableHistoryEntry>> TableKeyHistory(
       if (entry.lsn == undone) entry.compensated = true;
     }
   }
+  ARIESRH_RETURN_IF_ERROR(
+      ResolveResponsibility(log, rid, mode, resolution, &entries));
   return entries;
 }
 

@@ -8,11 +8,16 @@
 #include <string>
 #include <vector>
 
+#include "core/options.h"
 #include "util/status.h"
 #include "util/types.h"
 #include "wal/log_manager.h"
 
 namespace ariesrh {
+
+namespace coord {
+struct Resolution;
+}
 
 /// Renders the records in [from, to] one per line (LSN order). LSNs outside
 /// the retained log are skipped with a marker line.
@@ -29,12 +34,25 @@ struct ObjectHistoryEntry {
   int64_t before = 0;
   int64_t after = 0;
   bool compensated = false;  ///< a CLR undoing this update exists
+  /// The transaction that answers for this update after delegation scope
+  /// transfers, CLR voiding, and coordinator verdicts fold in — what the
+  /// recovery forward pass would hold responsible. Equals `writer` when the
+  /// update was never delegated (and always under the rewriting baselines,
+  /// whose records carry post-rewrite attribution in `writer` itself).
+  TxnId responsible = kInvalidTxn;
+  bool responsible_committed = false;
 };
 
-/// Scans the log and returns every update (and whether it was compensated)
-/// touching `ob`, oldest first. A diagnostic full sweep — not a hot path.
-Result<std::vector<ObjectHistoryEntry>> ObjectHistory(const LogManager& log,
-                                                      ObjectId ob);
+/// Scans the retained log and returns every update (and whether it was
+/// compensated) touching `ob`, oldest first, with responsibility resolved
+/// through the same scope reconstruction recovery performs. `resolution`
+/// (nullable = presumed abort) supplies coordinator verdicts for sharded
+/// logs. A diagnostic full sweep — not a hot path. Fails loudly (rather
+/// than skipping records) if the log cannot be read back.
+Result<std::vector<ObjectHistoryEntry>> ObjectHistory(
+    const LogManager& log, ObjectId ob,
+    DelegationMode mode = DelegationMode::kRH,
+    const coord::Resolution* resolution = nullptr);
 
 /// One logical table record touching a key, as found in the log.
 struct TableHistoryEntry {
@@ -44,13 +62,23 @@ struct TableHistoryEntry {
   std::string before;  ///< before image (empty for TBL_INSERT)
   std::string after;   ///< after image (empty for TBL_DELETE / removing CLR)
   bool compensated = false;  ///< a TBL_CLR undoing this record exists
+  /// Responsibility after delegation resolution (see ObjectHistoryEntry).
+  /// For a TBL_CLR the writer is already the responsible transaction (undo
+  /// compensates on behalf of the owner), so the two always match there.
+  TxnId responsible = kInvalidTxn;
+  bool responsible_committed = false;
 };
 
-/// Scans the log and returns every logical table record (including CLRs)
-/// touching `key`, oldest first. Matches by key, not rid, so hash-colliding
-/// keys never mix. A diagnostic full sweep — not a hot path.
-Result<std::vector<TableHistoryEntry>> TableKeyHistory(const LogManager& log,
-                                                       const std::string& key);
+/// Scans the retained log and returns every logical table record (including
+/// CLRs) touching `key`, oldest first, with responsibility resolved through
+/// the same scope reconstruction recovery performs (records are keyed by
+/// the key's rid). Matches by key, not rid, so hash-colliding keys never
+/// mix. A diagnostic full sweep — not a hot path. Fails loudly (rather than
+/// skipping records) if the log cannot be read back.
+Result<std::vector<TableHistoryEntry>> TableKeyHistory(
+    const LogManager& log, const std::string& key,
+    DelegationMode mode = DelegationMode::kRH,
+    const coord::Resolution* resolution = nullptr);
 
 }  // namespace ariesrh
 

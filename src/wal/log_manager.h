@@ -131,6 +131,12 @@ class LogManager {
     return flushed_lsn_.load(std::memory_order_acquire);
   }
 
+  /// First LSN still present on the underlying stable log (older records
+  /// were archived); kFirstLsn until the prefix is ever archived. Lets log
+  /// consumers (dumps, reenactment) bound their scans instead of probing
+  /// the archived prefix record by record.
+  Lsn first_retained_lsn() const { return disk_->first_retained_lsn(); }
+
   /// Crash: discards the volatile tail. The durable prefix is untouched.
   /// Safe against an in-flight Flush (serializes after it) and wakes any
   /// parked FlushWait committers whose records were discarded.

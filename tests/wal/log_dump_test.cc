@@ -104,5 +104,60 @@ TEST_F(LogDumpTest, DelegateRecordVisibleInDump) {
   EXPECT_NE(dump->find("=>"), std::string::npos);
 }
 
+TEST_F(LogDumpTest, ObjectHistoryResolvesDelegatedResponsibility) {
+  // Regression pin for the delegation-blind history bug: the pre-fix
+  // ObjectHistory reported only the record's invoker, so a delegated
+  // update looked like the delegator still answered for it — even across
+  // a crash, where recovery's own scope reconstruction says otherwise.
+  TxnId tor = *db_.Begin();
+  TxnId tee = *db_.Begin();
+  ASSERT_TRUE(db_.Set(tor, 5, 50).ok());
+  ASSERT_TRUE(db_.Delegate(tor, tee, DelegationSpec::Objects({5})).ok());
+  ASSERT_TRUE(db_.Commit(tee).ok());
+  ASSERT_TRUE(db_.Commit(tor).ok());
+  db_.SimulateCrash();
+  ASSERT_TRUE(db_.Recover().ok());
+
+  Result<std::vector<ObjectHistoryEntry>> history =
+      ObjectHistory(*db_.log_manager(), 5);
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+  ASSERT_EQ(history->size(), 1u);
+  EXPECT_EQ((*history)[0].writer, tor);        // as recorded in the log
+  EXPECT_EQ((*history)[0].responsible, tee);   // as delegation resolved it
+  EXPECT_TRUE((*history)[0].responsible_committed);
+}
+
+TEST_F(LogDumpTest, TableKeyHistoryResolvesDelegatedResponsibility) {
+  TxnId tor = *db_.Begin();
+  TxnId tee = *db_.Begin();
+  ASSERT_TRUE(db_.TablePut(tor, "acct", "10").ok());
+  ASSERT_TRUE(db_.Delegate(tor, tee, DelegationSpec::All()).ok());
+  ASSERT_TRUE(db_.Commit(tee).ok());
+  ASSERT_TRUE(db_.Commit(tor).ok());
+
+  Result<std::vector<TableHistoryEntry>> history =
+      TableKeyHistory(*db_.log_manager(), "acct");
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+  ASSERT_EQ(history->size(), 1u);
+  EXPECT_EQ((*history)[0].writer, tor);
+  EXPECT_EQ((*history)[0].responsible, tee);
+  EXPECT_TRUE((*history)[0].responsible_committed);
+}
+
+TEST_F(LogDumpTest, DumpPropagatesReadFailuresInsideTheRetainedRange) {
+  // Regression pin for the swallowed-read-failure bug: a record that fails
+  // to read *inside* the retained range must surface its error instead of
+  // being silently skipped; only LSNs below first_retained_lsn() render as
+  // the <archived> marker.
+  TxnId t = *db_.Begin();
+  ASSERT_TRUE(db_.Set(t, 5, 42).ok());
+  ASSERT_TRUE(db_.Commit(t).ok());
+  ASSERT_TRUE(db_.log_manager()->FlushAll().ok());
+  ASSERT_TRUE(db_.disk()->CorruptLogTail(4).ok());
+  Result<std::string> dump = DumpLog(*db_.log_manager());
+  ASSERT_FALSE(dump.ok());  // pre-fix: ok, with the torn record dropped
+  EXPECT_FALSE(dump.status().IsNotFound()) << dump.status().ToString();
+}
+
 }  // namespace
 }  // namespace ariesrh

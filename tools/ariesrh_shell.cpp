@@ -23,6 +23,10 @@
 //   bench              group-commit digest: batches, batch size, p99 commit
 //   checkpoint         take a checkpoint, print the daemon/retention digest
 //   archive            archive the log prefix, print the same digest
+//   asof [lsn]         committed state as of the cut LSN (default: tail)
+//   whodunit <ob|"key"> [lsn]   who answers for a value after delegation
+//   replay <txn> [lsn] one transaction's effects reenacted in isolation
+//   chain <ob|"key">   the responsibility-transfer chain for an object
 //   trace [n]          last n engine trace events (default 32)
 //   save               persist stable state to the session file
 //   help               command summary
@@ -61,7 +65,18 @@ void PrintHelp() {
       " bench |\n"
       "  put <t> <key> <v> | get <t> <key> | del <t> <key> |"
       " scan <t> [start [limit]]\n"
+      "  asof [lsn] | whodunit <ob|\"key\"> [lsn] | replay <txn> [lsn] |"
+      " chain <ob|\"key\">\n"
       "  checkpoint | archive | trace [n] | save | help | quit\n");
+}
+
+/// Reenactment targets: a bare number names an object id, a "quoted" token
+/// names a table key.
+bool IsQuotedKey(const std::string& token) {
+  return token.size() >= 2 && token.front() == '"' && token.back() == '"';
+}
+std::string Unquote(const std::string& token) {
+  return token.substr(1, token.size() - 2);
 }
 
 /// A transaction argument: a script name the runner knows ("t1"), or a raw
@@ -109,12 +124,19 @@ bool HandleBuiltin(const std::string& line, Database* db,
       return true;
     }
     for (const ObjectHistoryEntry& entry : *history) {
-      std::printf("  LSN %llu by t%llu %s %lld -> %lld%s\n",
+      std::printf("  LSN %llu by t%llu %s %lld -> %lld%s",
                   (unsigned long long)entry.lsn,
                   (unsigned long long)entry.writer,
                   entry.kind == UpdateKind::kSet ? "set" : "add",
                   (long long)entry.before, (long long)entry.after,
                   entry.compensated ? "  [compensated]" : "");
+      if (entry.responsible != kInvalidTxn &&
+          entry.responsible != entry.writer) {
+        std::printf("  [answers: t%llu%s]",
+                    (unsigned long long)entry.responsible,
+                    entry.responsible_committed ? "" : " uncommitted");
+      }
+      std::printf("\n");
     }
     return true;
   }
@@ -276,6 +298,89 @@ bool HandleBuiltin(const std::string& line, Database* db,
       std::printf("%s\n", daemon->digest().ToString().c_str());
     } else {
       std::printf("checkpoint daemon: not configured\n");
+    }
+    return true;
+  }
+  if (cmd == "asof") {
+    Lsn cut = kInvalidLsn;
+    stream >> cut;
+    Result<reenact::StateImage> state = db->ReenactStateAt(cut);
+    if (!state.ok()) {
+      std::printf("error: %s\n", state.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s\n", state->ToString().c_str());
+    for (const auto& [ob, value] : state->objects) {
+      std::printf("  ob%llu = %lld\n", (unsigned long long)ob,
+                  (long long)value);
+    }
+    for (const auto& [key, value] : state->records) {
+      std::printf("  \"%s\" = \"%s\"\n", key.c_str(), value.c_str());
+    }
+    return true;
+  }
+  if (cmd == "whodunit") {
+    std::string target;
+    Lsn cut = kInvalidLsn;
+    if (!(stream >> target)) {
+      std::printf("usage: whodunit <ob|\"key\"> [lsn]\n");
+      return true;
+    }
+    stream >> cut;
+    Result<reenact::ResponsibilityAnswer> answer =
+        IsQuotedKey(target)
+            ? db->ReenactWhodunitKey(Unquote(target), cut)
+            : db->ReenactWhodunit(std::strtoull(target.c_str(), nullptr, 10),
+                                  cut);
+    if (!answer.ok()) {
+      std::printf("error: %s\n", answer.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s\n", answer->ToString().c_str());
+    return true;
+  }
+  if (cmd == "replay") {
+    std::string txn_token;
+    Lsn cut = kInvalidLsn;
+    if (!(stream >> txn_token)) {
+      std::printf("usage: replay <txn> [lsn]\n");
+      return true;
+    }
+    stream >> cut;
+    const TxnId txn = ResolveTxn(runner, txn_token);
+    if (txn == kInvalidTxn) {
+      std::printf("unknown transaction '%s'\n", txn_token.c_str());
+      return true;
+    }
+    Result<reenact::ReplayResult> replayed = db->ReenactReplayTxn(txn, cut);
+    if (!replayed.ok()) {
+      std::printf("error: %s\n", replayed.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s\n", replayed->ToString().c_str());
+    return true;
+  }
+  if (cmd == "chain") {
+    std::string target;
+    if (!(stream >> target)) {
+      std::printf("usage: chain <ob|\"key\">\n");
+      return true;
+    }
+    Result<std::vector<reenact::TransferHop>> chain =
+        IsQuotedKey(target)
+            ? db->ReenactTransferChainKey(Unquote(target))
+            : db->ReenactTransferChain(
+                  std::strtoull(target.c_str(), nullptr, 10));
+    if (!chain.ok()) {
+      std::printf("error: %s\n", chain.status().ToString().c_str());
+      return true;
+    }
+    if (chain->empty()) {
+      std::printf("no responsibility transfers\n");
+      return true;
+    }
+    for (const reenact::TransferHop& hop : *chain) {
+      std::printf("  %s\n", hop.ToString().c_str());
     }
     return true;
   }
